@@ -1,0 +1,77 @@
+// Ablation 3: decomposition split policies. The paper's kd-tree scheme
+// cycles through the axes (round-robin); an alternative is to always
+// bisect the longest side. On anisotropic objects (skewed extents) the
+// longest-side policy should shed uncertainty faster per iteration.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "updb.h"
+
+namespace {
+
+/// Synthetic database with anisotropic uncertainty rectangles: extent in
+/// dimension 0 is up to `skew` times the extent in dimension 1.
+updb::UncertainDatabase MakeAnisotropic(size_t n, double max_extent,
+                                        double skew, uint64_t seed) {
+  using namespace updb;
+  Rng rng(seed);
+  UncertainDatabase db;
+  for (size_t i = 0; i < n; ++i) {
+    const Point center{rng.NextDouble(), rng.NextDouble()};
+    const double ex = rng.Uniform(0, max_extent * skew);
+    const double ey = rng.Uniform(0, max_extent);
+    db.Add(std::make_shared<UniformPdf>(
+        Rect::Centered(center, {ex / 2, ey / 2})));
+  }
+  return db;
+}
+
+}  // namespace
+
+int main() {
+  using namespace updb;
+  bench::PrintBanner("abl3",
+                     "split policy: round-robin vs longest-side on "
+                     "anisotropic objects");
+
+  const size_t n = bench::Scaled(5000);
+  const int max_iterations = 5;
+  const size_t num_queries = 10;
+
+  std::printf("skew,policy,iteration,avg_total_uncertainty\n");
+  for (double skew : {1.0, 4.0, 16.0}) {
+    const UncertainDatabase db = MakeAnisotropic(n, 0.004, skew, 11);
+    const RTree index = BuildRTree(db.objects());
+    for (auto policy : {SplitPolicy::kRoundRobin, SplitPolicy::kLongestSide}) {
+      IdcaConfig config;
+      config.split_policy = policy;
+      config.max_iterations = max_iterations;
+      config.uncertainty_epsilon = -1.0;
+      IdcaEngine engine(db, config);
+      std::vector<double> unc(max_iterations + 1, 0.0);
+      std::vector<size_t> counts(max_iterations + 1, 0);
+      Rng rng(21);
+      for (size_t q = 0; q < num_queries; ++q) {
+        const Point center{rng.NextDouble(), rng.NextDouble()};
+        const auto r = workload::MakeQueryObject(
+            center, 0.004, workload::ObjectModel::kUniform, 0, rng);
+        const ObjectId b =
+            workload::PickByMinDistRank(index, r->bounds(), 10);
+        const IdcaResult result = engine.ComputeDomCount(b, *r);
+        for (const IdcaIterationStats& s : result.iterations) {
+          unc[s.iteration] += s.total_uncertainty;
+          ++counts[s.iteration];
+        }
+      }
+      for (int it = 0; it <= max_iterations; ++it) {
+        if (counts[it] == 0) continue;
+        std::printf("%.0f,%s,%d,%.4f\n", skew,
+                    policy == SplitPolicy::kRoundRobin ? "round_robin"
+                                                       : "longest_side",
+                    it, unc[it] / static_cast<double>(counts[it]));
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation 4: R-tree-backed complete-domination filter vs. the linear
+// database scan (the paper's "integrate into index supported algorithms"
+// future work, implemented here). Measures the filter phase alone
+// (max_iterations = 0) across database sizes.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "updb.h"
+
+int main() {
+  using namespace updb;
+  bench::PrintBanner("abl4",
+                     "index-backed vs linear complete-domination filter "
+                     "(future-work extension)");
+
+  const size_t num_queries = 20;
+  std::printf("db_size,scan_sec,index_sec,speedup,influence_objects\n");
+  for (size_t base_n : {20000u, 40000u, 80000u, 160000u}) {
+    workload::SyntheticConfig cfg;
+    cfg.num_objects = bench::Scaled(base_n);
+    cfg.max_extent = 0.002;
+    const UncertainDatabase db = workload::MakeSyntheticDatabase(cfg);
+    const RTree index = BuildRTree(db.objects());
+
+    IdcaConfig scan_cfg;
+    scan_cfg.max_iterations = 0;
+    scan_cfg.collect_stats = false;
+    IdcaConfig index_cfg = scan_cfg;
+    index_cfg.use_index_filter = true;
+    IdcaEngine scan(db, scan_cfg);
+    IdcaEngine indexed(db, &index, index_cfg);
+
+    double scan_sec = 0.0, index_sec = 0.0, influence = 0.0;
+    Rng rng(77);
+    for (size_t q = 0; q < num_queries; ++q) {
+      const Point center{rng.NextDouble(), rng.NextDouble()};
+      const auto r = workload::MakeQueryObject(
+          center, cfg.max_extent, workload::ObjectModel::kUniform, 0, rng);
+      const ObjectId b = workload::PickByMinDistRank(index, r->bounds(), 10);
+      Stopwatch sw1;
+      const IdcaResult a = scan.ComputeDomCount(b, *r);
+      scan_sec += sw1.ElapsedSeconds();
+      Stopwatch sw2;
+      const IdcaResult c = indexed.ComputeDomCount(b, *r);
+      index_sec += sw2.ElapsedSeconds();
+      if (a.influence_count != c.influence_count ||
+          a.complete_domination_count != c.complete_domination_count) {
+        std::printf("MISMATCH at n=%zu q=%zu\n", cfg.num_objects, q);
+        return 1;
+      }
+      influence += static_cast<double>(a.influence_count);
+    }
+    std::printf("%zu,%.6f,%.6f,%.1fx,%.1f\n", cfg.num_objects,
+                scan_sec / num_queries, index_sec / num_queries,
+                scan_sec / index_sec, influence / num_queries);
+  }
+  return 0;
+}

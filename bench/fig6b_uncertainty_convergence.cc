@@ -1,0 +1,63 @@
+// Figure 6(b): accumulated uncertainty Sum_k (UB_k - LB_k) of the
+// domination-count bounds after each refinement iteration, for the
+// Optimal vs MinMax decision criteria. Both converge toward zero; the
+// optimal criterion starts lower (fewer influence objects) and stays
+// below MinMax at every iteration.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "updb.h"
+
+int main() {
+  using namespace updb;
+  bench::PrintBanner("fig6b",
+                     "accumulated uncertainty per iteration, Optimal vs "
+                     "MinMax (paper: Fig. 6b)");
+
+  workload::SyntheticConfig cfg;
+  cfg.num_objects = bench::Scaled(10000);  // paper scale
+  cfg.max_extent = 0.004;
+  const UncertainDatabase db = workload::MakeSyntheticDatabase(cfg);
+  const RTree index = BuildRTree(db.objects());
+  const size_t num_queries = 10;
+  const int max_iterations = 6;  // paper: 8; cost grows exponentially
+
+  std::vector<double> opt_unc(max_iterations + 1, 0.0);
+  std::vector<double> mm_unc(max_iterations + 1, 0.0);
+  std::vector<size_t> counts(max_iterations + 1, 0);
+
+  for (auto criterion :
+       {DominationCriterion::kOptimal, DominationCriterion::kMinMax}) {
+    IdcaConfig config;
+    config.criterion = criterion;
+    config.max_iterations = max_iterations;
+    config.uncertainty_epsilon = -1.0;  // run all iterations
+    IdcaEngine engine(db, config);
+    Rng rng(7);
+    auto& acc =
+        criterion == DominationCriterion::kOptimal ? opt_unc : mm_unc;
+    for (size_t q = 0; q < num_queries; ++q) {
+      const Point center{rng.NextDouble(), rng.NextDouble()};
+      const auto r = workload::MakeQueryObject(
+          center, cfg.max_extent, workload::ObjectModel::kUniform, 0, rng);
+      const ObjectId b = workload::PickByMinDistRank(index, r->bounds(), 10);
+      const IdcaResult result = engine.ComputeDomCount(b, *r);
+      for (const IdcaIterationStats& s : result.iterations) {
+        acc[s.iteration] += s.total_uncertainty;
+        if (criterion == DominationCriterion::kOptimal) {
+          ++counts[s.iteration];
+        }
+      }
+    }
+  }
+
+  std::printf("iteration,optimal_uncertainty,minmax_uncertainty\n");
+  for (int it = 0; it <= max_iterations; ++it) {
+    if (counts[it] == 0) continue;
+    const double n = static_cast<double>(num_queries);
+    std::printf("%d,%.4f,%.4f\n", it, opt_unc[it] / n, mm_unc[it] / n);
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 9(a): per-iteration runtime of IDCA as a function of the number
+// of influence objects. The paper varies the distance between Q and B (a
+// farther B has more objects whose domination relation is uncertain); we
+// do the same by picking B at growing MinDist ranks.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "updb.h"
+
+int main() {
+  using namespace updb;
+  bench::PrintBanner("fig9a",
+                     "runtime per iteration vs number of influence objects "
+                     "(paper: Fig. 9a)");
+
+  workload::SyntheticConfig cfg;
+  cfg.num_objects = bench::Scaled(10000);  // paper scale
+  cfg.max_extent = 0.002;
+  const UncertainDatabase db = workload::MakeSyntheticDatabase(cfg);
+  const RTree index = BuildRTree(db.objects());
+  const size_t num_queries = 3;
+  const int max_iterations = 6;  // paper: 8
+
+  IdcaConfig config;
+  config.max_iterations = max_iterations;
+  config.uncertainty_epsilon = -1.0;
+  IdcaEngine engine(db, config);
+
+  std::printf(
+      "b_rank,avg_influence_objects,iteration,cumulative_runtime_sec\n");
+  for (size_t rank : {5u, 10u, 20u, 40u, 80u}) {
+    double influence_total = 0.0;
+    std::vector<double> cumulative(max_iterations + 1, 0.0);
+    std::vector<size_t> counts(max_iterations + 1, 0);
+    Rng rng(500 + rank);
+    for (size_t q = 0; q < num_queries; ++q) {
+      const Point center{rng.Uniform(0.2, 0.8), rng.Uniform(0.2, 0.8)};
+      const auto r = workload::MakeQueryObject(
+          center, cfg.max_extent, workload::ObjectModel::kUniform, 0, rng);
+      const ObjectId b = workload::PickByMinDistRank(index, r->bounds(), rank);
+      const IdcaResult result = engine.ComputeDomCount(b, *r);
+      influence_total += static_cast<double>(result.influence_count);
+      for (const IdcaIterationStats& s : result.iterations) {
+        cumulative[s.iteration] += s.cumulative_seconds;
+        ++counts[s.iteration];
+      }
+    }
+    for (int it = 0; it <= max_iterations; ++it) {
+      if (counts[it] == 0) continue;
+      std::printf("%zu,%.1f,%d,%.6f\n", rank,
+                  influence_total / static_cast<double>(num_queries), it,
+                  cumulative[it] / static_cast<double>(counts[it]));
+    }
+  }
+  return 0;
+}

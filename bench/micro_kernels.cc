@@ -1,0 +1,137 @@
+// Google-benchmark microbenchmarks for the hot kernels: the two
+// domination criteria, generating-function expansion, UGF multiplication,
+// decomposition deepening and R-tree kNN.
+
+#include <benchmark/benchmark.h>
+
+#include "updb.h"
+
+namespace updb {
+namespace {
+
+std::vector<Rect> RandomRects(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rect> rects;
+  rects.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point center{rng.NextDouble(), rng.NextDouble()};
+    rects.push_back(
+        Rect::Centered(center, {rng.Uniform(0, 0.05), rng.Uniform(0, 0.05)}));
+  }
+  return rects;
+}
+
+void BM_MinMaxDominates(benchmark::State& state) {
+  const auto rects = RandomRects(3000, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Rect& a = rects[i % rects.size()];
+    const Rect& b = rects[(i + 1) % rects.size()];
+    const Rect& r = rects[(i + 2) % rects.size()];
+    benchmark::DoNotOptimize(MinMaxDominates(a, b, r));
+    ++i;
+  }
+}
+BENCHMARK(BM_MinMaxDominates);
+
+void BM_OptimalDominates(benchmark::State& state) {
+  const auto rects = RandomRects(3000, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    const Rect& a = rects[i % rects.size()];
+    const Rect& b = rects[(i + 1) % rects.size()];
+    const Rect& r = rects[(i + 2) % rects.size()];
+    benchmark::DoNotOptimize(OptimalDominates(a, b, r));
+    ++i;
+  }
+}
+BENCHMARK(BM_OptimalDominates);
+
+void BM_PoissonBinomial(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<double> probs(n);
+  for (double& p : probs) p = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PoissonBinomialPdf(probs));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_PoissonBinomial)->Range(16, 1024)->Complexity();
+
+void BM_UgfFull(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<double> lbs(n), ubs(n);
+  for (size_t i = 0; i < n; ++i) {
+    lbs[i] = rng.NextDouble() * 0.5;
+    ubs[i] = lbs[i] + 0.5 * rng.NextDouble();
+  }
+  for (auto _ : state) {
+    UncertainGeneratingFunction ugf;
+    for (size_t i = 0; i < n; ++i) ugf.Multiply(lbs[i], ubs[i]);
+    benchmark::DoNotOptimize(ugf.Bounds());
+  }
+}
+BENCHMARK(BM_UgfFull)->Range(8, 128);
+
+void BM_UgfTruncated(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t k = 10;
+  Rng rng(5);
+  std::vector<double> lbs(n), ubs(n);
+  for (size_t i = 0; i < n; ++i) {
+    lbs[i] = rng.NextDouble() * 0.5;
+    ubs[i] = lbs[i] + 0.5 * rng.NextDouble();
+  }
+  for (auto _ : state) {
+    UncertainGeneratingFunction ugf(k);
+    for (size_t i = 0; i < n; ++i) ugf.Multiply(lbs[i], ubs[i]);
+    benchmark::DoNotOptimize(ugf.ProbLessThan(k));
+  }
+}
+BENCHMARK(BM_UgfTruncated)->Range(8, 128);
+
+void BM_DecompositionDeepen(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  UniformPdf pdf(Rect(Point{0.0, 0.0}, Point{1.0, 1.0}));
+  for (auto _ : state) {
+    DecompositionTree tree(&pdf);
+    tree.DeepenTo(depth);
+    benchmark::DoNotOptimize(tree.frontier().size());
+  }
+}
+BENCHMARK(BM_DecompositionDeepen)->DenseRange(1, 8);
+
+void BM_RTreeKnn(benchmark::State& state) {
+  workload::SyntheticConfig cfg;
+  cfg.num_objects = 10000;
+  cfg.max_extent = 0.004;
+  const UncertainDatabase db = workload::MakeSyntheticDatabase(cfg);
+  const RTree index = BuildRTree(db.objects());
+  Rng rng(6);
+  for (auto _ : state) {
+    const Rect q =
+        Rect::Centered(Point{rng.NextDouble(), rng.NextDouble()}, {0.0, 0.0});
+    benchmark::DoNotOptimize(index.KnnByMinDist(q, 10));
+  }
+}
+BENCHMARK(BM_RTreeKnn);
+
+void BM_PDomGivenPair(benchmark::State& state) {
+  UniformPdf a(Rect(Point{0.3, 0.3}, Point{0.5, 0.5}));
+  UniformPdf b(Rect(Point{0.4, 0.4}, Point{0.6, 0.6}));
+  UniformPdf r(Rect(Point{0.0, 0.0}, Point{0.2, 0.2}));
+  DecompositionTree tree(&a);
+  tree.DeepenTo(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PDomGivenPair(tree.frontier(), b.bounds(), r.bounds()));
+  }
+}
+BENCHMARK(BM_PDomGivenPair)->DenseRange(2, 8, 2);
+
+}  // namespace
+}  // namespace updb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Copyright 2026 The updb Authors.
+// Invariant-checking macros. UPDB_CHECK is always on and is used for
+// contract violations at public API boundaries; UPDB_DCHECK compiles out in
+// release builds and guards internal invariants on hot paths.
+
+#ifndef UPDB_COMMON_CHECK_H_
+#define UPDB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace updb::internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr) {
+  std::fprintf(stderr, "UPDB_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace updb::internal
+
+#define UPDB_CHECK(cond)                                        \
+  do {                                                          \
+    if (!(cond)) {                                              \
+      ::updb::internal::CheckFail(__FILE__, __LINE__, #cond);   \
+    }                                                           \
+  } while (false)
+
+#ifdef NDEBUG
+#define UPDB_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define UPDB_DCHECK(cond) UPDB_CHECK(cond)
+#endif
+
+#endif  // UPDB_COMMON_CHECK_H_

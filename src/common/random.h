@@ -1,0 +1,88 @@
+// Copyright 2026 The updb Authors.
+// Deterministic, seedable pseudo-random machinery used throughout updb.
+// All experiments in the paper reproduction are driven through Rng so runs
+// are reproducible from a single seed; std::mt19937 is deliberately avoided
+// in favor of a small, fast, well-understood xoshiro256** generator.
+
+#ifndef UPDB_COMMON_RANDOM_H_
+#define UPDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace updb {
+
+/// xoshiro256** pseudo-random generator, seeded via splitmix64.
+///
+/// Deterministic across platforms for a given seed. Satisfies the
+/// UniformRandomBitGenerator requirements so it can also be plugged into
+/// <random> distributions, though updb code uses the member helpers.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator state from `seed` with splitmix64 expansion.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Reseed(seed); }
+
+  /// Re-initializes the state as if freshly constructed with `seed`.
+  void Reseed(uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  /// Next raw 64-bit value.
+  uint64_t operator()() { return Next(); }
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi; returns lo when equal.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling so
+  /// the result is exactly uniform.
+  uint64_t NextBounded(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Marsaglia polar method (cached spare value).
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation (stddev >= 0).
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential with rate lambda > 0.
+  double Exponential(double lambda);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) without replacement
+  /// (reservoir-style; output order unspecified). Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t s_[4];
+  double spare_gaussian_ = 0.0;
+  bool has_spare_gaussian_ = false;
+};
+
+/// splitmix64 step — also useful standalone for hashing seeds.
+uint64_t SplitMix64(uint64_t& state);
+
+}  // namespace updb
+
+#endif  // UPDB_COMMON_RANDOM_H_

@@ -1,0 +1,34 @@
+// Copyright 2026 The updb Authors.
+
+#ifndef UPDB_COMMON_STOPWATCH_H_
+#define UPDB_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace updb {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness and by
+/// IDCA's per-iteration telemetry.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts timing from now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace updb
+
+#endif  // UPDB_COMMON_STOPWATCH_H_

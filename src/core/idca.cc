@@ -1,0 +1,263 @@
+#include "core/idca.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/stopwatch.h"
+
+namespace updb {
+
+namespace {
+
+/// Evaluates the predicate decision from bounds on P(DomCount < k).
+PredicateDecision Decide(const ProbabilityBounds& p, double tau) {
+  if (p.lb > tau) return PredicateDecision::kTrue;
+  if (p.ub <= tau) return PredicateDecision::kFalse;
+  return PredicateDecision::kUndecided;
+}
+
+}  // namespace
+
+IdcaEngine::IdcaEngine(const UncertainDatabase& db, IdcaConfig config)
+    : db_(db), config_(config) {
+  UPDB_CHECK(config_.max_iterations >= 0);
+  UPDB_CHECK(!config_.use_index_filter);  // requires the index constructor
+}
+
+IdcaEngine::IdcaEngine(const UncertainDatabase& db, const RTree* index,
+                       IdcaConfig config)
+    : db_(db), index_(index), config_(config) {
+  UPDB_CHECK(config_.max_iterations >= 0);
+  if (config_.use_index_filter) {
+    UPDB_CHECK(index_ != nullptr);
+    UPDB_CHECK(index_->size() == db_.size());
+  }
+}
+
+IdcaResult IdcaEngine::ComputeDomCount(
+    ObjectId b, const Pdf& r, std::optional<IdcaPredicate> predicate) const {
+  UPDB_CHECK(b < db_.size());
+  return Run(db_.object(b).pdf(), r, b, predicate);
+}
+
+IdcaResult IdcaEngine::ComputeDomCountOfQuery(
+    const Pdf& q, ObjectId b_ref,
+    std::optional<IdcaPredicate> predicate) const {
+  UPDB_CHECK(b_ref < db_.size());
+  return Run(q, db_.object(b_ref).pdf(), b_ref, predicate);
+}
+
+void IdcaEngine::Filter(const Pdf& target, const Pdf& reference,
+                        ObjectId exclude, size_t& complete,
+                        std::vector<const UncertainObject*>& influence) const {
+  const Rect& t = target.bounds();
+  const Rect& r = reference.bounds();
+  auto admit = [this, &influence, &complete](const UncertainObject* a,
+                                             bool dominates) {
+    // An existentially uncertain object (existence < 1) can never be a
+    // *complete* dominator — there are worlds where it is absent — so it
+    // stays in the influence set with its probabilities scaled by the
+    // existence (the adaptation sketched in Section I-A of the paper).
+    if (dominates && a->existentially_certain()) {
+      ++complete;
+    } else {
+      influence.push_back(a);
+    }
+  };
+  if (config_.use_index_filter) {
+    // Complete domination is monotone under shrinking rectangles, so a
+    // verdict on an R-tree node MBR extends to every object inside:
+    // dominated subtrees are pruned, dominating subtrees bulk-counted.
+    index_->Traverse(
+        [this, &t, &r](const Rect& mbr) {
+          if (Dominates(mbr, t, r, config_.criterion, config_.norm)) {
+            return RTree::VisitDecision::kTakeAll;
+          }
+          if (Dominates(t, mbr, r, config_.criterion, config_.norm)) {
+            return RTree::VisitDecision::kSkip;
+          }
+          return RTree::VisitDecision::kDescend;
+        },
+        [this, exclude, &admit](const RTreeEntry& e,
+                                RTree::VisitDecision decision) {
+          if (e.id == exclude) return;
+          admit(&db_.object(e.id),
+                decision == RTree::VisitDecision::kTakeAll);
+        });
+    return;
+  }
+  for (const UncertainObject& a : db_.objects()) {
+    if (a.id() == exclude) continue;
+    switch (ClassifyDomination(a.mbr(), t, r, config_.criterion,
+                               config_.norm)) {
+      case DominationClass::kDominates:
+        admit(&a, /*dominates=*/true);
+        break;
+      case DominationClass::kDominated:
+        break;
+      case DominationClass::kUndecided:
+        admit(&a, /*dominates=*/false);
+        break;
+    }
+  }
+}
+
+IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
+                           ObjectId exclude,
+                           std::optional<IdcaPredicate> predicate) const {
+  Stopwatch timer;
+  IdcaResult result;
+  const size_t total_ranks = db_.size();
+
+  // ---- Phase 1: complete-domination filter (Algorithm 1, lines 3-10).
+  size_t complete = 0;
+  std::vector<const UncertainObject*> influence;
+  Filter(target, reference, exclude, complete, influence);
+  const size_t C = influence.size();
+  result.complete_domination_count = complete;
+  result.influence_count = C;
+  result.influence_pdom.assign(C, ProbabilityBounds{0.0, 1.0});
+
+  // Candidate-level rank window: DomCount in [complete, complete + C].
+  CountDistributionBounds window(C + 1);  // vacuous [0,1] per rank
+  result.bounds = window.ShiftRight(complete, total_ranks);
+
+  // Predicate bookkeeping in candidate space: P(DomCount < k) equals
+  // P(#dominating candidates < m) with m = k - complete.
+  size_t m = 0;  // candidate-space threshold, valid when predicate set
+  if (predicate) {
+    UPDB_CHECK(predicate->k >= 1);
+    if (predicate->k <= complete) {
+      // Every world already has >= k dominators.
+      result.predicate_prob = ProbabilityBounds{0.0, 0.0};
+      result.decision = Decide(result.predicate_prob, predicate->tau);
+      result.seconds = timer.ElapsedSeconds();
+      return result;
+    }
+    if (predicate->k > complete + C) {
+      // No world can reach k dominators.
+      result.predicate_prob = ProbabilityBounds{1.0, 1.0};
+      result.decision = Decide(result.predicate_prob, predicate->tau);
+      result.seconds = timer.ElapsedSeconds();
+      return result;
+    }
+    m = predicate->k - complete;
+    result.predicate_prob = ProbabilityBounds{0.0, 1.0};
+    result.decision = PredicateDecision::kUndecided;
+  }
+
+  if (config_.collect_stats) {
+    IdcaIterationStats s;
+    s.iteration = 0;
+    s.total_uncertainty = result.bounds.TotalUncertainty();
+    s.avg_influence_uncertainty = C > 0 ? 1.0 : 0.0;
+    s.cumulative_seconds = timer.ElapsedSeconds();
+    result.iterations.push_back(s);
+  }
+
+  if (C == 0) {
+    // DomCount is exactly `complete` in every world.
+    CountDistributionBounds exact = CountDistributionBounds::Exact({1.0});
+    result.bounds = exact.ShiftRight(complete, total_ranks);
+    if (predicate) {
+      const double p = complete < predicate->k ? 1.0 : 0.0;
+      result.predicate_prob = ProbabilityBounds{p, p};
+      result.decision = Decide(result.predicate_prob, predicate->tau);
+    }
+    result.seconds = timer.ElapsedSeconds();
+    return result;
+  }
+
+  // ---- Phase 2: iterative refinement (Algorithm 1, lines 14-37).
+  DecompositionTree target_tree(&target, config_.split_policy);
+  DecompositionTree ref_tree(&reference, config_.split_policy);
+  std::vector<std::unique_ptr<DecompositionTree>> cand_trees;
+  cand_trees.reserve(C);
+  for (const UncertainObject* a : influence) {
+    cand_trees.push_back(
+        std::make_unique<DecompositionTree>(&a->pdf(), config_.split_policy));
+  }
+
+  for (int iter = 1; iter <= config_.max_iterations; ++iter) {
+    // Deepen all decompositions one level (Algorithm 1, line 15).
+    size_t splits = target_tree.Deepen() + ref_tree.Deepen();
+    for (auto& tree : cand_trees) splits += tree->Deepen();
+
+    CountDistributionBounds agg = CountDistributionBounds::Zero(C + 1);
+    ProbabilityBounds agg_lt{0.0, 0.0};  // aggregated P(count < m)
+    std::vector<double> pdom_lb(C, 0.0), pdom_ub(C, 0.0);
+    size_t pairs = 0;
+    size_t candidate_partitions = 0;
+
+    for (const Partition& bp : target_tree.frontier()) {
+      for (const Partition& rp : ref_tree.frontier()) {
+        ++pairs;
+        const double w = bp.mass * rp.mass;
+        UncertainGeneratingFunction ugf(
+            predicate ? m : UncertainGeneratingFunction::kNoTruncation);
+        for (size_t i = 0; i < C; ++i) {
+          ProbabilityBounds pb =
+              PDomGivenPair(cand_trees[i]->frontier(), bp.region, rp.region,
+                            config_.criterion, config_.norm);
+          // Existential scaling: the candidate dominates only in worlds
+          // where it exists.
+          const double e = influence[i]->existence();
+          pb.lb *= e;
+          pb.ub *= e;
+          candidate_partitions += cand_trees[i]->frontier().size();
+          ugf.Multiply(pb);
+          pdom_lb[i] += w * pb.lb;
+          pdom_ub[i] += w * pb.ub;
+        }
+        if (predicate) {
+          const ProbabilityBounds lt = ugf.ProbLessThan(m);
+          agg_lt.lb += w * lt.lb;
+          agg_lt.ub += w * lt.ub;
+        } else {
+          agg.AccumulateWeighted(ugf.Bounds(), w);
+        }
+      }
+    }
+
+    double avg_influence_uncertainty = 0.0;
+    for (size_t i = 0; i < C; ++i) {
+      result.influence_pdom[i] = ProbabilityBounds{pdom_lb[i], pdom_ub[i]};
+      result.influence_pdom[i].Normalize();
+      avg_influence_uncertainty += result.influence_pdom[i].width();
+    }
+    avg_influence_uncertainty /= static_cast<double>(C);
+
+    if (predicate) {
+      agg_lt.Normalize();
+      result.predicate_prob = agg_lt;
+      result.decision = Decide(agg_lt, predicate->tau);
+    } else {
+      agg.Normalize();
+      result.bounds = agg.ShiftRight(complete, total_ranks);
+    }
+
+    const double total_uncertainty =
+        predicate ? result.predicate_prob.width()
+                  : result.bounds.TotalUncertainty();
+    if (config_.collect_stats) {
+      IdcaIterationStats s;
+      s.iteration = iter;
+      s.total_uncertainty = total_uncertainty;
+      s.avg_influence_uncertainty = avg_influence_uncertainty;
+      s.cumulative_seconds = timer.ElapsedSeconds();
+      s.pairs = pairs;
+      s.candidate_partitions = candidate_partitions;
+      result.iterations.push_back(s);
+    }
+
+    // ---- Stop criteria.
+    if (predicate && result.decision != PredicateDecision::kUndecided) break;
+    if (total_uncertainty <= config_.uncertainty_epsilon) break;
+    if (splits == 0) break;  // decompositions exhausted: result is final
+  }
+
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace updb

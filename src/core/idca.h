@@ -1,0 +1,165 @@
+// Copyright 2026 The updb Authors.
+// IDCA — Iterative Domination Count Approximation (Algorithm 1).
+//
+// Given a target object B, a reference object R and a set of database
+// objects, IDCA computes conservative/progressive bounds on the PDF of
+// DomCount(B,R) (Definition 3):
+//
+//  1. Filter: classify every other object against B w.r.t. R with a
+//     complete-domination criterion (Section III-A). Objects that dominate
+//     B in every world only shift the count; objects dominated by B in
+//     every world are dropped; the rest are the "influence objects".
+//  2. Refine: per iteration, deepen the kd-decomposition (Section V) of B,
+//     R and every influence object by one level. For every pair of
+//     partitions (B', R') — a disjoint set of possible worlds, Section
+//     IV-E — compute per-candidate probabilistic domination brackets
+//     (Lemma 1/2; independent across candidates by Lemma 5), combine them
+//     with an uncertain generating function (Section IV-C/D), and
+//     aggregate the per-pair count bounds weighted by P(B')P(R').
+//  3. Stop: when a query predicate P(DomCount < k) vs tau is decided, the
+//     accumulated uncertainty drops below a budget, the decompositions are
+//     exhausted (exact result), or max_iterations is reached.
+
+#ifndef UPDB_CORE_IDCA_H_
+#define UPDB_CORE_IDCA_H_
+
+#include <optional>
+#include <vector>
+
+#include "domination/pdom.h"
+#include "gf/count_bounds.h"
+#include "gf/ugf.h"
+#include "index/rtree.h"
+#include "uncertain/database.h"
+#include "uncertain/decomposition.h"
+
+namespace updb {
+
+/// Tuning knobs of the IDCA engine.
+struct IdcaConfig {
+  LpNorm norm = LpNorm::Euclidean();
+  /// Complete-domination test used in both the filter and the refinement
+  /// loop. kOptimal is the paper's contribution; kMinMax is the baseline
+  /// compared against in Figure 6.
+  DominationCriterion criterion = DominationCriterion::kOptimal;
+  SplitPolicy split_policy = SplitPolicy::kRoundRobin;
+  /// Maximum number of refinement iterations (kd-tree height h).
+  int max_iterations = 8;
+  /// Run the complete-domination filter through an R-tree instead of a
+  /// linear database scan (the index integration the paper names as
+  /// future work). Requires an index to be supplied to the engine;
+  /// whole subtrees whose node MBR is dominated (or dominating) are
+  /// pruned (or bulk-counted) without touching their objects.
+  bool use_index_filter = false;
+  /// Stop once the accumulated uncertainty Sum_k (ub_k - lb_k) falls to or
+  /// below this value.
+  double uncertainty_epsilon = 0.0;
+  /// Record per-iteration statistics (uncertainty/time curves).
+  bool collect_stats = true;
+};
+
+/// Optional early-termination predicate: decide P(DomCount(B,R) < k)
+/// against threshold tau (the threshold-kNN/RkNN shape of Section VI).
+struct IdcaPredicate {
+  size_t k = 1;
+  double tau = 0.5;
+};
+
+/// Outcome of predicate evaluation.
+enum class PredicateDecision {
+  kUndecided,
+  kTrue,   // P(DomCount < k) > tau is certain
+  kFalse,  // P(DomCount < k) <= tau is certain
+};
+
+/// Telemetry captured after the filter step (iteration 0) and after each
+/// refinement iteration.
+struct IdcaIterationStats {
+  int iteration = 0;
+  /// Sum_k (ub_k - lb_k) over the full rank array — Figure 6(b)'s metric.
+  double total_uncertainty = 0.0;
+  /// Mean width of the influence objects' PDom brackets — Figure 7's
+  /// metric ("avg. uncertainty of an influenceObject").
+  double avg_influence_uncertainty = 0.0;
+  /// Wall-clock seconds since the query started (cumulative).
+  double cumulative_seconds = 0.0;
+  /// Partition pairs (B', R') evaluated this iteration.
+  size_t pairs = 0;
+  /// Candidate partitions tested against pairs this iteration (upper
+  /// bounds the number of domination tests up to a factor of 2).
+  size_t candidate_partitions = 0;
+};
+
+/// Full output of one IDCA run.
+struct IdcaResult {
+  /// Bounds on P(DomCount = k) for k = 0..N-1 (N = database size). In
+  /// predicate mode, ranks at or above the predicate's k window are only
+  /// coarsely bounded (the truncated UGF does not materialize them).
+  CountDistributionBounds bounds;
+  /// Objects that dominate B w.r.t. R in every possible world.
+  size_t complete_domination_count = 0;
+  /// Objects whose domination relation stayed undecided after the filter.
+  size_t influence_count = 0;
+  /// Final marginal PDom brackets of the influence objects (diagnostics).
+  std::vector<ProbabilityBounds> influence_pdom;
+  /// Bounds on P(DomCount < k); only set when a predicate was given.
+  ProbabilityBounds predicate_prob;
+  PredicateDecision decision = PredicateDecision::kUndecided;
+  /// Iterations actually executed (excluding the filter entry at index 0).
+  std::vector<IdcaIterationStats> iterations;
+  double seconds = 0.0;
+
+  IdcaResult() : bounds(0) {}
+};
+
+/// The IDCA query engine. Stateless w.r.t. queries; one engine can serve
+/// many calls against the same database.
+class IdcaEngine {
+ public:
+  /// `db` must outlive the engine.
+  explicit IdcaEngine(const UncertainDatabase& db, IdcaConfig config = {});
+
+  /// Engine with an R-tree over the database's uncertainty regions,
+  /// enabling config.use_index_filter. Both `db` and `index` must outlive
+  /// the engine; `index` must index exactly the objects of `db`.
+  IdcaEngine(const UncertainDatabase& db, const RTree* index,
+             IdcaConfig config);
+
+  /// Bounds for DomCount(B, R): how many database objects are closer to R
+  /// than B is. `b` indexes a database object; `r` is an arbitrary
+  /// reference PDF (an uncertain query object, or another object's PDF).
+  IdcaResult ComputeDomCount(ObjectId b, const Pdf& r,
+                             std::optional<IdcaPredicate> predicate =
+                                 std::nullopt) const;
+
+  /// Bounds for DomCount(Q, B): how many database objects are closer to
+  /// the *database object* `b_ref` than the external object Q is. This is
+  /// the quantity RkNN queries need (Corollary 5: B is an RkNN of Q iff
+  /// DomCount(Q, B) < k).
+  IdcaResult ComputeDomCountOfQuery(const Pdf& q, ObjectId b_ref,
+                                    std::optional<IdcaPredicate> predicate =
+                                        std::nullopt) const;
+
+  const IdcaConfig& config() const { return config_; }
+
+ private:
+  /// Shared implementation: bounds for the number of database objects
+  /// (excluding `exclude`) that are closer to `reference` than `target`.
+  IdcaResult Run(const Pdf& target, const Pdf& reference, ObjectId exclude,
+                 std::optional<IdcaPredicate> predicate) const;
+
+  /// Complete-domination filter (Algorithm 1, lines 3-10): counts
+  /// existentially certain complete dominators into `complete` and
+  /// collects the influence objects. Uses the R-tree when configured.
+  void Filter(const Pdf& target, const Pdf& reference, ObjectId exclude,
+              size_t& complete,
+              std::vector<const UncertainObject*>& influence) const;
+
+  const UncertainDatabase& db_;
+  const RTree* index_ = nullptr;
+  IdcaConfig config_;
+};
+
+}  // namespace updb
+
+#endif  // UPDB_CORE_IDCA_H_

@@ -1,0 +1,55 @@
+#include "domination/criteria.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace updb {
+
+bool MinMaxDominates(const Rect& a, const Rect& b, const Rect& r,
+                     const LpNorm& norm) {
+  return norm.MaxDist(a, r) < norm.MinDist(b, r);
+}
+
+bool OptimalDominates(const Rect& a, const Rect& b, const Rect& r,
+                      const LpNorm& norm) {
+  UPDB_DCHECK(a.dim() == b.dim() && b.dim() == r.dim());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) {
+    const Interval& ai = a.side(i);
+    const Interval& bi = b.side(i);
+    const Interval& ri = r.side(i);
+    // max over the two endpoints of R's projection interval; for points
+    // in between, the expression is dominated by one of the endpoints
+    // (shown in Emrich et al.), so checking the endpoints is exact.
+    double worst = -std::numeric_limits<double>::infinity();
+    for (double rv : {ri.lo(), ri.hi()}) {
+      const double term = norm.Pow(ai.MaxDist(rv)) - norm.Pow(bi.MinDist(rv));
+      worst = std::max(worst, term);
+    }
+    sum += worst;
+  }
+  return sum < 0.0;
+}
+
+bool Dominates(const Rect& a, const Rect& b, const Rect& r,
+               DominationCriterion criterion, const LpNorm& norm) {
+  switch (criterion) {
+    case DominationCriterion::kMinMax:
+      return MinMaxDominates(a, b, r, norm);
+    case DominationCriterion::kOptimal:
+      return OptimalDominates(a, b, r, norm);
+  }
+  UPDB_CHECK(false);
+  return false;
+}
+
+DominationClass ClassifyDomination(const Rect& a, const Rect& b,
+                                   const Rect& r,
+                                   DominationCriterion criterion,
+                                   const LpNorm& norm) {
+  if (Dominates(a, b, r, criterion, norm)) return DominationClass::kDominates;
+  if (Dominates(b, a, r, criterion, norm)) return DominationClass::kDominated;
+  return DominationClass::kUndecided;
+}
+
+}  // namespace updb

@@ -1,0 +1,76 @@
+#include "domination/pdom.h"
+
+#include <algorithm>
+
+namespace updb {
+
+void ProbabilityBounds::Normalize() {
+  lb = std::clamp(lb, 0.0, 1.0);
+  ub = std::clamp(ub, 0.0, 1.0);
+  if (lb > ub) {
+    // Only floating noise can cause this; collapse to the midpoint.
+    const double mid = 0.5 * (lb + ub);
+    lb = ub = mid;
+  }
+}
+
+ProbabilityBounds ComputePDomBounds(std::span<const Partition> a,
+                                    std::span<const Partition> b,
+                                    std::span<const Partition> r,
+                                    DominationCriterion criterion,
+                                    const LpNorm& norm) {
+  double lb = 0.0;          // mass of triples where A' dominates B'
+  double dominated = 0.0;   // mass of triples where B' dominates A'
+  for (const Partition& rp : r) {
+    for (const Partition& bp : b) {
+      const double wrb = rp.mass * bp.mass;
+      for (const Partition& ap : a) {
+        if (Dominates(ap.region, bp.region, rp.region, criterion, norm)) {
+          lb += wrb * ap.mass;
+        } else if (Dominates(bp.region, ap.region, rp.region, criterion,
+                             norm)) {
+          dominated += wrb * ap.mass;
+        }
+      }
+    }
+  }
+  ProbabilityBounds out{lb, 1.0 - dominated};
+  out.Normalize();
+  return out;
+}
+
+ProbabilityBounds PDomGivenPair(std::span<const Partition> a_parts,
+                                const Rect& b, const Rect& r,
+                                DominationCriterion criterion,
+                                const LpNorm& norm) {
+  double lb = 0.0;
+  double dominated = 0.0;
+  for (const Partition& ap : a_parts) {
+    if (Dominates(ap.region, b, r, criterion, norm)) {
+      lb += ap.mass;
+    } else if (Dominates(b, ap.region, r, criterion, norm)) {
+      dominated += ap.mass;
+    }
+  }
+  ProbabilityBounds out{lb, 1.0 - dominated};
+  out.Normalize();
+  return out;
+}
+
+ProbabilityBounds PDomWholeObjects(const Rect& a, const Rect& b,
+                                   const Rect& r,
+                                   DominationCriterion criterion,
+                                   const LpNorm& norm) {
+  switch (ClassifyDomination(a, b, r, criterion, norm)) {
+    case DominationClass::kDominates:
+      return ProbabilityBounds{1.0, 1.0};
+    case DominationClass::kDominated:
+      return ProbabilityBounds{0.0, 0.0};
+    case DominationClass::kUndecided:
+      return ProbabilityBounds{0.0, 1.0};
+  }
+  UPDB_CHECK(false);
+  return ProbabilityBounds{};
+}
+
+}  // namespace updb

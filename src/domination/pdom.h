@@ -1,0 +1,57 @@
+// Copyright 2026 The updb Authors.
+// Probabilistic domination bounds (Section III-B). Given disjunctive
+// decompositions of the three objects, Lemma 1 accumulates the mass of
+// subregion triples for which complete domination holds into a lower bound
+// of PDom(A,B,R); Lemma 2 derives the matching upper bound as
+// 1 - PDomLB(B,A,R).
+
+#ifndef UPDB_DOMINATION_PDOM_H_
+#define UPDB_DOMINATION_PDOM_H_
+
+#include <span>
+
+#include "domination/criteria.h"
+#include "uncertain/decomposition.h"
+
+namespace updb {
+
+/// A conservative/progressive bracket [lb, ub] of a probability.
+struct ProbabilityBounds {
+  double lb = 0.0;
+  double ub = 1.0;
+
+  double width() const { return ub - lb; }
+  bool Contains(double p) const { return lb <= p && p <= ub; }
+
+  /// Clamps both ends into [0, 1] and enforces lb <= ub (floating noise
+  /// from summing many partition masses can push slightly past).
+  void Normalize();
+};
+
+/// Lemma 1 + Lemma 2 with arbitrary disjunctive decompositions of all
+/// three objects. Cost is O(|a| * |b| * |r|) domination tests.
+ProbabilityBounds ComputePDomBounds(
+    std::span<const Partition> a, std::span<const Partition> b,
+    std::span<const Partition> r,
+    DominationCriterion criterion = DominationCriterion::kOptimal,
+    const LpNorm& norm = LpNorm::Euclidean());
+
+/// Specialization used inside the IDCA pair loop: B and R are fixed single
+/// regions (a pair (B', R') of Section IV-E) and only A is decomposed.
+/// Per Lemma 3/5 the resulting bounds are mutually independent across
+/// candidate objects, which is what licenses the generating-function step.
+ProbabilityBounds PDomGivenPair(
+    std::span<const Partition> a_parts, const Rect& b, const Rect& r,
+    DominationCriterion criterion = DominationCriterion::kOptimal,
+    const LpNorm& norm = LpNorm::Euclidean());
+
+/// Convenience overload on whole (undecomposed) objects: returns
+/// [1,1] / [0,0] / [0,1] according to the complete-domination classification.
+ProbabilityBounds PDomWholeObjects(
+    const Rect& a, const Rect& b, const Rect& r,
+    DominationCriterion criterion = DominationCriterion::kOptimal,
+    const LpNorm& norm = LpNorm::Euclidean());
+
+}  // namespace updb
+
+#endif  // UPDB_DOMINATION_PDOM_H_

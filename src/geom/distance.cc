@@ -1,0 +1,66 @@
+#include "geom/distance.h"
+
+#include <cmath>
+
+namespace updb {
+
+double LpNorm::Pow(double v) const {
+  v = std::abs(v);
+  switch (p_) {
+    case 1:
+      return v;
+    case 2:
+      return v * v;
+    default:
+      return std::pow(v, static_cast<double>(p_));
+  }
+}
+
+double LpNorm::Root(double sum_of_powers) const {
+  UPDB_DCHECK(sum_of_powers >= 0.0);
+  switch (p_) {
+    case 1:
+      return sum_of_powers;
+    case 2:
+      return std::sqrt(sum_of_powers);
+    default:
+      return std::pow(sum_of_powers, 1.0 / static_cast<double>(p_));
+  }
+}
+
+double LpNorm::Dist(const Point& a, const Point& b) const {
+  UPDB_DCHECK(a.dim() == b.dim());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) sum += Pow(a[i] - b[i]);
+  return Root(sum);
+}
+
+double LpNorm::MinDist(const Rect& r, const Point& q) const {
+  UPDB_DCHECK(r.dim() == q.dim());
+  double sum = 0.0;
+  for (size_t i = 0; i < r.dim(); ++i) sum += Pow(r.side(i).MinDist(q[i]));
+  return Root(sum);
+}
+
+double LpNorm::MaxDist(const Rect& r, const Point& q) const {
+  UPDB_DCHECK(r.dim() == q.dim());
+  double sum = 0.0;
+  for (size_t i = 0; i < r.dim(); ++i) sum += Pow(r.side(i).MaxDist(q[i]));
+  return Root(sum);
+}
+
+double LpNorm::MinDist(const Rect& a, const Rect& b) const {
+  UPDB_DCHECK(a.dim() == b.dim());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) sum += Pow(a.side(i).MinDist(b.side(i)));
+  return Root(sum);
+}
+
+double LpNorm::MaxDist(const Rect& a, const Rect& b) const {
+  UPDB_DCHECK(a.dim() == b.dim());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.dim(); ++i) sum += Pow(a.side(i).MaxDist(b.side(i)));
+  return Root(sum);
+}
+
+}  // namespace updb

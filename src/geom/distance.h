@@ -1,0 +1,56 @@
+// Copyright 2026 The updb Authors.
+// Lp-norm distances between points and rectangles. The paper's techniques
+// apply to any Lp norm (footnote 1); Euclidean (p = 2) is the default used
+// by all experiments.
+
+#ifndef UPDB_GEOM_DISTANCE_H_
+#define UPDB_GEOM_DISTANCE_H_
+
+#include "geom/point.h"
+#include "geom/rect.h"
+
+namespace updb {
+
+/// An Lp norm with finite integer order p >= 1. Finite p is required by the
+/// per-dimension decomposition of the optimal domination criterion
+/// (Corollary 1 sums per-dimension p-th powers of coordinate distances).
+class LpNorm {
+ public:
+  /// Constructs the norm; requires p >= 1.
+  explicit LpNorm(int p = 2) : p_(p) { UPDB_CHECK(p >= 1); }
+
+  static LpNorm Euclidean() { return LpNorm(2); }
+  static LpNorm Manhattan() { return LpNorm(1); }
+
+  int p() const { return p_; }
+
+  /// |v|^p for a single coordinate difference.
+  double Pow(double v) const;
+
+  /// Recovers the distance from an accumulated sum of per-dimension powers.
+  double Root(double sum_of_powers) const;
+
+  /// Distance between two points.
+  double Dist(const Point& a, const Point& b) const;
+
+  /// Minimal distance between a rect and a point (0 when inside).
+  double MinDist(const Rect& r, const Point& q) const;
+
+  /// Maximal distance between a rect and a point.
+  double MaxDist(const Rect& r, const Point& q) const;
+
+  /// Minimal distance between two rects (0 when intersecting).
+  double MinDist(const Rect& a, const Rect& b) const;
+
+  /// Maximal distance between two rects.
+  double MaxDist(const Rect& a, const Rect& b) const;
+
+  bool operator==(const LpNorm& other) const = default;
+
+ private:
+  int p_;
+};
+
+}  // namespace updb
+
+#endif  // UPDB_GEOM_DISTANCE_H_

@@ -1,0 +1,55 @@
+// Copyright 2026 The updb Authors.
+
+#ifndef UPDB_GEOM_POINT_H_
+#define UPDB_GEOM_POINT_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace updb {
+
+/// A point in d-dimensional Euclidean space. Dimensionality is a runtime
+/// property; all geometry routines UPDB_DCHECK that operand dimensions
+/// agree.
+class Point {
+ public:
+  Point() = default;
+
+  /// Zero point with `dim` coordinates.
+  explicit Point(size_t dim) : coords_(dim, 0.0) {}
+
+  /// Point from explicit coordinates, e.g. Point({0.5, 0.25}).
+  Point(std::initializer_list<double> coords) : coords_(coords) {}
+
+  /// Point adopting an existing coordinate vector.
+  explicit Point(std::vector<double> coords) : coords_(std::move(coords)) {}
+
+  size_t dim() const { return coords_.size(); }
+
+  double operator[](size_t i) const {
+    UPDB_DCHECK(i < coords_.size());
+    return coords_[i];
+  }
+  double& operator[](size_t i) {
+    UPDB_DCHECK(i < coords_.size());
+    return coords_[i];
+  }
+
+  const std::vector<double>& coords() const { return coords_; }
+
+  bool operator==(const Point& other) const = default;
+
+  /// "(c0, c1, ...)" for debugging and logs.
+  std::string ToString() const;
+
+ private:
+  std::vector<double> coords_;
+};
+
+}  // namespace updb
+
+#endif  // UPDB_GEOM_POINT_H_

@@ -1,0 +1,75 @@
+#include "gf/poisson_binomial.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace updb {
+
+std::vector<double> PoissonBinomialPdf(std::span<const double> probs) {
+  std::vector<double> pdf(1, 1.0);
+  pdf.reserve(probs.size() + 1);
+  for (double p : probs) {
+    UPDB_DCHECK(p >= 0.0 && p <= 1.0);
+    pdf.push_back(0.0);
+    // In-place convolution with (1-p + p x), highest coefficient first so
+    // each source value is read before being overwritten.
+    for (size_t k = pdf.size(); k-- > 0;) {
+      double v = pdf[k] * (1.0 - p);
+      if (k > 0) v += pdf[k - 1] * p;
+      pdf[k] = v;
+    }
+  }
+  return pdf;
+}
+
+std::vector<double> PoissonBinomialPrefix(std::span<const double> probs,
+                                          size_t k) {
+  UPDB_CHECK(k >= 1);
+  // pdf[x] for x < k is exact; pdf[k] accumulates all mass at >= k.
+  std::vector<double> pdf(k + 1, 0.0);
+  pdf[0] = 1.0;
+  for (double p : probs) {
+    UPDB_DCHECK(p >= 0.0 && p <= 1.0);
+    // Tail absorbs: P(>=k) stays plus inflow from k-1.
+    pdf[k] = pdf[k] + pdf[k - 1] * p;
+    for (size_t x = k; x-- > 0;) {
+      double v = pdf[x] * (1.0 - p);
+      if (x > 0) v += pdf[x - 1] * p;
+      pdf[x] = v;
+    }
+  }
+  return pdf;
+}
+
+CountDistributionBounds RegularGfPairBounds(std::span<const double> lb_probs,
+                                            std::span<const double> ub_probs) {
+  UPDB_CHECK(lb_probs.size() == ub_probs.size());
+  const std::vector<double> pdf_lo = PoissonBinomialPdf(lb_probs);
+  const std::vector<double> pdf_hi = PoissonBinomialPdf(ub_probs);
+  const size_t n = pdf_lo.size();  // ranks 0..N
+
+  // CDFs. Larger success probabilities shift the count upward, so the true
+  // CDF is bracketed as cdf_hi(x) <= CDF(x) <= cdf_lo(x).
+  std::vector<double> cdf_lo(n), cdf_hi(n);
+  double alo = 0.0, ahi = 0.0;
+  for (size_t x = 0; x < n; ++x) {
+    alo += pdf_lo[x];
+    ahi += pdf_hi[x];
+    cdf_lo[x] = std::min(alo, 1.0);
+    cdf_hi[x] = std::min(ahi, 1.0);
+  }
+
+  CountDistributionBounds out(n);
+  for (size_t x = 0; x < n; ++x) {
+    const double cdf_lb_prev = x == 0 ? 0.0 : cdf_hi[x - 1];
+    const double cdf_ub_prev = x == 0 ? 0.0 : cdf_lo[x - 1];
+    const double lb = std::max(0.0, cdf_hi[x] - cdf_ub_prev);
+    const double ub = std::min(1.0, cdf_lo[x] - cdf_lb_prev);
+    out.Set(x, lb, std::max(lb, ub));
+  }
+  out.Normalize();
+  return out;
+}
+
+}  // namespace updb

@@ -1,0 +1,37 @@
+// Copyright 2026 The updb Authors.
+// Regular generating functions for sums of independent Bernoulli variables
+// (Section IV-C, following Li et al. PVLDB'09): expanding
+// F = Prod_i (1 - p_i + p_i x) yields the exact Poisson-binomial PDF in
+// O(N^2), or O(k N) when only ranks below k are needed.
+
+#ifndef UPDB_GF_POISSON_BINOMIAL_H_
+#define UPDB_GF_POISSON_BINOMIAL_H_
+
+#include <span>
+#include <vector>
+
+#include "gf/count_bounds.h"
+
+namespace updb {
+
+/// Exact PDF of Sum_i Bernoulli(p_i): result[k] = P(Sum = k) for
+/// k = 0..probs.size(). Each p_i must lie in [0, 1].
+std::vector<double> PoissonBinomialPdf(std::span<const double> probs);
+
+/// Truncated expansion: result[k'] = P(Sum = k') exactly for k' < k, and
+/// result[k] = P(Sum >= k) (the merged tail). Result has k+1 entries.
+/// Cost O(k * N). Requires k >= 1.
+std::vector<double> PoissonBinomialPrefix(std::span<const double> probs,
+                                          size_t k);
+
+/// The technical-report ablation baseline: bound the domination-count PDF
+/// with a *pair of regular* generating functions, one over the lower-bound
+/// probabilities and one over the upper bounds. Stochastic dominance gives
+/// CDF brackets, from which per-rank brackets follow. Provably looser than
+/// (or equal to) the UGF bounds — see bench/abl1_ugf_vs_gf_pair.
+CountDistributionBounds RegularGfPairBounds(std::span<const double> lb_probs,
+                                            std::span<const double> ub_probs);
+
+}  // namespace updb
+
+#endif  // UPDB_GF_POISSON_BINOMIAL_H_

@@ -1,0 +1,79 @@
+// Copyright 2026 The updb Authors.
+// Uncertain Generating Functions (Section IV-C). An UGF expands
+//
+//   F = Prod_i [ p_lb_i * x  +  (p_ub_i - p_lb_i) * y  +  (1 - p_ub_i) ]
+//
+// over Bernoulli variables known only through probability brackets
+// [p_lb_i, p_ub_i]. The coefficient c_{i,j} of x^i y^j is the probability
+// that exactly i variables are definitely 1 and j further variables are
+// undecided; the count then lies in [i, i+j]. From the expansion:
+//
+//   P(Count = k)  >=  c_{k,0}
+//   P(Count = k)  <=  Sum_{i<=k, i+j>=k} c_{i,j}
+//
+// For threshold kNN/RkNN queries only ranks below k matter; the truncated
+// mode merges every coefficient with i+j >= k into a per-row tail bucket
+// and every row with i >= k into a single overflow cell, reducing the cost
+// of n multiplications from O(n^3) to O(k^2 n) (Section VI).
+
+#ifndef UPDB_GF_UGF_H_
+#define UPDB_GF_UGF_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "gf/count_bounds.h"
+
+namespace updb {
+
+/// Incrementally built uncertain generating function.
+class UncertainGeneratingFunction {
+ public:
+  static constexpr size_t kNoTruncation = std::numeric_limits<size_t>::max();
+
+  /// `truncate_at` = k enables the O(k^2 n) truncated mode; ranks >= k are
+  /// merged. kNoTruncation keeps the full expansion.
+  explicit UncertainGeneratingFunction(size_t truncate_at = kNoTruncation);
+
+  /// Multiplies in one factor with probability bracket [p_lb, p_ub]
+  /// (0 <= p_lb <= p_ub <= 1). A definite dominator is (1,1); a definite
+  /// non-dominator (0,0); a fully unknown one (0,1).
+  void Multiply(double p_lb, double p_ub);
+
+  /// Convenience overload.
+  void Multiply(const ProbabilityBounds& b) { Multiply(b.lb, b.ub); }
+
+  /// Number of factors multiplied so far.
+  size_t num_factors() const { return num_factors_; }
+
+  /// Per-rank bounds. Untruncated: ranks 0..num_factors(). Truncated at k:
+  /// ranks 0..k-1 (bounds for higher ranks are not represented).
+  CountDistributionBounds Bounds() const;
+
+  /// Bounds on P(Count < m). In truncated mode requires m <= k.
+  ProbabilityBounds ProbLessThan(size_t m) const;
+
+  /// Coefficient c_{i,j}; in truncated mode the j = k-i slot is the tail
+  /// bucket and i must be < k. Out-of-range (i, j) yields 0. For tests.
+  double Coefficient(size_t i, size_t j) const;
+
+  /// Mass merged into the i >= k overflow cell (0 when untruncated).
+  double OverflowMass() const { return overflow_; }
+
+ private:
+  bool truncated() const { return truncate_at_ != kNoTruncation; }
+  /// Number of j slots in row i (truncated mode: last slot is the bucket).
+  size_t RowSize(size_t i) const;
+
+  size_t truncate_at_;
+  size_t num_factors_ = 0;
+  // rows_[i][j] = c_{i,j}. Untruncated: i = 0..n, j = 0..n-i.
+  // Truncated: i = 0..k-1, j = 0..k-i with slot k-i meaning "i+j >= k".
+  std::vector<std::vector<double>> rows_;
+  double overflow_ = 0.0;
+};
+
+}  // namespace updb
+
+#endif  // UPDB_GF_UGF_H_

@@ -1,0 +1,205 @@
+#include "index/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace updb {
+
+namespace {
+
+/// Recursive Sort-Tile-Recursive ordering: arranges entries so that
+/// consecutive chunks of `leaf_capacity` are spatially coherent.
+void TileSort(std::vector<RTreeEntry>& entries, size_t begin, size_t end,
+              size_t axis, size_t dim, size_t leaf_capacity) {
+  const size_t n = end - begin;
+  if (n <= leaf_capacity) return;
+  auto by_center = [axis](const RTreeEntry& a, const RTreeEntry& b) {
+    return a.mbr.side(axis).mid() < b.mbr.side(axis).mid();
+  };
+  std::sort(entries.begin() + begin, entries.begin() + end, by_center);
+  if (axis + 1 == dim) return;
+
+  const double leaves =
+      std::ceil(static_cast<double>(n) / static_cast<double>(leaf_capacity));
+  const double dims_left = static_cast<double>(dim - axis);
+  const size_t slabs = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(std::pow(leaves, 1.0 / dims_left))));
+  const size_t slab_size = (n + slabs - 1) / slabs;
+  for (size_t s = begin; s < end; s += slab_size) {
+    TileSort(entries, s, std::min(s + slab_size, end), axis + 1, dim,
+             leaf_capacity);
+  }
+}
+
+Rect HullOfEntries(const std::vector<RTreeEntry>& entries, size_t begin,
+                   size_t end) {
+  Rect mbr = entries[begin].mbr;
+  for (size_t i = begin + 1; i < end; ++i) {
+    mbr = Rect::Hull(mbr, entries[i].mbr);
+  }
+  return mbr;
+}
+
+}  // namespace
+
+RTree::RTree(std::vector<RTreeEntry> entries, size_t leaf_capacity)
+    : entries_(std::move(entries)), leaf_capacity_(leaf_capacity) {
+  UPDB_CHECK(leaf_capacity_ >= 2);
+  num_entries_ = entries_.size();
+  if (entries_.empty()) return;
+
+  const size_t dim = entries_[0].mbr.dim();
+  TileSort(entries_, 0, entries_.size(), 0, dim, leaf_capacity_);
+
+  // Pack leaves over consecutive chunks.
+  std::vector<uint32_t> level;
+  for (size_t b = 0; b < entries_.size(); b += leaf_capacity_) {
+    const size_t e = std::min(b + leaf_capacity_, entries_.size());
+    nodes_.push_back(Node{HullOfEntries(entries_, b, e), /*leaf=*/true,
+                          static_cast<uint32_t>(b), static_cast<uint32_t>(e)});
+    level.push_back(static_cast<uint32_t>(nodes_.size() - 1));
+  }
+  height_ = 1;
+
+  // Pack internal levels bottom-up; each level's nodes are contiguous in
+  // nodes_, so a parent's children form an index range.
+  while (level.size() > 1) {
+    std::vector<uint32_t> parents;
+    for (size_t b = 0; b < level.size(); b += leaf_capacity_) {
+      const size_t e = std::min(b + leaf_capacity_, level.size());
+      Rect mbr = nodes_[level[b]].mbr;
+      for (size_t i = b + 1; i < e; ++i) {
+        mbr = Rect::Hull(mbr, nodes_[level[i]].mbr);
+      }
+      nodes_.push_back(Node{std::move(mbr), /*leaf=*/false, level[b],
+                            static_cast<uint32_t>(level[e - 1] + 1)});
+      parents.push_back(static_cast<uint32_t>(nodes_.size() - 1));
+    }
+    level = std::move(parents);
+    ++height_;
+  }
+  root_ = level[0];
+}
+
+std::vector<ObjectId> RTree::RangeIntersect(const Rect& query) const {
+  std::vector<ObjectId> out;
+  ForEachIntersecting(query, [&out](const RTreeEntry& e) {
+    out.push_back(e.id);
+    return true;
+  });
+  return out;
+}
+
+void RTree::ForEachIntersecting(
+    const Rect& query,
+    const std::function<bool(const RTreeEntry&)>& fn) const {
+  if (empty()) return;
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!node.mbr.Intersects(query)) continue;
+    if (node.leaf) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        if (entries_[i].mbr.Intersects(query)) {
+          if (!fn(entries_[i])) return;
+        }
+      }
+    } else {
+      for (uint32_t c = node.begin; c < node.end; ++c) stack.push_back(c);
+    }
+  }
+}
+
+void RTree::ScanByMinDist(
+    const Rect& query,
+    const std::function<bool(const RTreeEntry&, double)>& fn,
+    const LpNorm& norm) const {
+  if (empty()) return;
+  struct Item {
+    double dist;
+    bool is_entry;
+    uint32_t idx;
+    bool operator>(const Item& other) const { return dist > other.dist; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
+  pq.push(Item{norm.MinDist(nodes_[root_].mbr, query), false, root_});
+  while (!pq.empty()) {
+    const Item item = pq.top();
+    pq.pop();
+    if (item.is_entry) {
+      if (!fn(entries_[item.idx], item.dist)) return;
+      continue;
+    }
+    const Node& node = nodes_[item.idx];
+    if (node.leaf) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        pq.push(Item{norm.MinDist(entries_[i].mbr, query), true, i});
+      }
+    } else {
+      for (uint32_t c = node.begin; c < node.end; ++c) {
+        pq.push(Item{norm.MinDist(nodes_[c].mbr, query), false, c});
+      }
+    }
+  }
+}
+
+void RTree::Traverse(
+    const std::function<VisitDecision(const Rect&)>& classify,
+    const std::function<void(const RTreeEntry&, VisitDecision)>& emit) const {
+  if (empty()) return;
+  // Stack entries: (node index, already accepted as a whole?).
+  std::vector<std::pair<uint32_t, bool>> stack = {{root_, false}};
+  while (!stack.empty()) {
+    const auto [idx, accepted] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[idx];
+    VisitDecision decision = VisitDecision::kTakeAll;
+    if (!accepted) {
+      decision = classify(node.mbr);
+      if (decision == VisitDecision::kSkip) continue;
+    }
+    const bool take_all = accepted || decision == VisitDecision::kTakeAll;
+    if (node.leaf) {
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        if (take_all) {
+          emit(entries_[i], VisitDecision::kTakeAll);
+          continue;
+        }
+        const VisitDecision ed = classify(entries_[i].mbr);
+        if (ed == VisitDecision::kSkip) continue;
+        emit(entries_[i], ed);
+      }
+    } else {
+      for (uint32_t c = node.begin; c < node.end; ++c) {
+        stack.push_back({c, take_all});
+      }
+    }
+  }
+}
+
+std::vector<RTreeEntry> RTree::KnnByMinDist(const Rect& query, size_t k,
+                                            const LpNorm& norm) const {
+  std::vector<RTreeEntry> out;
+  out.reserve(std::min(k, num_entries_));
+  ScanByMinDist(
+      query,
+      [&out, k](const RTreeEntry& e, double /*dist*/) {
+        out.push_back(e);
+        return out.size() < k;
+      },
+      norm);
+  return out;
+}
+
+RTree BuildRTree(const std::vector<UncertainObject>& objects,
+                 size_t leaf_capacity) {
+  std::vector<RTreeEntry> entries;
+  entries.reserve(objects.size());
+  for (const UncertainObject& o : objects) {
+    entries.push_back(RTreeEntry{o.mbr(), o.id()});
+  }
+  return RTree(std::move(entries), leaf_capacity);
+}
+
+}  // namespace updb

@@ -1,0 +1,269 @@
+#include "io/dataset_io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace updb {
+namespace io {
+
+namespace {
+
+/// Appends a double with full round-trip precision.
+void AppendDouble(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+/// Splits a CSV line into fields.
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+/// Cursor over parsed fields with typed, Status-producing accessors.
+class FieldCursor {
+ public:
+  explicit FieldCursor(std::vector<std::string> fields)
+      : fields_(std::move(fields)) {}
+
+  Status NextDouble(double* out) {
+    if (pos_ >= fields_.size()) {
+      return Status::InvalidArgument("unexpected end of line");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const std::string& f = fields_[pos_];
+    const double v = std::strtod(f.c_str(), &end);
+    if (end == f.c_str() || *end != '\0' || errno == ERANGE) {
+      return Status::InvalidArgument("not a number: '" + f + "'");
+    }
+    ++pos_;
+    *out = v;
+    return Status::OK();
+  }
+
+  Status NextSize(size_t* out) {
+    double v = 0.0;
+    UPDB_RETURN_IF_ERROR(NextDouble(&v));
+    if (v < 0 || v != static_cast<double>(static_cast<size_t>(v))) {
+      return Status::InvalidArgument("not a non-negative integer");
+    }
+    *out = static_cast<size_t>(v);
+    return Status::OK();
+  }
+
+  bool exhausted() const { return pos_ >= fields_.size(); }
+  size_t remaining() const { return fields_.size() - pos_; }
+
+ private:
+  std::vector<std::string> fields_;
+  size_t pos_ = 1;  // field 0 is the type tag
+};
+
+Status ValidateHeader(double existence, size_t dim) {
+  if (existence <= 0.0 || existence > 1.0) {
+    return Status::InvalidArgument("existence must be in (0, 1]");
+  }
+  if (dim == 0) return Status::InvalidArgument("dimension must be >= 1");
+  return Status::OK();
+}
+
+StatusOr<Rect> ParseRect(FieldCursor& cursor, size_t dim) {
+  std::vector<Interval> sides;
+  sides.reserve(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    double lo = 0.0, hi = 0.0;
+    UPDB_RETURN_IF_ERROR(cursor.NextDouble(&lo));
+    UPDB_RETURN_IF_ERROR(cursor.NextDouble(&hi));
+    if (lo > hi) return Status::InvalidArgument("interval with lo > hi");
+    sides.emplace_back(lo, hi);
+  }
+  return Rect(std::move(sides));
+}
+
+}  // namespace
+
+StatusOr<std::string> SerializeObject(const UncertainObject& object) {
+  std::string out;
+  const Pdf& pdf = object.pdf();
+  const size_t dim = object.dim();
+  auto header = [&out, &object, dim](const char* tag) {
+    out += tag;
+    out += ',';
+    AppendDouble(out, object.existence());
+    out += ',';
+    AppendDouble(out, static_cast<double>(dim));
+  };
+  auto append_rect = [&out](const Rect& r) {
+    for (size_t i = 0; i < r.dim(); ++i) {
+      out += ',';
+      AppendDouble(out, r.side(i).lo());
+      out += ',';
+      AppendDouble(out, r.side(i).hi());
+    }
+  };
+
+  if (dynamic_cast<const UniformPdf*>(&pdf) != nullptr) {
+    header("uniform");
+    append_rect(pdf.bounds());
+    return out;
+  }
+  if (const auto* g = dynamic_cast<const TruncatedGaussianPdf*>(&pdf)) {
+    header("gaussian");
+    append_rect(g->bounds());
+    // Recover mean/sigma via the public API is not possible; serialize the
+    // moments we can reconstruct the object from. TruncatedGaussianPdf
+    // exposes them for this purpose.
+    for (double m : g->mean()) {
+      out += ',';
+      AppendDouble(out, m);
+    }
+    for (double s : g->sigma()) {
+      out += ',';
+      AppendDouble(out, s);
+    }
+    return out;
+  }
+  if (const auto* d = dynamic_cast<const DiscreteSamplePdf*>(&pdf)) {
+    header("discrete");
+    out += ',';
+    AppendDouble(out, static_cast<double>(d->samples().size()));
+    for (size_t s = 0; s < d->samples().size(); ++s) {
+      out += ',';
+      AppendDouble(out, d->weights()[s]);
+      for (size_t i = 0; i < dim; ++i) {
+        out += ',';
+        AppendDouble(out, d->samples()[s][i]);
+      }
+    }
+    return out;
+  }
+  return Status::Unimplemented("PDF type has no line format");
+}
+
+StatusOr<ParsedObject> ParseObject(const std::string& line) {
+  std::vector<std::string> fields = SplitFields(line);
+  if (fields.empty() || fields[0].empty()) {
+    return Status::InvalidArgument("empty line");
+  }
+  const std::string type = fields[0];
+  FieldCursor cursor(std::move(fields));
+
+  double existence = 1.0;
+  size_t dim = 0;
+  UPDB_RETURN_IF_ERROR(cursor.NextDouble(&existence));
+  UPDB_RETURN_IF_ERROR(cursor.NextSize(&dim));
+  UPDB_RETURN_IF_ERROR(ValidateHeader(existence, dim));
+
+  ParsedObject out;
+  out.existence = existence;
+  if (type == "uniform") {
+    StatusOr<Rect> rect = ParseRect(cursor, dim);
+    if (!rect.ok()) return rect.status();
+    if (!cursor.exhausted()) {
+      return Status::InvalidArgument("trailing fields on uniform object");
+    }
+    out.pdf = std::make_shared<UniformPdf>(std::move(rect).value());
+    return out;
+  }
+  if (type == "gaussian") {
+    StatusOr<Rect> rect = ParseRect(cursor, dim);
+    if (!rect.ok()) return rect.status();
+    std::vector<double> mean(dim), sigma(dim);
+    for (double& m : mean) UPDB_RETURN_IF_ERROR(cursor.NextDouble(&m));
+    for (double& s : sigma) {
+      UPDB_RETURN_IF_ERROR(cursor.NextDouble(&s));
+      if (s < 0.0) return Status::InvalidArgument("negative sigma");
+    }
+    if (!cursor.exhausted()) {
+      return Status::InvalidArgument("trailing fields on gaussian object");
+    }
+    out.pdf = std::make_shared<TruncatedGaussianPdf>(
+        std::move(rect).value(), std::move(mean), std::move(sigma));
+    return out;
+  }
+  if (type == "discrete") {
+    size_t n = 0;
+    UPDB_RETURN_IF_ERROR(cursor.NextSize(&n));
+    if (n == 0) return Status::InvalidArgument("discrete object without samples");
+    if (cursor.remaining() != n * (dim + 1)) {
+      return Status::InvalidArgument("discrete field count mismatch");
+    }
+    std::vector<Point> samples;
+    std::vector<double> weights;
+    samples.reserve(n);
+    weights.reserve(n);
+    for (size_t s = 0; s < n; ++s) {
+      double w = 0.0;
+      UPDB_RETURN_IF_ERROR(cursor.NextDouble(&w));
+      if (w <= 0.0) return Status::InvalidArgument("non-positive weight");
+      weights.push_back(w);
+      Point p(dim);
+      for (size_t i = 0; i < dim; ++i) {
+        UPDB_RETURN_IF_ERROR(cursor.NextDouble(&p[i]));
+      }
+      samples.push_back(std::move(p));
+    }
+    out.pdf = std::make_shared<DiscreteSamplePdf>(std::move(samples),
+                                                  std::move(weights));
+    return out;
+  }
+  return Status::InvalidArgument("unknown object type '" + type + "'");
+}
+
+Status SaveDatabase(const UncertainDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  out << "# updb dataset v1, " << db.size() << " objects\n";
+  for (const UncertainObject& o : db.objects()) {
+    StatusOr<std::string> line = SerializeObject(o);
+    if (!line.ok()) return line.status();
+    out << *line << "\n";
+  }
+  out.flush();
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+StatusOr<UncertainDatabase> LoadDatabase(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  UncertainDatabase db;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    StatusOr<ParsedObject> parsed = ParseObject(line);
+    if (!parsed.ok()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": " +
+          parsed.status().message());
+    }
+    if (!db.empty() && parsed->pdf->bounds().dim() != db.dim()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": dimension mismatch");
+    }
+    db.Add(parsed->pdf, parsed->existence);
+  }
+  return db;
+}
+
+}  // namespace io
+}  // namespace updb

@@ -1,0 +1,49 @@
+// Copyright 2026 The updb Authors.
+// Textual serialization of uncertain databases, so workloads can be
+// exported, inspected and re-loaded deterministically (e.g. to share an
+// experiment's dataset or to feed external plotting).
+//
+// Format (one object per line, comma separated; lines starting with '#'
+// are comments):
+//
+//   uniform,<existence>,<dim>,<lo_0>,<hi_0>,...,<lo_d-1>,<hi_d-1>
+//   gaussian,<existence>,<dim>,<lo_0>,<hi_0>,...,<mean_0>,...,<sigma_0>,...
+//   discrete,<existence>,<dim>,<n>,<w_1>,<x_1_0>,...,<x_1_d-1>,<w_2>,...
+//
+// Mixture PDFs are not serializable (Status::Unimplemented).
+
+#ifndef UPDB_IO_DATASET_IO_H_
+#define UPDB_IO_DATASET_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "uncertain/database.h"
+
+namespace updb {
+namespace io {
+
+/// Serializes one object to its line format (no trailing newline).
+/// Fails with Unimplemented for PDF types without a line format.
+StatusOr<std::string> SerializeObject(const UncertainObject& object);
+
+/// Parses one line into an object PDF + existence. Fails with
+/// InvalidArgument on malformed input.
+struct ParsedObject {
+  std::shared_ptr<const Pdf> pdf;
+  double existence = 1.0;
+};
+StatusOr<ParsedObject> ParseObject(const std::string& line);
+
+/// Writes the whole database to `path`. Fails with the first
+/// serialization error, or Internal on I/O failure.
+Status SaveDatabase(const UncertainDatabase& db, const std::string& path);
+
+/// Loads a database written by SaveDatabase. Fails with NotFound when the
+/// file cannot be opened and InvalidArgument on malformed content.
+StatusOr<UncertainDatabase> LoadDatabase(const std::string& path);
+
+}  // namespace io
+}  // namespace updb
+
+#endif  // UPDB_IO_DATASET_IO_H_

@@ -1,0 +1,173 @@
+#include "mc/monte_carlo.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stopwatch.h"
+#include "gf/poisson_binomial.h"
+
+namespace updb {
+
+SampleCloud MaterializeCloud(const Pdf& pdf, size_t samples, Rng& rng) {
+  SampleCloud cloud;
+  if (const auto* discrete = dynamic_cast<const DiscreteSamplePdf*>(&pdf)) {
+    cloud.points = discrete->samples();
+    cloud.weights = discrete->weights();
+  } else {
+    UPDB_CHECK(samples >= 1);
+    cloud.points.reserve(samples);
+    for (size_t s = 0; s < samples; ++s) cloud.points.push_back(pdf.Sample(rng));
+    cloud.weights.assign(samples, 1.0 / static_cast<double>(samples));
+  }
+  cloud.mbr = Rect::FromPoint(cloud.points[0]);
+  for (size_t i = 1; i < cloud.points.size(); ++i) {
+    cloud.mbr = Rect::Hull(cloud.mbr, Rect::FromPoint(cloud.points[i]));
+  }
+  return cloud;
+}
+
+MonteCarloEngine::MonteCarloEngine(const UncertainDatabase& db,
+                                   MonteCarloConfig config)
+    : db_(db), config_(config) {
+  Rng rng(config_.seed);
+  clouds_.reserve(db_.size());
+  for (const UncertainObject& o : db_.objects()) {
+    clouds_.push_back(
+        MaterializeCloud(o.pdf(), config_.samples_per_object, rng));
+  }
+}
+
+MonteCarloResult MonteCarloEngine::DomCountPdf(ObjectId b,
+                                               const Pdf& r) const {
+  UPDB_CHECK(b < db_.size());
+  Stopwatch timer;
+  Rng rng(config_.seed ^ 0xA5A5A5A5ULL);
+  const SampleCloud r_cloud =
+      MaterializeCloud(r, config_.samples_per_object, rng);
+  const SampleCloud& b_cloud = clouds_[b];
+  const LpNorm& norm = config_.norm;
+
+  // Which reference samples to average over.
+  size_t num_r = r_cloud.points.size();
+  if (config_.reference_samples > 0) {
+    num_r = std::min(num_r, config_.reference_samples);
+  }
+  double total_r_weight = 0.0;
+  for (size_t ri = 0; ri < num_r; ++ri) total_r_weight += r_cloud.weights[ri];
+  UPDB_CHECK(total_r_weight > 0.0);
+
+  const size_t num_ranks = db_.size();
+  std::vector<double> pdf(num_ranks, 0.0);
+  double candidate_accum = 0.0;
+
+  // Reused per reference sample: sorted (distance, cumulative weight)
+  // arrays of each candidate object.
+  std::vector<std::vector<std::pair<double, double>>> cand_dists;
+  std::vector<double> probs;
+
+  for (size_t ri = 0; ri < num_r; ++ri) {
+    const Point& rp = r_cloud.points[ri];
+    const double r_weight = r_cloud.weights[ri] / total_r_weight;
+    const Rect r_rect = Rect::FromPoint(rp);
+
+    // Spatial prefilter on the sample-cloud MBRs: objects that dominate B
+    // in every world only shift the count; dominated ones are dropped.
+    size_t complete_count = 0;
+    std::vector<ObjectId> candidates;
+    for (ObjectId id = 0; id < db_.size(); ++id) {
+      if (id == b) continue;
+      switch (ClassifyDomination(clouds_[id].mbr, b_cloud.mbr, r_rect,
+                                 config_.prefilter, norm)) {
+        case DominationClass::kDominates:
+          // An existentially uncertain object only dominates in worlds
+          // where it exists; keep it as a (Bernoulli) candidate.
+          if (db_.object(id).existentially_certain()) {
+            ++complete_count;
+          } else {
+            candidates.push_back(id);
+          }
+          break;
+        case DominationClass::kDominated:
+          break;
+        case DominationClass::kUndecided:
+          candidates.push_back(id);
+          break;
+      }
+    }
+    candidate_accum += static_cast<double>(candidates.size());
+
+    // Sorted distance arrays with cumulative weights per candidate.
+    cand_dists.assign(candidates.size(), {});
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      const SampleCloud& cloud = clouds_[candidates[c]];
+      auto& arr = cand_dists[c];
+      arr.reserve(cloud.points.size());
+      for (size_t s = 0; s < cloud.points.size(); ++s) {
+        arr.emplace_back(norm.Dist(cloud.points[s], rp), cloud.weights[s]);
+      }
+      std::sort(arr.begin(), arr.end());
+      double acc = 0.0;
+      for (auto& [d, w] : arr) {
+        acc += w;
+        w = acc;  // weight slot now holds the cumulative weight <= d
+      }
+    }
+
+    // For each sample of B: exact Poisson-binomial over the candidates'
+    // strictly-closer probabilities, then weight into the average.
+    for (size_t bs = 0; bs < b_cloud.points.size(); ++bs) {
+      const double bd = norm.Dist(b_cloud.points[bs], rp);
+      probs.assign(candidates.size(), 0.0);
+      for (size_t c = 0; c < candidates.size(); ++c) {
+        const auto& arr = cand_dists[c];
+        // Cumulative weight of samples with distance strictly below bd,
+        // scaled by the candidate's existence probability.
+        auto it = std::lower_bound(
+            arr.begin(), arr.end(), bd,
+            [](const std::pair<double, double>& e, double v) {
+              return e.first < v;
+            });
+        const double closer = it == arr.begin() ? 0.0 : std::prev(it)->second;
+        probs[c] = closer * db_.object(candidates[c]).existence();
+      }
+      const std::vector<double> local = PoissonBinomialPdf(probs);
+      const double w = r_weight * b_cloud.weights[bs];
+      for (size_t k = 0; k < local.size(); ++k) {
+        const size_t rank = complete_count + k;
+        UPDB_DCHECK(rank < num_ranks);
+        pdf[rank] += w * local[k];
+      }
+    }
+  }
+
+  MonteCarloResult result;
+  result.pdf = std::move(pdf);
+  result.avg_candidates = candidate_accum / static_cast<double>(num_r);
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+double MonteCarloEngine::ProbDomCountLessThan(ObjectId b, const Pdf& r,
+                                              size_t k) const {
+  const MonteCarloResult result = DomCountPdf(b, r);
+  double p = 0.0;
+  for (size_t x = 0; x < std::min(k, result.pdf.size()); ++x) {
+    p += result.pdf[x];
+  }
+  return std::min(p, 1.0);
+}
+
+double EstimatePDom(const Pdf& a, const Pdf& b, const Pdf& r, size_t trials,
+                    Rng& rng, const LpNorm& norm) {
+  UPDB_CHECK(trials >= 1);
+  size_t hits = 0;
+  for (size_t t = 0; t < trials; ++t) {
+    const Point ap = a.Sample(rng);
+    const Point bp = b.Sample(rng);
+    const Point rp = r.Sample(rng);
+    if (norm.Dist(ap, rp) < norm.Dist(bp, rp)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+}  // namespace updb

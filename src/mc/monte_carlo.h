@@ -1,0 +1,91 @@
+// Copyright 2026 The updb Authors.
+// The Monte-Carlo comparison partner "MC" of Section VII-A: the closest
+// prior work (Lian & Chen, DASFAA'09) computes exact domination counts for
+// a *certain* query over *discrete* object distributions. The paper adapts
+// it to uncertain queries by sampling: draw S samples per object, compute
+// for each reference sample the exact domination-count PDF of B via
+// generating functions over the per-object sample fractions, and average
+// the resulting PDFs.
+//
+// Under the discrete uncertainty model (objects given by S weighted
+// samples), the result is the *exact* domination-count PDF, which makes
+// this module double as the ground-truth oracle for the test suite.
+
+#ifndef UPDB_MC_MONTE_CARLO_H_
+#define UPDB_MC_MONTE_CARLO_H_
+
+#include <vector>
+
+#include "domination/criteria.h"
+#include "uncertain/database.h"
+
+namespace updb {
+
+/// Parameters of the MC engine.
+struct MonteCarloConfig {
+  LpNorm norm = LpNorm::Euclidean();
+  /// Samples drawn per object when an object's PDF is continuous; discrete
+  /// PDFs contribute their own samples (paper default 1000).
+  size_t samples_per_object = 1000;
+  /// Number of reference-object samples averaged over; 0 means all of R's
+  /// samples (the paper's setting; smaller values trade accuracy for time).
+  size_t reference_samples = 0;
+  /// Spatial prefilter applied per reference sample so the generating
+  /// function only runs over undecided objects (mirrors what any practical
+  /// implementation of the comparison partner must do to terminate).
+  DominationCriterion prefilter = DominationCriterion::kMinMax;
+  uint64_t seed = 7;
+};
+
+/// Output of one MC domination-count computation.
+struct MonteCarloResult {
+  /// pdf[k] = P(DomCount(B, R) = k); length = database size (ranks
+  /// 0..N-1). Exact under the discrete sample model.
+  std::vector<double> pdf;
+  /// Average number of objects surviving the per-sample spatial prefilter.
+  double avg_candidates = 0.0;
+  /// Wall-clock seconds spent.
+  double seconds = 0.0;
+};
+
+/// A weighted sample cloud standing in for one object.
+struct SampleCloud {
+  std::vector<Point> points;
+  std::vector<double> weights;  // normalized
+  Rect mbr;
+};
+
+/// Materializes the sample cloud of a PDF: discrete PDFs pass through
+/// their own samples/weights; continuous PDFs are sampled `samples` times.
+SampleCloud MaterializeCloud(const Pdf& pdf, size_t samples, Rng& rng);
+
+/// MC engine; caches sample clouds for all database objects once.
+class MonteCarloEngine {
+ public:
+  MonteCarloEngine(const UncertainDatabase& db, MonteCarloConfig config);
+
+  /// Exact (under the sample model) domination-count PDF of object `b`
+  /// w.r.t. reference PDF `r`.
+  MonteCarloResult DomCountPdf(ObjectId b, const Pdf& r) const;
+
+  /// P(DomCount(B,R) < k) — the threshold-kNN predicate probability
+  /// (Corollary 4); computed from DomCountPdf.
+  double ProbDomCountLessThan(ObjectId b, const Pdf& r, size_t k) const;
+
+  const SampleCloud& cloud(ObjectId id) const { return clouds_[id]; }
+
+ private:
+  const UncertainDatabase& db_;
+  MonteCarloConfig config_;
+  std::vector<SampleCloud> clouds_;
+};
+
+/// Triple-sampling estimator of PDom(A,B,R) (Definition 4) used as a
+/// ground-truth oracle by the property tests: draws `trials` independent
+/// (a, b, r) triples and returns the fraction where dist(a,r) < dist(b,r).
+double EstimatePDom(const Pdf& a, const Pdf& b, const Pdf& r, size_t trials,
+                    Rng& rng, const LpNorm& norm = LpNorm::Euclidean());
+
+}  // namespace updb
+
+#endif  // UPDB_MC_MONTE_CARLO_H_

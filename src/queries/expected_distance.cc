@@ -1,0 +1,39 @@
+#include "queries/expected_distance.h"
+
+#include <algorithm>
+
+namespace updb {
+
+double EstimateExpectedDistance(const Pdf& o, const Pdf& q, size_t samples,
+                                Rng& rng, const LpNorm& norm) {
+  UPDB_CHECK(samples >= 1);
+  double total = 0.0;
+  for (size_t s = 0; s < samples; ++s) {
+    total += norm.Dist(o.Sample(rng), q.Sample(rng));
+  }
+  return total / static_cast<double>(samples);
+}
+
+std::vector<ExpectedDistanceEntry> ExpectedDistanceKnn(
+    const UncertainDatabase& db, const Pdf& q, size_t k,
+    size_t samples_per_object, uint64_t seed, const LpNorm& norm) {
+  UPDB_CHECK(k >= 1);
+  Rng rng(seed);
+  std::vector<ExpectedDistanceEntry> entries;
+  entries.reserve(db.size());
+  for (const UncertainObject& o : db.objects()) {
+    entries.push_back(ExpectedDistanceEntry{
+        o.id(),
+        EstimateExpectedDistance(o.pdf(), q, samples_per_object, rng, norm)});
+  }
+  const size_t take = std::min(k, entries.size());
+  std::partial_sort(entries.begin(), entries.begin() + take, entries.end(),
+                    [](const ExpectedDistanceEntry& a,
+                       const ExpectedDistanceEntry& b) {
+                      return a.expected_distance < b.expected_distance;
+                    });
+  entries.resize(take);
+  return entries;
+}
+
+}  // namespace updb

@@ -1,0 +1,43 @@
+// Copyright 2026 The updb Authors.
+// Expected-distance kNN baseline. Prior work the paper cites (Ljosa &
+// Singh [22]) answers kNN queries on uncertain data by ranking objects by
+// their *expected distance* to the query. The paper's motivation (Sec. II)
+// is that this "does not adhere to the possible world semantics and may
+// thus produce very inaccurate results" — results whose probability of
+// actually being a kNN is small. updb implements the baseline so that the
+// claim can be reproduced quantitatively (bench/abl5_expected_distance).
+
+#ifndef UPDB_QUERIES_EXPECTED_DISTANCE_H_
+#define UPDB_QUERIES_EXPECTED_DISTANCE_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "geom/distance.h"
+#include "uncertain/database.h"
+
+namespace updb {
+
+/// Monte-Carlo estimate of E[dist(o, q)] over independent draws of both
+/// objects. Deterministic for a given rng state; `samples` >= 1.
+double EstimateExpectedDistance(const Pdf& o, const Pdf& q, size_t samples,
+                                Rng& rng,
+                                const LpNorm& norm = LpNorm::Euclidean());
+
+/// One entry of the expected-distance ranking.
+struct ExpectedDistanceEntry {
+  ObjectId id = kInvalidObjectId;
+  double expected_distance = 0.0;
+};
+
+/// The k database objects with smallest estimated expected distance to q,
+/// ascending. This is the [22]-style baseline — NOT possible-world
+/// correct; see header comment.
+std::vector<ExpectedDistanceEntry> ExpectedDistanceKnn(
+    const UncertainDatabase& db, const Pdf& q, size_t k,
+    size_t samples_per_object = 256, uint64_t seed = 99,
+    const LpNorm& norm = LpNorm::Euclidean());
+
+}  // namespace updb
+
+#endif  // UPDB_QUERIES_EXPECTED_DISTANCE_H_

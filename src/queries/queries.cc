@@ -1,0 +1,210 @@
+#include "queries/queries.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace updb {
+
+namespace {
+
+/// Candidate filter for threshold kNN: an object B cannot be a kNN result
+/// in any world once at least k objects are strictly closer to Q in every
+/// world. The cheap sufficient test used here compares MinDist(B, Q)
+/// against the k-th smallest MaxDist(*, Q): if MinDist(B,Q) exceeds it,
+/// at least k objects MinMax-dominate B w.r.t. Q.
+std::vector<ObjectId> KnnCandidates(const UncertainDatabase& db,
+                                    const RTree& index, const Rect& q_mbr,
+                                    size_t k, const LpNorm& norm) {
+  UPDB_CHECK(k >= 1);
+  // k-th smallest MaxDist (partial selection) over the *existentially
+  // certain* objects: an object that may be absent cannot guarantee to
+  // push B out of the kNN set in every world.
+  std::vector<double> maxdists;
+  maxdists.reserve(db.size());
+  for (const UncertainObject& o : db.objects()) {
+    if (o.existentially_certain()) {
+      maxdists.push_back(norm.MaxDist(o.mbr(), q_mbr));
+    }
+  }
+  if (maxdists.size() < k) {
+    // Fewer than k certain objects: nothing can be pruned spatially.
+    std::vector<ObjectId> all(db.size());
+    for (ObjectId id = 0; id < db.size(); ++id) all[id] = id;
+    return all;
+  }
+  const size_t kth = k - 1;
+  std::nth_element(maxdists.begin(), maxdists.begin() + kth, maxdists.end());
+  const double prune_dist = maxdists[kth];
+
+  std::vector<ObjectId> candidates;
+  index.ScanByMinDist(
+      q_mbr,
+      [&candidates, prune_dist](const RTreeEntry& e, double min_dist) {
+        if (min_dist > prune_dist) return false;  // all further are pruned
+        candidates.push_back(e.id);
+        return true;
+      },
+      norm);
+  return candidates;
+}
+
+}  // namespace
+
+std::vector<ThresholdQueryResult> ProbabilisticThresholdKnn(
+    const UncertainDatabase& db, const RTree& index, const Pdf& q, size_t k,
+    double tau, const IdcaConfig& config, QueryStats* stats) {
+  Stopwatch timer;
+  const std::vector<ObjectId> candidates =
+      KnnCandidates(db, index, q.bounds(), k, config.norm);
+
+  IdcaEngine engine(db, &index, config);
+  std::vector<ThresholdQueryResult> results;
+  results.reserve(candidates.size());
+  size_t iterations = 0;
+  for (ObjectId id : candidates) {
+    const IdcaResult r =
+        engine.ComputeDomCount(id, q, IdcaPredicate{k, tau});
+    iterations += r.iterations.empty() ? 0 : r.iterations.size() - 1;
+    results.push_back(ThresholdQueryResult{id, r.predicate_prob, r.decision});
+  }
+  if (stats != nullptr) {
+    stats->candidates = candidates.size();
+    stats->idca_iterations = iterations;
+    stats->seconds = timer.ElapsedSeconds();
+  }
+  return results;
+}
+
+std::vector<ThresholdQueryResult> ProbabilisticThresholdRknn(
+    const UncertainDatabase& db, const RTree& index, const Pdf& q, size_t k,
+    double tau, const IdcaConfig& config, QueryStats* stats) {
+  UPDB_CHECK(k >= 1);
+  Stopwatch timer;
+  const LpNorm& norm = config.norm;
+
+  // Candidate filter: B is no RkNN of Q once >= k objects dominate Q
+  // w.r.t. B in every world. Only objects A with
+  // MinDist(A, B) <= MaxDist(Q, B) can possibly dominate Q w.r.t. B, so an
+  // index range probe around B bounds the counting work.
+  std::vector<ObjectId> candidates;
+  for (const UncertainObject& b : db.objects()) {
+    const double reach = norm.MaxDist(q.bounds(), b.mbr());
+    // Expand B's MBR by `reach` per dimension; any dominating object's MBR
+    // must intersect this box.
+    std::vector<Interval> sides;
+    sides.reserve(b.mbr().dim());
+    for (size_t i = 0; i < b.mbr().dim(); ++i) {
+      sides.emplace_back(b.mbr().side(i).lo() - reach,
+                         b.mbr().side(i).hi() + reach);
+    }
+    const Rect probe{std::move(sides)};
+    size_t dominators = 0;
+    index.ForEachIntersecting(probe, [&](const RTreeEntry& e) {
+      // Only existentially certain objects dominate Q in *every* world.
+      if (e.id != b.id() && db.object(e.id).existentially_certain() &&
+          Dominates(e.mbr, q.bounds(), b.mbr(), config.criterion, norm)) {
+        ++dominators;
+      }
+      return dominators < k;
+    });
+    if (dominators < k) candidates.push_back(b.id());
+  }
+
+  IdcaEngine engine(db, &index, config);
+  std::vector<ThresholdQueryResult> results;
+  results.reserve(candidates.size());
+  size_t iterations = 0;
+  for (ObjectId id : candidates) {
+    const IdcaResult r =
+        engine.ComputeDomCountOfQuery(q, id, IdcaPredicate{k, tau});
+    iterations += r.iterations.empty() ? 0 : r.iterations.size() - 1;
+    results.push_back(ThresholdQueryResult{id, r.predicate_prob, r.decision});
+  }
+  if (stats != nullptr) {
+    stats->candidates = candidates.size();
+    stats->idca_iterations = iterations;
+    stats->seconds = timer.ElapsedSeconds();
+  }
+  return results;
+}
+
+CountDistributionBounds ProbabilisticInverseRanking(
+    const UncertainDatabase& db, ObjectId b, const Pdf& r,
+    const IdcaConfig& config) {
+  IdcaEngine engine(db, config);
+  // P(Rank = i) = P(DomCount = i-1): the domination-count bounds are the
+  // rank distribution, 0-based.
+  return engine.ComputeDomCount(b, r).bounds;
+}
+
+std::vector<RankWinner> UkRanksQuery(const UncertainDatabase& db,
+                                     const RTree& index, const Pdf& q,
+                                     size_t max_rank,
+                                     const IdcaConfig& config) {
+  UPDB_CHECK(max_rank >= 1);
+  // Only objects that can have fewer than max_rank dominators can occupy
+  // one of the first max_rank positions — the same spatial filter as
+  // threshold kNN.
+  const std::vector<ObjectId> candidates =
+      KnnCandidates(db, index, q.bounds(), max_rank, config.norm);
+
+  IdcaEngine engine(db, &index, config);
+  std::vector<CountDistributionBounds> bounds;
+  std::vector<ObjectId> ids;
+  bounds.reserve(candidates.size());
+  for (ObjectId id : candidates) {
+    bounds.push_back(engine.ComputeDomCount(id, q).bounds);
+    ids.push_back(id);
+  }
+
+  std::vector<RankWinner> winners;
+  winners.reserve(max_rank);
+  for (size_t rank = 1; rank <= max_rank; ++rank) {
+    const size_t count = rank - 1;  // Corollary 3
+    RankWinner w;
+    w.rank = rank;
+    double best_other_ub = 0.0;
+    size_t best = 0;
+    for (size_t c = 0; c < bounds.size(); ++c) {
+      if (count >= bounds[c].num_ranks()) continue;
+      if (w.winner == kInvalidObjectId ||
+          bounds[c].lb(count) > bounds[best].lb(count)) {
+        best = c;
+        w.winner = ids[c];
+      }
+    }
+    if (w.winner != kInvalidObjectId) {
+      w.prob = ProbabilityBounds{bounds[best].lb(count),
+                                 bounds[best].ub(count)};
+      for (size_t c = 0; c < bounds.size(); ++c) {
+        if (c == best || count >= bounds[c].num_ranks()) continue;
+        best_other_ub = std::max(best_other_ub, bounds[c].ub(count));
+      }
+      w.decided = w.prob.lb > best_other_ub;
+    }
+    winners.push_back(w);
+  }
+  return winners;
+}
+
+std::vector<ExpectedRankEntry> ExpectedRankOrder(const UncertainDatabase& db,
+                                                 const Pdf& q,
+                                                 const IdcaConfig& config) {
+  IdcaEngine engine(db, config);
+  std::vector<ExpectedRankEntry> entries;
+  entries.reserve(db.size());
+  for (const UncertainObject& o : db.objects()) {
+    const IdcaResult r = engine.ComputeDomCount(o.id(), q);
+    entries.push_back(ExpectedRankEntry{o.id(), r.bounds.ExpectedRank()});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const ExpectedRankEntry& a, const ExpectedRankEntry& b) {
+              const double ma = 0.5 * (a.expected_rank.lb + a.expected_rank.ub);
+              const double mb = 0.5 * (b.expected_rank.lb + b.expected_rank.ub);
+              return ma < mb;
+            });
+  return entries;
+}
+
+}  // namespace updb

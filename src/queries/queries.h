@@ -1,0 +1,107 @@
+// Copyright 2026 The updb Authors.
+// Probabilistic similarity queries built on the probabilistic domination
+// count (Section VI):
+//
+//  * Threshold kNN  (Corollary 4): B qualifies iff
+//    P(DomCount(B,Q) < k) > tau.
+//  * Threshold RkNN (Corollary 5): B qualifies iff
+//    P(DomCount(Q,B) < k) > tau (Q counted w.r.t. reference B).
+//  * Inverse ranking (Corollary 3): P(Rank(B,R) = i) =
+//    P(DomCount(B,R) = i-1).
+//  * Expected rank  (Corollary 6): order objects by E[Rank] = E[DomCount]+1.
+//
+// All queries share the same two-phase structure: an index-assisted
+// spatial candidate filter, then per-candidate IDCA with an early-stopping
+// predicate.
+
+#ifndef UPDB_QUERIES_QUERIES_H_
+#define UPDB_QUERIES_QUERIES_H_
+
+#include <vector>
+
+#include "core/idca.h"
+#include "index/rtree.h"
+
+namespace updb {
+
+/// Per-object outcome of a threshold query.
+struct ThresholdQueryResult {
+  ObjectId id = kInvalidObjectId;
+  /// Bounds on the predicate probability P(DomCount < k) when IDCA ran.
+  ProbabilityBounds prob;
+  /// kTrue: qualifies; kFalse: does not; kUndecided: bounds did not
+  /// separate from tau within the iteration budget (the caller receives
+  /// the bracket and decides — the paper's "confidence value" fallback).
+  PredicateDecision decision = PredicateDecision::kUndecided;
+};
+
+/// Aggregate statistics of a threshold query run.
+struct QueryStats {
+  /// Objects surviving the cheap index-level spatial filter (and therefore
+  /// evaluated with IDCA).
+  size_t candidates = 0;
+  /// Total IDCA refinement iterations across all candidates.
+  size_t idca_iterations = 0;
+  double seconds = 0.0;
+};
+
+/// Probabilistic threshold k-nearest-neighbor query: returns an entry for
+/// every candidate that could not be pruned spatially, with its predicate
+/// probability bracket and decision. Objects pruned by the filter are
+/// guaranteed non-results and are not reported.
+std::vector<ThresholdQueryResult> ProbabilisticThresholdKnn(
+    const UncertainDatabase& db, const RTree& index, const Pdf& q, size_t k,
+    double tau, const IdcaConfig& config = {}, QueryStats* stats = nullptr);
+
+/// Probabilistic threshold reverse k-nearest-neighbor query.
+std::vector<ThresholdQueryResult> ProbabilisticThresholdRknn(
+    const UncertainDatabase& db, const RTree& index, const Pdf& q, size_t k,
+    double tau, const IdcaConfig& config = {}, QueryStats* stats = nullptr);
+
+/// Probabilistic inverse ranking: bounds on the rank distribution of `b`
+/// w.r.t. reference `r`. Entry i (0-based) bounds P(Rank(B,R) = i+1); the
+/// array has db.size() entries (ranks 1..N).
+CountDistributionBounds ProbabilisticInverseRanking(
+    const UncertainDatabase& db, ObjectId b, const Pdf& r,
+    const IdcaConfig& config = {});
+
+/// One entry of an expected-rank ordering.
+struct ExpectedRankEntry {
+  ObjectId id = kInvalidObjectId;
+  /// Bounds on E[Rank(object, Q)] (1-based rank).
+  ProbabilityBounds expected_rank;
+};
+
+/// Orders all database objects by (the midpoint of) their expected-rank
+/// bounds w.r.t. the query object Q — the expected-rank semantics of
+/// Cormode et al. referenced by Corollary 6.
+std::vector<ExpectedRankEntry> ExpectedRankOrder(
+    const UncertainDatabase& db, const Pdf& q, const IdcaConfig& config = {});
+
+/// Answer entry of a U-kRanks-style query (Soliman & Ilyas, cited as [25]):
+/// for one rank position, the object most likely to occupy it.
+struct RankWinner {
+  /// 1-based rank position.
+  size_t rank = 0;
+  /// Object with the highest lower-bounded probability of taking `rank`.
+  ObjectId winner = kInvalidObjectId;
+  /// Bounds on P(Rank(winner, Q) = rank).
+  ProbabilityBounds prob;
+  /// True when the winner's lower bound beats every other candidate's
+  /// upper bound, i.e. the winner is certain whatever the residual
+  /// uncertainty. False answers still report the best-known candidate.
+  bool decided = false;
+};
+
+/// U-kRanks over the first `max_rank` positions: per rank i, the object
+/// maximizing P(Rank = i) w.r.t. the uncertain query object Q, derived
+/// from the domination-count bounds (Corollary 3: Rank = DomCount + 1).
+/// Candidates are pre-filtered through the index like threshold kNN.
+std::vector<RankWinner> UkRanksQuery(const UncertainDatabase& db,
+                                     const RTree& index, const Pdf& q,
+                                     size_t max_rank,
+                                     const IdcaConfig& config = {});
+
+}  // namespace updb
+
+#endif  // UPDB_QUERIES_QUERIES_H_

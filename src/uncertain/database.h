@@ -1,0 +1,54 @@
+// Copyright 2026 The updb Authors.
+
+#ifndef UPDB_UNCERTAIN_DATABASE_H_
+#define UPDB_UNCERTAIN_DATABASE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "uncertain/object.h"
+
+namespace updb {
+
+/// An in-memory collection of uncertain objects with dense ids 0..N-1.
+/// All objects must share one dimensionality.
+class UncertainDatabase {
+ public:
+  UncertainDatabase() = default;
+
+  /// Adds an object PDF with optional existential probability; the object
+  /// receives the next dense id, which is returned. The first insertion
+  /// fixes the database dimensionality.
+  ObjectId Add(std::shared_ptr<const Pdf> pdf, double existence = 1.0) {
+    UPDB_CHECK(pdf != nullptr);
+    if (!objects_.empty()) {
+      UPDB_CHECK(pdf->bounds().dim() == dim());
+    }
+    ObjectId id = static_cast<ObjectId>(objects_.size());
+    objects_.emplace_back(id, std::move(pdf), existence);
+    return id;
+  }
+
+  size_t size() const { return objects_.size(); }
+  bool empty() const { return objects_.empty(); }
+
+  /// Dimensionality; requires a non-empty database.
+  size_t dim() const {
+    UPDB_CHECK(!objects_.empty());
+    return objects_[0].dim();
+  }
+
+  const UncertainObject& object(ObjectId id) const {
+    UPDB_CHECK(id < objects_.size());
+    return objects_[id];
+  }
+
+  const std::vector<UncertainObject>& objects() const { return objects_; }
+
+ private:
+  std::vector<UncertainObject> objects_;
+};
+
+}  // namespace updb
+
+#endif  // UPDB_UNCERTAIN_DATABASE_H_

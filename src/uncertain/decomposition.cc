@@ -1,0 +1,99 @@
+#include "uncertain/decomposition.h"
+
+#include <algorithm>
+
+namespace updb {
+
+namespace {
+
+// Masses below this are treated as zero: such subregions cannot influence
+// domination bounds beyond floating noise and would otherwise clutter the
+// frontier (e.g. empty halves of discrete objects).
+constexpr double kMassEpsilon = 1e-15;
+
+}  // namespace
+
+DecompositionTree::DecompositionTree(const Pdf* pdf, SplitPolicy policy)
+    : pdf_(pdf), policy_(policy) {
+  UPDB_CHECK(pdf_ != nullptr);
+  nodes_.push_back(FrontierNode{pdf_->bounds(), 1.0, /*level=*/0,
+                                /*terminal=*/false});
+  RebuildFrontierView();
+}
+
+bool DecompositionTree::TrySplitAxis(const FrontierNode& node, size_t axis,
+                                     std::vector<FrontierNode>& out) const {
+  const Interval& side = node.region.side(axis);
+  if (side.degenerate()) return false;
+
+  // Candidate split coordinates: conditional median first (keeps child
+  // masses balanced, the paper's scheme), then the geometric midpoint as a
+  // fallback for skewed discrete distributions whose median coincides with
+  // a region boundary.
+  const double median = pdf_->ConditionalMedian(node.region, axis);
+  const double mid = side.mid();
+  for (double at : {median, mid}) {
+    if (at <= side.lo() || at >= side.hi()) continue;
+    auto [lower, upper] = node.region.Split(axis, at);
+    const double lower_mass = pdf_->Mass(lower);
+    const double upper_mass = pdf_->Mass(upper);
+    // Both children must carry mass for the split to make progress;
+    // otherwise the node would reappear unchanged one level deeper.
+    if (lower_mass <= kMassEpsilon || upper_mass <= kMassEpsilon) continue;
+    // Shrink to the support: tightens every subsequent domination test and
+    // lets discrete objects converge to exact (point) partitions.
+    out.push_back(FrontierNode{pdf_->SupportMbr(lower), lower_mass,
+                               node.level + 1, /*terminal=*/false});
+    out.push_back(FrontierNode{pdf_->SupportMbr(upper), upper_mass,
+                               node.level + 1, /*terminal=*/false});
+    return true;
+  }
+  return false;
+}
+
+size_t DecompositionTree::Deepen() {
+  std::vector<FrontierNode> next;
+  next.reserve(nodes_.size() * 2);
+  size_t splits = 0;
+  for (FrontierNode& node : nodes_) {
+    if (node.terminal) {
+      next.push_back(std::move(node));
+      continue;
+    }
+    const size_t dim = node.region.dim();
+    const size_t first_axis = policy_ == SplitPolicy::kRoundRobin
+                                  ? static_cast<size_t>(node.level) % dim
+                                  : node.region.LongestSide();
+    bool split_done = false;
+    for (size_t k = 0; k < dim && !split_done; ++k) {
+      split_done = TrySplitAxis(node, (first_axis + k) % dim, next);
+    }
+    if (split_done) {
+      ++splits;
+      node_count_ += 2;
+    } else {
+      node.terminal = true;
+      next.push_back(std::move(node));
+    }
+  }
+  nodes_ = std::move(next);
+  if (splits > 0) ++depth_;
+  RebuildFrontierView();
+  return splits;
+}
+
+void DecompositionTree::DeepenTo(int level) {
+  while (depth_ < level) {
+    if (Deepen() == 0) break;
+  }
+}
+
+void DecompositionTree::RebuildFrontierView() {
+  frontier_.clear();
+  frontier_.reserve(nodes_.size());
+  for (const FrontierNode& node : nodes_) {
+    frontier_.push_back(Partition{node.region, node.mass});
+  }
+}
+
+}  // namespace updb

@@ -1,0 +1,91 @@
+// Copyright 2026 The updb Authors.
+// kd-tree-style progressive decomposition of an uncertain object's
+// uncertainty region into disjoint subregions with known probability mass
+// (Section V of the paper). The tree is deepened one level per IDCA
+// iteration; the current frontier is the disjunctive decomposition used by
+// the probabilistic domination bounds (Lemmas 1-2).
+
+#ifndef UPDB_UNCERTAIN_DECOMPOSITION_H_
+#define UPDB_UNCERTAIN_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "uncertain/pdf.h"
+
+namespace updb {
+
+/// How the split axis for a node is chosen.
+enum class SplitPolicy {
+  /// Cycle through dimensions by tree level (the paper's kd-tree scheme).
+  kRoundRobin,
+  /// Always split the longest side of the node's region (ablation 3).
+  kLongestSide,
+};
+
+/// One element of a disjunctive decomposition: a subregion and the
+/// probability that the object realizes inside it. Masses of a frontier
+/// sum to 1 (up to floating error).
+struct Partition {
+  Rect region;
+  double mass;
+};
+
+/// Progressive median-split decomposition of one object.
+///
+/// Level 0 is the whole uncertainty region with mass 1. Deepen() splits
+/// every frontier node at the conditional median along the policy-chosen
+/// axis (so for median splits each child carries half the parent's mass,
+/// matching the 0.5^level property in Section V); nodes that cannot make
+/// progress (degenerate regions, point masses) remain in the frontier
+/// untouched. Children with zero mass are discarded.
+class DecompositionTree {
+ public:
+  /// `pdf` must outlive the tree.
+  explicit DecompositionTree(const Pdf* pdf,
+                             SplitPolicy policy = SplitPolicy::kRoundRobin);
+
+  /// Splits the current frontier one level deeper. Returns the number of
+  /// nodes that were actually split (0 means the decomposition is
+  /// exhausted and further calls are no-ops).
+  size_t Deepen();
+
+  /// Deepens until the frontier is `level` levels deep (or exhausted).
+  void DeepenTo(int level);
+
+  /// Current depth (number of successful Deepen calls with progress).
+  int depth() const { return depth_; }
+
+  /// The current disjunctive decomposition. Masses sum to 1.
+  const std::vector<Partition>& frontier() const { return frontier_; }
+
+  /// Total number of nodes ever created (diagnostics).
+  size_t node_count() const { return node_count_; }
+
+ private:
+  struct FrontierNode {
+    Rect region;
+    double mass;
+    int level;
+    bool terminal;  // no further split possible
+  };
+
+  /// Attempts to split `node` along `axis` at the conditional median or,
+  /// failing that, the midpoint. Returns true and appends children to
+  /// `out` on success.
+  bool TrySplitAxis(const FrontierNode& node, size_t axis,
+                    std::vector<FrontierNode>& out) const;
+
+  const Pdf* pdf_;
+  SplitPolicy policy_;
+  int depth_ = 0;
+  size_t node_count_ = 1;
+  std::vector<FrontierNode> nodes_;
+  std::vector<Partition> frontier_;
+
+  void RebuildFrontierView();
+};
+
+}  // namespace updb
+
+#endif  // UPDB_UNCERTAIN_DECOMPOSITION_H_

@@ -1,0 +1,62 @@
+// Copyright 2026 The updb Authors.
+
+#ifndef UPDB_UNCERTAIN_OBJECT_H_
+#define UPDB_UNCERTAIN_OBJECT_H_
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "uncertain/pdf.h"
+
+namespace updb {
+
+/// Identifier of an uncertain object within an UncertainDatabase.
+using ObjectId = uint32_t;
+
+/// Sentinel id for objects that are not database members (e.g. an external
+/// query object).
+inline constexpr ObjectId kInvalidObjectId = ~ObjectId{0};
+
+/// An uncertain database object: an id plus a bounded multi-dimensional
+/// PDF (Definition 1). The minimal bounding rectangle of the PDF's support
+/// is the object's uncertainty region.
+///
+/// Objects may additionally be *existentially uncertain* (Section I-A of
+/// the paper: Integral f_i < 1 means the object may not exist at all):
+/// `existence` is the probability that the object is present in a possible
+/// world; conditioned on existing, its location follows the PDF. The
+/// domination machinery scales every domination probability of the object
+/// by `existence` (an absent object dominates nothing).
+class UncertainObject {
+ public:
+  /// Wraps a PDF; `pdf` must be non-null and `existence` in (0, 1].
+  UncertainObject(ObjectId id, std::shared_ptr<const Pdf> pdf,
+                  double existence = 1.0)
+      : id_(id), pdf_(std::move(pdf)), existence_(existence) {
+    UPDB_CHECK(pdf_ != nullptr);
+    UPDB_CHECK(existence_ > 0.0 && existence_ <= 1.0);
+  }
+
+  ObjectId id() const { return id_; }
+  const Pdf& pdf() const { return *pdf_; }
+  const std::shared_ptr<const Pdf>& shared_pdf() const { return pdf_; }
+
+  /// Probability that the object exists at all (1 = certainly present).
+  double existence() const { return existence_; }
+  bool existentially_certain() const { return existence_ == 1.0; }
+
+  /// The rectangular uncertainty region.
+  const Rect& mbr() const { return pdf_->bounds(); }
+
+  size_t dim() const { return pdf_->bounds().dim(); }
+
+ private:
+  ObjectId id_;
+  std::shared_ptr<const Pdf> pdf_;
+  double existence_;
+};
+
+}  // namespace updb
+
+#endif  // UPDB_UNCERTAIN_OBJECT_H_

@@ -1,0 +1,95 @@
+// Copyright 2026 The updb Authors.
+// Dataset generators reproducing the experimental setups of Section VII.
+//
+//  * Synthetic: N objects in [0,1]^d, uncertainty regions are rectangles
+//    whose relative extent per dimension is uniform in [0, max_extent]
+//    (paper default: N = 10,000, d = 2, max_extent = 0.004).
+//  * IIP-like: a simulation of the International Ice Patrol Iceberg
+//    Sightings 2009 dataset (6,216 objects). The raw sightings are not
+//    redistributable/offline here, so we synthesize the properties the
+//    experiments rely on: clustered 2-d positions (icebergs drift along
+//    currents in the North Atlantic box), Gaussian per-object PDFs, and
+//    extents driven by a "days since last sighting" staleness model,
+//    normalized so the maximum extent is 0.0004 of the data space. See
+//    DESIGN.md §4 for the substitution rationale.
+
+#ifndef UPDB_WORKLOAD_GENERATORS_H_
+#define UPDB_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "index/rtree.h"
+#include "uncertain/database.h"
+
+namespace updb {
+namespace workload {
+
+/// Which PDF model the generated objects carry.
+enum class ObjectModel {
+  /// Uniform density over the uncertainty rectangle.
+  kUniform,
+  /// Axis-independent Gaussian truncated to the rectangle.
+  kGaussian,
+  /// Discrete sample clouds (the model used for the fair comparison with
+  /// the Monte-Carlo partner; Section VII uses 1000 samples/object).
+  kDiscrete,
+};
+
+/// Parameters of the synthetic dataset.
+struct SyntheticConfig {
+  size_t num_objects = 10000;
+  size_t dim = 2;
+  /// Maximum relative extent per dimension; actual extents are uniform in
+  /// [0, max_extent].
+  double max_extent = 0.004;
+  ObjectModel model = ObjectModel::kUniform;
+  /// Samples per object for ObjectModel::kDiscrete.
+  size_t samples_per_object = 1000;
+  uint64_t seed = 42;
+};
+
+/// Generates the synthetic database of Section VII.
+UncertainDatabase MakeSyntheticDatabase(const SyntheticConfig& config);
+
+/// Parameters of the simulated IIP iceberg dataset.
+struct IipConfig {
+  /// The 2009 dataset has 6,216 sightings.
+  size_t num_objects = 6216;
+  /// Maximum extent of an object in either dimension, relative to the data
+  /// space (paper: 0.0004 after normalization).
+  double max_extent = 0.0004;
+  /// Iceberg positions cluster along drift corridors; this controls how
+  /// many cluster seeds the simulation scatters.
+  size_t num_clusters = 48;
+  /// Spatial std-dev of positions around their cluster seed.
+  double cluster_spread = 0.06;
+  /// Mean of the exponential "days since last sighting" staleness driving
+  /// the extent (larger staleness -> larger uncertainty region).
+  double mean_staleness_days = 20.0;
+  ObjectModel model = ObjectModel::kGaussian;
+  size_t samples_per_object = 1000;
+  uint64_t seed = 2009;
+};
+
+/// Generates the simulated IIP iceberg database.
+UncertainDatabase MakeIipLikeDataset(const IipConfig& config);
+
+/// Builds one uncertain reference/query object (not part of a database):
+/// a rectangle of relative extent `extent` centered at `center`, carrying
+/// the requested PDF model.
+std::shared_ptr<const Pdf> MakeQueryObject(const Point& center, double extent,
+                                           ObjectModel model,
+                                           size_t samples_per_object,
+                                           Rng& rng);
+
+/// Returns the id of the object with the `rank`-th smallest MinDist to the
+/// rect `r` (rank 1 = closest). The paper's default experiment object B is
+/// rank 10. Requires rank <= number of indexed objects.
+ObjectId PickByMinDistRank(const RTree& index, const Rect& r, size_t rank,
+                           const LpNorm& norm = LpNorm::Euclidean());
+
+}  // namespace workload
+}  // namespace updb
+
+#endif  // UPDB_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,197 @@
+#include "io/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/idca.h"
+#include "workload/generators.h"
+
+namespace updb {
+namespace {
+
+using io::LoadDatabase;
+using io::ParseObject;
+using io::SaveDatabase;
+using io::SerializeObject;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeObjectTest, UniformRoundTrip) {
+  UncertainObject o(0,
+                    std::make_shared<UniformPdf>(
+                        Rect(Point{0.25, 0.5}, Point{0.75, 1.0})),
+                    0.8);
+  const StatusOr<std::string> line = SerializeObject(o);
+  ASSERT_TRUE(line.ok());
+  const StatusOr<io::ParsedObject> parsed = ParseObject(*line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->existence, 0.8);
+  EXPECT_EQ(parsed->pdf->bounds(), o.mbr());
+  EXPECT_NE(dynamic_cast<const UniformPdf*>(parsed->pdf.get()), nullptr);
+}
+
+TEST(SerializeObjectTest, GaussianRoundTripPreservesMass) {
+  auto pdf = std::make_shared<TruncatedGaussianPdf>(
+      Rect(Point{0.0, 0.0}, Point{1.0, 1.0}), std::vector<double>{0.4, 0.6},
+      std::vector<double>{0.2, 0.1});
+  UncertainObject o(0, pdf);
+  const StatusOr<std::string> line = SerializeObject(o);
+  ASSERT_TRUE(line.ok());
+  const StatusOr<io::ParsedObject> parsed = ParseObject(*line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // Same mass on a probe region.
+  const Rect probe(Point{0.2, 0.3}, Point{0.7, 0.9});
+  EXPECT_NEAR(parsed->pdf->Mass(probe), pdf->Mass(probe), 1e-12);
+}
+
+TEST(SerializeObjectTest, DiscreteRoundTripPreservesSamples) {
+  auto pdf = std::make_shared<DiscreteSamplePdf>(
+      std::vector<Point>{Point{0.1, 0.2}, Point{0.3, 0.4}},
+      std::vector<double>{1.0, 3.0});
+  UncertainObject o(0, pdf);
+  const StatusOr<std::string> line = SerializeObject(o);
+  ASSERT_TRUE(line.ok());
+  const StatusOr<io::ParsedObject> parsed = ParseObject(*line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto* d = dynamic_cast<const DiscreteSamplePdf*>(parsed->pdf.get());
+  ASSERT_NE(d, nullptr);
+  ASSERT_EQ(d->samples().size(), 2u);
+  EXPECT_EQ(d->samples()[1], (Point{0.3, 0.4}));
+  EXPECT_DOUBLE_EQ(d->weights()[1], 0.75);
+}
+
+TEST(SerializeObjectTest, MixtureIsUnimplemented) {
+  std::vector<std::unique_ptr<Pdf>> comps;
+  comps.push_back(std::make_unique<UniformPdf>(
+      Rect(Point{0.0, 0.0}, Point{1.0, 1.0})));
+  UncertainObject o(0, std::make_shared<MixturePdf>(std::move(comps),
+                                                    std::vector<double>{1.0}));
+  const StatusOr<std::string> line = SerializeObject(o);
+  EXPECT_FALSE(line.ok());
+  EXPECT_EQ(line.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(ParseObjectTest, RejectsMalformedInput) {
+  struct Case {
+    const char* line;
+    const char* why;
+  };
+  const Case cases[] = {
+      {"", "empty"},
+      {"bogus,1,2,0,1,0,1", "unknown type"},
+      {"uniform,1,2,0,1,0", "missing field"},
+      {"uniform,1,2,0,1,0,1,9", "trailing field"},
+      {"uniform,0,2,0,1,0,1", "existence 0"},
+      {"uniform,1.5,2,0,1,0,1", "existence > 1"},
+      {"uniform,1,0", "dimension 0"},
+      {"uniform,1,2,1,0,0,1", "lo > hi"},
+      {"uniform,1,2,x,1,0,1", "non-numeric"},
+      {"gaussian,1,1,0,1,0.5,-0.1", "negative sigma"},
+      {"discrete,1,2,0", "no samples"},
+      {"discrete,1,2,2,0.5,0.1,0.2", "field count mismatch"},
+      {"discrete,1,1,1,-1,0.5", "negative weight"},
+  };
+  for (const Case& c : cases) {
+    const StatusOr<io::ParsedObject> parsed = ParseObject(c.line);
+    EXPECT_FALSE(parsed.ok()) << c.why;
+    if (!parsed.ok()) {
+      EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument)
+          << c.why;
+    }
+  }
+}
+
+TEST(DatabaseIoTest, SaveLoadRoundTrip) {
+  workload::SyntheticConfig cfg;
+  cfg.num_objects = 50;
+  cfg.model = workload::ObjectModel::kDiscrete;
+  cfg.samples_per_object = 8;
+  const UncertainDatabase db = workload::MakeSyntheticDatabase(cfg);
+  const std::string path = TempPath("roundtrip.updb");
+  ASSERT_TRUE(SaveDatabase(db, path).ok());
+  const StatusOr<UncertainDatabase> loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(loaded->object(i).mbr(), db.object(i).mbr()) << "i=" << i;
+    EXPECT_DOUBLE_EQ(loaded->object(i).existence(),
+                     db.object(i).existence());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseIoTest, RoundTripPreservesQueryResults) {
+  // Stronger check: IDCA bounds on the loaded database are identical.
+  workload::SyntheticConfig cfg;
+  cfg.num_objects = 30;
+  cfg.max_extent = 0.1;
+  const UncertainDatabase db = workload::MakeSyntheticDatabase(cfg);
+  const std::string path = TempPath("query.updb");
+  ASSERT_TRUE(SaveDatabase(db, path).ok());
+  const StatusOr<UncertainDatabase> loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok());
+  Rng rng(71);
+  const auto q = workload::MakeQueryObject(
+      Point{0.5, 0.5}, 0.1, workload::ObjectModel::kUniform, 0, rng);
+  IdcaConfig config;
+  config.max_iterations = 3;
+  const IdcaResult a = IdcaEngine(db, config).ComputeDomCount(5, *q);
+  const IdcaResult b = IdcaEngine(*loaded, config).ComputeDomCount(5, *q);
+  for (size_t k = 0; k < a.bounds.num_ranks(); ++k) {
+    EXPECT_DOUBLE_EQ(a.bounds.lb(k), b.bounds.lb(k));
+    EXPECT_DOUBLE_EQ(a.bounds.ub(k), b.bounds.ub(k));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseIoTest, LoadMissingFileIsNotFound) {
+  const StatusOr<UncertainDatabase> loaded =
+      LoadDatabase("/nonexistent/dir/file.updb");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseIoTest, LoadReportsLineNumbers) {
+  const std::string path = TempPath("bad.updb");
+  std::ofstream out(path);
+  out << "# header\n";
+  out << "uniform,1,2,0,1,0,1\n";
+  out << "uniform,1,2,1,0,0,1\n";  // lo > hi on line 3
+  out.close();
+  const StatusOr<UncertainDatabase> loaded = LoadDatabase(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("line 3"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseIoTest, LoadRejectsDimensionMismatch) {
+  const std::string path = TempPath("dims.updb");
+  std::ofstream out(path);
+  out << "uniform,1,2,0,1,0,1\n";
+  out << "uniform,1,1,0,1\n";
+  out.close();
+  const StatusOr<UncertainDatabase> loaded = LoadDatabase(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("dimension"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(DatabaseIoTest, CommentsAndBlankLinesIgnored) {
+  const std::string path = TempPath("comments.updb");
+  std::ofstream out(path);
+  out << "# comment\n\n";
+  out << "uniform,1,2,0,1,0,1\n";
+  out << "\n# trailing comment\n";
+  out.close();
+  const StatusOr<UncertainDatabase> loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 1u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace updb

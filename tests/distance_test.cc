@@ -1,0 +1,150 @@
+#include "geom/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace updb {
+namespace {
+
+TEST(LpNormTest, EuclideanPointDistance) {
+  LpNorm l2 = LpNorm::Euclidean();
+  EXPECT_DOUBLE_EQ(l2.Dist(Point{0.0, 0.0}, Point{3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(l2.Dist(Point{1.0, 1.0}, Point{1.0, 1.0}), 0.0);
+}
+
+TEST(LpNormTest, ManhattanPointDistance) {
+  LpNorm l1 = LpNorm::Manhattan();
+  EXPECT_DOUBLE_EQ(l1.Dist(Point{0.0, 0.0}, Point{3.0, 4.0}), 7.0);
+}
+
+TEST(LpNormTest, HigherOrderNorm) {
+  LpNorm l3(3);
+  EXPECT_NEAR(l3.Dist(Point{0.0, 0.0}, Point{1.0, 1.0}), std::cbrt(2.0),
+              1e-12);
+}
+
+TEST(LpNormTest, PowAndRootAreInverse) {
+  for (int p : {1, 2, 3, 4}) {
+    LpNorm norm(p);
+    for (double v : {0.0, 0.5, 1.7, 42.0}) {
+      EXPECT_NEAR(norm.Root(norm.Pow(v)), v, 1e-9) << "p=" << p;
+    }
+  }
+}
+
+TEST(LpNormTest, MinDistRectPointInsideIsZero) {
+  LpNorm l2;
+  Rect r(Point{0.0, 0.0}, Point{2.0, 2.0});
+  EXPECT_DOUBLE_EQ(l2.MinDist(r, Point{1.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(l2.MinDist(r, Point{2.0, 2.0}), 0.0);  // boundary
+}
+
+TEST(LpNormTest, MinDistRectPointOutside) {
+  LpNorm l2;
+  Rect r(Point{0.0, 0.0}, Point{2.0, 2.0});
+  EXPECT_DOUBLE_EQ(l2.MinDist(r, Point{5.0, 1.0}), 3.0);
+  EXPECT_DOUBLE_EQ(l2.MinDist(r, Point{5.0, 6.0}), 5.0);  // corner: 3-4-5
+}
+
+TEST(LpNormTest, MaxDistRectPoint) {
+  LpNorm l2;
+  Rect r(Point{0.0, 0.0}, Point{2.0, 2.0});
+  // Farthest corner from (0,0) is (2,2).
+  EXPECT_DOUBLE_EQ(l2.MaxDist(r, Point{0.0, 0.0}), std::sqrt(8.0));
+  EXPECT_DOUBLE_EQ(l2.MaxDist(r, Point{1.0, 1.0}), std::sqrt(2.0));
+}
+
+TEST(LpNormTest, MinDistRectRectIntersectingIsZero) {
+  LpNorm l2;
+  Rect a(Point{0.0, 0.0}, Point{2.0, 2.0});
+  Rect b(Point{1.0, 1.0}, Point{3.0, 3.0});
+  EXPECT_DOUBLE_EQ(l2.MinDist(a, b), 0.0);
+}
+
+TEST(LpNormTest, MinMaxDistRectRectSeparated) {
+  LpNorm l2;
+  Rect a(Point{0.0, 0.0}, Point{1.0, 1.0});
+  Rect b(Point{4.0, 0.0}, Point{5.0, 1.0});
+  EXPECT_DOUBLE_EQ(l2.MinDist(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(l2.MaxDist(a, b), std::sqrt(25.0 + 1.0));
+}
+
+TEST(LpNormTest, DegenerateRectsBehaveLikePoints) {
+  LpNorm l2;
+  Rect a = Rect::FromPoint(Point{0.0, 0.0});
+  Rect b = Rect::FromPoint(Point{3.0, 4.0});
+  EXPECT_DOUBLE_EQ(l2.MinDist(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(l2.MaxDist(a, b), 5.0);
+}
+
+// Property sweep: MinDist/MaxDist of rects bound the distance of any
+// contained point pair, across several Lp norms.
+class LpNormPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LpNormPropertyTest, RectDistancesBracketSampledPointDistances) {
+  const LpNorm norm(GetParam());
+  Rng rng(991 + GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t dim = 1 + rng.NextBounded(4);
+    Point alo(dim), ahi(dim), blo(dim), bhi(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      alo[i] = rng.Uniform(-5, 5);
+      ahi[i] = alo[i] + rng.Uniform(0, 3);
+      blo[i] = rng.Uniform(-5, 5);
+      bhi[i] = blo[i] + rng.Uniform(0, 3);
+    }
+    Rect a(alo, ahi), b(blo, bhi);
+    const double min_d = norm.MinDist(a, b);
+    const double max_d = norm.MaxDist(a, b);
+    EXPECT_LE(min_d, max_d + 1e-12);
+    for (int s = 0; s < 20; ++s) {
+      Point pa(dim), pb(dim);
+      for (size_t i = 0; i < dim; ++i) {
+        pa[i] = rng.Uniform(a.side(i).lo(), a.side(i).hi());
+        pb[i] = rng.Uniform(b.side(i).lo(), b.side(i).hi());
+      }
+      const double d = norm.Dist(pa, pb);
+      EXPECT_GE(d, min_d - 1e-9);
+      EXPECT_LE(d, max_d + 1e-9);
+    }
+  }
+}
+
+TEST_P(LpNormPropertyTest, PointRectDistancesBracketSampledPoints) {
+  const LpNorm norm(GetParam());
+  Rng rng(4242 + GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t dim = 1 + rng.NextBounded(3);
+    Point lo(dim), hi(dim), q(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      lo[i] = rng.Uniform(-5, 5);
+      hi[i] = lo[i] + rng.Uniform(0, 3);
+      q[i] = rng.Uniform(-8, 8);
+    }
+    Rect r(lo, hi);
+    const double min_d = norm.MinDist(r, q);
+    const double max_d = norm.MaxDist(r, q);
+    for (int s = 0; s < 20; ++s) {
+      Point p(dim);
+      for (size_t i = 0; i < dim; ++i) {
+        p[i] = rng.Uniform(r.side(i).lo(), r.side(i).hi());
+      }
+      const double d = norm.Dist(p, q);
+      EXPECT_GE(d, min_d - 1e-9);
+      EXPECT_LE(d, max_d + 1e-9);
+    }
+    // MaxDist is attained at a corner.
+    double best = 0.0;
+    for (const Point& c : r.Corners()) best = std::max(best, norm.Dist(c, q));
+    EXPECT_NEAR(best, max_d, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Norms, LpNormPropertyTest,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace updb

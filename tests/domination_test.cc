@@ -1,0 +1,225 @@
+#include "domination/criteria.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace updb {
+namespace {
+
+Rect MakeRect(double x0, double y0, double x1, double y1) {
+  return Rect(Point{x0, y0}, Point{x1, y1});
+}
+
+/// Independent oracle for complete domination on rectangles: A dominates B
+/// w.r.t. R iff for every corner r of R the farthest point of A from r is
+/// still strictly closer than the closest point of B to r. (Derived
+/// directly from Definition 2; implemented without the per-dimension
+/// decomposition used by OptimalDominates.)
+bool OracleDominates(const Rect& a, const Rect& b, const Rect& r,
+                     const LpNorm& norm) {
+  for (const Point& corner : r.Corners()) {
+    if (norm.MaxDist(a, corner) >= norm.MinDist(b, corner)) return false;
+  }
+  return true;
+}
+
+TEST(MinMaxDominatesTest, ClearSeparation) {
+  // A close to R, B far away.
+  Rect r = MakeRect(0.0, 0.0, 1.0, 1.0);
+  Rect a = MakeRect(1.5, 0.0, 2.0, 1.0);
+  Rect b = MakeRect(8.0, 0.0, 9.0, 1.0);
+  EXPECT_TRUE(MinMaxDominates(a, b, r));
+  EXPECT_FALSE(MinMaxDominates(b, a, r));
+}
+
+TEST(MinMaxDominatesTest, OverlappingNeverDominates) {
+  Rect r = MakeRect(0.0, 0.0, 1.0, 1.0);
+  Rect a = MakeRect(1.0, 0.0, 3.0, 1.0);
+  Rect b = MakeRect(2.0, 0.0, 4.0, 1.0);
+  EXPECT_FALSE(MinMaxDominates(a, b, r));
+  EXPECT_FALSE(MinMaxDominates(b, a, r));
+}
+
+TEST(OptimalDominatesTest, DetectsCasesMinMaxMisses) {
+  // The classic configuration from Emrich et al.: A and B on opposite
+  // sides of a *small* R. MinMax fails because MaxDist(A,R) >
+  // MinDist(B,R) when measured against the whole of R, but for every
+  // individual position of r, A is closer.
+  Rect r = MakeRect(0.0, 0.0, 0.2, 2.0);    // tall thin reference
+  Rect a = MakeRect(0.5, 0.9, 0.7, 1.1);    // hugging R's right side
+  Rect b = MakeRect(3.0, 0.0, 3.2, 2.0);    // far right
+  ASSERT_TRUE(OracleDominates(a, b, r, LpNorm::Euclidean()));
+  EXPECT_TRUE(OptimalDominates(a, b, r));
+}
+
+TEST(OptimalDominatesTest, MatchesPaperFigure1Shape) {
+  // Figure 1: A near R, B further out; A dominates B with high
+  // probability but regions are arranged so complete domination holds.
+  Rect r = MakeRect(0.0, 0.0, 1.0, 1.0);
+  Rect a = MakeRect(1.2, 0.2, 1.8, 0.8);
+  Rect b = MakeRect(5.0, 3.0, 6.0, 4.0);
+  EXPECT_TRUE(OptimalDominates(a, b, r));
+  EXPECT_FALSE(OptimalDominates(b, a, r));
+}
+
+TEST(OptimalDominatesTest, PointObjects) {
+  // Certain (point) objects: domination is a plain distance comparison.
+  Rect r = Rect::FromPoint(Point{0.0, 0.0});
+  Rect a = Rect::FromPoint(Point{1.0, 0.0});
+  Rect b = Rect::FromPoint(Point{2.0, 0.0});
+  EXPECT_TRUE(OptimalDominates(a, b, r));
+  EXPECT_FALSE(OptimalDominates(b, a, r));
+  // Equal distance: strictly-closer fails both ways.
+  Rect c = Rect::FromPoint(Point{0.0, 1.0});
+  EXPECT_FALSE(OptimalDominates(a, c, r));
+  EXPECT_FALSE(OptimalDominates(c, a, r));
+}
+
+TEST(OptimalDominatesTest, SelfDominationNeverHolds) {
+  Rect r = MakeRect(0.0, 0.0, 1.0, 1.0);
+  Rect a = MakeRect(2.0, 2.0, 3.0, 3.0);
+  EXPECT_FALSE(OptimalDominates(a, a, r));
+}
+
+TEST(ClassifyDominationTest, ThreeWayOutcomes) {
+  Rect r = MakeRect(0.0, 0.0, 1.0, 1.0);
+  Rect near = MakeRect(1.5, 0.0, 2.0, 1.0);
+  Rect far = MakeRect(9.0, 0.0, 10.0, 1.0);
+  Rect overlap = MakeRect(1.8, 0.0, 9.5, 1.0);
+  EXPECT_EQ(ClassifyDomination(near, far, r, DominationCriterion::kOptimal),
+            DominationClass::kDominates);
+  EXPECT_EQ(ClassifyDomination(far, near, r, DominationCriterion::kOptimal),
+            DominationClass::kDominated);
+  EXPECT_EQ(
+      ClassifyDomination(near, overlap, r, DominationCriterion::kOptimal),
+      DominationClass::kUndecided);
+}
+
+TEST(DominatesDispatchTest, MatchesUnderlyingCriteria) {
+  Rng rng(71);
+  for (int trial = 0; trial < 100; ++trial) {
+    Rect r = MakeRect(rng.Uniform(0, 1), rng.Uniform(0, 1),
+                      rng.Uniform(1, 2), rng.Uniform(1, 2));
+    Rect a = MakeRect(rng.Uniform(0, 4), rng.Uniform(0, 4),
+                      rng.Uniform(4, 6), rng.Uniform(4, 6));
+    Rect b = MakeRect(rng.Uniform(0, 4), rng.Uniform(0, 4),
+                      rng.Uniform(4, 6), rng.Uniform(4, 6));
+    EXPECT_EQ(Dominates(a, b, r, DominationCriterion::kMinMax),
+              MinMaxDominates(a, b, r));
+    EXPECT_EQ(Dominates(a, b, r, DominationCriterion::kOptimal),
+              OptimalDominates(a, b, r));
+  }
+}
+
+// Property sweeps over random rectangle configurations and norms.
+class DominationPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  LpNorm norm() const { return LpNorm(GetParam()); }
+
+  Rect RandomRect(Rng& rng, double span) {
+    const double x0 = rng.Uniform(0, span);
+    const double y0 = rng.Uniform(0, span);
+    return MakeRect(x0, y0, x0 + rng.Uniform(0, 1.0), y0 + rng.Uniform(0, 1.0));
+  }
+};
+
+TEST_P(DominationPropertyTest, OptimalAgreesWithCornerOracle) {
+  Rng rng(300 + GetParam());
+  int dominated = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    Rect r = RandomRect(rng, 3.0);
+    Rect a = RandomRect(rng, 3.0);
+    Rect b = RandomRect(rng, 3.0);
+    const bool expect = OracleDominates(a, b, r, norm());
+    EXPECT_EQ(OptimalDominates(a, b, r, norm()), expect)
+        << "A=" << a.ToString() << " B=" << b.ToString()
+        << " R=" << r.ToString();
+    dominated += expect;
+  }
+  EXPECT_GT(dominated, 0);  // the sweep must exercise both outcomes
+}
+
+TEST_P(DominationPropertyTest, MinMaxImpliesOptimal) {
+  Rng rng(400 + GetParam());
+  int minmax_hits = 0, optimal_hits = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    Rect r = RandomRect(rng, 2.0);
+    Rect a = RandomRect(rng, 4.0);
+    Rect b = RandomRect(rng, 4.0);
+    const bool mm = MinMaxDominates(a, b, r, norm());
+    const bool opt = OptimalDominates(a, b, r, norm());
+    if (mm) {
+      EXPECT_TRUE(opt) << "MinMax fired but Optimal did not";
+    }
+    minmax_hits += mm;
+    optimal_hits += opt;
+  }
+  // Optimal must be strictly more powerful on this sweep (the ~20% gain
+  // of Figure 6(a) comes from such cases).
+  EXPECT_GT(optimal_hits, minmax_hits);
+}
+
+TEST_P(DominationPropertyTest, DominationIsSoundOnSampledWorlds) {
+  Rng rng(500 + GetParam());
+  for (int trial = 0; trial < 300; ++trial) {
+    Rect r = RandomRect(rng, 2.0);
+    Rect a = RandomRect(rng, 4.0);
+    Rect b = RandomRect(rng, 4.0);
+    if (!OptimalDominates(a, b, r, norm())) continue;
+    for (int s = 0; s < 50; ++s) {
+      Point pa(2), pb(2), pr(2);
+      for (size_t i = 0; i < 2; ++i) {
+        pa[i] = rng.Uniform(a.side(i).lo(), a.side(i).hi());
+        pb[i] = rng.Uniform(b.side(i).lo(), b.side(i).hi());
+        pr[i] = rng.Uniform(r.side(i).lo(), r.side(i).hi());
+      }
+      EXPECT_LT(norm().Dist(pa, pr), norm().Dist(pb, pr));
+    }
+  }
+}
+
+TEST_P(DominationPropertyTest, Corollary2Duality) {
+  // PDom(A,B,R)=1 implies PDom(B,A,R)=0: if A completely dominates B then
+  // B cannot dominate A (not even partially, so certainly not completely).
+  Rng rng(600 + GetParam());
+  for (int trial = 0; trial < 2000; ++trial) {
+    Rect r = RandomRect(rng, 2.0);
+    Rect a = RandomRect(rng, 4.0);
+    Rect b = RandomRect(rng, 4.0);
+    if (OptimalDominates(a, b, r, norm())) {
+      EXPECT_FALSE(OptimalDominates(b, a, r, norm()));
+    }
+    if (MinMaxDominates(a, b, r, norm())) {
+      EXPECT_FALSE(MinMaxDominates(b, a, r, norm()));
+    }
+  }
+}
+
+TEST_P(DominationPropertyTest, ShrinkingPreservesDomination) {
+  // Domination is monotone: sub-rectangles of A, B, R preserve a complete
+  // domination verdict (the refinement loop depends on this).
+  Rng rng(700 + GetParam());
+  for (int trial = 0; trial < 1000; ++trial) {
+    Rect r = RandomRect(rng, 2.0);
+    Rect a = RandomRect(rng, 3.0);
+    Rect b = RandomRect(rng, 3.0);
+    if (!OptimalDominates(a, b, r, norm())) continue;
+    auto shrink = [&rng](const Rect& x) {
+      std::vector<Interval> sides;
+      for (size_t i = 0; i < x.dim(); ++i) {
+        const double lo = rng.Uniform(x.side(i).lo(), x.side(i).mid());
+        const double hi = rng.Uniform(x.side(i).mid(), x.side(i).hi());
+        sides.emplace_back(lo, hi);
+      }
+      return Rect(sides);
+    };
+    EXPECT_TRUE(OptimalDominates(shrink(a), shrink(b), shrink(r), norm()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Norms, DominationPropertyTest,
+                         ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace updb

@@ -1,0 +1,167 @@
+// Existential uncertainty (Section I-A: objects whose PDF integrates to
+// less than 1 may not exist at all). updb models this as a per-object
+// existence probability; domination probabilities scale by it.
+
+#include <gtest/gtest.h>
+
+#include "updb.h"
+
+namespace updb {
+namespace {
+
+using workload::MakeQueryObject;
+using workload::MakeSyntheticDatabase;
+using workload::ObjectModel;
+using workload::SyntheticConfig;
+
+std::shared_ptr<DiscreteSamplePdf> PointObject(double x, double y) {
+  return std::make_shared<DiscreteSamplePdf>(std::vector<Point>{Point{x, y}});
+}
+
+TEST(ExistentialObjectTest, DefaultsToCertain) {
+  UncertainObject o(0, PointObject(0, 0));
+  EXPECT_DOUBLE_EQ(o.existence(), 1.0);
+  EXPECT_TRUE(o.existentially_certain());
+}
+
+TEST(ExistentialObjectTest, CarriesExistence) {
+  UncertainObject o(0, PointObject(0, 0), 0.4);
+  EXPECT_DOUBLE_EQ(o.existence(), 0.4);
+  EXPECT_FALSE(o.existentially_certain());
+}
+
+TEST(ExistentialIdcaTest, BinomialDominationCount) {
+  // Two certain-position dominators, each existing with probability 0.5:
+  // DomCount(B) ~ Binomial(2, 0.5) exactly.
+  UncertainDatabase db;
+  db.Add(PointObject(1.0, 0.0), 0.5);
+  db.Add(PointObject(1.5, 0.0), 0.5);
+  db.Add(PointObject(3.0, 0.0));  // B, certain
+  IdcaConfig config;
+  config.max_iterations = 4;
+  IdcaEngine engine(db, config);
+  const auto r = PointObject(0.0, 0.0);
+  const IdcaResult result = engine.ComputeDomCount(2, *r);
+  EXPECT_EQ(result.complete_domination_count, 0u);  // e < 1: not complete
+  EXPECT_EQ(result.influence_count, 2u);
+  EXPECT_NEAR(result.bounds.lb(0), 0.25, 1e-9);
+  EXPECT_NEAR(result.bounds.ub(0), 0.25, 1e-9);
+  EXPECT_NEAR(result.bounds.lb(1), 0.50, 1e-9);
+  EXPECT_NEAR(result.bounds.ub(1), 0.50, 1e-9);
+  EXPECT_NEAR(result.bounds.lb(2), 0.25, 1e-9);
+  EXPECT_NEAR(result.bounds.ub(2), 0.25, 1e-9);
+}
+
+TEST(ExistentialIdcaTest, CompletelyDominatedObjectsDropRegardless) {
+  // An object completely dominated by B dominates in no world, whatever
+  // its existence probability — it must not appear as influence.
+  UncertainDatabase db;
+  db.Add(PointObject(9.0, 0.0), 0.5);  // far behind B
+  db.Add(PointObject(2.0, 0.0));       // B
+  IdcaEngine engine(db);
+  const auto r = PointObject(0.0, 0.0);
+  const IdcaResult result = engine.ComputeDomCount(1, *r);
+  EXPECT_EQ(result.influence_count, 0u);
+  EXPECT_DOUBLE_EQ(result.bounds.lb(0), 1.0);
+}
+
+TEST(ExistentialIdcaTest, MixedExistenceBracketsMcTruth) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 40;
+  cfg.max_extent = 0.08;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 16;
+  const UncertainDatabase base = MakeSyntheticDatabase(cfg);
+  // Rebuild with random existence values.
+  UncertainDatabase db;
+  Rng rng(51);
+  for (const UncertainObject& o : base.objects()) {
+    db.Add(o.shared_pdf(), rng.Bernoulli(0.5) ? 1.0 : rng.Uniform(0.2, 0.9));
+  }
+  const auto q = MakeQueryObject(Point{0.5, 0.5}, 0.08, ObjectModel::kDiscrete,
+                                 16, rng);
+  MonteCarloConfig mc_cfg;
+  mc_cfg.samples_per_object = 16;
+  MonteCarloEngine mc(db, mc_cfg);
+  IdcaConfig config;
+  config.max_iterations = 4;
+  IdcaEngine engine(db, config);
+  for (ObjectId b : {ObjectId{2}, ObjectId{19}, ObjectId{33}}) {
+    const IdcaResult idca = engine.ComputeDomCount(b, *q);
+    const MonteCarloResult truth = mc.DomCountPdf(b, *q);
+    EXPECT_TRUE(idca.bounds.Brackets(truth.pdf, 1e-9)) << "b=" << b;
+  }
+}
+
+TEST(ExistentialIdcaTest, ConvergesToExactOnDiscreteData) {
+  UncertainDatabase db;
+  db.Add(std::make_shared<DiscreteSamplePdf>(
+             std::vector<Point>{Point{1.0, 0.0}, Point{5.0, 0.0}}),
+         0.8);                         // dominates B in half its worlds
+  db.Add(PointObject(3.0, 0.0));       // B
+  IdcaConfig config;
+  config.max_iterations = 8;
+  IdcaEngine engine(db, config);
+  const auto r = PointObject(0.0, 0.0);
+  const IdcaResult result = engine.ComputeDomCount(1, *r);
+  // P(dominate) = P(exists) * P(at x=1) = 0.8 * 0.5 = 0.4.
+  EXPECT_NEAR(result.bounds.lb(1), 0.4, 1e-9);
+  EXPECT_NEAR(result.bounds.ub(1), 0.4, 1e-9);
+  EXPECT_NEAR(result.bounds.lb(0), 0.6, 1e-9);
+}
+
+TEST(ExistentialIdcaTest, PredicateModeScalesByExistence) {
+  // One potential dominator with existence 0.3 that dominates B for sure
+  // when present: P(DomCount < 1) = 0.7.
+  UncertainDatabase db;
+  db.Add(PointObject(1.0, 0.0), 0.3);
+  db.Add(PointObject(2.0, 0.0));  // B
+  IdcaConfig config;
+  config.max_iterations = 4;
+  IdcaEngine engine(db, config);
+  const auto r = PointObject(0.0, 0.0);
+  const IdcaResult result =
+      engine.ComputeDomCount(1, *r, IdcaPredicate{1, 0.5});
+  EXPECT_EQ(result.decision, PredicateDecision::kTrue);
+  EXPECT_NEAR(result.predicate_prob.lb, 0.7, 1e-9);
+  EXPECT_NEAR(result.predicate_prob.ub, 0.7, 1e-9);
+}
+
+TEST(ExistentialMcTest, MatchesClosedForm) {
+  UncertainDatabase db;
+  db.Add(PointObject(1.0, 0.0), 0.25);
+  db.Add(PointObject(2.0, 0.0));  // B
+  MonteCarloEngine mc(db, {});
+  const auto r = PointObject(0.0, 0.0);
+  const MonteCarloResult result = mc.DomCountPdf(1, *r);
+  EXPECT_NEAR(result.pdf[0], 0.75, 1e-12);
+  EXPECT_NEAR(result.pdf[1], 0.25, 1e-12);
+}
+
+TEST(ExistentialQueriesTest, KnnProbabilitiesReflectExistence) {
+  // B is 2nd closest; the closest object exists with probability 0.1, so
+  // P(B is 1NN) = 0.9.
+  UncertainDatabase db;
+  db.Add(PointObject(1.0, 0.0), 0.1);
+  db.Add(PointObject(2.0, 0.0));
+  db.Add(PointObject(9.0, 0.0));
+  const RTree index = BuildRTree(db.objects());
+  const auto q = PointObject(0.0, 0.0);
+  IdcaConfig config;
+  config.max_iterations = 4;
+  const auto results =
+      ProbabilisticThresholdKnn(db, index, *q, 1, 0.5, config);
+  bool found = false;
+  for (const auto& r : results) {
+    if (r.id == 1) {
+      found = true;
+      EXPECT_EQ(r.decision, PredicateDecision::kTrue);
+      EXPECT_NEAR(r.prob.lb, 0.9, 1e-9);
+      EXPECT_NEAR(r.prob.ub, 0.9, 1e-9);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace updb

@@ -1,0 +1,98 @@
+#include "queries/expected_distance.h"
+
+#include <gtest/gtest.h>
+
+#include "mc/monte_carlo.h"
+#include "workload/generators.h"
+
+namespace updb {
+namespace {
+
+std::shared_ptr<DiscreteSamplePdf> PointObject(double x, double y) {
+  return std::make_shared<DiscreteSamplePdf>(std::vector<Point>{Point{x, y}});
+}
+
+TEST(ExpectedDistanceTest, CertainObjectsGiveExactDistance) {
+  DiscreteSamplePdf a({Point{3.0, 4.0}});
+  DiscreteSamplePdf q({Point{0.0, 0.0}});
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(EstimateExpectedDistance(a, q, 16, rng), 5.0);
+}
+
+TEST(ExpectedDistanceTest, UniformMatchesClosedFormApproximately) {
+  // 1-d uniform on [0, 2] against a point at 0: E[dist] = 1.
+  UniformPdf a(Rect(Point{0.0}, Point{2.0}));
+  DiscreteSamplePdf q({Point{0.0}});
+  Rng rng(2);
+  EXPECT_NEAR(EstimateExpectedDistance(a, q, 100000, rng), 1.0, 0.01);
+}
+
+TEST(ExpectedDistanceKnnTest, CertainChainReducesToPlainKnn) {
+  UncertainDatabase db;
+  db.Add(PointObject(3.0, 0.0));
+  db.Add(PointObject(1.0, 0.0));
+  db.Add(PointObject(2.0, 0.0));
+  db.Add(PointObject(9.0, 0.0));
+  DiscreteSamplePdf q({Point{0.0, 0.0}});
+  const auto knn = ExpectedDistanceKnn(db, q, 2);
+  ASSERT_EQ(knn.size(), 2u);
+  EXPECT_EQ(knn[0].id, 1u);
+  EXPECT_EQ(knn[1].id, 2u);
+  EXPECT_NEAR(knn[0].expected_distance, 1.0, 1e-9);
+}
+
+TEST(ExpectedDistanceKnnTest, ViolatesPossibleWorldSemantics) {
+  // The paper's Section II motivation, concretely. Query at the origin:
+  //   X1 = {1 or 11}  (E[dist] = 6)
+  //   X2 = {2 or 12}  (E[dist] = 7)
+  //   Y  = point at 5 (E[dist] = 5)
+  // Expected distance ranks Y first. But under possible-world semantics
+  // X1 is the most probable 1NN: it wins outright whenever it realizes at
+  // 1 (probability 1/2), while Y needs BOTH X1 = 11 and X2 = 12
+  // (probability 1/4).
+  UncertainDatabase db;
+  db.Add(std::make_shared<DiscreteSamplePdf>(
+      std::vector<Point>{Point{1.0, 0.0}, Point{11.0, 0.0}}));  // X1
+  db.Add(std::make_shared<DiscreteSamplePdf>(
+      std::vector<Point>{Point{2.0, 0.0}, Point{12.0, 0.0}}));  // X2
+  db.Add(PointObject(5.0, 0.0));                                // Y
+  DiscreteSamplePdf q({Point{0.0, 0.0}});
+
+  const auto ed = ExpectedDistanceKnn(db, q, 1);
+  ASSERT_EQ(ed.size(), 1u);
+  EXPECT_EQ(ed[0].id, 2u);  // the baseline answers Y
+
+  MonteCarloEngine mc(db, {});
+  const double p_x1 = mc.ProbDomCountLessThan(0, q, 1);
+  const double p_y = mc.ProbDomCountLessThan(2, q, 1);
+  EXPECT_NEAR(p_x1, 0.5, 1e-9);
+  EXPECT_NEAR(p_y, 0.25, 1e-9);
+  EXPECT_GT(p_x1, p_y);  // the possible-world answer is X1, not Y
+}
+
+TEST(ExpectedDistanceKnnTest, KLargerThanDatabaseReturnsAll) {
+  UncertainDatabase db;
+  db.Add(PointObject(1.0, 0.0));
+  db.Add(PointObject(2.0, 0.0));
+  DiscreteSamplePdf q({Point{0.0, 0.0}});
+  const auto knn = ExpectedDistanceKnn(db, q, 10);
+  EXPECT_EQ(knn.size(), 2u);
+}
+
+TEST(ExpectedDistanceKnnTest, DeterministicForSeed) {
+  workload::SyntheticConfig cfg;
+  cfg.num_objects = 30;
+  cfg.max_extent = 0.1;
+  const UncertainDatabase db = workload::MakeSyntheticDatabase(cfg);
+  UniformPdf q(Rect::Centered(Point{0.5, 0.5}, {0.05, 0.05}));
+  const auto a = ExpectedDistanceKnn(db, q, 5, 64, 42);
+  const auto b = ExpectedDistanceKnn(db, q, 5, 64, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_DOUBLE_EQ(a[i].expected_distance, b[i].expected_distance);
+  }
+}
+
+}  // namespace
+}  // namespace updb

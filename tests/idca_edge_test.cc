@@ -1,0 +1,214 @@
+// Edge cases and stress sweeps for the IDCA engine: degenerate databases,
+// extreme geometry, higher dimensionality, non-Euclidean norms, and
+// randomized multi-seed consistency against the Monte-Carlo oracle.
+
+#include <gtest/gtest.h>
+
+#include "updb.h"
+
+namespace updb {
+namespace {
+
+using workload::MakeQueryObject;
+using workload::MakeSyntheticDatabase;
+using workload::ObjectModel;
+using workload::SyntheticConfig;
+
+std::shared_ptr<DiscreteSamplePdf> PointObject(double x, double y) {
+  return std::make_shared<DiscreteSamplePdf>(std::vector<Point>{Point{x, y}});
+}
+
+TEST(IdcaEdgeTest, SingleObjectDatabase) {
+  UncertainDatabase db;
+  db.Add(PointObject(1.0, 0.0));
+  IdcaEngine engine(db);
+  const auto r = PointObject(0.0, 0.0);
+  const IdcaResult result = engine.ComputeDomCount(0, *r);
+  ASSERT_EQ(result.bounds.num_ranks(), 1u);
+  EXPECT_DOUBLE_EQ(result.bounds.lb(0), 1.0);  // nothing can dominate
+  EXPECT_EQ(result.influence_count, 0u);
+}
+
+TEST(IdcaEdgeTest, TwoIdenticalObjects) {
+  // A and B share the same uncertainty region: neither can completely
+  // dominate; bounds must stay consistent and contain the truth.
+  UncertainDatabase db;
+  const Rect region = Rect::Centered(Point{0.5, 0.5}, {0.05, 0.05});
+  db.Add(std::make_shared<UniformPdf>(region));
+  db.Add(std::make_shared<UniformPdf>(region));
+  IdcaConfig config;
+  config.max_iterations = 4;
+  IdcaEngine engine(db, config);
+  const auto r = PointObject(0.0, 0.0);
+  const IdcaResult result = engine.ComputeDomCount(1, *r);
+  EXPECT_EQ(result.influence_count, 1u);
+  // By symmetry the true P(DomCount = 1) is 1/2; the bracket must contain
+  // it and be symmetric-ish.
+  EXPECT_LE(result.bounds.lb(1), 0.5 + 1e-9);
+  EXPECT_GE(result.bounds.ub(1), 0.5 - 1e-9);
+}
+
+TEST(IdcaEdgeTest, ReferenceInsideObjectCloud) {
+  // R's region overlaps B's own region — everything is an influence
+  // object; the engine must still produce consistent bounds.
+  UncertainDatabase db;
+  Rng rng(311);
+  for (int i = 0; i < 20; ++i) {
+    db.Add(std::make_shared<UniformPdf>(Rect::Centered(
+        Point{0.5 + 0.01 * rng.NextGaussian(),
+              0.5 + 0.01 * rng.NextGaussian()},
+        {0.02, 0.02})));
+  }
+  const auto r = std::make_shared<UniformPdf>(
+      Rect::Centered(Point{0.5, 0.5}, {0.02, 0.02}));
+  IdcaConfig config;
+  config.max_iterations = 3;
+  IdcaEngine engine(db, config);
+  const IdcaResult result = engine.ComputeDomCount(0, *r);
+  double lb_total = 0.0, ub_total = 0.0;
+  for (size_t k = 0; k < result.bounds.num_ranks(); ++k) {
+    lb_total += result.bounds.lb(k);
+    ub_total += result.bounds.ub(k);
+  }
+  EXPECT_LE(lb_total, 1.0 + 1e-9);
+  EXPECT_GE(ub_total, 1.0 - 1e-9);
+}
+
+TEST(IdcaEdgeTest, ThreeDimensionalDatabase) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 40;
+  cfg.dim = 3;
+  cfg.max_extent = 0.1;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 16;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  Rng rng(313);
+  // Build a 3-d discrete query object by hand.
+  std::vector<Point> samples;
+  for (int i = 0; i < 16; ++i) {
+    samples.push_back(Point{0.5 + 0.05 * rng.NextDouble(),
+                            0.5 + 0.05 * rng.NextDouble(),
+                            0.5 + 0.05 * rng.NextDouble()});
+  }
+  DiscreteSamplePdf r(std::move(samples));
+  MonteCarloConfig mc_cfg;
+  mc_cfg.samples_per_object = 16;
+  MonteCarloEngine mc(db, mc_cfg);
+  IdcaConfig config;
+  config.max_iterations = 4;
+  IdcaEngine engine(db, config);
+  for (ObjectId b : {ObjectId{1}, ObjectId{20}}) {
+    const IdcaResult idca = engine.ComputeDomCount(b, r);
+    const MonteCarloResult truth = mc.DomCountPdf(b, r);
+    EXPECT_TRUE(idca.bounds.Brackets(truth.pdf, 1e-9)) << "b=" << b;
+  }
+}
+
+TEST(IdcaEdgeTest, ManhattanNormEndToEnd) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 30;
+  cfg.max_extent = 0.1;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 12;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  Rng rng(317);
+  const auto r =
+      MakeQueryObject(Point{0.5, 0.5}, 0.1, ObjectModel::kDiscrete, 12, rng);
+  IdcaConfig config;
+  config.norm = LpNorm::Manhattan();
+  config.max_iterations = 4;
+  IdcaEngine engine(db, config);
+  MonteCarloConfig mc_cfg;
+  mc_cfg.norm = LpNorm::Manhattan();
+  mc_cfg.samples_per_object = 12;
+  MonteCarloEngine mc(db, mc_cfg);
+  const IdcaResult idca = engine.ComputeDomCount(5, *r);
+  const MonteCarloResult truth = mc.DomCountPdf(5, *r);
+  EXPECT_TRUE(idca.bounds.Brackets(truth.pdf, 1e-9));
+}
+
+TEST(IdcaEdgeTest, ZeroIterationsIsFilterOnly) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 100;
+  cfg.max_extent = 0.02;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  Rng rng(331);
+  const auto r =
+      MakeQueryObject(Point{0.5, 0.5}, 0.02, ObjectModel::kUniform, 0, rng);
+  IdcaConfig config;
+  config.max_iterations = 0;
+  IdcaEngine engine(db, config);
+  const IdcaResult result = engine.ComputeDomCount(3, *r);
+  ASSERT_EQ(result.iterations.size(), 1u);  // only the filter entry
+  // Window structure: exact zeros outside [complete, complete+C].
+  const size_t lo = result.complete_domination_count;
+  const size_t hi = lo + result.influence_count;
+  for (size_t k = 0; k < result.bounds.num_ranks(); ++k) {
+    if (k < lo || k > hi) {
+      EXPECT_DOUBLE_EQ(result.bounds.ub(k), 0.0) << "k=" << k;
+    }
+  }
+}
+
+TEST(IdcaEdgeTest, PredicateTauZeroAndOne) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 50;
+  cfg.max_extent = 0.02;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  const RTree index = BuildRTree(db.objects());
+  Rng rng(337);
+  const auto r =
+      MakeQueryObject(Point{0.5, 0.5}, 0.02, ObjectModel::kUniform, 0, rng);
+  const ObjectId b = workload::PickByMinDistRank(index, r->bounds(), 3);
+  IdcaConfig config;
+  config.max_iterations = 6;
+  IdcaEngine engine(db, config);
+  // tau = 0: decided true as soon as any lower bound is positive.
+  const IdcaResult zero =
+      engine.ComputeDomCount(b, *r, IdcaPredicate{10, 0.0});
+  EXPECT_EQ(zero.decision, PredicateDecision::kTrue);
+  // tau = 1: P > 1 is impossible unless the bound collapses above... it
+  // can only be decided false (ub <= 1 always, lb > 1 never).
+  const IdcaResult one = engine.ComputeDomCount(b, *r, IdcaPredicate{1, 1.0});
+  EXPECT_NE(one.decision, PredicateDecision::kTrue);
+}
+
+class IdcaSeedSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IdcaSeedSweepTest, BracketsOracleAcrossSeeds) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 30;
+  cfg.max_extent = 0.1;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 12;
+  cfg.seed = GetParam();
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  Rng rng(GetParam() * 13 + 1);
+  const auto r = MakeQueryObject(
+      Point{rng.NextDouble(), rng.NextDouble()}, 0.1,
+      ObjectModel::kDiscrete, 12, rng);
+  MonteCarloConfig mc_cfg;
+  mc_cfg.samples_per_object = 12;
+  MonteCarloEngine mc(db, mc_cfg);
+  IdcaConfig config;
+  config.max_iterations = 5;
+  IdcaEngine engine(db, config);
+  const ObjectId b = static_cast<ObjectId>(GetParam() % db.size());
+  const IdcaResult idca = engine.ComputeDomCount(b, *r);
+  const MonteCarloResult truth = mc.DomCountPdf(b, *r);
+  EXPECT_TRUE(idca.bounds.Brackets(truth.pdf, 1e-9));
+  // Expected-rank bracket must contain the oracle's expected rank.
+  double expected_rank = 0.0;
+  for (size_t k = 0; k < truth.pdf.size(); ++k) {
+    expected_rank += truth.pdf[k] * static_cast<double>(k + 1);
+  }
+  const ProbabilityBounds er = idca.bounds.ExpectedRank();
+  EXPECT_GE(expected_rank, er.lb - 1e-6);
+  EXPECT_LE(expected_rank, er.ub + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdcaSeedSweepTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{13}));
+
+}  // namespace
+}  // namespace updb

@@ -1,0 +1,314 @@
+#include "core/idca.h"
+
+#include <gtest/gtest.h>
+
+#include "mc/monte_carlo.h"
+#include "workload/generators.h"
+
+namespace updb {
+namespace {
+
+using workload::MakeQueryObject;
+using workload::MakeSyntheticDatabase;
+using workload::ObjectModel;
+using workload::SyntheticConfig;
+
+std::shared_ptr<DiscreteSamplePdf> PointObject(double x, double y) {
+  return std::make_shared<DiscreteSamplePdf>(std::vector<Point>{Point{x, y}});
+}
+
+TEST(IdcaTest, CertainObjectsResolveImmediately) {
+  UncertainDatabase db;
+  db.Add(PointObject(1.0, 0.0));
+  db.Add(PointObject(2.0, 0.0));  // B
+  db.Add(PointObject(3.0, 0.0));
+  db.Add(PointObject(1.5, 0.0));
+  IdcaEngine engine(db);
+  const auto r = PointObject(0.0, 0.0);
+  const IdcaResult result = engine.ComputeDomCount(1, *r);
+  EXPECT_EQ(result.complete_domination_count, 2u);
+  EXPECT_EQ(result.influence_count, 0u);
+  ASSERT_EQ(result.bounds.num_ranks(), 4u);
+  EXPECT_DOUBLE_EQ(result.bounds.lb(2), 1.0);
+  EXPECT_DOUBLE_EQ(result.bounds.ub(2), 1.0);
+  EXPECT_DOUBLE_EQ(result.bounds.TotalUncertainty(), 0.0);
+}
+
+TEST(IdcaTest, PaperFigure3DependenceHandledCorrectly) {
+  // A1 = A2 certain at x=2, B certain at x=0, R uniform over {-1, 4}.
+  // The naive independent combination would give P(count=1) = 0.5; the
+  // correct answer is P(0) = P(2) = 0.5, P(1) = 0. IDCA's bounds must
+  // contain the correct answer and EXCLUDE count=1 once converged.
+  UncertainDatabase db;
+  db.Add(PointObject(2.0, 0.0));
+  db.Add(PointObject(2.0, 0.0));
+  db.Add(PointObject(0.0, 0.0));  // B
+  IdcaConfig config;
+  config.max_iterations = 12;
+  IdcaEngine engine(db, config);
+  DiscreteSamplePdf r({Point{-1.0, 0.0}, Point{4.0, 0.0}});
+  const IdcaResult result = engine.ComputeDomCount(2, r);
+  EXPECT_NEAR(result.bounds.lb(0), 0.5, 1e-9);
+  EXPECT_NEAR(result.bounds.ub(0), 0.5, 1e-9);
+  EXPECT_NEAR(result.bounds.lb(1), 0.0, 1e-9);
+  EXPECT_NEAR(result.bounds.ub(1), 0.0, 1e-9);
+  EXPECT_NEAR(result.bounds.lb(2), 0.5, 1e-9);
+  EXPECT_NEAR(result.bounds.ub(2), 0.5, 1e-9);
+}
+
+TEST(IdcaTest, BoundsBracketMonteCarloTruth) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 50;
+  cfg.max_extent = 0.08;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 32;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  Rng rng(9);
+  const auto r = MakeQueryObject(Point{0.5, 0.5}, 0.08, ObjectModel::kDiscrete,
+                                 32, rng);
+  MonteCarloConfig mc_cfg;
+  mc_cfg.samples_per_object = 32;
+  MonteCarloEngine mc(db, mc_cfg);
+  IdcaConfig config;
+  config.max_iterations = 4;
+  IdcaEngine engine(db, config);
+  for (ObjectId b : {ObjectId{3}, ObjectId{17}, ObjectId{42}}) {
+    const IdcaResult idca = engine.ComputeDomCount(b, *r);
+    const MonteCarloResult truth = mc.DomCountPdf(b, *r);
+    EXPECT_TRUE(idca.bounds.Brackets(truth.pdf, 1e-9)) << "b=" << b;
+  }
+}
+
+TEST(IdcaTest, UncertaintyDecreasesMonotonically) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 80;
+  cfg.max_extent = 0.06;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  Rng rng(10);
+  const auto r =
+      MakeQueryObject(Point{0.4, 0.6}, 0.06, ObjectModel::kUniform, 0, rng);
+  IdcaConfig config;
+  config.max_iterations = 6;
+  IdcaEngine engine(db, config);
+  const IdcaResult result = engine.ComputeDomCount(5, *r);
+  ASSERT_GE(result.iterations.size(), 2u);
+  for (size_t i = 1; i < result.iterations.size(); ++i) {
+    EXPECT_LE(result.iterations[i].total_uncertainty,
+              result.iterations[i - 1].total_uncertainty + 1e-9)
+        << "iteration " << i;
+    EXPECT_LE(result.iterations[i].avg_influence_uncertainty,
+              result.iterations[i - 1].avg_influence_uncertainty + 1e-9);
+  }
+}
+
+TEST(IdcaTest, DiscreteObjectsConvergeToExactness) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 30;
+  cfg.max_extent = 0.1;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 4;  // tiny clouds decompose fully
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  Rng rng(11);
+  const auto r =
+      MakeQueryObject(Point{0.5, 0.5}, 0.1, ObjectModel::kDiscrete, 4, rng);
+  IdcaConfig config;
+  config.max_iterations = 32;
+  IdcaEngine engine(db, config);
+  const IdcaResult result = engine.ComputeDomCount(7, *r);
+  EXPECT_NEAR(result.bounds.TotalUncertainty(), 0.0, 1e-9);
+  // And the exact result matches MC on the same model.
+  MonteCarloConfig mc_cfg;
+  mc_cfg.samples_per_object = 4;
+  MonteCarloEngine mc(db, mc_cfg);
+  const MonteCarloResult truth = mc.DomCountPdf(7, *r);
+  for (size_t k = 0; k < truth.pdf.size(); ++k) {
+    EXPECT_NEAR(result.bounds.lb(k), truth.pdf[k], 1e-9) << "k=" << k;
+  }
+}
+
+TEST(IdcaTest, OptimalFiltersAtLeastAsWellAsMinMax) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 300;
+  cfg.max_extent = 0.05;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  Rng rng(12);
+  const auto r =
+      MakeQueryObject(Point{0.5, 0.5}, 0.05, ObjectModel::kUniform, 0, rng);
+  IdcaConfig optimal;
+  optimal.criterion = DominationCriterion::kOptimal;
+  optimal.max_iterations = 0;
+  IdcaConfig minmax;
+  minmax.criterion = DominationCriterion::kMinMax;
+  minmax.max_iterations = 0;
+  const IdcaResult opt = IdcaEngine(db, optimal).ComputeDomCount(4, *r);
+  const IdcaResult mm = IdcaEngine(db, minmax).ComputeDomCount(4, *r);
+  EXPECT_LE(opt.influence_count, mm.influence_count);
+}
+
+TEST(IdcaTest, PredicateDecidesEarly) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 120;
+  cfg.max_extent = 0.02;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  const RTree index = BuildRTree(db.objects());
+  Rng rng(13);
+  const auto r =
+      MakeQueryObject(Point{0.5, 0.5}, 0.02, ObjectModel::kUniform, 0, rng);
+  // B very close to R: almost surely within the 20 nearest.
+  const ObjectId close_b = workload::PickByMinDistRank(index, r->bounds(), 1);
+  IdcaConfig config;
+  config.max_iterations = 10;
+  IdcaEngine engine(db, config);
+  const IdcaResult hit =
+      engine.ComputeDomCount(close_b, *r, IdcaPredicate{20, 0.5});
+  EXPECT_EQ(hit.decision, PredicateDecision::kTrue);
+  // B very far: certainly not within the nearest 3.
+  const ObjectId far_b =
+      workload::PickByMinDistRank(index, r->bounds(), db.size());
+  const IdcaResult miss =
+      engine.ComputeDomCount(far_b, *r, IdcaPredicate{3, 0.5});
+  EXPECT_EQ(miss.decision, PredicateDecision::kFalse);
+  EXPECT_DOUBLE_EQ(miss.predicate_prob.ub, 0.0);
+}
+
+TEST(IdcaTest, PredicateProbBracketsMcTruth) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 40;
+  cfg.max_extent = 0.08;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 24;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  const RTree index = BuildRTree(db.objects());
+  Rng rng(14);
+  const auto r = MakeQueryObject(Point{0.5, 0.5}, 0.08, ObjectModel::kDiscrete,
+                                 24, rng);
+  MonteCarloConfig mc_cfg;
+  mc_cfg.samples_per_object = 24;
+  MonteCarloEngine mc(db, mc_cfg);
+  IdcaConfig config;
+  config.max_iterations = 3;  // stop while still undecided
+  IdcaEngine engine(db, config);
+  const ObjectId b = workload::PickByMinDistRank(index, r->bounds(), 5);
+  for (size_t k : {size_t{3}, size_t{5}, size_t{8}}) {
+    const IdcaResult result =
+        engine.ComputeDomCount(b, *r, IdcaPredicate{k, 0.5});
+    const double truth = mc.ProbDomCountLessThan(b, *r, k);
+    EXPECT_GE(truth, result.predicate_prob.lb - 1e-9) << "k=" << k;
+    EXPECT_LE(truth, result.predicate_prob.ub + 1e-9) << "k=" << k;
+  }
+}
+
+TEST(IdcaTest, PredicateShortCircuitsOnFilterOnlyCases) {
+  UncertainDatabase db;
+  db.Add(PointObject(1.0, 0.0));
+  db.Add(PointObject(2.0, 0.0));
+  db.Add(PointObject(5.0, 0.0));  // B with 2 certain dominators
+  IdcaEngine engine(db);
+  const auto r = PointObject(0.0, 0.0);
+  // k = 1: already >= 1 dominators in every world -> P = 0.
+  const IdcaResult r1 = engine.ComputeDomCount(2, *r, IdcaPredicate{1, 0.25});
+  EXPECT_EQ(r1.decision, PredicateDecision::kFalse);
+  EXPECT_DOUBLE_EQ(r1.predicate_prob.ub, 0.0);
+  // k = 3: at most 2 dominators exist -> P = 1.
+  const IdcaResult r3 = engine.ComputeDomCount(2, *r, IdcaPredicate{3, 0.25});
+  EXPECT_EQ(r3.decision, PredicateDecision::kTrue);
+  EXPECT_DOUBLE_EQ(r3.predicate_prob.lb, 1.0);
+}
+
+TEST(IdcaTest, ComputeDomCountOfQuerySwapsRoles) {
+  // Q external at x=2; reference object B at x=0. A at x=1 is closer to B
+  // than Q is (1 < 2): DomCount(Q, B) = 1.
+  UncertainDatabase db;
+  db.Add(PointObject(0.0, 0.0));  // B (reference role)
+  db.Add(PointObject(1.0, 0.0));  // A
+  IdcaEngine engine(db);
+  const auto q = PointObject(2.0, 0.0);
+  const IdcaResult result = engine.ComputeDomCountOfQuery(*q, 0);
+  ASSERT_EQ(result.bounds.num_ranks(), 2u);
+  EXPECT_DOUBLE_EQ(result.bounds.lb(1), 1.0);
+  EXPECT_DOUBLE_EQ(result.bounds.ub(1), 1.0);
+}
+
+TEST(IdcaTest, StatsAreRecordedPerIteration) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 60;
+  cfg.max_extent = 0.06;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  Rng rng(15);
+  const auto r =
+      MakeQueryObject(Point{0.5, 0.5}, 0.06, ObjectModel::kUniform, 0, rng);
+  IdcaConfig config;
+  config.max_iterations = 3;
+  IdcaEngine engine(db, config);
+  const IdcaResult result = engine.ComputeDomCount(9, *r);
+  ASSERT_GE(result.iterations.size(), 1u);
+  EXPECT_EQ(result.iterations[0].iteration, 0);
+  for (size_t i = 1; i < result.iterations.size(); ++i) {
+    EXPECT_EQ(result.iterations[i].iteration, static_cast<int>(i));
+    EXPECT_GT(result.iterations[i].pairs, 0u);
+    EXPECT_GE(result.iterations[i].cumulative_seconds,
+              result.iterations[i - 1].cumulative_seconds);
+  }
+}
+
+TEST(IdcaTest, UncertaintyEpsilonStopsEarly) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 80;
+  cfg.max_extent = 0.06;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  Rng rng(16);
+  const auto r =
+      MakeQueryObject(Point{0.5, 0.5}, 0.06, ObjectModel::kUniform, 0, rng);
+  IdcaConfig strict;
+  strict.max_iterations = 8;
+  strict.uncertainty_epsilon = 0.0;
+  IdcaConfig lax = strict;
+  lax.uncertainty_epsilon = 3.0;
+  const IdcaResult full = IdcaEngine(db, strict).ComputeDomCount(5, *r);
+  const IdcaResult early = IdcaEngine(db, lax).ComputeDomCount(5, *r);
+  EXPECT_LE(early.iterations.size(), full.iterations.size());
+}
+
+TEST(IdcaTest, MinMaxCriterionBoundsAlsoBracketTruth) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 40;
+  cfg.max_extent = 0.08;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 16;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  Rng rng(17);
+  const auto r = MakeQueryObject(Point{0.5, 0.5}, 0.08, ObjectModel::kDiscrete,
+                                 16, rng);
+  MonteCarloConfig mc_cfg;
+  mc_cfg.samples_per_object = 16;
+  MonteCarloEngine mc(db, mc_cfg);
+  IdcaConfig config;
+  config.criterion = DominationCriterion::kMinMax;
+  config.max_iterations = 4;
+  IdcaEngine engine(db, config);
+  const IdcaResult idca = engine.ComputeDomCount(11, *r);
+  const MonteCarloResult truth = mc.DomCountPdf(11, *r);
+  EXPECT_TRUE(idca.bounds.Brackets(truth.pdf, 1e-9));
+}
+
+TEST(IdcaTest, InfluencePdomBoundsAreValid) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 50;
+  cfg.max_extent = 0.08;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  Rng rng(18);
+  const auto r =
+      MakeQueryObject(Point{0.5, 0.5}, 0.08, ObjectModel::kUniform, 0, rng);
+  IdcaConfig config;
+  config.max_iterations = 4;
+  IdcaEngine engine(db, config);
+  const IdcaResult result = engine.ComputeDomCount(3, *r);
+  for (const ProbabilityBounds& p : result.influence_pdom) {
+    EXPECT_GE(p.lb, 0.0);
+    EXPECT_LE(p.ub, 1.0);
+    EXPECT_LE(p.lb, p.ub + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace updb

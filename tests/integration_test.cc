@@ -1,0 +1,216 @@
+// End-to-end scenarios across all modules: workload generation -> index ->
+// IDCA -> queries, cross-checked against the Monte-Carlo oracle. These are
+// scaled-down versions of the experiment pipelines in bench/.
+
+#include <gtest/gtest.h>
+
+#include "updb.h"
+
+namespace updb {
+namespace {
+
+using workload::IipConfig;
+using workload::MakeIipLikeDataset;
+using workload::MakeQueryObject;
+using workload::MakeSyntheticDatabase;
+using workload::ObjectModel;
+using workload::PickByMinDistRank;
+using workload::SyntheticConfig;
+
+TEST(IntegrationTest, PaperDefaultPipelineScaledDown) {
+  // The paper's default setup, scaled: synthetic DB, query object R, B =
+  // the object with the 10th smallest MinDist to R (Section VII).
+  SyntheticConfig cfg;
+  cfg.num_objects = 500;
+  cfg.max_extent = 0.02;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  const RTree index = BuildRTree(db.objects());
+  Rng rng(31);
+  const auto r =
+      MakeQueryObject(Point{0.5, 0.5}, 0.02, ObjectModel::kUniform, 0, rng);
+  const ObjectId b = PickByMinDistRank(index, r->bounds(), 10);
+
+  IdcaConfig config;
+  config.max_iterations = 5;
+  IdcaEngine engine(db, config);
+  const IdcaResult result = engine.ComputeDomCount(b, *r);
+
+  // The filter must prune the overwhelming majority of 500 objects.
+  EXPECT_LT(result.influence_count, 50u);
+  // B is the 10th-closest by MinDist: its domination count must
+  // concentrate near 9 (complete dominators lower-bound the count).
+  EXPECT_LE(result.complete_domination_count, 9u + result.influence_count);
+  // Uncertainty must have decreased substantially from iteration 0.
+  ASSERT_GE(result.iterations.size(), 2u);
+  EXPECT_LT(result.iterations.back().total_uncertainty,
+            result.iterations.front().total_uncertainty);
+}
+
+TEST(IntegrationTest, IipPipelineProducesConsistentBounds) {
+  IipConfig cfg;
+  cfg.num_objects = 400;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 16;
+  const UncertainDatabase db = MakeIipLikeDataset(cfg);
+  const RTree index = BuildRTree(db.objects());
+  Rng rng(32);
+  // Query near the sighting concentration.
+  const auto r = MakeQueryObject(Point{0.3, 0.5}, cfg.max_extent,
+                                 ObjectModel::kDiscrete, 16, rng);
+  const ObjectId b = PickByMinDistRank(index, r->bounds(), 10);
+
+  IdcaConfig config;
+  config.max_iterations = 8;
+  IdcaEngine engine(db, config);
+  const IdcaResult idca = engine.ComputeDomCount(b, *r);
+
+  MonteCarloConfig mc_cfg;
+  mc_cfg.samples_per_object = 16;
+  MonteCarloEngine mc(db, mc_cfg);
+  const MonteCarloResult truth = mc.DomCountPdf(b, *r);
+  EXPECT_TRUE(idca.bounds.Brackets(truth.pdf, 1e-9));
+}
+
+TEST(IntegrationTest, KnnConsistentWithInverseRanking) {
+  // P_kNN(B,Q) = P(Rank(B,Q) <= k): the kNN predicate bracket and the
+  // prefix of the inverse-ranking distribution must agree.
+  SyntheticConfig cfg;
+  cfg.num_objects = 80;
+  cfg.max_extent = 0.05;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  const RTree index = BuildRTree(db.objects());
+  Rng rng(33);
+  const auto q =
+      MakeQueryObject(Point{0.5, 0.5}, 0.05, ObjectModel::kUniform, 0, rng);
+  const ObjectId b = PickByMinDistRank(index, q->bounds(), 4);
+  IdcaConfig config;
+  config.max_iterations = 5;
+  const size_t k = 5;
+
+  IdcaEngine engine(db, config);
+  const IdcaResult with_predicate =
+      engine.ComputeDomCount(b, *q, IdcaPredicate{k, 0.5});
+  const CountDistributionBounds rank_dist =
+      ProbabilisticInverseRanking(db, b, *q, config);
+  const ProbabilityBounds from_ranking = rank_dist.ProbLessThan(k);
+  // The predicate-mode bracket must be consistent (both bracket the same
+  // truth); the scalar aggregation is at least as tight as the per-rank
+  // array route.
+  EXPECT_GE(with_predicate.predicate_prob.lb, from_ranking.lb - 1e-9);
+  EXPECT_LE(with_predicate.predicate_prob.ub, from_ranking.ub + 1e-9);
+}
+
+TEST(IntegrationTest, RknnAndKnnDualityOnCertainData) {
+  // On certain (point) data, B is an RkNN of Q iff Q is within B's k
+  // nearest neighbors among {Q} ∪ DB \ {B}.
+  UncertainDatabase db;
+  Rng rng(34);
+  std::vector<Point> positions;
+  for (int i = 0; i < 20; ++i) {
+    Point p{rng.NextDouble(), rng.NextDouble()};
+    positions.push_back(p);
+    db.Add(std::make_shared<DiscreteSamplePdf>(std::vector<Point>{p}));
+  }
+  const RTree index = BuildRTree(db.objects());
+  const Point qp{0.5, 0.5};
+  const auto q =
+      std::make_shared<DiscreteSamplePdf>(std::vector<Point>{qp});
+  const size_t k = 3;
+  const auto results = ProbabilisticThresholdRknn(db, index, *q, k, 0.5);
+  std::vector<bool> is_rknn(db.size(), false);
+  for (const auto& r : results) {
+    if (r.decision == PredicateDecision::kTrue) is_rknn[r.id] = true;
+  }
+  const LpNorm norm;
+  for (ObjectId id = 0; id < db.size(); ++id) {
+    const double dq = norm.Dist(positions[id], qp);
+    size_t closer = 0;
+    for (ObjectId other = 0; other < db.size(); ++other) {
+      if (other != id && norm.Dist(positions[other], positions[id]) < dq) {
+        ++closer;
+      }
+    }
+    EXPECT_EQ(is_rknn[id], closer < k) << "id=" << id;
+  }
+}
+
+TEST(IntegrationTest, GaussianAndUniformModelsAgreeOnCoarseStructure) {
+  // Same MBRs, different PDFs: complete-domination counts (region-only)
+  // must be identical; refined bounds may differ but both bracket their
+  // own MC truth.
+  SyntheticConfig cfg;
+  cfg.num_objects = 100;
+  cfg.max_extent = 0.05;
+  cfg.seed = 77;
+  cfg.model = ObjectModel::kUniform;
+  const UncertainDatabase uniform_db = MakeSyntheticDatabase(cfg);
+  cfg.model = ObjectModel::kGaussian;
+  const UncertainDatabase gauss_db = MakeSyntheticDatabase(cfg);
+  ASSERT_EQ(uniform_db.size(), gauss_db.size());
+  for (size_t i = 0; i < uniform_db.size(); ++i) {
+    ASSERT_EQ(uniform_db.object(i).mbr(), gauss_db.object(i).mbr());
+  }
+  Rng rng(35);
+  const auto r =
+      MakeQueryObject(Point{0.5, 0.5}, 0.05, ObjectModel::kUniform, 0, rng);
+  IdcaConfig config;
+  config.max_iterations = 0;  // filter only
+  const IdcaResult u = IdcaEngine(uniform_db, config).ComputeDomCount(7, *r);
+  const IdcaResult g = IdcaEngine(gauss_db, config).ComputeDomCount(7, *r);
+  EXPECT_EQ(u.complete_domination_count, g.complete_domination_count);
+  EXPECT_EQ(u.influence_count, g.influence_count);
+}
+
+TEST(IntegrationTest, ExpectedRankOrderRespectsSpatialOrder) {
+  // Far-apart tiny objects: expected-rank order must equal MinDist order.
+  UncertainDatabase db;
+  Rng rng(36);
+  for (int i = 1; i <= 8; ++i) {
+    const double x = 0.1 * i;
+    db.Add(std::make_shared<UniformPdf>(
+        Rect::Centered(Point{x, 0.0}, {0.001, 0.001})));
+  }
+  const auto q = std::make_shared<UniformPdf>(
+      Rect::Centered(Point{0.0, 0.0}, {0.001, 0.001}));
+  const auto order = ExpectedRankOrder(db, *q);
+  ASSERT_EQ(order.size(), 8u);
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[i].id, static_cast<ObjectId>(i));
+  }
+}
+
+TEST(IntegrationTest, MixturePdfObjectsWorkEndToEnd) {
+  // Bimodal objects exercise the generic ConditionalMedian bisection path
+  // inside the full IDCA loop.
+  UncertainDatabase db;
+  auto make_bimodal = [](double x, double y) {
+    std::vector<std::unique_ptr<Pdf>> comps;
+    comps.push_back(std::make_unique<UniformPdf>(
+        Rect::Centered(Point{x - 0.02, y}, {0.005, 0.005})));
+    comps.push_back(std::make_unique<UniformPdf>(
+        Rect::Centered(Point{x + 0.02, y}, {0.005, 0.005})));
+    return std::make_shared<MixturePdf>(std::move(comps),
+                                        std::vector<double>{1.0, 1.0});
+  };
+  for (int i = 0; i < 10; ++i) {
+    db.Add(make_bimodal(0.1 * (i + 1), 0.5));
+  }
+  const auto q = std::make_shared<UniformPdf>(
+      Rect::Centered(Point{0.0, 0.5}, {0.01, 0.01}));
+  IdcaConfig config;
+  config.max_iterations = 6;
+  IdcaEngine engine(db, config);
+  const IdcaResult result = engine.ComputeDomCount(4, *q);
+  // Object 4 is 5th closest: its count must concentrate around 4.
+  EXPECT_GT(result.bounds.lb(4), 0.5);
+  Rng rng(37);
+  MonteCarloConfig mc_cfg;
+  mc_cfg.samples_per_object = 200;
+  MonteCarloEngine mc(db, mc_cfg);
+  const MonteCarloResult truth = mc.DomCountPdf(4, *q);
+  // Sampled truth: allow sampling noise.
+  EXPECT_TRUE(result.bounds.Brackets(truth.pdf, 0.05));
+}
+
+}  // namespace
+}  // namespace updb

@@ -1,0 +1,180 @@
+#include "mc/monte_carlo.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace updb {
+namespace {
+
+using workload::MakeSyntheticDatabase;
+using workload::ObjectModel;
+using workload::SyntheticConfig;
+
+std::shared_ptr<DiscreteSamplePdf> PointObject(double x, double y) {
+  return std::make_shared<DiscreteSamplePdf>(std::vector<Point>{Point{x, y}});
+}
+
+TEST(MaterializeCloudTest, DiscretePdfPassesThrough) {
+  DiscreteSamplePdf pdf({Point{0.0, 0.0}, Point{1.0, 1.0}}, {1.0, 3.0});
+  Rng rng(1);
+  const SampleCloud cloud = MaterializeCloud(pdf, 999, rng);
+  ASSERT_EQ(cloud.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(cloud.weights[1], 0.75);
+  EXPECT_EQ(cloud.mbr, pdf.bounds());
+}
+
+TEST(MaterializeCloudTest, ContinuousPdfIsSampled) {
+  UniformPdf pdf(Rect(Point{0.0, 0.0}, Point{1.0, 1.0}));
+  Rng rng(2);
+  const SampleCloud cloud = MaterializeCloud(pdf, 128, rng);
+  EXPECT_EQ(cloud.points.size(), 128u);
+  for (const Point& p : cloud.points) {
+    EXPECT_TRUE(pdf.bounds().Contains(p));
+  }
+  EXPECT_TRUE(pdf.bounds().Contains(cloud.mbr));
+}
+
+TEST(MonteCarloTest, CertainObjectsGiveDeterministicCounts) {
+  // Four point objects on a line; reference at origin. Distances: B at 2,
+  // dominators at 1; non-dominator at 3.
+  UncertainDatabase db;
+  db.Add(PointObject(1.0, 0.0));   // closer -> dominates
+  db.Add(PointObject(2.0, 0.0));   // B
+  db.Add(PointObject(3.0, 0.0));   // farther
+  db.Add(PointObject(1.5, 0.0));   // closer -> dominates
+  MonteCarloEngine engine(db, {});
+  const auto r = PointObject(0.0, 0.0);
+  const MonteCarloResult result = engine.DomCountPdf(1, *r);
+  ASSERT_EQ(result.pdf.size(), 4u);
+  EXPECT_NEAR(result.pdf[2], 1.0, 1e-12);  // exactly 2 dominators
+  EXPECT_NEAR(result.pdf[0], 0.0, 1e-12);
+}
+
+TEST(MonteCarloTest, FiftyFiftyDomination) {
+  // B at distance 2; A uniform over two positions, one closer one farther.
+  UncertainDatabase db;
+  db.Add(std::make_shared<DiscreteSamplePdf>(
+      std::vector<Point>{Point{1.0, 0.0}, Point{3.0, 0.0}}));  // A
+  db.Add(PointObject(2.0, 0.0));                               // B
+  MonteCarloEngine engine(db, {});
+  const auto r = PointObject(0.0, 0.0);
+  const MonteCarloResult result = engine.DomCountPdf(1, *r);
+  EXPECT_NEAR(result.pdf[0], 0.5, 1e-12);
+  EXPECT_NEAR(result.pdf[1], 0.5, 1e-12);
+}
+
+TEST(MonteCarloTest, UncertainReferenceAverages) {
+  // Paper Figure 3 shape: A1 = A2 certain; R uniform over two positions.
+  // In one position both dominate, in the other neither does — counts are
+  // perfectly correlated: P(0) = P(2) = 0.5, P(1) = 0.
+  UncertainDatabase db;
+  db.Add(PointObject(2.0, 0.0));  // A1
+  db.Add(PointObject(2.0, 0.0));  // A2
+  db.Add(PointObject(0.0, 0.0));  // B
+  MonteCarloEngine engine(db, {});
+  DiscreteSamplePdf r({Point{-1.0, 0.0}, Point{4.0, 0.0}});
+  // r = -1: dist(A)=3 > dist(B)=1 -> neither dominates.
+  // r = 4:  dist(A)=2 < dist(B)=4 -> both dominate.
+  const MonteCarloResult result = engine.DomCountPdf(2, r);
+  EXPECT_NEAR(result.pdf[0], 0.5, 1e-12);
+  EXPECT_NEAR(result.pdf[1], 0.0, 1e-12);
+  EXPECT_NEAR(result.pdf[2], 0.5, 1e-12);
+}
+
+TEST(MonteCarloTest, PdfSumsToOne) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 60;
+  cfg.max_extent = 0.05;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 40;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  MonteCarloConfig mc_cfg;
+  mc_cfg.samples_per_object = 40;
+  MonteCarloEngine engine(db, mc_cfg);
+  Rng rng(5);
+  const auto r = workload::MakeQueryObject(Point{0.5, 0.5}, 0.05,
+                                           ObjectModel::kDiscrete, 40, rng);
+  const MonteCarloResult result = engine.DomCountPdf(10, *r);
+  double total = 0.0;
+  for (double v : result.pdf) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(MonteCarloTest, ReferenceSubsamplingApproximates) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 40;
+  cfg.max_extent = 0.05;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 50;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  Rng rng(6);
+  const auto r = workload::MakeQueryObject(Point{0.5, 0.5}, 0.05,
+                                           ObjectModel::kDiscrete, 50, rng);
+  MonteCarloConfig full_cfg;
+  full_cfg.samples_per_object = 50;
+  MonteCarloEngine full(db, full_cfg);
+  MonteCarloConfig sub_cfg = full_cfg;
+  sub_cfg.reference_samples = 10;
+  MonteCarloEngine sub(db, sub_cfg);
+  const auto pdf_full = full.DomCountPdf(5, *r).pdf;
+  const auto pdf_sub = sub.DomCountPdf(5, *r).pdf;
+  double l1 = 0.0;
+  for (size_t k = 0; k < pdf_full.size(); ++k) {
+    l1 += std::abs(pdf_full[k] - pdf_sub[k]);
+  }
+  EXPECT_LT(l1, 0.8);  // a rough approximation, but the same distribution
+}
+
+TEST(MonteCarloTest, PrefilterDoesNotChangeResult) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 50;
+  cfg.max_extent = 0.03;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 30;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  Rng rng(7);
+  const auto r = workload::MakeQueryObject(Point{0.3, 0.3}, 0.03,
+                                           ObjectModel::kDiscrete, 30, rng);
+  MonteCarloConfig a_cfg;
+  a_cfg.samples_per_object = 30;
+  a_cfg.prefilter = DominationCriterion::kMinMax;
+  MonteCarloConfig b_cfg = a_cfg;
+  b_cfg.prefilter = DominationCriterion::kOptimal;
+  MonteCarloEngine a(db, a_cfg), b(db, b_cfg);
+  const auto pdf_a = a.DomCountPdf(8, *r).pdf;
+  const auto pdf_b = b.DomCountPdf(8, *r).pdf;
+  ASSERT_EQ(pdf_a.size(), pdf_b.size());
+  for (size_t k = 0; k < pdf_a.size(); ++k) {
+    EXPECT_NEAR(pdf_a[k], pdf_b[k], 1e-9) << "k=" << k;
+  }
+  // The optimal prefilter must leave no more candidates than MinMax.
+  EXPECT_LE(b.DomCountPdf(8, *r).avg_candidates,
+            a.DomCountPdf(8, *r).avg_candidates + 1e-9);
+}
+
+TEST(MonteCarloTest, ProbDomCountLessThanIsPrefixSum) {
+  UncertainDatabase db;
+  db.Add(PointObject(1.0, 0.0));
+  db.Add(PointObject(2.0, 0.0));
+  db.Add(PointObject(3.0, 0.0));
+  MonteCarloEngine engine(db, {});
+  const auto r = PointObject(0.0, 0.0);
+  // B = object 1 has exactly 1 dominator.
+  EXPECT_NEAR(engine.ProbDomCountLessThan(1, *r, 1), 0.0, 1e-12);
+  EXPECT_NEAR(engine.ProbDomCountLessThan(1, *r, 2), 1.0, 1e-12);
+}
+
+TEST(EstimatePDomTest, MatchesClosedForm) {
+  // Certain B at x=2, certain R at origin, A uniform on [1,3]:
+  // P(dist(A,R) < 2) = P(A < 2) = 0.5.
+  UniformPdf a(Rect(Point{1.0, 0.0}, Point{3.0, 0.0}));
+  DiscreteSamplePdf b({Point{2.0, 0.0}});
+  DiscreteSamplePdf r({Point{0.0, 0.0}});
+  Rng rng(8);
+  const double p = EstimatePDom(a, b, r, 100000, rng);
+  EXPECT_NEAR(p, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace updb

@@ -1,0 +1,253 @@
+#include "queries/queries.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mc/monte_carlo.h"
+#include "workload/generators.h"
+
+namespace updb {
+namespace {
+
+using workload::MakeQueryObject;
+using workload::MakeSyntheticDatabase;
+using workload::ObjectModel;
+using workload::SyntheticConfig;
+
+std::shared_ptr<DiscreteSamplePdf> PointObject(double x, double y) {
+  return std::make_shared<DiscreteSamplePdf>(std::vector<Point>{Point{x, y}});
+}
+
+struct Fixture {
+  UncertainDatabase db;
+  RTree index{std::vector<RTreeEntry>{}};
+
+  explicit Fixture(const SyntheticConfig& cfg)
+      : db(MakeSyntheticDatabase(cfg)), index(BuildRTree(db.objects())) {}
+};
+
+TEST(KnnQueryTest, CertainLineDatabase) {
+  UncertainDatabase db;
+  for (int i = 1; i <= 10; ++i) {
+    db.Add(PointObject(static_cast<double>(i), 0.0));
+  }
+  RTree index = BuildRTree(db.objects());
+  const auto q = PointObject(0.0, 0.0);
+  const auto results =
+      ProbabilisticThresholdKnn(db, index, *q, 3, 0.5);
+  // Exactly objects at x=1,2,3 qualify with probability 1.
+  std::vector<ObjectId> qualified;
+  for (const auto& r : results) {
+    if (r.decision == PredicateDecision::kTrue) qualified.push_back(r.id);
+  }
+  std::sort(qualified.begin(), qualified.end());
+  EXPECT_EQ(qualified, (std::vector<ObjectId>{0, 1, 2}));
+  for (const auto& r : results) {
+    EXPECT_NE(r.decision, PredicateDecision::kUndecided);
+  }
+}
+
+TEST(KnnQueryTest, AgreesWithMonteCarloOnDiscreteData) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 60;
+  cfg.max_extent = 0.05;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 24;
+  Fixture f(cfg);
+  Rng rng(21);
+  const auto q = MakeQueryObject(Point{0.5, 0.5}, 0.05, ObjectModel::kDiscrete,
+                                 24, rng);
+  const size_t k = 5;
+  const double tau = 0.5;
+  IdcaConfig config;
+  config.max_iterations = 16;
+  QueryStats stats;
+  const auto results =
+      ProbabilisticThresholdKnn(f.db, f.index, *q, k, tau, config, &stats);
+  EXPECT_GT(stats.candidates, 0u);
+
+  MonteCarloConfig mc_cfg;
+  mc_cfg.samples_per_object = 24;
+  MonteCarloEngine mc(f.db, mc_cfg);
+  for (const auto& r : results) {
+    const double truth = mc.ProbDomCountLessThan(r.id, *q, k);
+    EXPECT_GE(truth, r.prob.lb - 1e-9) << "id=" << r.id;
+    EXPECT_LE(truth, r.prob.ub + 1e-9) << "id=" << r.id;
+    if (r.decision == PredicateDecision::kTrue) {
+      EXPECT_GT(truth, tau) << "id=" << r.id;
+    } else if (r.decision == PredicateDecision::kFalse) {
+      EXPECT_LE(truth, tau + 1e-9) << "id=" << r.id;
+    }
+  }
+}
+
+TEST(KnnQueryTest, PrunedObjectsAreTrueNegatives) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 100;
+  cfg.max_extent = 0.02;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 16;
+  Fixture f(cfg);
+  Rng rng(22);
+  const auto q = MakeQueryObject(Point{0.5, 0.5}, 0.02, ObjectModel::kDiscrete,
+                                 16, rng);
+  const size_t k = 3;
+  const auto results = ProbabilisticThresholdKnn(f.db, f.index, *q, k, 0.25);
+  std::vector<bool> reported(f.db.size(), false);
+  for (const auto& r : results) reported[r.id] = true;
+  MonteCarloConfig mc_cfg;
+  mc_cfg.samples_per_object = 16;
+  MonteCarloEngine mc(f.db, mc_cfg);
+  // Every object the filter pruned must have zero probability.
+  for (ObjectId id = 0; id < f.db.size(); ++id) {
+    if (!reported[id]) {
+      EXPECT_NEAR(mc.ProbDomCountLessThan(id, *q, k), 0.0, 1e-9)
+          << "id=" << id;
+    }
+  }
+}
+
+TEST(KnnQueryTest, LargerKKeepsMoreCandidates) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 200;
+  cfg.max_extent = 0.02;
+  Fixture f(cfg);
+  Rng rng(23);
+  const auto q =
+      MakeQueryObject(Point{0.5, 0.5}, 0.02, ObjectModel::kUniform, 0, rng);
+  QueryStats s1, s10;
+  ProbabilisticThresholdKnn(f.db, f.index, *q, 1, 0.5, {}, &s1);
+  ProbabilisticThresholdKnn(f.db, f.index, *q, 10, 0.5, {}, &s10);
+  EXPECT_GE(s10.candidates, s1.candidates);
+  EXPECT_GE(s1.candidates, 1u);
+}
+
+TEST(RknnQueryTest, CertainLineDatabase) {
+  // Objects at x = 1, 2.5, 4, 5.5, 7, 8.5; query at 0. Neighbor spacing
+  // is 1.5, so only the object at x=1 (distance 1 to Q, nearest other
+  // object at distance 1.5) has Q as its strict 1NN.
+  UncertainDatabase db;
+  for (int i = 0; i < 6; ++i) {
+    db.Add(PointObject(1.0 + 1.5 * i, 0.0));
+  }
+  RTree index = BuildRTree(db.objects());
+  const auto q = PointObject(0.0, 0.0);
+  const auto results = ProbabilisticThresholdRknn(db, index, *q, 1, 0.5);
+  std::vector<ObjectId> qualified;
+  for (const auto& r : results) {
+    if (r.decision == PredicateDecision::kTrue) qualified.push_back(r.id);
+  }
+  EXPECT_EQ(qualified, (std::vector<ObjectId>{0}));
+}
+
+TEST(RknnQueryTest, AgreesWithBruteForceIdca) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 40;
+  cfg.max_extent = 0.05;
+  Fixture f(cfg);
+  Rng rng(24);
+  const auto q =
+      MakeQueryObject(Point{0.5, 0.5}, 0.05, ObjectModel::kUniform, 0, rng);
+  const size_t k = 2;
+  const double tau = 0.5;
+  IdcaConfig config;
+  config.max_iterations = 6;
+  const auto results =
+      ProbabilisticThresholdRknn(f.db, f.index, *q, k, tau, config);
+  // Brute force: evaluate the predicate for every object directly.
+  IdcaEngine engine(f.db, config);
+  std::vector<ObjectId> expected;
+  for (ObjectId id = 0; id < f.db.size(); ++id) {
+    const IdcaResult r =
+        engine.ComputeDomCountOfQuery(*q, id, IdcaPredicate{k, tau});
+    if (r.decision == PredicateDecision::kTrue) expected.push_back(id);
+  }
+  std::vector<ObjectId> actual;
+  for (const auto& r : results) {
+    if (r.decision == PredicateDecision::kTrue) actual.push_back(r.id);
+  }
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(actual, expected);
+}
+
+TEST(InverseRankingTest, CertainChainHasDeterministicRank) {
+  UncertainDatabase db;
+  for (int i = 1; i <= 5; ++i) {
+    db.Add(PointObject(static_cast<double>(i), 0.0));
+  }
+  const auto r = PointObject(0.0, 0.0);
+  // Object 2 (x=3) has exactly 2 closer objects: rank 3 (0-based entry 2).
+  const CountDistributionBounds dist = ProbabilisticInverseRanking(db, 2, *r);
+  ASSERT_EQ(dist.num_ranks(), 5u);
+  EXPECT_DOUBLE_EQ(dist.lb(2), 1.0);
+  EXPECT_DOUBLE_EQ(dist.ub(2), 1.0);
+  EXPECT_DOUBLE_EQ(dist.ub(0), 0.0);
+}
+
+TEST(InverseRankingTest, RankDistributionSumsToOneWhenConverged) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 30;
+  cfg.max_extent = 0.08;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 8;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  Rng rng(25);
+  const auto r =
+      MakeQueryObject(Point{0.5, 0.5}, 0.08, ObjectModel::kDiscrete, 8, rng);
+  IdcaConfig config;
+  config.max_iterations = 24;
+  const CountDistributionBounds dist =
+      ProbabilisticInverseRanking(db, 4, *r, config);
+  double lb_total = 0.0, ub_total = 0.0;
+  for (size_t k = 0; k < dist.num_ranks(); ++k) {
+    lb_total += dist.lb(k);
+    ub_total += dist.ub(k);
+  }
+  EXPECT_NEAR(lb_total, 1.0, 1e-6);
+  EXPECT_NEAR(ub_total, 1.0, 1e-6);
+}
+
+TEST(ExpectedRankTest, CertainChainOrdersByDistance) {
+  UncertainDatabase db;
+  db.Add(PointObject(3.0, 0.0));
+  db.Add(PointObject(1.0, 0.0));
+  db.Add(PointObject(2.0, 0.0));
+  const auto q = PointObject(0.0, 0.0);
+  const auto order = ExpectedRankOrder(db, *q);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0].id, 1u);  // x=1 -> rank 1
+  EXPECT_EQ(order[1].id, 2u);  // x=2 -> rank 2
+  EXPECT_EQ(order[2].id, 0u);  // x=3 -> rank 3
+  EXPECT_NEAR(order[0].expected_rank.lb, 1.0, 1e-9);
+  EXPECT_NEAR(order[2].expected_rank.ub, 3.0, 1e-9);
+}
+
+TEST(ExpectedRankTest, ExpectedRanksSumToTriangleNumber) {
+  // Sum of expected ranks over all objects = N(N+1)/2 for any
+  // distribution (ranks are a permutation in every world). With bounds,
+  // the bracket must contain that invariant total.
+  SyntheticConfig cfg;
+  cfg.num_objects = 12;
+  cfg.max_extent = 0.2;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 6;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  Rng rng(26);
+  const auto q =
+      MakeQueryObject(Point{0.5, 0.5}, 0.2, ObjectModel::kDiscrete, 6, rng);
+  IdcaConfig config;
+  config.max_iterations = 20;
+  const auto order = ExpectedRankOrder(db, *q, config);
+  double lo = 0.0, hi = 0.0;
+  for (const auto& e : order) {
+    lo += e.expected_rank.lb;
+    hi += e.expected_rank.ub;
+  }
+  const double expect = 12.0 * 13.0 / 2.0;
+  EXPECT_LE(lo, expect + 1e-6);
+  EXPECT_GE(hi, expect - 1e-6);
+}
+
+}  // namespace
+}  // namespace updb

@@ -1,0 +1,151 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace updb {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng a(99);
+  const uint64_t first = a.Next();
+  a.Next();
+  a.Reseed(99);
+  EXPECT_EQ(a.Next(), first);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRespectsRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+  EXPECT_DOUBLE_EQ(rng.Uniform(4.0, 4.0), 4.0);
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(13);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) ++counts[rng.NextBounded(7)];
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(23);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequencyMatches) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  Rng rng2(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng2.Bernoulli(0.0));
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(37);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<size_t> s = rng.SampleWithoutReplacement(20, 10);
+    ASSERT_EQ(s.size(), 10u);
+    std::sort(s.begin(), s.end());
+    EXPECT_TRUE(std::adjacent_find(s.begin(), s.end()) == s.end());
+    EXPECT_LT(s.back(), 20u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFull) {
+  Rng rng(41);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(5, 5);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(s, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(SplitMix64Test, KnownFirstValue) {
+  // Reference value of splitmix64(0) from the published algorithm.
+  uint64_t state = 0;
+  EXPECT_EQ(SplitMix64(state), 0xE220A8397B1DCDAFULL);
+}
+
+}  // namespace
+}  // namespace updb

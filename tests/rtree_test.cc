@@ -1,0 +1,168 @@
+#include "index/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "uncertain/database.h"
+
+namespace updb {
+namespace {
+
+std::vector<RTreeEntry> RandomEntries(size_t n, Rng& rng,
+                                      double max_extent = 0.05) {
+  std::vector<RTreeEntry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Point center{rng.NextDouble(), rng.NextDouble()};
+    const double ex = rng.Uniform(0, max_extent);
+    const double ey = rng.Uniform(0, max_extent);
+    entries.push_back(RTreeEntry{
+        Rect::Centered(center, {ex / 2, ey / 2}), static_cast<ObjectId>(i)});
+  }
+  return entries;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree({});
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.RangeIntersect(Rect(Point{0.0, 0.0}, Point{1.0, 1.0}))
+                  .empty());
+  EXPECT_TRUE(
+      tree.KnnByMinDist(Rect(Point{0.0, 0.0}, Point{1.0, 1.0}), 3).empty());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree({RTreeEntry{Rect(Point{0.4, 0.4}, Point{0.6, 0.6}), 7}});
+  EXPECT_EQ(tree.size(), 1u);
+  const auto hits = tree.RangeIntersect(Rect(Point{0.0, 0.0}, Point{0.5, 0.5}));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 7u);
+  EXPECT_TRUE(
+      tree.RangeIntersect(Rect(Point{0.7, 0.7}, Point{1.0, 1.0})).empty());
+}
+
+TEST(RTreeTest, RangeMatchesBruteForce) {
+  Rng rng(111);
+  const auto entries = RandomEntries(500, rng);
+  RTree tree(entries);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point lo{rng.NextDouble(), rng.NextDouble()};
+    const Rect query = Rect::Centered(
+        Point{lo[0], lo[1]}, {rng.Uniform(0, 0.2), rng.Uniform(0, 0.2)});
+    std::vector<ObjectId> expected;
+    for (const auto& e : entries) {
+      if (e.mbr.Intersects(query)) expected.push_back(e.id);
+    }
+    std::vector<ObjectId> actual = tree.RangeIntersect(query);
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    EXPECT_EQ(actual, expected) << "trial=" << trial;
+  }
+}
+
+TEST(RTreeTest, KnnMatchesBruteForce) {
+  Rng rng(113);
+  const auto entries = RandomEntries(400, rng);
+  RTree tree(entries);
+  const LpNorm norm;
+  for (int trial = 0; trial < 30; ++trial) {
+    const Rect query = Rect::Centered(
+        Point{rng.NextDouble(), rng.NextDouble()}, {0.01, 0.01});
+    std::vector<std::pair<double, ObjectId>> expected;
+    for (const auto& e : entries) {
+      expected.emplace_back(norm.MinDist(e.mbr, query), e.id);
+    }
+    std::sort(expected.begin(), expected.end());
+    const size_t k = 1 + rng.NextBounded(20);
+    const auto actual = tree.KnnByMinDist(query, k, norm);
+    ASSERT_EQ(actual.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      // Compare distances, not ids (ties can reorder equal-distance hits).
+      EXPECT_NEAR(norm.MinDist(actual[i].mbr, query), expected[i].first,
+                  1e-12)
+          << "trial=" << trial << " i=" << i;
+    }
+  }
+}
+
+TEST(RTreeTest, ScanByMinDistIsMonotone) {
+  Rng rng(117);
+  const auto entries = RandomEntries(300, rng);
+  RTree tree(entries);
+  const Rect query = Rect::Centered(Point{0.5, 0.5}, {0.0, 0.0});
+  double last = -1.0;
+  size_t count = 0;
+  tree.ScanByMinDist(query, [&](const RTreeEntry&, double dist) {
+    EXPECT_GE(dist, last - 1e-12);
+    last = dist;
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, entries.size());
+}
+
+TEST(RTreeTest, ScanStopsOnFalse) {
+  Rng rng(119);
+  const auto entries = RandomEntries(100, rng);
+  RTree tree(entries);
+  size_t count = 0;
+  tree.ScanByMinDist(Rect::Centered(Point{0.5, 0.5}, {0.0, 0.0}),
+                     [&count](const RTreeEntry&, double) {
+                       ++count;
+                       return count < 5;
+                     });
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(RTreeTest, ForEachIntersectingEarlyStop) {
+  Rng rng(121);
+  const auto entries = RandomEntries(200, rng, 0.5);
+  RTree tree(entries);
+  size_t count = 0;
+  tree.ForEachIntersecting(Rect(Point{0.0, 0.0}, Point{1.0, 1.0}),
+                           [&count](const RTreeEntry&) {
+                             ++count;
+                             return false;
+                           });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  Rng rng(123);
+  RTree small(RandomEntries(10, rng), 16);
+  EXPECT_EQ(small.height(), 1u);
+  RTree medium(RandomEntries(200, rng), 16);
+  EXPECT_EQ(medium.height(), 2u);
+  // 5000 entries -> 313 leaves -> 20 -> 2 -> 1: four levels.
+  RTree large(RandomEntries(5000, rng), 16);
+  EXPECT_EQ(large.height(), 4u);
+}
+
+TEST(RTreeTest, SmallLeafCapacity) {
+  Rng rng(127);
+  const auto entries = RandomEntries(64, rng);
+  RTree tree(entries, 2);
+  // All entries reachable.
+  Rect everything(Point{-1.0, -1.0}, Point{2.0, 2.0});
+  EXPECT_EQ(tree.RangeIntersect(everything).size(), 64u);
+}
+
+TEST(RTreeTest, BuildFromObjects) {
+  UncertainDatabase db;
+  Rng rng(131);
+  for (int i = 0; i < 50; ++i) {
+    db.Add(std::make_shared<UniformPdf>(Rect::Centered(
+        Point{rng.NextDouble(), rng.NextDouble()}, {0.01, 0.01})));
+  }
+  RTree tree = BuildRTree(db.objects());
+  EXPECT_EQ(tree.size(), 50u);
+  const auto knn =
+      tree.KnnByMinDist(Rect::Centered(Point{0.5, 0.5}, {0.0, 0.0}), 5);
+  EXPECT_EQ(knn.size(), 5u);
+}
+
+}  // namespace
+}  // namespace updb

@@ -1,0 +1,273 @@
+#include "gf/ugf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "gf/poisson_binomial.h"
+
+namespace updb {
+namespace {
+
+TEST(UgfTest, EmptyFunctionIsUnit) {
+  UncertainGeneratingFunction ugf;
+  EXPECT_EQ(ugf.num_factors(), 0u);
+  EXPECT_DOUBLE_EQ(ugf.Coefficient(0, 0), 1.0);
+  const CountDistributionBounds b = ugf.Bounds();
+  ASSERT_EQ(b.num_ranks(), 1u);
+  EXPECT_DOUBLE_EQ(b.lb(0), 1.0);
+  EXPECT_DOUBLE_EQ(b.ub(0), 1.0);
+}
+
+TEST(UgfTest, PaperExample3Coefficients) {
+  // Example 3: PLB = (0.2, 0.6), PUB = (0.5, 0.8).
+  // F2 = 0.12 x^2 + 0.34 x + 0.1 + 0.22 xy + 0.16 y + 0.06 y^2.
+  UncertainGeneratingFunction ugf;
+  ugf.Multiply(0.2, 0.5);
+  ugf.Multiply(0.6, 0.8);
+  EXPECT_NEAR(ugf.Coefficient(2, 0), 0.12, 1e-12);
+  EXPECT_NEAR(ugf.Coefficient(1, 0), 0.34, 1e-12);
+  EXPECT_NEAR(ugf.Coefficient(0, 0), 0.10, 1e-12);
+  EXPECT_NEAR(ugf.Coefficient(1, 1), 0.22, 1e-12);
+  EXPECT_NEAR(ugf.Coefficient(0, 1), 0.16, 1e-12);
+  EXPECT_NEAR(ugf.Coefficient(0, 2), 0.06, 1e-12);
+}
+
+TEST(UgfTest, PaperExample3Bounds) {
+  // The bounds the paper derives: P(=2) in [12%, 40%], P(=1) in
+  // [34%, 78%], P(=0) in [10%, 32%].
+  UncertainGeneratingFunction ugf;
+  ugf.Multiply(0.2, 0.5);
+  ugf.Multiply(0.6, 0.8);
+  const CountDistributionBounds b = ugf.Bounds();
+  ASSERT_EQ(b.num_ranks(), 3u);
+  EXPECT_NEAR(b.lb(2), 0.12, 1e-12);
+  EXPECT_NEAR(b.ub(2), 0.40, 1e-12);
+  EXPECT_NEAR(b.lb(1), 0.34, 1e-12);
+  EXPECT_NEAR(b.ub(1), 0.78, 1e-12);
+  EXPECT_NEAR(b.lb(0), 0.10, 1e-12);
+  EXPECT_NEAR(b.ub(0), 0.32, 1e-12);
+}
+
+TEST(UgfTest, DegenerateBracketsMatchPoissonBinomial) {
+  Rng rng(47);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 1 + rng.NextBounded(10);
+    std::vector<double> probs(n);
+    UncertainGeneratingFunction ugf;
+    for (double& p : probs) {
+      p = rng.NextDouble();
+      ugf.Multiply(p, p);
+    }
+    const std::vector<double> pdf = PoissonBinomialPdf(probs);
+    const CountDistributionBounds b = ugf.Bounds();
+    ASSERT_EQ(b.num_ranks(), pdf.size());
+    for (size_t k = 0; k < pdf.size(); ++k) {
+      EXPECT_NEAR(b.lb(k), pdf[k], 1e-12);
+      EXPECT_NEAR(b.ub(k), pdf[k], 1e-12);
+    }
+  }
+}
+
+TEST(UgfTest, DefiniteFactorsShiftTheDistribution) {
+  UncertainGeneratingFunction ugf;
+  ugf.Multiply(1.0, 1.0);  // definite dominator
+  ugf.Multiply(1.0, 1.0);
+  ugf.Multiply(0.0, 0.0);  // definite non-dominator
+  const CountDistributionBounds b = ugf.Bounds();
+  ASSERT_EQ(b.num_ranks(), 4u);
+  EXPECT_DOUBLE_EQ(b.lb(2), 1.0);
+  EXPECT_DOUBLE_EQ(b.ub(2), 1.0);
+  EXPECT_DOUBLE_EQ(b.ub(0), 0.0);
+  EXPECT_DOUBLE_EQ(b.ub(3), 0.0);
+}
+
+TEST(UgfTest, TotallyUnknownFactorsGiveVacuousBounds) {
+  UncertainGeneratingFunction ugf;
+  ugf.Multiply(0.0, 1.0);
+  ugf.Multiply(0.0, 1.0);
+  const CountDistributionBounds b = ugf.Bounds();
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_DOUBLE_EQ(b.lb(k), 0.0);
+    EXPECT_DOUBLE_EQ(b.ub(k), 1.0);
+  }
+}
+
+TEST(UgfTest, BoundsBracketAnyConsistentTruth) {
+  Rng rng(53);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 1 + rng.NextBounded(8);
+    std::vector<double> truth(n);
+    UncertainGeneratingFunction ugf;
+    for (size_t i = 0; i < n; ++i) {
+      const double lb = rng.NextDouble();
+      const double ub = lb + (1.0 - lb) * rng.NextDouble();
+      truth[i] = lb + (ub - lb) * rng.NextDouble();
+      ugf.Multiply(lb, ub);
+    }
+    const std::vector<double> pdf = PoissonBinomialPdf(truth);
+    EXPECT_TRUE(ugf.Bounds().Brackets(pdf, 1e-9)) << "trial=" << trial;
+  }
+}
+
+TEST(UgfTest, TighterInputBracketsGiveTighterBounds) {
+  // Shrinking every factor's bracket must not loosen any rank bound.
+  Rng rng(59);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 1 + rng.NextBounded(6);
+    UncertainGeneratingFunction loose, tight;
+    for (size_t i = 0; i < n; ++i) {
+      const double lb = rng.NextDouble() * 0.5;
+      const double ub = 0.5 + rng.NextDouble() * 0.5;
+      const double mid = 0.5 * (lb + ub);
+      loose.Multiply(lb, ub);
+      tight.Multiply(0.5 * (lb + mid), 0.5 * (ub + mid));
+    }
+    const CountDistributionBounds lb_bounds = loose.Bounds();
+    const CountDistributionBounds tb = tight.Bounds();
+    for (size_t k = 0; k <= n; ++k) {
+      EXPECT_GE(tb.lb(k), lb_bounds.lb(k) - 1e-12);
+      EXPECT_LE(tb.ub(k), lb_bounds.ub(k) + 1e-12);
+    }
+  }
+}
+
+TEST(UgfTest, UgfAtLeastAsTightAsRegularGfPair) {
+  // The technical-report claim: the UGF bounds are never looser than the
+  // two-regular-generating-functions construction.
+  Rng rng(61);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 1 + rng.NextBounded(8);
+    std::vector<double> lbs(n), ubs(n);
+    UncertainGeneratingFunction ugf;
+    for (size_t i = 0; i < n; ++i) {
+      lbs[i] = rng.NextDouble();
+      ubs[i] = lbs[i] + (1.0 - lbs[i]) * rng.NextDouble();
+      ugf.Multiply(lbs[i], ubs[i]);
+    }
+    const CountDistributionBounds u = ugf.Bounds();
+    const CountDistributionBounds pair = RegularGfPairBounds(lbs, ubs);
+    for (size_t k = 0; k <= n; ++k) {
+      EXPECT_GE(u.lb(k), pair.lb(k) - 1e-9) << "k=" << k;
+      EXPECT_LE(u.ub(k), pair.ub(k) + 1e-9) << "k=" << k;
+    }
+  }
+}
+
+TEST(UgfTest, CoefficientMassSumsToOne) {
+  Rng rng(67);
+  UncertainGeneratingFunction ugf;
+  for (int i = 0; i < 10; ++i) {
+    const double lb = rng.NextDouble() * 0.6;
+    ugf.Multiply(lb, lb + 0.3);
+  }
+  double total = 0.0;
+  for (size_t i = 0; i <= 10; ++i) {
+    for (size_t j = 0; j + i <= 10; ++j) total += ugf.Coefficient(i, j);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// ------------------------------------------------------ truncated mode
+
+TEST(TruncatedUgfTest, MatchesFullOnRanksBelowK) {
+  Rng rng(71);
+  for (size_t k : {size_t{1}, size_t{2}, size_t{5}}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      const size_t n = 1 + rng.NextBounded(12);
+      UncertainGeneratingFunction full;
+      UncertainGeneratingFunction trunc(k);
+      for (size_t i = 0; i < n; ++i) {
+        const double lb = rng.NextDouble();
+        const double ub = lb + (1.0 - lb) * rng.NextDouble();
+        full.Multiply(lb, ub);
+        trunc.Multiply(lb, ub);
+      }
+      const CountDistributionBounds fb = full.Bounds();
+      const CountDistributionBounds tb = trunc.Bounds();
+      ASSERT_EQ(tb.num_ranks(), std::min(k, n + 1));
+      for (size_t x = 0; x < tb.num_ranks(); ++x) {
+        EXPECT_NEAR(tb.lb(x), fb.lb(x), 1e-12) << "k=" << k << " x=" << x;
+        EXPECT_NEAR(tb.ub(x), fb.ub(x), 1e-12) << "k=" << k << " x=" << x;
+      }
+    }
+  }
+}
+
+TEST(TruncatedUgfTest, ProbLessThanMatchesFull) {
+  Rng rng(73);
+  for (int trial = 0; trial < 50; ++trial) {
+    const size_t n = 1 + rng.NextBounded(12);
+    const size_t k = 1 + rng.NextBounded(6);
+    UncertainGeneratingFunction full;
+    UncertainGeneratingFunction trunc(k);
+    for (size_t i = 0; i < n; ++i) {
+      const double lb = rng.NextDouble();
+      const double ub = lb + (1.0 - lb) * rng.NextDouble();
+      full.Multiply(lb, ub);
+      trunc.Multiply(lb, ub);
+    }
+    for (size_t m = 0; m <= k; ++m) {
+      const ProbabilityBounds pf = full.ProbLessThan(m);
+      const ProbabilityBounds pt = trunc.ProbLessThan(m);
+      EXPECT_NEAR(pt.lb, pf.lb, 1e-12) << "m=" << m;
+      EXPECT_NEAR(pt.ub, pf.ub, 1e-12) << "m=" << m;
+    }
+  }
+}
+
+TEST(TruncatedUgfTest, OverflowAccountsForHighCounts) {
+  UncertainGeneratingFunction trunc(2);
+  trunc.Multiply(1.0, 1.0);
+  trunc.Multiply(1.0, 1.0);
+  trunc.Multiply(1.0, 1.0);
+  EXPECT_NEAR(trunc.OverflowMass(), 1.0, 1e-12);
+  const ProbabilityBounds p = trunc.ProbLessThan(2);
+  EXPECT_DOUBLE_EQ(p.lb, 0.0);
+  EXPECT_DOUBLE_EQ(p.ub, 0.0);
+}
+
+TEST(TruncatedUgfTest, ProbLessThanBracketsTruth) {
+  Rng rng(79);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t n = 1 + rng.NextBounded(10);
+    const size_t k = 1 + rng.NextBounded(5);
+    std::vector<double> truth(n);
+    UncertainGeneratingFunction trunc(k);
+    for (size_t i = 0; i < n; ++i) {
+      const double lb = rng.NextDouble();
+      const double ub = lb + (1.0 - lb) * rng.NextDouble();
+      truth[i] = lb + (ub - lb) * rng.NextDouble();
+      trunc.Multiply(lb, ub);
+    }
+    const std::vector<double> pdf = PoissonBinomialPdf(truth);
+    double p_true = 0.0;
+    for (size_t x = 0; x < std::min(k, pdf.size()); ++x) p_true += pdf[x];
+    const ProbabilityBounds p = trunc.ProbLessThan(k);
+    EXPECT_GE(p_true, p.lb - 1e-9);
+    EXPECT_LE(p_true, p.ub + 1e-9);
+  }
+}
+
+TEST(TruncatedUgfTest, ExactInputsDecideProbLessThanExactly) {
+  // With lb == ub the truncated UGF must reproduce the exact prefix sum.
+  Rng rng(83);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 1 + rng.NextBounded(10);
+    const size_t k = 1 + rng.NextBounded(5);
+    std::vector<double> probs(n);
+    UncertainGeneratingFunction trunc(k);
+    for (double& p : probs) {
+      p = rng.NextDouble();
+      trunc.Multiply(p, p);
+    }
+    const std::vector<double> pdf = PoissonBinomialPdf(probs);
+    double expect = 0.0;
+    for (size_t x = 0; x < std::min(k, pdf.size()); ++x) expect += pdf[x];
+    const ProbabilityBounds p = trunc.ProbLessThan(k);
+    EXPECT_NEAR(p.lb, expect, 1e-9);
+    EXPECT_NEAR(p.ub, expect, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace updb

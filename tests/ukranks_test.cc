@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mc/monte_carlo.h"
+#include "queries/queries.h"
+#include "workload/generators.h"
+
+namespace updb {
+namespace {
+
+using workload::MakeQueryObject;
+using workload::MakeSyntheticDatabase;
+using workload::ObjectModel;
+using workload::SyntheticConfig;
+
+std::shared_ptr<DiscreteSamplePdf> PointObject(double x, double y) {
+  return std::make_shared<DiscreteSamplePdf>(std::vector<Point>{Point{x, y}});
+}
+
+TEST(UkRanksTest, CertainChainAssignsRanksInOrder) {
+  UncertainDatabase db;
+  db.Add(PointObject(3.0, 0.0));
+  db.Add(PointObject(1.0, 0.0));
+  db.Add(PointObject(2.0, 0.0));
+  db.Add(PointObject(4.0, 0.0));
+  const RTree index = BuildRTree(db.objects());
+  const auto q = PointObject(0.0, 0.0);
+  const auto winners = UkRanksQuery(db, index, *q, 3);
+  ASSERT_EQ(winners.size(), 3u);
+  EXPECT_EQ(winners[0].winner, 1u);  // x=1 -> rank 1
+  EXPECT_EQ(winners[1].winner, 2u);  // x=2 -> rank 2
+  EXPECT_EQ(winners[2].winner, 0u);  // x=3 -> rank 3
+  for (const RankWinner& w : winners) {
+    EXPECT_TRUE(w.decided) << "rank " << w.rank;
+    EXPECT_NEAR(w.prob.lb, 1.0, 1e-9);
+  }
+}
+
+TEST(UkRanksTest, DecidedWinnersMatchMcArgmax) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 40;
+  cfg.max_extent = 0.05;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 16;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  const RTree index = BuildRTree(db.objects());
+  Rng rng(411);
+  const auto q = MakeQueryObject(Point{0.5, 0.5}, 0.05,
+                                 ObjectModel::kDiscrete, 16, rng);
+  IdcaConfig config;
+  config.max_iterations = 12;
+  const size_t max_rank = 5;
+  const auto winners = UkRanksQuery(db, index, *q, max_rank, config);
+  ASSERT_EQ(winners.size(), max_rank);
+
+  MonteCarloConfig mc_cfg;
+  mc_cfg.samples_per_object = 16;
+  MonteCarloEngine mc(db, mc_cfg);
+  for (const RankWinner& w : winners) {
+    if (!w.decided || w.winner == kInvalidObjectId) continue;
+    // The decided winner's exact probability must exceed every other
+    // object's exact probability for that rank.
+    const size_t count = w.rank - 1;
+    const double winner_p = mc.DomCountPdf(w.winner, *q).pdf[count];
+    EXPECT_GE(winner_p, w.prob.lb - 1e-9);
+    for (ObjectId other = 0; other < db.size(); ++other) {
+      if (other == w.winner) continue;
+      const double other_p = mc.DomCountPdf(other, *q).pdf[count];
+      EXPECT_LE(other_p, winner_p + 1e-9)
+          << "rank " << w.rank << " other " << other;
+    }
+  }
+}
+
+TEST(UkRanksTest, ProbBoundsAreConsistent) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 60;
+  cfg.max_extent = 0.03;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  const RTree index = BuildRTree(db.objects());
+  Rng rng(413);
+  const auto q =
+      MakeQueryObject(Point{0.4, 0.4}, 0.03, ObjectModel::kUniform, 0, rng);
+  IdcaConfig config;
+  config.max_iterations = 4;
+  const auto winners = UkRanksQuery(db, index, *q, 4, config);
+  for (const RankWinner& w : winners) {
+    EXPECT_NE(w.winner, kInvalidObjectId) << "rank " << w.rank;
+    EXPECT_GE(w.prob.lb, 0.0);
+    EXPECT_LE(w.prob.ub, 1.0);
+    EXPECT_LE(w.prob.lb, w.prob.ub + 1e-12);
+  }
+}
+
+TEST(UkRanksTest, MaxRankBeyondDatabaseSize) {
+  UncertainDatabase db;
+  db.Add(PointObject(1.0, 0.0));
+  db.Add(PointObject(2.0, 0.0));
+  const RTree index = BuildRTree(db.objects());
+  const auto q = PointObject(0.0, 0.0);
+  const auto winners = UkRanksQuery(db, index, *q, 5);
+  ASSERT_EQ(winners.size(), 5u);
+  EXPECT_EQ(winners[0].winner, 0u);
+  EXPECT_EQ(winners[1].winner, 1u);
+  // Ranks beyond the database size have no possible occupant with
+  // positive probability; the reported bracket must be [~0, ~0] or the
+  // winner invalid.
+  for (size_t i = 2; i < 5; ++i) {
+    if (winners[i].winner != kInvalidObjectId) {
+      EXPECT_NEAR(winners[i].prob.ub, 0.0, 1e-9) << "rank " << i + 1;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace updb

@@ -1,0 +1,175 @@
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace updb {
+namespace {
+
+using workload::IipConfig;
+using workload::MakeIipLikeDataset;
+using workload::MakeQueryObject;
+using workload::MakeSyntheticDatabase;
+using workload::ObjectModel;
+using workload::PickByMinDistRank;
+using workload::SyntheticConfig;
+
+TEST(SyntheticTest, GeneratesRequestedCount) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 123;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  EXPECT_EQ(db.size(), 123u);
+  EXPECT_EQ(db.dim(), 2u);
+}
+
+TEST(SyntheticTest, ExtentsRespectMaximum) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 500;
+  cfg.max_extent = 0.01;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  for (const UncertainObject& o : db.objects()) {
+    for (size_t i = 0; i < 2; ++i) {
+      EXPECT_LE(o.mbr().side(i).length(), cfg.max_extent + 1e-12);
+      EXPECT_GE(o.mbr().side(i).lo(), 0.0);
+      EXPECT_LE(o.mbr().side(i).hi(), 1.0);
+    }
+  }
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 50;
+  cfg.seed = 77;
+  const UncertainDatabase a = MakeSyntheticDatabase(cfg);
+  const UncertainDatabase b = MakeSyntheticDatabase(cfg);
+  for (size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.object(i).mbr(), b.object(i).mbr());
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 10;
+  cfg.seed = 1;
+  const UncertainDatabase a = MakeSyntheticDatabase(cfg);
+  cfg.seed = 2;
+  const UncertainDatabase b = MakeSyntheticDatabase(cfg);
+  bool any_diff = false;
+  for (size_t i = 0; i < 10; ++i) {
+    any_diff |= !(a.object(i).mbr() == b.object(i).mbr());
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, DiscreteModelCarriesSamples) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 20;
+  cfg.model = ObjectModel::kDiscrete;
+  cfg.samples_per_object = 64;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  for (const UncertainObject& o : db.objects()) {
+    const auto* discrete = dynamic_cast<const DiscreteSamplePdf*>(&o.pdf());
+    ASSERT_NE(discrete, nullptr);
+    EXPECT_EQ(discrete->samples().size(), 64u);
+  }
+}
+
+TEST(SyntheticTest, GaussianModelNormalizes) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 20;
+  cfg.model = ObjectModel::kGaussian;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  for (const UncertainObject& o : db.objects()) {
+    EXPECT_NEAR(o.pdf().Mass(o.mbr()), 1.0, 1e-9);
+  }
+}
+
+TEST(IipTest, MatchesPaperScale) {
+  IipConfig cfg;
+  cfg.num_objects = 500;  // scaled for test speed
+  const UncertainDatabase db = MakeIipLikeDataset(cfg);
+  EXPECT_EQ(db.size(), 500u);
+  double max_extent = 0.0;
+  for (const UncertainObject& o : db.objects()) {
+    for (size_t i = 0; i < 2; ++i) {
+      max_extent = std::max(max_extent, o.mbr().side(i).length());
+    }
+  }
+  EXPECT_LE(max_extent, cfg.max_extent + 1e-12);
+  EXPECT_GT(max_extent, 0.5 * cfg.max_extent);  // normalization reaches max
+}
+
+TEST(IipTest, PositionsAreClustered) {
+  // Clustered positions have materially lower mean nearest-neighbor
+  // distance than a uniform scatter of the same size.
+  IipConfig cfg;
+  cfg.num_objects = 400;
+  const UncertainDatabase db = MakeIipLikeDataset(cfg);
+  SyntheticConfig ucfg;
+  ucfg.num_objects = 400;
+  const UncertainDatabase uniform = MakeSyntheticDatabase(ucfg);
+  const LpNorm norm;
+  auto mean_nn = [&norm](const UncertainDatabase& d) {
+    double total = 0.0;
+    for (const UncertainObject& a : d.objects()) {
+      double best = 1e9;
+      for (const UncertainObject& b : d.objects()) {
+        if (a.id() == b.id()) continue;
+        best = std::min(best, norm.Dist(a.mbr().Center(), b.mbr().Center()));
+      }
+      total += best;
+    }
+    return total / static_cast<double>(d.size());
+  };
+  EXPECT_LT(mean_nn(db), 0.8 * mean_nn(uniform));
+}
+
+TEST(IipTest, StalenessDrivesExtentSpread) {
+  IipConfig cfg;
+  cfg.num_objects = 300;
+  const UncertainDatabase db = MakeIipLikeDataset(cfg);
+  // Exponential staleness: most objects much smaller than the max extent.
+  size_t small = 0;
+  for (const UncertainObject& o : db.objects()) {
+    if (o.mbr().side(0).length() < 0.5 * cfg.max_extent) ++small;
+  }
+  EXPECT_GT(small, db.size() / 2);
+}
+
+TEST(MakeQueryObjectTest, ModelsAndExtent) {
+  Rng rng(3);
+  const auto uni =
+      MakeQueryObject(Point{0.5, 0.5}, 0.01, ObjectModel::kUniform, 0, rng);
+  EXPECT_NEAR(uni->bounds().side(0).length(), 0.01, 1e-12);
+  const auto disc =
+      MakeQueryObject(Point{0.5, 0.5}, 0.01, ObjectModel::kDiscrete, 32, rng);
+  EXPECT_NE(dynamic_cast<const DiscreteSamplePdf*>(disc.get()), nullptr);
+  const auto gauss =
+      MakeQueryObject(Point{0.5, 0.5}, 0.01, ObjectModel::kGaussian, 0, rng);
+  EXPECT_NEAR(gauss->Mass(gauss->bounds()), 1.0, 1e-9);
+}
+
+TEST(PickByMinDistRankTest, RanksAgainstBruteForce) {
+  SyntheticConfig cfg;
+  cfg.num_objects = 200;
+  cfg.max_extent = 0.01;
+  const UncertainDatabase db = MakeSyntheticDatabase(cfg);
+  const RTree index = BuildRTree(db.objects());
+  const Rect q = Rect::Centered(Point{0.5, 0.5}, {0.005, 0.005});
+  const LpNorm norm;
+  std::vector<std::pair<double, ObjectId>> dists;
+  for (const UncertainObject& o : db.objects()) {
+    dists.emplace_back(norm.MinDist(o.mbr(), q), o.id());
+  }
+  std::sort(dists.begin(), dists.end());
+  for (size_t rank : {size_t{1}, size_t{10}, size_t{50}}) {
+    const ObjectId id = PickByMinDistRank(index, q, rank);
+    EXPECT_NEAR(norm.MinDist(db.object(id).mbr(), q), dists[rank - 1].first,
+                1e-12)
+        << "rank=" << rank;
+  }
+}
+
+}  // namespace
+}  // namespace updb

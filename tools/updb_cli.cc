@@ -1,0 +1,212 @@
+// updb command-line driver: generate datasets, inspect them, and run the
+// paper's queries without writing C++.
+//
+//   updb_cli generate --kind=synthetic|iip --n=10000 --extent=0.004
+//            --model=uniform|gaussian|discrete --samples=1000 --seed=42
+//            --out=data.updb
+//   updb_cli info --db=data.updb
+//   updb_cli domcount --db=data.updb --b=17 --qx=0.5 --qy=0.5
+//            --qextent=0.004 --iterations=6
+//   updb_cli knn --db=data.updb --k=5 --tau=0.5 --qx=0.5 --qy=0.5
+//            --qextent=0.004
+//   updb_cli rknn --db=data.updb --k=5 --tau=0.5 --qx=0.5 --qy=0.5
+//            --qextent=0.004
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "updb.h"
+
+namespace {
+
+using namespace updb;
+
+/// Minimal --key=value argument map.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) continue;
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  size_t GetSize(const std::string& key, size_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end()
+               ? fallback
+               : static_cast<size_t>(std::atoll(it->second.c_str()));
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+workload::ObjectModel ParseModel(const std::string& s) {
+  if (s == "gaussian") return workload::ObjectModel::kGaussian;
+  if (s == "discrete") return workload::ObjectModel::kDiscrete;
+  return workload::ObjectModel::kUniform;
+}
+
+int Generate(const Args& args) {
+  const std::string out = args.Get("out", "data.updb");
+  UncertainDatabase db;
+  if (args.Get("kind", "synthetic") == "iip") {
+    workload::IipConfig cfg;
+    cfg.num_objects = args.GetSize("n", cfg.num_objects);
+    cfg.max_extent = args.GetDouble("extent", cfg.max_extent);
+    cfg.model = ParseModel(args.Get("model", "gaussian"));
+    cfg.samples_per_object = args.GetSize("samples", 1000);
+    cfg.seed = args.GetSize("seed", cfg.seed);
+    db = workload::MakeIipLikeDataset(cfg);
+  } else {
+    workload::SyntheticConfig cfg;
+    cfg.num_objects = args.GetSize("n", cfg.num_objects);
+    cfg.max_extent = args.GetDouble("extent", cfg.max_extent);
+    cfg.model = ParseModel(args.Get("model", "uniform"));
+    cfg.samples_per_object = args.GetSize("samples", 1000);
+    cfg.seed = args.GetSize("seed", cfg.seed);
+    db = workload::MakeSyntheticDatabase(cfg);
+  }
+  const Status status = io::SaveDatabase(db, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu objects to %s\n", db.size(), out.c_str());
+  return 0;
+}
+
+StatusOr<UncertainDatabase> LoadDb(const Args& args) {
+  return io::LoadDatabase(args.Get("db", "data.updb"));
+}
+
+int Info(const Args& args) {
+  StatusOr<UncertainDatabase> db = LoadDb(args);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  double max_extent = 0.0, total_extent = 0.0;
+  size_t uncertain_existence = 0;
+  for (const UncertainObject& o : db->objects()) {
+    for (size_t i = 0; i < o.dim(); ++i) {
+      max_extent = std::max(max_extent, o.mbr().side(i).length());
+      total_extent += o.mbr().side(i).length();
+    }
+    uncertain_existence += !o.existentially_certain();
+  }
+  const RTree index = BuildRTree(db->objects());
+  std::printf("objects:              %zu\n", db->size());
+  std::printf("dimensionality:       %zu\n", db->dim());
+  std::printf("max extent:           %.6f\n", max_extent);
+  std::printf("mean extent:          %.6f\n",
+              total_extent / (static_cast<double>(db->size() * db->dim())));
+  std::printf("existentially uncertain objects: %zu\n", uncertain_existence);
+  std::printf("r-tree height:        %zu\n", index.height());
+  return 0;
+}
+
+std::shared_ptr<const Pdf> QueryObjectFromArgs(const Args& args, Rng& rng) {
+  const Point center{args.GetDouble("qx", 0.5), args.GetDouble("qy", 0.5)};
+  return workload::MakeQueryObject(center,
+                                   args.GetDouble("qextent", 0.004),
+                                   workload::ObjectModel::kUniform, 0, rng);
+}
+
+int DomCount(const Args& args) {
+  StatusOr<UncertainDatabase> db = LoadDb(args);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  const ObjectId b = static_cast<ObjectId>(args.GetSize("b", 0));
+  if (b >= db->size()) {
+    std::fprintf(stderr, "--b out of range (database has %zu objects)\n",
+                 db->size());
+    return 1;
+  }
+  Rng rng(7);
+  const auto q = QueryObjectFromArgs(args, rng);
+  IdcaConfig config;
+  config.max_iterations = static_cast<int>(args.GetSize("iterations", 6));
+  IdcaEngine engine(*db, config);
+  const IdcaResult result = engine.ComputeDomCount(b, *q);
+  std::printf("complete dominators: %zu, influence objects: %zu, "
+              "%.3f ms\n",
+              result.complete_domination_count, result.influence_count,
+              result.seconds * 1e3);
+  for (size_t k = 0; k < result.bounds.num_ranks(); ++k) {
+    if (result.bounds.ub(k) < 1e-9) continue;
+    std::printf("P(DomCount = %zu) in [%.4f, %.4f]\n", k,
+                result.bounds.lb(k), result.bounds.ub(k));
+  }
+  return 0;
+}
+
+int ThresholdQuery(const Args& args, bool reverse) {
+  StatusOr<UncertainDatabase> db = LoadDb(args);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(7);
+  const auto q = QueryObjectFromArgs(args, rng);
+  const size_t k = args.GetSize("k", 5);
+  const double tau = args.GetDouble("tau", 0.5);
+  IdcaConfig config;
+  config.max_iterations = static_cast<int>(args.GetSize("iterations", 8));
+  const RTree index = BuildRTree(db->objects());
+  QueryStats stats;
+  const auto results =
+      reverse
+          ? ProbabilisticThresholdRknn(*db, index, *q, k, tau, config, &stats)
+          : ProbabilisticThresholdKnn(*db, index, *q, k, tau, config, &stats);
+  std::printf("%s query, k=%zu tau=%.2f: %zu candidates, %.3f ms\n",
+              reverse ? "RkNN" : "kNN", k, tau, stats.candidates,
+              stats.seconds * 1e3);
+  for (const auto& r : results) {
+    if (r.decision == PredicateDecision::kFalse) continue;
+    std::printf("object %u: P in [%.4f, %.4f] -> %s\n", r.id, r.prob.lb,
+                r.prob.ub,
+                r.decision == PredicateDecision::kTrue ? "IN" : "UNDECIDED");
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: updb_cli <generate|info|domcount|knn|rknn> "
+               "[--key=value ...]\n(see header of tools/updb_cli.cc)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  if (command == "generate") return Generate(args);
+  if (command == "info") return Info(args);
+  if (command == "domcount") return DomCount(args);
+  if (command == "knn") return ThresholdQuery(args, /*reverse=*/false);
+  if (command == "rknn") return ThresholdQuery(args, /*reverse=*/true);
+  return Usage();
+}
