@@ -1,9 +1,12 @@
 #include "core/idca.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace updb {
 
@@ -16,11 +19,96 @@ PredicateDecision Decide(const ProbabilityBounds& p, double tau) {
   return PredicateDecision::kUndecided;
 }
 
+/// Fixed chunk count for the parallel pair loop. Partial aggregates are
+/// kept per chunk and reduced in chunk order, and chunk boundaries depend
+/// only on the pair count — never on the thread count or the schedule —
+/// so the floating-point result is identical for any num_threads.
+constexpr size_t kPairChunks = 64;
+
+/// Verdict-cache state for a batch of (B', R') partition pairs, stored as
+/// a structure of flat arrays (one heap buffer each instead of per-pair
+/// allocations). For every pair and candidate it holds the probability
+/// mass already resolved as dominating/dominated at an ancestor level plus
+/// the candidate frontier nodes whose verdict is still open. Section V's
+/// monotonicity argument is what makes the resolved mass inheritable: a
+/// triple decided at some level stays decided in every refinement.
+struct PairBlock {
+  size_t num_pairs = 0;
+  size_t num_candidates = 0;
+
+  std::vector<uint32_t> b_node;   // [num_pairs] target-frontier index
+  std::vector<uint32_t> r_node;   // [num_pairs] reference-frontier index
+  /// [num_pairs][2C]: per pair, C resolved-dominating masses followed by
+  /// C resolved-dominated masses.
+  std::vector<double> resolved;
+  /// [num_pairs][C+1] offsets into `undecided`; candidate c of pair p owns
+  /// undecided[und_off[p*(C+1)+c] .. und_off[p*(C+1)+c+1]).
+  std::vector<uint32_t> und_off;
+  /// Concatenated still-undecided candidate frontier-node indices.
+  std::vector<uint32_t> undecided;
+
+  void Clear(size_t candidates) {
+    num_pairs = 0;
+    num_candidates = candidates;
+    b_node.clear();
+    r_node.clear();
+    resolved.clear();
+    und_off.clear();
+    undecided.clear();
+  }
+
+  /// Appends every pair of `o`, rebasing its undecided offsets. Keeps this
+  /// block's buffer capacities (the merge target is reused per iteration).
+  void AppendFrom(const PairBlock& o) {
+    UPDB_DCHECK(o.num_candidates == num_candidates);
+    const uint32_t base = static_cast<uint32_t>(undecided.size());
+    b_node.insert(b_node.end(), o.b_node.begin(), o.b_node.end());
+    r_node.insert(r_node.end(), o.r_node.begin(), o.r_node.end());
+    resolved.insert(resolved.end(), o.resolved.begin(), o.resolved.end());
+    und_off.reserve(und_off.size() + o.und_off.size());
+    for (uint32_t off : o.und_off) und_off.push_back(off + base);
+    undecided.insert(undecided.end(), o.undecided.begin(), o.undecided.end());
+    num_pairs += o.num_pairs;
+  }
+};
+
+/// Per-chunk workspace and partial accumulators of one refinement
+/// iteration. Chunks own their state outright, so the parallel loop writes
+/// no shared data; everything is reduced serially in chunk order.
+///
+/// A pair whose candidates are all decided is *frozen*: its contribution
+/// is refinement-invariant (children pairs would inherit the identical
+/// per-candidate brackets and their weights sum back to the parent's), so
+/// instead of expanding it 4x per level forever it is accumulated once
+/// into the frozen_* partials, which the Run loop folds into persistent
+/// accumulators re-applied every subsequent iteration.
+struct ChunkState {
+  PairBlock out;                       // next-level pair states
+  UncertainGeneratingFunction ugf;     // reused across the chunk's pairs
+  CountDistributionBounds agg;         // weighted count-bound partial
+  double agg_lt_lb = 0.0;              // weighted P(count < m) partial
+  double agg_lt_ub = 0.0;
+  std::vector<double> pdom_lb;         // [C] weighted per-candidate bounds
+  std::vector<double> pdom_ub;
+  std::vector<double> pair_pdom_lb;    // [C] scratch for the current pair
+  std::vector<double> pair_pdom_ub;
+  CountDistributionBounds frozen_agg;  // pairs frozen by this chunk
+  double frozen_lt_lb = 0.0;
+  double frozen_lt_ub = 0.0;
+  std::vector<double> frozen_pdom_lb;
+  std::vector<double> frozen_pdom_ub;
+  size_t pairs = 0;
+  size_t tests = 0;
+
+  ChunkState() : agg(0), frozen_agg(0) {}
+};
+
 }  // namespace
 
 IdcaEngine::IdcaEngine(const UncertainDatabase& db, IdcaConfig config)
     : db_(db), config_(config) {
   UPDB_CHECK(config_.max_iterations >= 0);
+  UPDB_CHECK(config_.num_threads >= 0);
   UPDB_CHECK(!config_.use_index_filter);  // requires the index constructor
 }
 
@@ -28,6 +116,7 @@ IdcaEngine::IdcaEngine(const UncertainDatabase& db, const RTree* index,
                        IdcaConfig config)
     : db_(db), index_(index), config_(config) {
   UPDB_CHECK(config_.max_iterations >= 0);
+  UPDB_CHECK(config_.num_threads >= 0);
   if (config_.use_index_filter) {
     UPDB_CHECK(index_ != nullptr);
     UPDB_CHECK(index_->size() == db_.size());
@@ -178,44 +267,236 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
         std::make_unique<DecompositionTree>(&a->pdf(), config_.split_policy));
   }
 
-  for (int iter = 1; iter <= config_.max_iterations; ++iter) {
-    // Deepen all decompositions one level (Algorithm 1, line 15).
-    size_t splits = target_tree.Deepen() + ref_tree.Deepen();
-    for (auto& tree : cand_trees) splits += tree->Deepen();
+  const bool cache = config_.cache_verdicts;
+  const size_t threads = ThreadPool::EffectiveParallelism(config_.num_threads);
+  const size_t ugf_truncation =
+      predicate ? m : UncertainGeneratingFunction::kNoTruncation;
 
+  // Level-0 verdict state: one pair (whole B, whole R); every candidate's
+  // root node is undecided — that is precisely what the filter left open.
+  PairBlock cur;
+  cur.Clear(C);
+  cur.num_pairs = 1;
+  cur.b_node.push_back(0);
+  cur.r_node.push_back(0);
+  cur.resolved.assign(2 * C, 0.0);
+  for (uint32_t c = 0; c <= C; ++c) cur.und_off.push_back(c);
+  cur.undecided.assign(C, 0);
+
+  PairBlock merged;                       // reused merge target
+  std::vector<ChunkState> chunks;         // reused across iterations
+  std::vector<double> pdom_lb(C, 0.0), pdom_ub(C, 0.0);
+
+  // Persistent contributions of frozen pairs (see ChunkState) and the
+  // per-candidate liveness map: a candidate whose verdict is resolved in
+  // every surviving pair is never read again, so its decomposition tree
+  // stops deepening (ConditionalMedian splits are pure waste there).
+  CountDistributionBounds frozen_agg = CountDistributionBounds::Zero(C + 1);
+  ProbabilityBounds frozen_lt{0.0, 0.0};
+  std::vector<double> frozen_pdom_lb(C, 0.0), frozen_pdom_ub(C, 0.0);
+  std::vector<char> cand_live(C, 1);
+
+  for (int iter = 1; iter <= config_.max_iterations; ++iter) {
+    // Deepen all still-read decompositions one level (Algorithm 1, line
+    // 15). A dead tree's frontier and child offsets are never indexed.
+    size_t splits = target_tree.Deepen() + ref_tree.Deepen();
+    for (size_t i = 0; i < C; ++i) {
+      if (cand_live[i]) splits += cand_trees[i]->Deepen();
+    }
+
+    const std::vector<Partition>& target_frontier = target_tree.frontier();
+    const std::vector<Partition>& ref_frontier = ref_tree.frontier();
+    const std::vector<uint32_t>& b_off = target_tree.child_offsets();
+    const std::vector<uint32_t>& r_off = ref_tree.child_offsets();
+
+    const size_t num_chunks = std::min(kPairChunks, cur.num_pairs);
+    if (chunks.size() < num_chunks) chunks.resize(num_chunks);
+
+    // Every old pair expands into its children pairs; per child pair the
+    // candidates' undecided nodes are re-tested one level deeper while
+    // resolved mass is inherited. All writes go to chunk-local state.
+    ThreadPool::SharedParallelFor(
+        num_chunks, threads,
+        [&](size_t chunk, size_t /*worker*/) {
+          ChunkState& st = chunks[chunk];
+          st.out.Clear(C);
+          st.ugf.Reset(ugf_truncation);
+          if (!predicate) {
+            st.agg = CountDistributionBounds::Zero(C + 1);
+            st.frozen_agg = CountDistributionBounds::Zero(C + 1);
+          }
+          st.agg_lt_lb = 0.0;
+          st.agg_lt_ub = 0.0;
+          st.frozen_lt_lb = 0.0;
+          st.frozen_lt_ub = 0.0;
+          st.pdom_lb.assign(C, 0.0);
+          st.pdom_ub.assign(C, 0.0);
+          st.pair_pdom_lb.assign(C, 0.0);
+          st.pair_pdom_ub.assign(C, 0.0);
+          st.frozen_pdom_lb.assign(C, 0.0);
+          st.frozen_pdom_ub.assign(C, 0.0);
+          st.pairs = 0;
+          st.tests = 0;
+
+          const size_t p_begin = cur.num_pairs * chunk / num_chunks;
+          const size_t p_end = cur.num_pairs * (chunk + 1) / num_chunks;
+          for (size_t p = p_begin; p < p_end; ++p) {
+            const uint32_t old_b = cur.b_node[p];
+            const uint32_t old_r = cur.r_node[p];
+            const double* old_res = cur.resolved.data() + p * 2 * C;
+            const uint32_t* old_off = cur.und_off.data() + p * (C + 1);
+            for (uint32_t bi = b_off[old_b]; bi < b_off[old_b + 1]; ++bi) {
+              for (uint32_t ri = r_off[old_r]; ri < r_off[old_r + 1]; ++ri) {
+                const Partition& bp = target_frontier[bi];
+                const Partition& rp = ref_frontier[ri];
+                const double w = bp.mass * rp.mass;
+                ++st.pairs;
+                st.ugf.Reset();
+                PairBlock& out = st.out;
+                out.b_node.push_back(bi);
+                out.r_node.push_back(ri);
+                const size_t res_base = out.resolved.size();
+                const size_t und_off_base = out.und_off.size();
+                const size_t und_base = out.undecided.size();
+                out.resolved.resize(res_base + 2 * C);
+                for (size_t i = 0; i < C; ++i) {
+                  const std::vector<Partition>& cand_frontier =
+                      cand_trees[i]->frontier();
+                  const std::vector<uint32_t>& a_off =
+                      cand_trees[i]->child_offsets();
+                  double dom = old_res[i];
+                  double ndom = old_res[C + i];
+                  out.und_off.push_back(
+                      static_cast<uint32_t>(out.undecided.size()));
+                  for (uint32_t u = old_off[i]; u < old_off[i + 1]; ++u) {
+                    const uint32_t node = cur.undecided[u];
+                    for (uint32_t a = a_off[node]; a < a_off[node + 1]; ++a) {
+                      ++st.tests;
+                      const Partition& ap = cand_frontier[a];
+                      switch (ClassifyDomination(ap.region, bp.region,
+                                                 rp.region, config_.criterion,
+                                                 config_.norm)) {
+                        case DominationClass::kDominates:
+                          dom += ap.mass;
+                          if (!cache) out.undecided.push_back(a);
+                          break;
+                        case DominationClass::kDominated:
+                          ndom += ap.mass;
+                          if (!cache) out.undecided.push_back(a);
+                          break;
+                        case DominationClass::kUndecided:
+                          out.undecided.push_back(a);
+                          break;
+                      }
+                    }
+                  }
+                  // With the cache off nothing may be inherited next
+                  // level — every triple is re-derived from scratch.
+                  out.resolved[res_base + i] = cache ? dom : 0.0;
+                  out.resolved[res_base + C + i] = cache ? ndom : 0.0;
+
+                  // Lemma 1/2 bracket for this candidate given (B', R'),
+                  // scaled by the existential probability: the candidate
+                  // dominates only in worlds where it exists.
+                  ProbabilityBounds pb{dom, 1.0 - ndom};
+                  pb.Normalize();
+                  const double e = influence[i]->existence();
+                  pb.lb *= e;
+                  pb.ub *= e;
+                  st.ugf.Multiply(pb);
+                  st.pair_pdom_lb[i] = pb.lb;
+                  st.pair_pdom_ub[i] = pb.ub;
+                }
+                out.und_off.push_back(
+                    static_cast<uint32_t>(out.undecided.size()));
+
+                // Freeze fully-decided pairs: every refinement would
+                // reproduce this exact contribution, so bank it once and
+                // drop the pair instead of expanding it next level.
+                const bool frozen = cache && out.undecided.size() == und_base;
+                if (frozen) {
+                  out.b_node.pop_back();
+                  out.r_node.pop_back();
+                  out.resolved.resize(res_base);
+                  out.und_off.resize(und_off_base);
+                } else {
+                  ++out.num_pairs;
+                }
+                double* acc_pdom_lb =
+                    frozen ? st.frozen_pdom_lb.data() : st.pdom_lb.data();
+                double* acc_pdom_ub =
+                    frozen ? st.frozen_pdom_ub.data() : st.pdom_ub.data();
+                for (size_t i = 0; i < C; ++i) {
+                  acc_pdom_lb[i] += w * st.pair_pdom_lb[i];
+                  acc_pdom_ub[i] += w * st.pair_pdom_ub[i];
+                }
+                if (predicate) {
+                  const ProbabilityBounds lt = st.ugf.ProbLessThan(m);
+                  if (frozen) {
+                    st.frozen_lt_lb += w * lt.lb;
+                    st.frozen_lt_ub += w * lt.ub;
+                  } else {
+                    st.agg_lt_lb += w * lt.lb;
+                    st.agg_lt_ub += w * lt.ub;
+                  }
+                } else {
+                  (frozen ? st.frozen_agg : st.agg)
+                      .AccumulateWeighted(st.ugf.Bounds(), w);
+                }
+              }
+            }
+          }
+        });
+
+    // Deterministic reduction in chunk order: newly frozen contributions
+    // join the persistent accumulators, active partials plus the frozen
+    // totals form this iteration's aggregates, and the chunk outputs
+    // become the next level's pair states (again in chunk order).
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const ChunkState& st = chunks[c];
+      if (predicate) {
+        frozen_lt.lb += st.frozen_lt_lb;
+        frozen_lt.ub += st.frozen_lt_ub;
+      } else {
+        frozen_agg.AccumulateWeighted(st.frozen_agg, 1.0);
+      }
+      for (size_t i = 0; i < C; ++i) {
+        frozen_pdom_lb[i] += st.frozen_pdom_lb[i];
+        frozen_pdom_ub[i] += st.frozen_pdom_ub[i];
+      }
+    }
     CountDistributionBounds agg = CountDistributionBounds::Zero(C + 1);
-    ProbabilityBounds agg_lt{0.0, 0.0};  // aggregated P(count < m)
-    std::vector<double> pdom_lb(C, 0.0), pdom_ub(C, 0.0);
+    if (!predicate) agg.AccumulateWeighted(frozen_agg, 1.0);
+    ProbabilityBounds agg_lt = frozen_lt;  // aggregated P(count < m)
+    std::copy(frozen_pdom_lb.begin(), frozen_pdom_lb.end(), pdom_lb.begin());
+    std::copy(frozen_pdom_ub.begin(), frozen_pdom_ub.end(), pdom_ub.begin());
     size_t pairs = 0;
     size_t candidate_partitions = 0;
+    merged.Clear(C);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const ChunkState& st = chunks[c];
+      pairs += st.pairs;
+      candidate_partitions += st.tests;
+      if (predicate) {
+        agg_lt.lb += st.agg_lt_lb;
+        agg_lt.ub += st.agg_lt_ub;
+      } else {
+        agg.AccumulateWeighted(st.agg, 1.0);
+      }
+      for (size_t i = 0; i < C; ++i) {
+        pdom_lb[i] += st.pdom_lb[i];
+        pdom_ub[i] += st.pdom_ub[i];
+      }
+      merged.AppendFrom(st.out);
+    }
+    std::swap(cur, merged);
 
-    for (const Partition& bp : target_tree.frontier()) {
-      for (const Partition& rp : ref_tree.frontier()) {
-        ++pairs;
-        const double w = bp.mass * rp.mass;
-        UncertainGeneratingFunction ugf(
-            predicate ? m : UncertainGeneratingFunction::kNoTruncation);
-        for (size_t i = 0; i < C; ++i) {
-          ProbabilityBounds pb =
-              PDomGivenPair(cand_trees[i]->frontier(), bp.region, rp.region,
-                            config_.criterion, config_.norm);
-          // Existential scaling: the candidate dominates only in worlds
-          // where it exists.
-          const double e = influence[i]->existence();
-          pb.lb *= e;
-          pb.ub *= e;
-          candidate_partitions += cand_trees[i]->frontier().size();
-          ugf.Multiply(pb);
-          pdom_lb[i] += w * pb.lb;
-          pdom_ub[i] += w * pb.ub;
-        }
-        if (predicate) {
-          const ProbabilityBounds lt = ugf.ProbLessThan(m);
-          agg_lt.lb += w * lt.lb;
-          agg_lt.ub += w * lt.ub;
-        } else {
-          agg.AccumulateWeighted(ugf.Bounds(), w);
-        }
+    // Refresh the liveness map from the surviving pairs.
+    std::fill(cand_live.begin(), cand_live.end(), char{0});
+    for (size_t p = 0; p < cur.num_pairs; ++p) {
+      const uint32_t* off = cur.und_off.data() + p * (C + 1);
+      for (size_t i = 0; i < C; ++i) {
+        if (off[i + 1] > off[i]) cand_live[i] = 1;
       }
     }
 
@@ -253,6 +534,7 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
     // ---- Stop criteria.
     if (predicate && result.decision != PredicateDecision::kUndecided) break;
     if (total_uncertainty <= config_.uncertainty_epsilon) break;
+    if (cur.num_pairs == 0) break;  // every pair frozen: result is final
     if (splits == 0) break;  // decompositions exhausted: result is final
   }
 

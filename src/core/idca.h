@@ -56,6 +56,25 @@ struct IdcaConfig {
   double uncertainty_epsilon = 0.0;
   /// Record per-iteration statistics (uncertainty/time curves).
   bool collect_stats = true;
+  /// Threads used for the per-iteration (B', R') partition-pair loop.
+  /// 1 = serial (default), 0 = all hardware threads, N = exactly N. The
+  /// pair loop aggregates into a fixed number of chunk-local partial
+  /// accumulators that are reduced in chunk order, so the result is
+  /// identical for every thread count.
+  int num_threads = 1;
+  /// Reuse domination verdicts across refinement iterations. Complete
+  /// domination is monotone under shrinking rectangles, so once a
+  /// (candidate-partition, B', R') triple is decided kDominates or
+  /// kDominated every refinement of it inherits the verdict; with the
+  /// cache only still-undecided triples are re-tested after each Deepen(),
+  /// pairs whose candidates are all decided are frozen (their refinement-
+  /// invariant contribution is accumulated once instead of being expanded
+  /// 4x per level), and decomposition trees of globally-decided candidates
+  /// stop deepening. Off recomputes every triple from scratch each
+  /// iteration (the seed behavior; kept as an ablation/debug toggle —
+  /// bounds agree up to floating-point noise, since the cache groups the
+  /// same mass sums at coarser granularity).
+  bool cache_verdicts = true;
 };
 
 /// Optional early-termination predicate: decide P(DomCount(B,R) < k)
@@ -85,8 +104,10 @@ struct IdcaIterationStats {
   double cumulative_seconds = 0.0;
   /// Partition pairs (B', R') evaluated this iteration.
   size_t pairs = 0;
-  /// Candidate partitions tested against pairs this iteration (upper
-  /// bounds the number of domination tests up to a factor of 2).
+  /// Candidate partitions actually tested against pairs this iteration
+  /// (upper bounds the number of domination tests up to a factor of 2).
+  /// With cache_verdicts this counts only the still-undecided triples, so
+  /// it directly exposes the work the verdict cache saves.
   size_t candidate_partitions = 0;
 };
 

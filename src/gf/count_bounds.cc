@@ -34,7 +34,11 @@ double CountDistributionBounds::TotalUncertainty() const {
 }
 
 ProbabilityBounds CountDistributionBounds::ProbLessThan(size_t k) const {
-  k = std::min(k, lb_.size());
+  // The count's support is 0..num_ranks-1, so any threshold at or beyond
+  // the rank window is certain: P(Count < k) = 1. Clamping k to the window
+  // instead would pit a vacuous below-sum against the exact complement and
+  // collapse the broken bracket to a meaningless midpoint.
+  if (k >= lb_.size()) return ProbabilityBounds{1.0, 1.0};
   double sum_lb_below = 0.0, sum_ub_below = 0.0;
   for (size_t x = 0; x < k; ++x) {
     sum_lb_below += lb_[x];

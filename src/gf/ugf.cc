@@ -4,22 +4,58 @@
 
 #include "common/check.h"
 
+// Implementation notes.
+//
+// The expansion recurrence for one factor (w_x = p_lb, w_y = p_ub - p_lb,
+// w_1 = 1 - p_ub) is
+//
+//   next[i][j] = cur[i][j]*w_1 + cur[i-1][j]*w_x + cur[i][j-1]*w_y,
+//
+// with truncated mode clamping j into the per-row tail bucket and i into
+// the overflow cell. Floating-point addition is not associative, so every
+// code path below — the general untruncated pass, the in-place truncated
+// pass, and the degenerate fast paths — accumulates contributions into a
+// cell in one fixed order: sources in (row, column) order, and per source
+// the w_1 term before the w_y term (mirroring a row-major source sweep).
+// NestedVectorUgf in gf/ugf_reference.h follows the same discipline, which
+// is what makes the two implementations bit-identical and lets the
+// equivalence tests compare with EXPECT_EQ instead of tolerances.
+
 namespace updb {
 
 UncertainGeneratingFunction::UncertainGeneratingFunction(size_t truncate_at)
     : truncate_at_(truncate_at) {
   UPDB_CHECK(truncate_at_ >= 1);
-  rows_.resize(1);
-  rows_[0].assign(RowSize(0), 0.0);
-  rows_[0][0] = 1.0;  // F^0 = 1 x^0 y^0
+  Reset();
 }
 
-size_t UncertainGeneratingFunction::RowSize(size_t i) const {
+void UncertainGeneratingFunction::Reset() {
+  // The buffers alternate roles across multiplies, so after a pass of n
+  // factors one of them is a triangle smaller than the other. Equalize
+  // capacities here (never inside Multiply) so a replay of the same factor
+  // count stays allocation-free regardless of which buffer ends up as the
+  // scratch on the deepest multiply.
+  const size_t cap = std::max(flat_.capacity(), scratch_.capacity());
+  flat_.reserve(cap);
+  scratch_.reserve(cap);
+  num_factors_ = 0;
+  core_n_ = 0;
+  ones_shift_ = 0;
+  zeros_pad_ = 0;
+  num_rows_ = 1;
+  overflow_ = 0.0;
   if (truncated()) {
-    UPDB_DCHECK(i < truncate_at_);
-    return truncate_at_ - i + 1;  // j = 0..k-i, last is the bucket
+    flat_.assign(truncate_at_ + 1, 0.0);  // row 0: j = 0..k, last is bucket
+  } else {
+    flat_.assign(1, 0.0);
   }
-  return num_factors_ - i + 1;  // j = 0..n-i
+  flat_[0] = 1.0;  // F^0 = 1 x^0 y^0
+}
+
+void UncertainGeneratingFunction::Reset(size_t truncate_at) {
+  UPDB_CHECK(truncate_at >= 1);
+  truncate_at_ = truncate_at;
+  Reset();
 }
 
 void UncertainGeneratingFunction::Multiply(double p_lb, double p_ub) {
@@ -30,70 +66,175 @@ void UncertainGeneratingFunction::Multiply(double p_lb, double p_ub) {
   const double w_y = p_ub - p_lb;   // undecided
   const double w_1 = 1.0 - p_ub;    // definite non-domination
 
-  const size_t n_new = num_factors_ + 1;
   if (!truncated()) {
-    std::vector<std::vector<double>> next(n_new + 1);
-    for (size_t i = 0; i <= n_new; ++i) next[i].assign(n_new - i + 1, 0.0);
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      for (size_t j = 0; j < rows_[i].size(); ++j) {
-        const double m = rows_[i][j];
-        if (m == 0.0) continue;
-        next[i][j] += m * w_1;
-        next[i + 1][j] += m * w_x;
-        next[i][j + 1] += m * w_y;
-      }
+    // Degenerate fast paths. A (0,0) factor multiplies by 1 (coefficients
+    // untouched, one more rank); a (1,1) factor shifts every row down one
+    // rank. Both are exact no-ops on the materialized core: multiplying by
+    // a weight of exactly 1 reproduces each cell bit-for-bit, and the
+    // companion weights are exactly 0, whose contributions (m * 0.0 added
+    // to a non-negative cell) do not change any bit either.
+    if (p_ub == 0.0) {
+      ++zeros_pad_;
+      ++num_factors_;
+      return;
     }
-    rows_ = std::move(next);
-    num_factors_ = n_new;
+    if (p_lb == 1.0) {
+      ++ones_shift_;
+      ++num_factors_;
+      return;
+    }
+    MultiplyUntruncated(w_x, w_y, w_1);
     return;
   }
 
-  const size_t k = truncate_at_;
-  const size_t num_rows = std::min(n_new + 1, k);
-  std::vector<std::vector<double>> next(num_rows);
-  for (size_t i = 0; i < num_rows; ++i) next[i].assign(k - i + 1, 0.0);
-  double next_overflow = overflow_;  // (w_x + w_y + w_1) == 1 keeps it put
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    const size_t bucket = k - i;
-    for (size_t j = 0; j < rows_[i].size(); ++j) {
-      const double m = rows_[i][j];
+  if (p_ub == 0.0) {
+    // (0,0): coefficients, buckets and overflow all stay put; only the
+    // materialized row count may grow (by an all-zero row).
+    ++num_factors_;
+    const size_t rows = std::min(num_factors_ + 1, truncate_at_);
+    if (rows > num_rows_) {
+      num_rows_ = rows;
+      flat_.resize(TruncRowOffset(num_rows_), 0.0);
+    }
+    return;
+  }
+  MultiplyTruncated(w_x, w_y, w_1);
+}
+
+void UncertainGeneratingFunction::MultiplyUntruncated(double w_x, double w_y,
+                                                      double w_1) {
+  const size_t n_old = core_n_;
+  const size_t n_new = n_old + 1;
+  scratch_.assign(TriangleSize(n_new), 0.0);
+  // Row-major source sweep; offsets advance incrementally. Row i has
+  // n_old - i + 1 source cells and n_new - i + 1 target cells.
+  size_t off_old = 0;
+  size_t off_new = 0;
+  for (size_t i = 0; i <= n_old; ++i) {
+    const size_t row_len_old = n_old - i + 1;
+    const size_t row_len_new = n_new - i + 1;
+    for (size_t j = 0; j < row_len_old; ++j) {
+      const double m = flat_[off_old + j];
       if (m == 0.0) continue;
-      // Stay: same cell (a bucket cell remains a bucket cell).
-      next[i][j] += m * w_1;
-      // y: one more undecided variable; clamp into the row's bucket.
-      next[i][std::min(j + 1, bucket)] += m * w_y;
-      // x: one more definite dominator; row i+1 or the overflow cell.
-      if (i + 1 >= k) {
-        next_overflow += m * w_x;
-      } else {
-        next[i + 1][std::min(j, k - (i + 1))] += m * w_x;
+      scratch_[off_new + j] += m * w_1;
+      scratch_[off_new + row_len_new + j] += m * w_x;  // row i+1, same j
+      scratch_[off_new + j + 1] += m * w_y;
+    }
+    off_old += row_len_old;
+    off_new += row_len_new;
+  }
+  flat_.swap(scratch_);
+  core_n_ = n_new;
+  ++num_factors_;
+}
+
+void UncertainGeneratingFunction::MultiplyTruncated(double w_x, double w_y,
+                                                    double w_1) {
+  const size_t k = truncate_at_;
+  const size_t n_new = num_factors_ + 1;
+
+  // Overflow picks up the x-step of row k-1 (reading the row before it is
+  // overwritten below). The j-ascending order matches a row-major sweep.
+  if (num_rows_ == k) {
+    const double* top = flat_.data() + TruncRowOffset(k - 1);
+    for (size_t j = 0; j <= k - (k - 1); ++j) overflow_ += top[j] * w_x;
+  }
+
+  // Grow by one (all-zero) row while fewer than k rows are materialized;
+  // the in-place pass below then treats old and new rows uniformly.
+  const size_t rows = std::min(n_new + 1, k);
+  if (rows > num_rows_) {
+    num_rows_ = rows;
+    flat_.resize(TruncRowOffset(num_rows_), 0.0);
+  }
+
+  // In-place update, rows descending so row i still reads the *old* row
+  // i-1, columns descending so cell j still reads the old cell j-1. Each
+  // cell is written once with its contributions accumulated in source
+  // (row, column, op) order: x-steps from row i-1, then the y-step from
+  // cell j-1, then the cell's own stay/y terms.
+  for (size_t i = num_rows_; i-- > 0;) {
+    double* row = flat_.data() + TruncRowOffset(i);
+    const double* below = i > 0 ? flat_.data() + TruncRowOffset(i - 1) : nullptr;
+    const size_t bucket = k - i;  // last slot of row i
+    {
+      // Bucket cell: absorbs the clamped x-steps of row i-1 (columns
+      // bucket and bucket+1 of the longer row below) and the clamped
+      // y-steps of columns bucket-1 and bucket.
+      double t = 0.0;
+      if (below != nullptr) {
+        t += below[bucket] * w_x;
+        t += below[bucket + 1] * w_x;
       }
+      t += row[bucket - 1] * w_y;
+      t += row[bucket] * w_1;
+      t += row[bucket] * w_y;
+      row[bucket] = t;
+    }
+    for (size_t j = bucket; j-- > 0;) {
+      double t = 0.0;
+      if (below != nullptr) t += below[j] * w_x;
+      if (j > 0) t += row[j - 1] * w_y;
+      t += row[j] * w_1;
+      row[j] = t;
     }
   }
-  rows_ = std::move(next);
-  overflow_ = next_overflow;
   num_factors_ = n_new;
 }
 
 CountDistributionBounds UncertainGeneratingFunction::Bounds() const {
-  const size_t num_ranks =
-      truncated() ? std::min(truncate_at_, num_factors_ + 1)
-                  : num_factors_ + 1;
-  CountDistributionBounds out = CountDistributionBounds::Zero(num_ranks);
-  for (size_t x = 0; x < num_ranks; ++x) {
-    // Lower bound: exactly x definite, none undecided. Slot 0 is never a
-    // bucket for the rows we materialize.
-    const double lb = x < rows_.size() ? rows_[x][0] : 0.0;
-    // Upper bound: all cells whose count interval [i, i+j] contains x.
-    double ub = 0.0;
-    for (size_t i = 0; i <= x && i < rows_.size(); ++i) {
-      const size_t bucket = truncated() ? truncate_at_ - i : SIZE_MAX;
-      for (size_t j = 0; j < rows_[i].size(); ++j) {
-        const bool is_bucket = truncated() && j == bucket;
-        // A bucket cell means i+j >= k > x, so it always reaches x >= i.
-        if (is_bucket || i + j >= x) ub += rows_[i][j];
+  // Upper bounds via a difference array: a cell c_{i,j} admits every rank
+  // in [i, i+j] (bucket cells: [i, end of the rank window]), so it
+  // range-adds its mass. One prefix sum then yields all upper bounds in
+  // O(cells + ranks) instead of the O(ranks * cells) nested rescan.
+  if (!truncated()) {
+    const size_t num_ranks = num_factors_ + 1;
+    const size_t s = ones_shift_;
+    std::vector<double> diff(num_ranks + 1, 0.0);
+    size_t off = 0;
+    for (size_t i = 0; i <= core_n_; ++i) {
+      const size_t row_len = core_n_ - i + 1;
+      for (size_t j = 0; j < row_len; ++j) {
+        const double m = flat_[off + j];
+        if (m == 0.0) continue;
+        diff[i + s] += m;
+        diff[i + s + j + 1] -= m;
       }
+      off += row_len;
     }
+    CountDistributionBounds out = CountDistributionBounds::Zero(num_ranks);
+    double ub = 0.0;
+    for (size_t x = 0; x < num_ranks; ++x) {
+      ub += diff[x];
+      const double lb = (x >= s && x - s <= core_n_)
+                            ? flat_[CoreRowOffset(x - s)]
+                            : 0.0;
+      out.Set(x, lb, std::min(ub, 1.0));
+    }
+    out.Normalize();
+    return out;
+  }
+
+  const size_t k = truncate_at_;
+  const size_t num_ranks = std::min(k, num_factors_ + 1);
+  std::vector<double> diff(num_ranks + 1, 0.0);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    const double* row = flat_.data() + TruncRowOffset(i);
+    const size_t bucket = k - i;
+    for (size_t j = 0; j <= bucket; ++j) {
+      const double m = row[j];
+      if (m == 0.0) continue;
+      diff[i] += m;
+      // A bucket cell means i+j >= k, reaching every materialized rank
+      // >= i; a plain cell with mass has i+j <= num_factors < num_ranks+i.
+      if (j != bucket && i + j + 1 <= num_ranks) diff[i + j + 1] -= m;
+    }
+  }
+  CountDistributionBounds out = CountDistributionBounds::Zero(num_ranks);
+  double ub = 0.0;
+  for (size_t x = 0; x < num_ranks; ++x) {
+    ub += diff[x];
+    const double lb = x < num_rows_ ? flat_[TruncRowOffset(x)] : 0.0;
     out.Set(x, lb, std::min(ub, 1.0));
   }
   out.Normalize();
@@ -104,14 +245,29 @@ ProbabilityBounds UncertainGeneratingFunction::ProbLessThan(size_t m) const {
   if (truncated()) UPDB_CHECK(m <= truncate_at_);
   double lb = 0.0;  // mass of cells whose whole interval [i, i+j] is < m
   double ub = 0.0;  // mass of cells that can realize a count < m (i < m)
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    const size_t bucket = truncated() ? truncate_at_ - i : SIZE_MAX;
-    for (size_t j = 0; j < rows_[i].size(); ++j) {
-      const double mass = rows_[i][j];
-      if (mass == 0.0) continue;
-      const bool is_bucket = truncated() && j == bucket;
-      if (!is_bucket && i + j < m) lb += mass;  // bucket: i+j >= k >= m
-      if (i < m) ub += mass;
+  if (!truncated()) {
+    const size_t s = ones_shift_;
+    size_t off = 0;
+    for (size_t i = 0; i <= core_n_; ++i) {
+      const size_t row_len = core_n_ - i + 1;
+      for (size_t j = 0; j < row_len; ++j) {
+        const double mass = flat_[off + j];
+        if (mass == 0.0) continue;
+        if (i + s + j < m) lb += mass;
+        if (i + s < m) ub += mass;
+      }
+      off += row_len;
+    }
+  } else {
+    for (size_t i = 0; i < num_rows_; ++i) {
+      const double* row = flat_.data() + TruncRowOffset(i);
+      const size_t bucket = truncate_at_ - i;
+      for (size_t j = 0; j <= bucket; ++j) {
+        const double mass = row[j];
+        if (mass == 0.0) continue;
+        if (j != bucket && i + j < m) lb += mass;  // bucket: i+j >= k >= m
+        if (i < m) ub += mass;
+      }
     }
   }
   ProbabilityBounds out{lb, ub};
@@ -120,8 +276,14 @@ ProbabilityBounds UncertainGeneratingFunction::ProbLessThan(size_t m) const {
 }
 
 double UncertainGeneratingFunction::Coefficient(size_t i, size_t j) const {
-  if (i >= rows_.size() || j >= rows_[i].size()) return 0.0;
-  return rows_[i][j];
+  if (truncated()) {
+    if (i >= num_rows_ || j > truncate_at_ - i) return 0.0;
+    return flat_[TruncRowOffset(i) + j];
+  }
+  if (i < ones_shift_) return 0.0;
+  const size_t core_i = i - ones_shift_;
+  if (core_i > core_n_ || j > core_n_ - core_i) return 0.0;
+  return flat_[CoreRowOffset(core_i) + j];
 }
 
 }  // namespace updb

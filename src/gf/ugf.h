@@ -15,6 +15,16 @@
 // mode merges every coefficient with i+j >= k into a per-row tail bucket
 // and every row with i >= k into a single overflow cell, reducing the cost
 // of n multiplications from O(n^3) to O(k^2 n) (Section VI).
+//
+// Storage is a single contiguous triangular buffer (row-major, row i holding
+// the c_{i,*} slots), not a vector-of-vectors: Multiply never allocates once
+// the workspace has grown to its high-water mark, which matters because the
+// IDCA refinement loop rebuilds one UGF per (B', R') partition pair.
+// Reset() rewinds to F = 1 while keeping capacity, so a single workspace is
+// reused across all pairs of an iteration. Degenerate factors take fast
+// paths: a (0,0) factor only extends the rank range (O(1)) and a (1,1)
+// factor is a row shift (O(1) untruncated via a shift counter; O(cells)
+// in-place in truncated mode).
 
 #ifndef UPDB_GF_UGF_H_
 #define UPDB_GF_UGF_H_
@@ -38,11 +48,19 @@ class UncertainGeneratingFunction {
 
   /// Multiplies in one factor with probability bracket [p_lb, p_ub]
   /// (0 <= p_lb <= p_ub <= 1). A definite dominator is (1,1); a definite
-  /// non-dominator (0,0); a fully unknown one (0,1).
+  /// non-dominator (0,0); a fully unknown one (0,1). Never allocates once
+  /// the workspace capacity has reached its high-water mark.
   void Multiply(double p_lb, double p_ub);
 
   /// Convenience overload.
   void Multiply(const ProbabilityBounds& b) { Multiply(b.lb, b.ub); }
+
+  /// Rewinds to the empty product F = 1 (same truncation), keeping all
+  /// buffer capacity so the workspace can be reused allocation-free.
+  void Reset();
+
+  /// Rewinds to F = 1 and switches the truncation threshold.
+  void Reset(size_t truncate_at);
 
   /// Number of factors multiplied so far.
   size_t num_factors() const { return num_factors_; }
@@ -63,14 +81,45 @@ class UncertainGeneratingFunction {
 
  private:
   bool truncated() const { return truncate_at_ != kNoTruncation; }
-  /// Number of j slots in row i (truncated mode: last slot is the bucket).
-  size_t RowSize(size_t i) const;
+
+  /// Cells of a full triangular expansion over n factors (rows 0..n).
+  static size_t TriangleSize(size_t n) { return (n + 1) * (n + 2) / 2; }
+
+  /// Offset of row i in the untruncated core layout (row sizes
+  /// core_n_-i+1 ... 1).
+  size_t CoreRowOffset(size_t i) const {
+    return i * (core_n_ + 1) - i * (i - 1) / 2;
+  }
+
+  /// Offset of row i in the truncated layout (row i holds k-i+1 slots,
+  /// j = 0..k-i, the last being the tail bucket).
+  size_t TruncRowOffset(size_t i) const {
+    return i * (truncate_at_ + 1) - i * (i - 1) / 2;
+  }
+
+  void MultiplyUntruncated(double w_x, double w_y, double w_1);
+  void MultiplyTruncated(double w_x, double w_y, double w_1);
 
   size_t truncate_at_;
   size_t num_factors_ = 0;
-  // rows_[i][j] = c_{i,j}. Untruncated: i = 0..n, j = 0..n-i.
-  // Truncated: i = 0..k-1, j = 0..k-i with slot k-i meaning "i+j >= k".
-  std::vector<std::vector<double>> rows_;
+
+  // --- untruncated state. The materialized "core" triangle covers the
+  // general factors only; degenerate factors are tracked symbolically:
+  // ones_shift_ (1,1)-factors shift every row down by one rank, zeros_pad_
+  // (0,0)-factors extend the rank range with implicit zero cells.
+  // num_factors_ == core_n_ + ones_shift_ + zeros_pad_.
+  size_t core_n_ = 0;
+  size_t ones_shift_ = 0;
+  size_t zeros_pad_ = 0;
+
+  // --- truncated state: rows 0..num_rows_-1 materialized in flat_.
+  size_t num_rows_ = 1;
+
+  // Contiguous coefficient storage (layout depends on mode, see above) and
+  // the double-buffer scratch for untruncated multiplies. Capacities only
+  // ever grow; Reset() keeps them.
+  std::vector<double> flat_;
+  std::vector<double> scratch_;
   double overflow_ = 0.0;
 };
 

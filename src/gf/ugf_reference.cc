@@ -1,0 +1,130 @@
+#include "gf/ugf_reference.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace updb {
+
+NestedVectorUgf::NestedVectorUgf(size_t truncate_at)
+    : truncate_at_(truncate_at) {
+  UPDB_CHECK(truncate_at_ >= 1);
+  rows_.resize(1);
+  rows_[0].assign(RowSize(0), 0.0);
+  rows_[0][0] = 1.0;  // F^0 = 1 x^0 y^0
+}
+
+size_t NestedVectorUgf::RowSize(size_t i) const {
+  if (truncated()) {
+    UPDB_DCHECK(i < truncate_at_);
+    return truncate_at_ - i + 1;  // j = 0..k-i, last is the bucket
+  }
+  return num_factors_ - i + 1;  // j = 0..n-i
+}
+
+void NestedVectorUgf::Multiply(double p_lb, double p_ub) {
+  p_lb = std::clamp(p_lb, 0.0, 1.0);
+  p_ub = std::clamp(p_ub, 0.0, 1.0);
+  UPDB_DCHECK(p_lb <= p_ub);
+  const double w_x = p_lb;          // definite domination
+  const double w_y = p_ub - p_lb;   // undecided
+  const double w_1 = 1.0 - p_ub;    // definite non-domination
+
+  const size_t n_new = num_factors_ + 1;
+  if (!truncated()) {
+    std::vector<std::vector<double>> next(n_new + 1);
+    for (size_t i = 0; i <= n_new; ++i) next[i].assign(n_new - i + 1, 0.0);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      for (size_t j = 0; j < rows_[i].size(); ++j) {
+        const double m = rows_[i][j];
+        if (m == 0.0) continue;
+        next[i][j] += m * w_1;
+        next[i + 1][j] += m * w_x;
+        next[i][j + 1] += m * w_y;
+      }
+    }
+    rows_ = std::move(next);
+    num_factors_ = n_new;
+    return;
+  }
+
+  const size_t k = truncate_at_;
+  const size_t num_rows = std::min(n_new + 1, k);
+  std::vector<std::vector<double>> next(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) next[i].assign(k - i + 1, 0.0);
+  double next_overflow = overflow_;  // (w_x + w_y + w_1) == 1 keeps it put
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const size_t bucket = k - i;
+    for (size_t j = 0; j < rows_[i].size(); ++j) {
+      const double m = rows_[i][j];
+      if (m == 0.0) continue;
+      // Stay: same cell (a bucket cell remains a bucket cell).
+      next[i][j] += m * w_1;
+      // y: one more undecided variable; clamp into the row's bucket.
+      next[i][std::min(j + 1, bucket)] += m * w_y;
+      // x: one more definite dominator; row i+1 or the overflow cell.
+      if (i + 1 >= k) {
+        next_overflow += m * w_x;
+      } else {
+        next[i + 1][std::min(j, k - (i + 1))] += m * w_x;
+      }
+    }
+  }
+  rows_ = std::move(next);
+  overflow_ = next_overflow;
+  num_factors_ = n_new;
+}
+
+// The bound computations below intentionally mirror the flat-buffer
+// implementation cell for cell (same difference-array construction, same
+// iteration order) so the two stay bit-identical; only the storage differs.
+
+CountDistributionBounds NestedVectorUgf::Bounds() const {
+  const size_t num_ranks =
+      truncated() ? std::min(truncate_at_, num_factors_ + 1)
+                  : num_factors_ + 1;
+  std::vector<double> diff(num_ranks + 1, 0.0);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const size_t bucket = truncated() ? truncate_at_ - i : SIZE_MAX;
+    for (size_t j = 0; j < rows_[i].size(); ++j) {
+      const double m = rows_[i][j];
+      if (m == 0.0) continue;
+      diff[i] += m;
+      if (j != bucket && i + j + 1 <= num_ranks) diff[i + j + 1] -= m;
+    }
+  }
+  CountDistributionBounds out = CountDistributionBounds::Zero(num_ranks);
+  double ub = 0.0;
+  for (size_t x = 0; x < num_ranks; ++x) {
+    ub += diff[x];
+    const double lb = x < rows_.size() ? rows_[x][0] : 0.0;
+    out.Set(x, lb, std::min(ub, 1.0));
+  }
+  out.Normalize();
+  return out;
+}
+
+ProbabilityBounds NestedVectorUgf::ProbLessThan(size_t m) const {
+  if (truncated()) UPDB_CHECK(m <= truncate_at_);
+  double lb = 0.0;  // mass of cells whose whole interval [i, i+j] is < m
+  double ub = 0.0;  // mass of cells that can realize a count < m (i < m)
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    const size_t bucket = truncated() ? truncate_at_ - i : SIZE_MAX;
+    for (size_t j = 0; j < rows_[i].size(); ++j) {
+      const double mass = rows_[i][j];
+      if (mass == 0.0) continue;
+      if (j != bucket && i + j < m) lb += mass;  // bucket: i+j >= k >= m
+      if (i < m) ub += mass;
+    }
+  }
+  ProbabilityBounds out{lb, ub};
+  out.Normalize();
+  return out;
+}
+
+double NestedVectorUgf::Coefficient(size_t i, size_t j) const {
+  if (i >= rows_.size() || j >= rows_[i].size()) return 0.0;
+  return rows_[i][j];
+}
+
+}  // namespace updb

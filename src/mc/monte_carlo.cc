@@ -109,7 +109,9 @@ MonteCarloResult MonteCarloEngine::DomCountPdf(ObjectId b,
       double acc = 0.0;
       for (auto& [d, w] : arr) {
         acc += w;
-        w = acc;  // weight slot now holds the cumulative weight <= d
+        // Clamp: summing the normalized weights can overshoot 1 by a few
+        // ulps, and the cumulative value is consumed as a probability.
+        w = std::min(acc, 1.0);
       }
     }
 

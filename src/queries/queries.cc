@@ -1,8 +1,10 @@
 #include "queries/queries.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace updb {
 
@@ -58,19 +60,28 @@ std::vector<ThresholdQueryResult> ProbabilisticThresholdKnn(
   const std::vector<ObjectId> candidates =
       KnnCandidates(db, index, q.bounds(), k, config.norm);
 
+  // Candidates are mutually independent IDCA problems: each writes only
+  // its own result slot, so the loop parallelizes with no reduction step.
+  // Any pair-loop parallelism inside the engine runs inline here (nested
+  // regions), keeping this coarser-grained level.
   IdcaEngine engine(db, &index, config);
-  std::vector<ThresholdQueryResult> results;
-  results.reserve(candidates.size());
-  size_t iterations = 0;
-  for (ObjectId id : candidates) {
-    const IdcaResult r =
-        engine.ComputeDomCount(id, q, IdcaPredicate{k, tau});
-    iterations += r.iterations.empty() ? 0 : r.iterations.size() - 1;
-    results.push_back(ThresholdQueryResult{id, r.predicate_prob, r.decision});
-  }
+  std::vector<ThresholdQueryResult> results(candidates.size());
+  std::vector<size_t> iterations_per_candidate(candidates.size(), 0);
+  ThreadPool::SharedParallelFor(
+      candidates.size(), ThreadPool::EffectiveParallelism(config.num_threads),
+      [&](size_t c, size_t /*worker*/) {
+        const ObjectId id = candidates[c];
+        const IdcaResult r =
+            engine.ComputeDomCount(id, q, IdcaPredicate{k, tau});
+        iterations_per_candidate[c] =
+            r.iterations.empty() ? 0 : r.iterations.size() - 1;
+        results[c] = ThresholdQueryResult{id, r.predicate_prob, r.decision};
+      });
   if (stats != nullptr) {
     stats->candidates = candidates.size();
-    stats->idca_iterations = iterations;
+    stats->idca_iterations =
+        std::accumulate(iterations_per_candidate.begin(),
+                        iterations_per_candidate.end(), size_t{0});
     stats->seconds = timer.ElapsedSeconds();
   }
   return results;
@@ -112,18 +123,23 @@ std::vector<ThresholdQueryResult> ProbabilisticThresholdRknn(
   }
 
   IdcaEngine engine(db, &index, config);
-  std::vector<ThresholdQueryResult> results;
-  results.reserve(candidates.size());
-  size_t iterations = 0;
-  for (ObjectId id : candidates) {
-    const IdcaResult r =
-        engine.ComputeDomCountOfQuery(q, id, IdcaPredicate{k, tau});
-    iterations += r.iterations.empty() ? 0 : r.iterations.size() - 1;
-    results.push_back(ThresholdQueryResult{id, r.predicate_prob, r.decision});
-  }
+  std::vector<ThresholdQueryResult> results(candidates.size());
+  std::vector<size_t> iterations_per_candidate(candidates.size(), 0);
+  ThreadPool::SharedParallelFor(
+      candidates.size(), ThreadPool::EffectiveParallelism(config.num_threads),
+      [&](size_t c, size_t /*worker*/) {
+        const ObjectId id = candidates[c];
+        const IdcaResult r =
+            engine.ComputeDomCountOfQuery(q, id, IdcaPredicate{k, tau});
+        iterations_per_candidate[c] =
+            r.iterations.empty() ? 0 : r.iterations.size() - 1;
+        results[c] = ThresholdQueryResult{id, r.predicate_prob, r.decision};
+      });
   if (stats != nullptr) {
     stats->candidates = candidates.size();
-    stats->idca_iterations = iterations;
+    stats->idca_iterations =
+        std::accumulate(iterations_per_candidate.begin(),
+                        iterations_per_candidate.end(), size_t{0});
     stats->seconds = timer.ElapsedSeconds();
   }
   return results;
@@ -150,13 +166,14 @@ std::vector<RankWinner> UkRanksQuery(const UncertainDatabase& db,
       KnnCandidates(db, index, q.bounds(), max_rank, config.norm);
 
   IdcaEngine engine(db, &index, config);
-  std::vector<CountDistributionBounds> bounds;
-  std::vector<ObjectId> ids;
-  bounds.reserve(candidates.size());
-  for (ObjectId id : candidates) {
-    bounds.push_back(engine.ComputeDomCount(id, q).bounds);
-    ids.push_back(id);
-  }
+  std::vector<CountDistributionBounds> bounds(candidates.size(),
+                                              CountDistributionBounds(0));
+  const std::vector<ObjectId>& ids = candidates;
+  ThreadPool::SharedParallelFor(
+      candidates.size(), ThreadPool::EffectiveParallelism(config.num_threads),
+      [&](size_t c, size_t /*worker*/) {
+        bounds[c] = engine.ComputeDomCount(candidates[c], q).bounds;
+      });
 
   std::vector<RankWinner> winners;
   winners.reserve(max_rank);
@@ -192,12 +209,14 @@ std::vector<ExpectedRankEntry> ExpectedRankOrder(const UncertainDatabase& db,
                                                  const Pdf& q,
                                                  const IdcaConfig& config) {
   IdcaEngine engine(db, config);
-  std::vector<ExpectedRankEntry> entries;
-  entries.reserve(db.size());
-  for (const UncertainObject& o : db.objects()) {
-    const IdcaResult r = engine.ComputeDomCount(o.id(), q);
-    entries.push_back(ExpectedRankEntry{o.id(), r.bounds.ExpectedRank()});
-  }
+  std::vector<ExpectedRankEntry> entries(db.size());
+  ThreadPool::SharedParallelFor(
+      db.size(), ThreadPool::EffectiveParallelism(config.num_threads),
+      [&](size_t o, size_t /*worker*/) {
+        const ObjectId id = db.objects()[o].id();
+        const IdcaResult r = engine.ComputeDomCount(id, q);
+        entries[o] = ExpectedRankEntry{id, r.bounds.ExpectedRank()};
+      });
   std::sort(entries.begin(), entries.end(),
             [](const ExpectedRankEntry& a, const ExpectedRankEntry& b) {
               const double ma = 0.5 * (a.expected_rank.lb + a.expected_rank.ub);

@@ -54,10 +54,14 @@ bool DecompositionTree::TrySplitAxis(const FrontierNode& node, size_t axis,
 size_t DecompositionTree::Deepen() {
   std::vector<FrontierNode> next;
   next.reserve(nodes_.size() * 2);
+  child_offsets_.clear();
+  child_offsets_.reserve(nodes_.size() + 1);
+  child_offsets_.push_back(0);
   size_t splits = 0;
   for (FrontierNode& node : nodes_) {
     if (node.terminal) {
       next.push_back(std::move(node));
+      child_offsets_.push_back(static_cast<uint32_t>(next.size()));
       continue;
     }
     const size_t dim = node.region.dim();
@@ -75,6 +79,7 @@ size_t DecompositionTree::Deepen() {
       node.terminal = true;
       next.push_back(std::move(node));
     }
+    child_offsets_.push_back(static_cast<uint32_t>(next.size()));
   }
   nodes_ = std::move(next);
   if (splits > 0) ++depth_;

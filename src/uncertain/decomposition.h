@@ -59,6 +59,15 @@ class DecompositionTree {
   /// The current disjunctive decomposition. Masses sum to 1.
   const std::vector<Partition>& frontier() const { return frontier_; }
 
+  /// Parent-to-child frontier mapping of the most recent Deepen(): the
+  /// pre-Deepen frontier node o expanded into the current frontier index
+  /// range [child_offsets()[o], child_offsets()[o+1]) — itself when it was
+  /// terminal or unsplittable, its two children otherwise. This is what
+  /// lets IDCA's domination-verdict cache push per-node verdicts down the
+  /// tree instead of re-testing whole frontiers. Empty before the first
+  /// Deepen() call.
+  const std::vector<uint32_t>& child_offsets() const { return child_offsets_; }
+
   /// Total number of nodes ever created (diagnostics).
   size_t node_count() const { return node_count_; }
 
@@ -82,6 +91,7 @@ class DecompositionTree {
   size_t node_count_ = 1;
   std::vector<FrontierNode> nodes_;
   std::vector<Partition> frontier_;
+  std::vector<uint32_t> child_offsets_;
 
   void RebuildFrontierView();
 };

@@ -9,6 +9,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/idca.h"
 #include "domination/criteria.h"
 #include "domination/pdom.h"
@@ -19,6 +20,7 @@
 #include "gf/count_bounds.h"
 #include "gf/poisson_binomial.h"
 #include "gf/ugf.h"
+#include "gf/ugf_reference.h"
 #include "index/rtree.h"
 #include "io/dataset_io.h"
 #include "mc/monte_carlo.h"

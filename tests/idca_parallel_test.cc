@@ -1,0 +1,153 @@
+// Determinism and equivalence properties of the parallel IDCA engine:
+//
+//  * num_threads = 1 vs N produce bit-identical IdcaResult bounds. The
+//    pair loop accumulates into a fixed number of chunk partials reduced
+//    in chunk order, so nothing may depend on the schedule. The
+//    comparisons below are therefore tolerance-free (EXPECT_EQ).
+//  * cache_verdicts on/off agree. Verdict inheritance relies on the
+//    monotonicity of complete domination under shrinking rectangles, so a
+//    cached verdict can only replace a re-test that would have decided the
+//    same way; the aggregated sums group the identical masses differently,
+//    which admits floating-point noise — hence a tiny tolerance here.
+
+#include "core/idca.h"
+
+#include <gtest/gtest.h>
+
+#include "queries/queries.h"
+#include "workload/generators.h"
+
+namespace updb {
+namespace {
+
+using workload::MakeQueryObject;
+using workload::MakeSyntheticDatabase;
+using workload::ObjectModel;
+using workload::SyntheticConfig;
+
+UncertainDatabase TestDatabase(size_t n, double extent, uint64_t seed) {
+  SyntheticConfig cfg;
+  cfg.num_objects = n;
+  cfg.max_extent = extent;
+  cfg.seed = seed;
+  return MakeSyntheticDatabase(cfg);
+}
+
+void ExpectIdenticalResults(const IdcaResult& a, const IdcaResult& b) {
+  EXPECT_EQ(a.complete_domination_count, b.complete_domination_count);
+  EXPECT_EQ(a.influence_count, b.influence_count);
+  ASSERT_EQ(a.bounds.num_ranks(), b.bounds.num_ranks());
+  for (size_t k = 0; k < a.bounds.num_ranks(); ++k) {
+    EXPECT_EQ(a.bounds.lb(k), b.bounds.lb(k)) << "k=" << k;
+    EXPECT_EQ(a.bounds.ub(k), b.bounds.ub(k)) << "k=" << k;
+  }
+  ASSERT_EQ(a.influence_pdom.size(), b.influence_pdom.size());
+  for (size_t i = 0; i < a.influence_pdom.size(); ++i) {
+    EXPECT_EQ(a.influence_pdom[i].lb, b.influence_pdom[i].lb) << "i=" << i;
+    EXPECT_EQ(a.influence_pdom[i].ub, b.influence_pdom[i].ub) << "i=" << i;
+  }
+  EXPECT_EQ(a.predicate_prob.lb, b.predicate_prob.lb);
+  EXPECT_EQ(a.predicate_prob.ub, b.predicate_prob.ub);
+  EXPECT_EQ(a.decision, b.decision);
+  EXPECT_EQ(a.iterations.size(), b.iterations.size());
+}
+
+TEST(IdcaParallelTest, ThreadCountDoesNotChangeBounds) {
+  const UncertainDatabase db = TestDatabase(60, 0.08, 77);
+  Rng rng(21);
+  const auto r =
+      MakeQueryObject(Point{0.5, 0.5}, 0.08, ObjectModel::kUniform, 0, rng);
+  IdcaConfig serial;
+  serial.max_iterations = 5;
+  serial.num_threads = 1;
+  const IdcaResult base = IdcaEngine(db, serial).ComputeDomCount(7, *r);
+  for (int threads : {2, 4, 7}) {
+    IdcaConfig parallel = serial;
+    parallel.num_threads = threads;
+    const IdcaResult got = IdcaEngine(db, parallel).ComputeDomCount(7, *r);
+    SCOPED_TRACE(threads);
+    ExpectIdenticalResults(base, got);
+  }
+}
+
+TEST(IdcaParallelTest, ThreadCountDoesNotChangePredicateBounds) {
+  const UncertainDatabase db = TestDatabase(80, 0.05, 79);
+  Rng rng(22);
+  const auto r =
+      MakeQueryObject(Point{0.5, 0.5}, 0.05, ObjectModel::kUniform, 0, rng);
+  IdcaConfig serial;
+  serial.max_iterations = 4;
+  serial.num_threads = 1;
+  const IdcaResult base =
+      IdcaEngine(db, serial).ComputeDomCount(11, *r, IdcaPredicate{6, 0.5});
+  for (int threads : {3, 8}) {
+    IdcaConfig parallel = serial;
+    parallel.num_threads = threads;
+    const IdcaResult got =
+        IdcaEngine(db, parallel)
+            .ComputeDomCount(11, *r, IdcaPredicate{6, 0.5});
+    SCOPED_TRACE(threads);
+    ExpectIdenticalResults(base, got);
+  }
+}
+
+TEST(IdcaParallelTest, VerdictCacheMatchesFullRecomputation) {
+  const UncertainDatabase db = TestDatabase(50, 0.08, 83);
+  Rng rng(23);
+  const auto r =
+      MakeQueryObject(Point{0.45, 0.55}, 0.08, ObjectModel::kUniform, 0, rng);
+  IdcaConfig cached;
+  cached.max_iterations = 5;
+  IdcaConfig recompute = cached;
+  recompute.cache_verdicts = false;
+  for (ObjectId b : {ObjectId{3}, ObjectId{12}, ObjectId{31}}) {
+    const IdcaResult with = IdcaEngine(db, cached).ComputeDomCount(b, *r);
+    const IdcaResult without =
+        IdcaEngine(db, recompute).ComputeDomCount(b, *r);
+    ASSERT_EQ(with.bounds.num_ranks(), without.bounds.num_ranks());
+    for (size_t k = 0; k < with.bounds.num_ranks(); ++k) {
+      EXPECT_NEAR(with.bounds.lb(k), without.bounds.lb(k), 1e-12) << k;
+      EXPECT_NEAR(with.bounds.ub(k), without.bounds.ub(k), 1e-12) << k;
+    }
+    // The cache must do strictly less testing work after iteration 1.
+    ASSERT_GE(with.iterations.size(), 3u);
+    EXPECT_LT(with.iterations.back().candidate_partitions,
+              without.iterations.back().candidate_partitions);
+  }
+}
+
+TEST(IdcaParallelTest, QueriesAreThreadCountInvariant) {
+  const UncertainDatabase db = TestDatabase(70, 0.05, 89);
+  const RTree index = BuildRTree(db.objects());
+  Rng rng(24);
+  const auto q =
+      MakeQueryObject(Point{0.5, 0.5}, 0.05, ObjectModel::kUniform, 0, rng);
+  IdcaConfig serial;
+  serial.max_iterations = 4;
+  serial.num_threads = 1;
+  IdcaConfig parallel = serial;
+  parallel.num_threads = 4;
+
+  const auto knn_s = ProbabilisticThresholdKnn(db, index, *q, 5, 0.5, serial);
+  const auto knn_p =
+      ProbabilisticThresholdKnn(db, index, *q, 5, 0.5, parallel);
+  ASSERT_EQ(knn_s.size(), knn_p.size());
+  for (size_t i = 0; i < knn_s.size(); ++i) {
+    EXPECT_EQ(knn_s[i].id, knn_p[i].id);
+    EXPECT_EQ(knn_s[i].prob.lb, knn_p[i].prob.lb);
+    EXPECT_EQ(knn_s[i].prob.ub, knn_p[i].prob.ub);
+    EXPECT_EQ(knn_s[i].decision, knn_p[i].decision);
+  }
+
+  const auto er_s = ExpectedRankOrder(db, *q, serial);
+  const auto er_p = ExpectedRankOrder(db, *q, parallel);
+  ASSERT_EQ(er_s.size(), er_p.size());
+  for (size_t i = 0; i < er_s.size(); ++i) {
+    EXPECT_EQ(er_s[i].id, er_p[i].id);
+    EXPECT_EQ(er_s[i].expected_rank.lb, er_p[i].expected_rank.lb);
+    EXPECT_EQ(er_s[i].expected_rank.ub, er_p[i].expected_rank.ub);
+  }
+}
+
+}  // namespace
+}  // namespace updb

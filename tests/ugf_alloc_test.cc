@@ -1,0 +1,102 @@
+// Verifies the flat-buffer UGF's zero-allocation contract: once the
+// workspace has been grown to its high-water mark and rewound with
+// Reset(), replaying a factor sequence of the same (or smaller) size calls
+// the allocator exactly zero times. This is the property that lets the
+// IDCA refinement loop reuse one workspace across every (B', R')
+// partition pair without touching the heap.
+//
+// The global operator new/delete overrides below count every allocation in
+// the process, which is why this test lives in its own binary.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "common/random.h"
+#include "gf/ugf.h"
+
+namespace {
+
+std::atomic<size_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace updb {
+namespace {
+
+/// Replays `factors` into the workspace and returns the number of heap
+/// allocations the replay performed.
+size_t AllocationsDuringReplay(UncertainGeneratingFunction& ugf,
+                               const std::vector<ProbabilityBounds>& factors) {
+  const size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (const ProbabilityBounds& f : factors) ugf.Multiply(f);
+  return g_allocations.load(std::memory_order_relaxed) - before;
+}
+
+std::vector<ProbabilityBounds> RandomFactors(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ProbabilityBounds> factors;
+  factors.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double kind = rng.NextDouble();
+    if (kind < 0.15) {
+      factors.push_back(ProbabilityBounds{0.0, 0.0});
+    } else if (kind < 0.3) {
+      factors.push_back(ProbabilityBounds{1.0, 1.0});
+    } else {
+      const double lb = rng.NextDouble();
+      factors.push_back(
+          ProbabilityBounds{lb, lb + (1.0 - lb) * rng.NextDouble()});
+    }
+  }
+  return factors;
+}
+
+TEST(UgfAllocTest, UntruncatedMultiplyIsAllocationFreeOnReuse) {
+  const std::vector<ProbabilityBounds> factors = RandomFactors(96, 211);
+  UncertainGeneratingFunction ugf;
+  // Warm-up pass: grows the workspace to its high-water mark.
+  for (const ProbabilityBounds& f : factors) ugf.Multiply(f);
+  ugf.Reset();
+  EXPECT_EQ(AllocationsDuringReplay(ugf, factors), 0u);
+  // And again — Reset() itself must not shrink anything.
+  ugf.Reset();
+  EXPECT_EQ(AllocationsDuringReplay(ugf, factors), 0u);
+}
+
+TEST(UgfAllocTest, TruncatedMultiplyIsAllocationFreeOnReuse) {
+  const std::vector<ProbabilityBounds> factors = RandomFactors(96, 223);
+  for (size_t k : {size_t{1}, size_t{3}, size_t{9}}) {
+    UncertainGeneratingFunction ugf(k);
+    for (const ProbabilityBounds& f : factors) ugf.Multiply(f);
+    ugf.Reset();
+    EXPECT_EQ(AllocationsDuringReplay(ugf, factors), 0u) << "k=" << k;
+  }
+}
+
+TEST(UgfAllocTest, SmallerReplayAfterLargeWarmupIsAllocationFree) {
+  const std::vector<ProbabilityBounds> big = RandomFactors(120, 227);
+  const std::vector<ProbabilityBounds> small = RandomFactors(40, 229);
+  UncertainGeneratingFunction ugf;
+  for (const ProbabilityBounds& f : big) ugf.Multiply(f);
+  ugf.Reset();
+  EXPECT_EQ(AllocationsDuringReplay(ugf, small), 0u);
+}
+
+}  // namespace
+}  // namespace updb

@@ -1,0 +1,126 @@
+// Equivalence of the flat-buffer UncertainGeneratingFunction against the
+// nested-vector reference oracle (gf/ugf_reference.h). Both accumulate
+// floating-point contributions in the same order, so every comparison here
+// is exact (EXPECT_EQ on doubles) — no tolerances. Randomized factor
+// sequences deliberately mix general brackets with the degenerate (0,0)
+// and (1,1) factors that take the flat implementation's fast paths, and
+// with exact (p,p) factors that keep whole diagonals at zero.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "gf/ugf.h"
+#include "gf/ugf_reference.h"
+
+namespace updb {
+namespace {
+
+struct Factor {
+  double lb;
+  double ub;
+};
+
+/// Draws a factor: ~20% definite non-dominator (0,0), ~20% definite
+/// dominator (1,1), ~20% exact (p,p), rest a general bracket.
+Factor DrawFactor(Rng& rng) {
+  const double kind = rng.NextDouble();
+  if (kind < 0.2) return {0.0, 0.0};
+  if (kind < 0.4) return {1.0, 1.0};
+  if (kind < 0.6) {
+    const double p = rng.NextDouble();
+    return {p, p};
+  }
+  const double lb = rng.NextDouble();
+  return {lb, lb + (1.0 - lb) * rng.NextDouble()};
+}
+
+void ExpectIdentical(const UncertainGeneratingFunction& flat,
+                     const NestedVectorUgf& ref, size_t max_rank) {
+  ASSERT_EQ(flat.num_factors(), ref.num_factors());
+  EXPECT_EQ(flat.OverflowMass(), ref.OverflowMass());
+  for (size_t i = 0; i <= max_rank; ++i) {
+    for (size_t j = 0; j <= max_rank; ++j) {
+      EXPECT_EQ(flat.Coefficient(i, j), ref.Coefficient(i, j))
+          << "i=" << i << " j=" << j;
+    }
+  }
+  const CountDistributionBounds fb = flat.Bounds();
+  const CountDistributionBounds rb = ref.Bounds();
+  ASSERT_EQ(fb.num_ranks(), rb.num_ranks());
+  for (size_t x = 0; x < fb.num_ranks(); ++x) {
+    EXPECT_EQ(fb.lb(x), rb.lb(x)) << "x=" << x;
+    EXPECT_EQ(fb.ub(x), rb.ub(x)) << "x=" << x;
+  }
+}
+
+TEST(UgfEquivalenceTest, UntruncatedBitIdenticalOnRandomSequences) {
+  Rng rng(131);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t n = 1 + rng.NextBounded(24);
+    UncertainGeneratingFunction flat;
+    NestedVectorUgf ref;
+    for (size_t i = 0; i < n; ++i) {
+      const Factor f = DrawFactor(rng);
+      flat.Multiply(f.lb, f.ub);
+      ref.Multiply(f.lb, f.ub);
+    }
+    ExpectIdentical(flat, ref, n);
+    for (size_t m = 0; m <= n + 1; ++m) {
+      const ProbabilityBounds pf = flat.ProbLessThan(m);
+      const ProbabilityBounds pr = ref.ProbLessThan(m);
+      EXPECT_EQ(pf.lb, pr.lb) << "m=" << m;
+      EXPECT_EQ(pf.ub, pr.ub) << "m=" << m;
+    }
+  }
+}
+
+TEST(UgfEquivalenceTest, TruncatedBitIdenticalOnRandomSequences) {
+  Rng rng(137);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t n = 1 + rng.NextBounded(24);
+    const size_t k = 1 + rng.NextBounded(8);
+    UncertainGeneratingFunction flat(k);
+    NestedVectorUgf ref(k);
+    for (size_t i = 0; i < n; ++i) {
+      const Factor f = DrawFactor(rng);
+      flat.Multiply(f.lb, f.ub);
+      ref.Multiply(f.lb, f.ub);
+    }
+    ExpectIdentical(flat, ref, k);
+    for (size_t m = 0; m <= k; ++m) {
+      const ProbabilityBounds pf = flat.ProbLessThan(m);
+      const ProbabilityBounds pr = ref.ProbLessThan(m);
+      EXPECT_EQ(pf.lb, pr.lb) << "m=" << m;
+      EXPECT_EQ(pf.ub, pr.ub) << "m=" << m;
+    }
+  }
+}
+
+TEST(UgfEquivalenceTest, ReusedWorkspaceStaysBitIdentical) {
+  // The same workspace replays different sequences via Reset(); results
+  // must not depend on what the buffers held before.
+  Rng rng(139);
+  UncertainGeneratingFunction flat;
+  for (int trial = 0; trial < 40; ++trial) {
+    const bool truncated = rng.Bernoulli(0.5);
+    const size_t k = 1 + rng.NextBounded(6);
+    if (truncated) {
+      flat.Reset(k);
+    } else {
+      flat.Reset(UncertainGeneratingFunction::kNoTruncation);
+    }
+    NestedVectorUgf ref(truncated ? k : NestedVectorUgf::kNoTruncation);
+    const size_t n = 1 + rng.NextBounded(20);
+    for (size_t i = 0; i < n; ++i) {
+      const Factor f = DrawFactor(rng);
+      flat.Multiply(f.lb, f.ub);
+      ref.Multiply(f.lb, f.ub);
+    }
+    ExpectIdentical(flat, ref, truncated ? k : n);
+  }
+}
+
+}  // namespace
+}  // namespace updb

@@ -248,6 +248,114 @@ TEST(TruncatedUgfTest, ProbLessThanBracketsTruth) {
   }
 }
 
+// ------------------------------------- degenerate-factor fast paths
+
+/// Total coefficient mass materialized by a k-truncated UGF.
+double TruncatedMass(const UncertainGeneratingFunction& ugf, size_t k) {
+  double total = 0.0;
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j <= k - i; ++j) total += ugf.Coefficient(i, j);
+  }
+  return total;
+}
+
+TEST(UgfFastPathTest, ZeroFactorOnlyExtendsTheRankRange) {
+  // A (0,0) factor multiplies by exactly 1: coefficients stay put, the
+  // count gains one more (impossible) rank.
+  UncertainGeneratingFunction ugf;
+  ugf.Multiply(0.2, 0.5);
+  ugf.Multiply(0.0, 0.0);
+  ugf.Multiply(0.6, 0.8);
+  EXPECT_EQ(ugf.num_factors(), 3u);
+  const CountDistributionBounds b = ugf.Bounds();
+  ASSERT_EQ(b.num_ranks(), 4u);
+  // Example 3 values are unchanged; rank 3 is impossible.
+  EXPECT_NEAR(ugf.Coefficient(2, 0), 0.12, 1e-12);
+  EXPECT_NEAR(ugf.Coefficient(1, 1), 0.22, 1e-12);
+  EXPECT_DOUBLE_EQ(b.lb(3), 0.0);
+  EXPECT_DOUBLE_EQ(b.ub(3), 0.0);
+  EXPECT_NEAR(b.lb(1), 0.34, 1e-12);
+  EXPECT_NEAR(b.ub(1), 0.78, 1e-12);
+}
+
+TEST(UgfFastPathTest, OneFactorShiftsEveryRank) {
+  // A (1,1) factor shifts the whole distribution up one rank, whatever
+  // its position in the factor sequence.
+  UncertainGeneratingFunction shifted, plain;
+  shifted.Multiply(0.2, 0.5);
+  shifted.Multiply(1.0, 1.0);
+  shifted.Multiply(0.6, 0.8);
+  plain.Multiply(0.2, 0.5);
+  plain.Multiply(0.6, 0.8);
+  EXPECT_EQ(shifted.num_factors(), 3u);
+  const CountDistributionBounds bs = shifted.Bounds();
+  const CountDistributionBounds bp = plain.Bounds();
+  ASSERT_EQ(bs.num_ranks(), 4u);
+  EXPECT_DOUBLE_EQ(bs.lb(0), 0.0);
+  EXPECT_DOUBLE_EQ(bs.ub(0), 0.0);
+  for (size_t x = 0; x < bp.num_ranks(); ++x) {
+    EXPECT_EQ(bs.lb(x + 1), bp.lb(x)) << "x=" << x;
+    EXPECT_EQ(bs.ub(x + 1), bp.ub(x)) << "x=" << x;
+  }
+  EXPECT_EQ(shifted.Coefficient(2, 1), plain.Coefficient(1, 1));
+  EXPECT_EQ(shifted.Coefficient(0, 1), 0.0);
+  // ProbLessThan shifts with the ranks.
+  const ProbabilityBounds ps = shifted.ProbLessThan(2);
+  const ProbabilityBounds pp = plain.ProbLessThan(1);
+  EXPECT_EQ(ps.lb, pp.lb);
+  EXPECT_EQ(ps.ub, pp.ub);
+  EXPECT_DOUBLE_EQ(shifted.ProbLessThan(0).ub, 0.0);
+  EXPECT_DOUBLE_EQ(shifted.ProbLessThan(1).ub, 0.0);
+}
+
+TEST(UgfFastPathTest, DegenerateFactorsAloneGiveAPointMass) {
+  UncertainGeneratingFunction ugf;
+  ugf.Multiply(1.0, 1.0);
+  ugf.Multiply(0.0, 0.0);
+  ugf.Multiply(1.0, 1.0);
+  const CountDistributionBounds b = ugf.Bounds();
+  ASSERT_EQ(b.num_ranks(), 4u);
+  for (size_t x = 0; x < 4; ++x) {
+    EXPECT_DOUBLE_EQ(b.lb(x), x == 2 ? 1.0 : 0.0) << "x=" << x;
+    EXPECT_DOUBLE_EQ(b.ub(x), x == 2 ? 1.0 : 0.0) << "x=" << x;
+  }
+  EXPECT_DOUBLE_EQ(ugf.ProbLessThan(2).ub, 0.0);
+  EXPECT_DOUBLE_EQ(ugf.ProbLessThan(3).lb, 1.0);
+}
+
+TEST(UgfFastPathTest, TruncatedDegenerateFactorsMatchSemantics) {
+  // Truncated at k = 2: two definite dominators push all mass to the
+  // overflow; a (0,0) factor changes nothing.
+  UncertainGeneratingFunction trunc(2);
+  trunc.Multiply(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(trunc.OverflowMass(), 0.0);
+  EXPECT_DOUBLE_EQ(trunc.Coefficient(0, 0), 1.0);
+  trunc.Multiply(1.0, 1.0);
+  trunc.Multiply(1.0, 1.0);
+  EXPECT_NEAR(trunc.OverflowMass(), 1.0, 1e-12);
+  const ProbabilityBounds p = trunc.ProbLessThan(2);
+  EXPECT_DOUBLE_EQ(p.lb, 0.0);
+  EXPECT_DOUBLE_EQ(p.ub, 0.0);
+}
+
+TEST(UgfFastPathTest, ResetRewindsToTheUnitFunction) {
+  UncertainGeneratingFunction ugf;
+  ugf.Multiply(0.3, 0.9);
+  ugf.Multiply(1.0, 1.0);
+  ugf.Reset();
+  EXPECT_EQ(ugf.num_factors(), 0u);
+  EXPECT_DOUBLE_EQ(ugf.Coefficient(0, 0), 1.0);
+  const CountDistributionBounds b = ugf.Bounds();
+  ASSERT_EQ(b.num_ranks(), 1u);
+  EXPECT_DOUBLE_EQ(b.lb(0), 1.0);
+  // Reset(k) switches to truncated mode on the same workspace.
+  ugf.Reset(2);
+  ugf.Multiply(0.5, 0.5);
+  ugf.Multiply(0.5, 0.5);
+  ugf.Multiply(0.5, 0.5);
+  EXPECT_NEAR(TruncatedMass(ugf, 2) + ugf.OverflowMass(), 1.0, 1e-12);
+}
+
 TEST(TruncatedUgfTest, ExactInputsDecideProbLessThanExactly) {
   // With lb == ub the truncated UGF must reproduce the exact prefix sum.
   Rng rng(83);

@@ -6,7 +6,9 @@
 //            --out=data.updb
 //   updb_cli info --db=data.updb
 //   updb_cli domcount --db=data.updb --b=17 --qx=0.5 --qy=0.5
-//            --qextent=0.004 --iterations=6
+//            --qextent=0.004 --iterations=6 --threads=1
+//   (--threads: 1 = serial, 0 = all hardware threads; results are
+//    identical for every value — also accepted by knn/rknn)
 //   updb_cli knn --db=data.updb --k=5 --tau=0.5 --qx=0.5 --qy=0.5
 //            --qextent=0.004
 //   updb_cli rknn --db=data.updb --k=5 --tau=0.5 --qx=0.5 --qy=0.5
@@ -146,6 +148,7 @@ int DomCount(const Args& args) {
   const auto q = QueryObjectFromArgs(args, rng);
   IdcaConfig config;
   config.max_iterations = static_cast<int>(args.GetSize("iterations", 6));
+  config.num_threads = static_cast<int>(args.GetSize("threads", 1));
   IdcaEngine engine(*db, config);
   const IdcaResult result = engine.ComputeDomCount(b, *q);
   std::printf("complete dominators: %zu, influence objects: %zu, "
@@ -172,6 +175,7 @@ int ThresholdQuery(const Args& args, bool reverse) {
   const double tau = args.GetDouble("tau", 0.5);
   IdcaConfig config;
   config.max_iterations = static_cast<int>(args.GetSize("iterations", 8));
+  config.num_threads = static_cast<int>(args.GetSize("threads", 1));
   const RTree index = BuildRTree(db->objects());
   QueryStats stats;
   const auto results =
