@@ -1,0 +1,149 @@
+// Service benchmark: closed-loop throughput and tail latency of the
+// concurrent QueryService over worker count x batch size, with a built-in
+// determinism oracle — every configuration must produce bit-identical
+// responses (equal digests) or the binary exits 2.
+//
+// Closed loop: the whole trace is admitted up front (queue sized to hold
+// it), so workers are never starved and the measured rate is the service's
+// capacity at that configuration. CSV to stdout; pass a path argument to
+// also write the summary JSON (the format committed as
+// BENCH_service_throughput.json). UPDB_BENCH_SCALE scales the database
+// and trace sizes.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "updb.h"
+
+int main(int argc, char** argv) {
+  using namespace updb;
+  bench::PrintBanner("bench_service_throughput",
+                     "QueryService closed-loop throughput vs workers/batch");
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("# hardware_threads=%u\n", hw);
+
+  workload::SyntheticConfig dbcfg;
+  dbcfg.num_objects = bench::Scaled(300);
+  dbcfg.max_extent = 0.03;
+  dbcfg.seed = 11;
+  auto db = std::make_shared<const UncertainDatabase>(
+      workload::MakeSyntheticDatabase(dbcfg));
+
+  service::TraceConfig tcfg;
+  tcfg.num_requests = bench::Scaled(80);
+  tcfg.seed = 23;
+  tcfg.query_extent = 0.03;
+  tcfg.k_max = 6;
+  tcfg.budget.max_iterations = 4;
+  tcfg.deadline_fraction = 0.25;  // a quarter of the load is deadline-bound
+  tcfg.deadline_ms = 15.0;
+  const std::vector<service::QueryRequest> trace =
+      service::MakeTrace(*db, tcfg);
+
+  struct Row {
+    size_t workers = 0;
+    size_t batch = 0;
+    double seconds = 0.0;
+    double qps = 0.0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    uint64_t digest = 0;
+  };
+  std::vector<Row> rows;
+  std::printf("series,workers,batch,seconds,throughput_qps,p50_ms,p95_ms,"
+              "p99_ms,digest\n");
+  for (size_t workers : {size_t{1}, size_t{2}, size_t{4}}) {
+    for (size_t batch : {size_t{1}, size_t{8}}) {
+      service::QueryServiceOptions opts;
+      opts.num_workers = workers;
+      opts.batch_size = batch;
+      opts.max_queue = trace.size();
+      // Pause admission while the trace loads so every configuration
+      // executes the identical closed-loop backlog.
+      opts.start_paused = true;
+      service::QueryService svc(db, opts);
+      std::vector<uint64_t> tickets;
+      tickets.reserve(trace.size());
+      for (const service::QueryRequest& req : trace) {
+        const StatusOr<uint64_t> ticket = svc.Submit(req);
+        if (!ticket.ok()) {
+          std::fprintf(stderr, "submit failed: %s\n",
+                       ticket.status().ToString().c_str());
+          return 1;
+        }
+        tickets.push_back(*ticket);
+      }
+      Stopwatch timer;
+      svc.Resume();
+      svc.Flush();
+      const double seconds = timer.ElapsedSeconds();
+      std::vector<service::QueryResponse> responses;
+      responses.reserve(tickets.size());
+      for (uint64_t t : tickets) responses.push_back(svc.Take(t));
+      const service::MetricsSnapshot m = svc.metrics().Snapshot();
+      Row row;
+      row.workers = workers;
+      row.batch = batch;
+      row.seconds = seconds;
+      row.qps = static_cast<double>(trace.size()) / seconds;
+      row.p50_ms = m.latency_p50_ms;
+      row.p95_ms = m.latency_p95_ms;
+      row.p99_ms = m.latency_p99_ms;
+      row.digest = service::ResponseDigest(
+          std::span<const service::QueryResponse>(responses));
+      rows.push_back(row);
+      std::printf("service_throughput,%zu,%zu,%.3f,%.2f,%.2f,%.2f,%.2f,"
+                  "%016llx\n",
+                  row.workers, row.batch, row.seconds, row.qps, row.p50_ms,
+                  row.p95_ms, row.p99_ms,
+                  static_cast<unsigned long long>(row.digest));
+    }
+  }
+
+  bool deterministic = true;
+  for (const Row& row : rows) deterministic &= row.digest == rows[0].digest;
+  std::printf("series,deterministic\nservice_determinism,%s\n",
+              deterministic ? "yes" : "NO");
+
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_service_throughput\",\n");
+    std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+    std::fprintf(f,
+                 "  \"note\": \"closed loop (whole trace admitted before "
+                 "Resume); latencies therefore include backlog wait and "
+                 "p50/p95/p99 mostly reflect drain order — compare them "
+                 "across configurations, not to open-loop service "
+                 "latency. Responses are bit-identical across all "
+                 "configurations (see digest).\",\n");
+    std::fprintf(f, "  \"db_objects\": %zu,\n", db->size());
+    std::fprintf(f, "  \"requests\": %zu,\n", trace.size());
+    std::fprintf(f, "  \"iteration_budget\": %d,\n",
+                 tcfg.budget.max_iterations);
+    std::fprintf(f, "  \"deterministic\": %s,\n",
+                 deterministic ? "true" : "false");
+    std::fprintf(f, "  \"response_digest\": \"%016llx\",\n",
+                 static_cast<unsigned long long>(rows[0].digest));
+    std::fprintf(f, "  \"series\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    {\"workers\": %zu, \"batch\": %zu, \"seconds\": "
+                   "%.3f, \"throughput_qps\": %.2f, \"p50_ms\": %.2f, "
+                   "\"p95_ms\": %.2f, \"p99_ms\": %.2f}%s\n",
+                   r.workers, r.batch, r.seconds, r.qps, r.p50_ms, r.p95_ms,
+                   r.p99_ms, i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+  return deterministic ? 0 : 2;
+}

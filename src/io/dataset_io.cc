@@ -40,6 +40,14 @@ class FieldCursor {
   explicit FieldCursor(std::vector<std::string> fields)
       : fields_(std::move(fields)) {}
 
+  Status NextString(std::string* out) {
+    if (pos_ >= fields_.size()) {
+      return Status::InvalidArgument("unexpected end of line");
+    }
+    *out = fields_[pos_++];
+    return Status::OK();
+  }
+
   Status NextDouble(double* out) {
     if (pos_ >= fields_.size()) {
       return Status::InvalidArgument("unexpected end of line");
@@ -95,37 +103,44 @@ StatusOr<Rect> ParseRect(FieldCursor& cursor, size_t dim) {
   return Rect(std::move(sides));
 }
 
-}  // namespace
+/// Mixtures may nest; bound the recursion so a hostile line cannot blow
+/// the stack.
+constexpr int kMaxMixtureDepth = 16;
 
-StatusOr<std::string> SerializeObject(const UncertainObject& object) {
-  std::string out;
-  const Pdf& pdf = object.pdf();
-  const size_t dim = object.dim();
-  auto header = [&out, &object, dim](const char* tag) {
-    out += tag;
-    out += ',';
-    AppendDouble(out, object.existence());
-    out += ',';
-    AppendDouble(out, static_cast<double>(dim));
-  };
-  auto append_rect = [&out](const Rect& r) {
-    for (size_t i = 0; i < r.dim(); ++i) {
-      out += ',';
-      AppendDouble(out, r.side(i).lo());
-      out += ',';
-      AppendDouble(out, r.side(i).hi());
-    }
-  };
+/// Line-format tag of a PDF type; nullptr when it has no line format.
+const char* PdfTag(const Pdf& pdf) {
+  if (dynamic_cast<const UniformPdf*>(&pdf) != nullptr) return "uniform";
+  if (dynamic_cast<const TruncatedGaussianPdf*>(&pdf) != nullptr) {
+    return "gaussian";
+  }
+  if (dynamic_cast<const DiscreteSamplePdf*>(&pdf) != nullptr) {
+    return "discrete";
+  }
+  if (dynamic_cast<const MixturePdf*>(&pdf) != nullptr) return "mixture";
+  return nullptr;
+}
 
-  if (dynamic_cast<const UniformPdf*>(&pdf) != nullptr) {
-    header("uniform");
-    append_rect(pdf.bounds());
-    return out;
+void AppendRect(const Rect& r, std::string& out) {
+  for (size_t i = 0; i < r.dim(); ++i) {
+    out += ',';
+    AppendDouble(out, r.side(i).lo());
+    out += ',';
+    AppendDouble(out, r.side(i).hi());
+  }
+}
+
+/// Appends the type-specific payload (the fields after the tag). Shared
+/// between top-level lines and mixture components, so mixtures nest —
+/// bounded by the same depth limit the parser enforces, so everything
+/// SaveDatabase accepts is guaranteed loadable.
+Status AppendPayload(const Pdf& pdf, std::string& out, int depth) {
+  if (const auto* u = dynamic_cast<const UniformPdf*>(&pdf)) {
+    AppendRect(u->bounds(), out);
+    return Status::OK();
   }
   if (const auto* g = dynamic_cast<const TruncatedGaussianPdf*>(&pdf)) {
-    header("gaussian");
-    append_rect(g->bounds());
-    // Recover mean/sigma via the public API is not possible; serialize the
+    AppendRect(g->bounds(), out);
+    // Recovering mean/sigma via Mass() is not possible; serialize the
     // moments we can reconstruct the object from. TruncatedGaussianPdf
     // exposes them for this purpose.
     for (double m : g->mean()) {
@@ -136,10 +151,10 @@ StatusOr<std::string> SerializeObject(const UncertainObject& object) {
       out += ',';
       AppendDouble(out, s);
     }
-    return out;
+    return Status::OK();
   }
   if (const auto* d = dynamic_cast<const DiscreteSamplePdf*>(&pdf)) {
-    header("discrete");
+    const size_t dim = d->bounds().dim();
     out += ',';
     AppendDouble(out, static_cast<double>(d->samples().size()));
     for (size_t s = 0; s < d->samples().size(); ++s) {
@@ -150,35 +165,43 @@ StatusOr<std::string> SerializeObject(const UncertainObject& object) {
         AppendDouble(out, d->samples()[s][i]);
       }
     }
-    return out;
+    return Status::OK();
+  }
+  if (const auto* m = dynamic_cast<const MixturePdf*>(&pdf)) {
+    if (depth >= kMaxMixtureDepth) {
+      return Status::Unimplemented("mixture nesting too deep for the line "
+                                   "format");
+    }
+    out += ',';
+    AppendDouble(out, static_cast<double>(m->num_components()));
+    for (size_t c = 0; c < m->num_components(); ++c) {
+      out += ',';
+      AppendDouble(out, m->weights()[c]);
+      const Pdf& comp = *m->components()[c];
+      const char* tag = PdfTag(comp);
+      if (tag == nullptr) {
+        return Status::Unimplemented(
+            "mixture component type has no line format");
+      }
+      out += ',';
+      out += tag;
+      UPDB_RETURN_IF_ERROR(AppendPayload(comp, out, depth + 1));
+    }
+    return Status::OK();
   }
   return Status::Unimplemented("PDF type has no line format");
 }
 
-StatusOr<ParsedObject> ParseObject(const std::string& line) {
-  std::vector<std::string> fields = SplitFields(line);
-  if (fields.empty() || fields[0].empty()) {
-    return Status::InvalidArgument("empty line");
-  }
-  const std::string type = fields[0];
-  FieldCursor cursor(std::move(fields));
-
-  double existence = 1.0;
-  size_t dim = 0;
-  UPDB_RETURN_IF_ERROR(cursor.NextDouble(&existence));
-  UPDB_RETURN_IF_ERROR(cursor.NextSize(&dim));
-  UPDB_RETURN_IF_ERROR(ValidateHeader(existence, dim));
-
-  ParsedObject out;
-  out.existence = existence;
+/// Parses the payload of one `type`-tagged PDF (top-level line or mixture
+/// component) of dimensionality `dim`.
+StatusOr<std::unique_ptr<Pdf>> ParsePayload(FieldCursor& cursor, size_t dim,
+                                            const std::string& type,
+                                            int depth) {
   if (type == "uniform") {
     StatusOr<Rect> rect = ParseRect(cursor, dim);
     if (!rect.ok()) return rect.status();
-    if (!cursor.exhausted()) {
-      return Status::InvalidArgument("trailing fields on uniform object");
-    }
-    out.pdf = std::make_shared<UniformPdf>(std::move(rect).value());
-    return out;
+    return std::unique_ptr<Pdf>(
+        std::make_unique<UniformPdf>(std::move(rect).value()));
   }
   if (type == "gaussian") {
     StatusOr<Rect> rect = ParseRect(cursor, dim);
@@ -189,18 +212,18 @@ StatusOr<ParsedObject> ParseObject(const std::string& line) {
       UPDB_RETURN_IF_ERROR(cursor.NextDouble(&s));
       if (s < 0.0) return Status::InvalidArgument("negative sigma");
     }
-    if (!cursor.exhausted()) {
-      return Status::InvalidArgument("trailing fields on gaussian object");
-    }
-    out.pdf = std::make_shared<TruncatedGaussianPdf>(
-        std::move(rect).value(), std::move(mean), std::move(sigma));
-    return out;
+    return std::unique_ptr<Pdf>(std::make_unique<TruncatedGaussianPdf>(
+        std::move(rect).value(), std::move(mean), std::move(sigma)));
   }
   if (type == "discrete") {
     size_t n = 0;
     UPDB_RETURN_IF_ERROR(cursor.NextSize(&n));
-    if (n == 0) return Status::InvalidArgument("discrete object without samples");
-    if (cursor.remaining() != n * (dim + 1)) {
+    if (n == 0) {
+      return Status::InvalidArgument("discrete object without samples");
+    }
+    // Each sample needs dim+1 fields; a hostile count must fail here, not
+    // in an attacker-sized reserve (division avoids n*(dim+1) overflow).
+    if (n > cursor.remaining() / (dim + 1)) {
       return Status::InvalidArgument("discrete field count mismatch");
     }
     std::vector<Point> samples;
@@ -218,11 +241,85 @@ StatusOr<ParsedObject> ParseObject(const std::string& line) {
       }
       samples.push_back(std::move(p));
     }
-    out.pdf = std::make_shared<DiscreteSamplePdf>(std::move(samples),
-                                                  std::move(weights));
-    return out;
+    return std::unique_ptr<Pdf>(std::make_unique<DiscreteSamplePdf>(
+        std::move(samples), std::move(weights)));
+  }
+  if (type == "mixture") {
+    if (depth >= kMaxMixtureDepth) {
+      return Status::InvalidArgument("mixture nesting too deep");
+    }
+    size_t n = 0;
+    UPDB_RETURN_IF_ERROR(cursor.NextSize(&n));
+    if (n == 0) {
+      return Status::InvalidArgument("mixture without components");
+    }
+    // Each component needs at least a weight and a type tag.
+    if (n > cursor.remaining() / 2) {
+      return Status::InvalidArgument("mixture component count mismatch");
+    }
+    std::vector<std::unique_ptr<Pdf>> components;
+    std::vector<double> weights;
+    components.reserve(n);
+    weights.reserve(n);
+    for (size_t c = 0; c < n; ++c) {
+      double w = 0.0;
+      UPDB_RETURN_IF_ERROR(cursor.NextDouble(&w));
+      if (w <= 0.0) return Status::InvalidArgument("non-positive weight");
+      weights.push_back(w);
+      std::string comp_type;
+      UPDB_RETURN_IF_ERROR(cursor.NextString(&comp_type));
+      StatusOr<std::unique_ptr<Pdf>> comp =
+          ParsePayload(cursor, dim, comp_type, depth + 1);
+      if (!comp.ok()) return comp.status();
+      components.push_back(std::move(comp).value());
+    }
+    return std::unique_ptr<Pdf>(std::make_unique<MixturePdf>(
+        std::move(components), std::move(weights)));
   }
   return Status::InvalidArgument("unknown object type '" + type + "'");
+}
+
+}  // namespace
+
+StatusOr<std::string> SerializeObject(const UncertainObject& object) {
+  const Pdf& pdf = object.pdf();
+  const char* tag = PdfTag(pdf);
+  if (tag == nullptr) {
+    return Status::Unimplemented("PDF type has no line format");
+  }
+  std::string out = tag;
+  out += ',';
+  AppendDouble(out, object.existence());
+  out += ',';
+  AppendDouble(out, static_cast<double>(object.dim()));
+  UPDB_RETURN_IF_ERROR(AppendPayload(pdf, out, /*depth=*/0));
+  return out;
+}
+
+StatusOr<ParsedObject> ParseObject(const std::string& line) {
+  std::vector<std::string> fields = SplitFields(line);
+  if (fields.empty() || fields[0].empty()) {
+    return Status::InvalidArgument("empty line");
+  }
+  const std::string type = fields[0];
+  FieldCursor cursor(std::move(fields));
+
+  double existence = 1.0;
+  size_t dim = 0;
+  UPDB_RETURN_IF_ERROR(cursor.NextDouble(&existence));
+  UPDB_RETURN_IF_ERROR(cursor.NextSize(&dim));
+  UPDB_RETURN_IF_ERROR(ValidateHeader(existence, dim));
+
+  StatusOr<std::unique_ptr<Pdf>> pdf =
+      ParsePayload(cursor, dim, type, /*depth=*/0);
+  if (!pdf.ok()) return pdf.status();
+  if (!cursor.exhausted()) {
+    return Status::InvalidArgument("trailing fields on " + type + " object");
+  }
+  ParsedObject out;
+  out.existence = existence;
+  out.pdf = std::shared_ptr<const Pdf>(std::move(pdf).value());
+  return out;
 }
 
 Status SaveDatabase(const UncertainDatabase& db, const std::string& path) {

@@ -9,8 +9,12 @@
 //   uniform,<existence>,<dim>,<lo_0>,<hi_0>,...,<lo_d-1>,<hi_d-1>
 //   gaussian,<existence>,<dim>,<lo_0>,<hi_0>,...,<mean_0>,...,<sigma_0>,...
 //   discrete,<existence>,<dim>,<n>,<w_1>,<x_1_0>,...,<x_1_d-1>,<w_2>,...
+//   mixture,<existence>,<dim>,<n>,<w_1>,<component_1>,...,<w_n>,<component_n>
 //
-// Mixture PDFs are not serializable (Status::Unimplemented).
+// A mixture component is a nested <type>,<payload> sequence using the same
+// payloads as the top-level formats (without the existence/dim header);
+// components may themselves be mixtures, up to a fixed nesting depth.
+// Weights are serialized normalized (as MixturePdf stores them).
 
 #ifndef UPDB_IO_DATASET_IO_H_
 #define UPDB_IO_DATASET_IO_H_

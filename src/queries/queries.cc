@@ -1,6 +1,7 @@
 #include "queries/queries.h"
 
 #include <algorithm>
+#include <limits>
 #include <numeric>
 
 #include "common/stopwatch.h"
@@ -18,26 +19,13 @@ namespace {
 std::vector<ObjectId> KnnCandidates(const UncertainDatabase& db,
                                     const RTree& index, const Rect& q_mbr,
                                     size_t k, const LpNorm& norm) {
-  UPDB_CHECK(k >= 1);
-  // k-th smallest MaxDist (partial selection) over the *existentially
-  // certain* objects: an object that may be absent cannot guarantee to
-  // push B out of the kNN set in every world.
-  std::vector<double> maxdists;
-  maxdists.reserve(db.size());
-  for (const UncertainObject& o : db.objects()) {
-    if (o.existentially_certain()) {
-      maxdists.push_back(norm.MaxDist(o.mbr(), q_mbr));
-    }
-  }
-  if (maxdists.size() < k) {
+  const double prune_dist = KnnPruneDistance(db, q_mbr, k, norm);
+  if (prune_dist == std::numeric_limits<double>::infinity()) {
     // Fewer than k certain objects: nothing can be pruned spatially.
     std::vector<ObjectId> all(db.size());
     for (ObjectId id = 0; id < db.size(); ++id) all[id] = id;
     return all;
   }
-  const size_t kth = k - 1;
-  std::nth_element(maxdists.begin(), maxdists.begin() + kth, maxdists.end());
-  const double prune_dist = maxdists[kth];
 
   std::vector<ObjectId> candidates;
   index.ScanByMinDist(
@@ -52,6 +40,23 @@ std::vector<ObjectId> KnnCandidates(const UncertainDatabase& db,
 }
 
 }  // namespace
+
+double KnnPruneDistance(const UncertainDatabase& db, const Rect& q_mbr,
+                        size_t k, const LpNorm& norm) {
+  UPDB_CHECK(k >= 1);
+  // k-th smallest MaxDist (partial selection) over the certain objects.
+  std::vector<double> maxdists;
+  maxdists.reserve(db.size());
+  for (const UncertainObject& o : db.objects()) {
+    if (o.existentially_certain()) {
+      maxdists.push_back(norm.MaxDist(o.mbr(), q_mbr));
+    }
+  }
+  if (maxdists.size() < k) return std::numeric_limits<double>::infinity();
+  const size_t kth = k - 1;
+  std::nth_element(maxdists.begin(), maxdists.begin() + kth, maxdists.end());
+  return maxdists[kth];
+}
 
 std::vector<ThresholdQueryResult> ProbabilisticThresholdKnn(
     const UncertainDatabase& db, const RTree& index, const Pdf& q, size_t k,
@@ -207,16 +212,27 @@ std::vector<RankWinner> UkRanksQuery(const UncertainDatabase& db,
 
 std::vector<ExpectedRankEntry> ExpectedRankOrder(const UncertainDatabase& db,
                                                  const Pdf& q,
-                                                 const IdcaConfig& config) {
-  IdcaEngine engine(db, config);
+                                                 const IdcaConfig& config,
+                                                 const RTree* index,
+                                                 size_t* total_iterations) {
+  IdcaEngine engine = index != nullptr ? IdcaEngine(db, index, config)
+                                       : IdcaEngine(db, config);
   std::vector<ExpectedRankEntry> entries(db.size());
+  std::vector<size_t> iterations_per_object(db.size(), 0);
   ThreadPool::SharedParallelFor(
       db.size(), ThreadPool::EffectiveParallelism(config.num_threads),
       [&](size_t o, size_t /*worker*/) {
         const ObjectId id = db.objects()[o].id();
         const IdcaResult r = engine.ComputeDomCount(id, q);
+        iterations_per_object[o] =
+            r.iterations.empty() ? 0 : r.iterations.size() - 1;
         entries[o] = ExpectedRankEntry{id, r.bounds.ExpectedRank()};
       });
+  if (total_iterations != nullptr) {
+    *total_iterations =
+        std::accumulate(iterations_per_object.begin(),
+                        iterations_per_object.end(), size_t{0});
+  }
   std::sort(entries.begin(), entries.end(),
             [](const ExpectedRankEntry& a, const ExpectedRankEntry& b) {
               const double ma = 0.5 * (a.expected_rank.lb + a.expected_rank.ub);

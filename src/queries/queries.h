@@ -74,9 +74,24 @@ struct ExpectedRankEntry {
 
 /// Orders all database objects by (the midpoint of) their expected-rank
 /// bounds w.r.t. the query object Q — the expected-rank semantics of
-/// Cormode et al. referenced by Corollary 6.
+/// Cormode et al. referenced by Corollary 6. `index` (optional) is handed
+/// to the engine for config.use_index_filter; `total_iterations`
+/// (optional) receives the summed IDCA refinement iterations. The serving
+/// layer calls this with both — payloads must stay bit-identical to the
+/// direct path, so there is exactly one implementation.
 std::vector<ExpectedRankEntry> ExpectedRankOrder(
-    const UncertainDatabase& db, const Pdf& q, const IdcaConfig& config = {});
+    const UncertainDatabase& db, const Pdf& q, const IdcaConfig& config = {},
+    const RTree* index = nullptr, size_t* total_iterations = nullptr);
+
+/// Threshold-kNN prune distance: the k-th smallest MaxDist(object, q_mbr)
+/// over the *existentially certain* objects (an object that may be absent
+/// cannot guarantee to push a candidate out of the kNN set in every
+/// world). Returns +infinity when fewer than k certain objects exist —
+/// nothing is spatially prunable then. Shared between the direct query
+/// path and the service's batched filter, whose determinism contract is
+/// that both compute identical candidate sets.
+double KnnPruneDistance(const UncertainDatabase& db, const Rect& q_mbr,
+                        size_t k, const LpNorm& norm);
 
 /// Answer entry of a U-kRanks-style query (Soliman & Ilyas, cited as [25]):
 /// for one rank position, the object most likely to occupy it.

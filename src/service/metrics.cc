@@ -1,0 +1,141 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace updb {
+namespace service {
+
+namespace {
+
+/// Nearest-rank percentile of an ascending-sorted series.
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+void AppendField(std::string& out, const char* key, double value,
+                 bool last = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.6g%s", key, value,
+                last ? "" : ", ");
+  out += buf;
+}
+
+void AppendField(std::string& out, const char* key, uint64_t value,
+                 bool last = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %llu%s", key,
+                static_cast<unsigned long long>(value), last ? "" : ", ");
+  out += buf;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  AppendField(out, "submitted", submitted);
+  AppendField(out, "admitted", admitted);
+  AppendField(out, "rejected", rejected);
+  AppendField(out, "invalid", invalid);
+  AppendField(out, "completed", completed);
+  AppendField(out, "expired", expired);
+  AppendField(out, "batches", batches);
+  AppendField(out, "mean_batch_fill", mean_batch_fill);
+  AppendField(out, "queue_depth", static_cast<uint64_t>(queue_depth));
+  AppendField(out, "max_queue_depth", static_cast<uint64_t>(max_queue_depth));
+  AppendField(out, "elapsed_seconds", elapsed_seconds);
+  AppendField(out, "throughput_qps", throughput_qps);
+  out += "\"latency_ms\": {";
+  AppendField(out, "mean", latency_mean_ms);
+  AppendField(out, "p50", latency_p50_ms);
+  AppendField(out, "p95", latency_p95_ms);
+  AppendField(out, "p99", latency_p99_ms);
+  AppendField(out, "max", latency_max_ms, /*last=*/true);
+  out += "}}";
+  return out;
+}
+
+void ServiceMetrics::RecordAdmitted(size_t queue_depth_after) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++submitted_;
+  ++admitted_;
+  queue_depth_ = queue_depth_after;
+  max_queue_depth_ = std::max(max_queue_depth_, queue_depth_after);
+  if (first_admit_at_ < 0.0) first_admit_at_ = clock_.ElapsedSeconds();
+}
+
+void ServiceMetrics::RecordRejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++submitted_;
+  ++rejected_;
+}
+
+void ServiceMetrics::RecordInvalid() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++submitted_;
+  ++invalid_;
+}
+
+void ServiceMetrics::RecordCompleted(ResponseStatus status,
+                                     double latency_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++completed_;
+  if (status == ResponseStatus::kExpired) ++expired_;
+  latencies_seconds_.push_back(latency_seconds);
+  last_complete_at_ = clock_.ElapsedSeconds();
+}
+
+void ServiceMetrics::RecordBatch(size_t fill) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  batched_requests_ += fill;
+}
+
+void ServiceMetrics::RecordQueueDepth(size_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_depth_ = depth;
+  max_queue_depth_ = std::max(max_queue_depth_, depth);
+}
+
+MetricsSnapshot ServiceMetrics::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot s;
+  s.submitted = submitted_;
+  s.admitted = admitted_;
+  s.rejected = rejected_;
+  s.invalid = invalid_;
+  s.completed = completed_;
+  s.expired = expired_;
+  s.batches = batches_;
+  s.mean_batch_fill =
+      batches_ > 0
+          ? static_cast<double>(batched_requests_) / static_cast<double>(batches_)
+          : 0.0;
+  s.queue_depth = queue_depth_;
+  s.max_queue_depth = max_queue_depth_;
+  if (first_admit_at_ >= 0.0 && last_complete_at_ >= first_admit_at_) {
+    s.elapsed_seconds = last_complete_at_ - first_admit_at_;
+  }
+  if (s.elapsed_seconds > 0.0) {
+    s.throughput_qps = static_cast<double>(completed_) / s.elapsed_seconds;
+  }
+  if (!latencies_seconds_.empty()) {
+    std::vector<double> sorted = latencies_seconds_;
+    std::sort(sorted.begin(), sorted.end());
+    double sum = 0.0;
+    for (double v : sorted) sum += v;
+    s.latency_mean_ms = sum / static_cast<double>(sorted.size()) * 1e3;
+    s.latency_p50_ms = Percentile(sorted, 0.50) * 1e3;
+    s.latency_p95_ms = Percentile(sorted, 0.95) * 1e3;
+    s.latency_p99_ms = Percentile(sorted, 0.99) * 1e3;
+    s.latency_max_ms = sorted.back() * 1e3;
+  }
+  return s;
+}
+
+}  // namespace service
+}  // namespace updb

@@ -1,0 +1,89 @@
+// Copyright 2026 The updb Authors.
+// Serving-layer metrics registry: admission counters, queue depth,
+// batching shape, throughput and tail latency, with a JSON dump. All
+// recorded quantities are wall-clock observations — they describe one run
+// of the service and are deliberately *outside* the determinism contract
+// (only response payloads are reproducible; see service/request.h).
+
+#ifndef UPDB_SERVICE_METRICS_H_
+#define UPDB_SERVICE_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "service/request.h"
+
+namespace updb {
+namespace service {
+
+/// Point-in-time aggregate of everything the registry observed.
+struct MetricsSnapshot {
+  uint64_t submitted = 0;  // Submit calls (admitted + rejected + invalid)
+  uint64_t admitted = 0;
+  uint64_t rejected = 0;   // admission-queue-full rejections
+  uint64_t invalid = 0;    // failed validation
+  uint64_t completed = 0;
+  uint64_t expired = 0;    // completed with ResponseStatus::kExpired
+  uint64_t batches = 0;
+  double mean_batch_fill = 0.0;  // requests per executed batch
+  size_t queue_depth = 0;        // current
+  size_t max_queue_depth = 0;
+  /// First admission -> last completion (0 before the first completion).
+  double elapsed_seconds = 0.0;
+  double throughput_qps = 0.0;  // completed / elapsed_seconds
+  /// Submit -> response-ready latency, milliseconds.
+  double latency_mean_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_max_ms = 0.0;
+
+  /// Serializes the snapshot as a JSON object (the schema documented in
+  /// README "Serving layer").
+  std::string ToJson() const;
+};
+
+/// Thread-safe metrics registry; one instance per QueryService. Latencies
+/// are retained exactly (one double per completed request) — the service
+/// is an in-process layer, so a run's request count is bounded by memory
+/// the caller already spent on responses.
+class ServiceMetrics {
+ public:
+  ServiceMetrics() = default;
+
+  void RecordAdmitted(size_t queue_depth_after);
+  void RecordRejected();
+  void RecordInvalid();
+  /// `latency_seconds` covers Submit -> response ready.
+  void RecordCompleted(ResponseStatus status, double latency_seconds);
+  void RecordBatch(size_t fill);
+  void RecordQueueDepth(size_t depth);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  Stopwatch clock_;  // time base for first-admission/last-completion
+  uint64_t submitted_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t rejected_ = 0;
+  uint64_t invalid_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t expired_ = 0;
+  uint64_t batches_ = 0;
+  uint64_t batched_requests_ = 0;
+  size_t queue_depth_ = 0;
+  size_t max_queue_depth_ = 0;
+  double first_admit_at_ = -1.0;
+  double last_complete_at_ = -1.0;
+  std::vector<double> latencies_seconds_;
+};
+
+}  // namespace service
+}  // namespace updb
+
+#endif  // UPDB_SERVICE_METRICS_H_

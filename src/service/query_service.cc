@@ -1,0 +1,391 @@
+#include "service/query_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace updb {
+namespace service {
+
+namespace {
+
+/// Refinement iterations an IdcaResult actually executed (entry 0 of the
+/// stats series is the filter phase).
+size_t IterationsRun(const IdcaResult& r) {
+  return r.iterations.empty() ? 0 : r.iterations.size() - 1;
+}
+
+/// Expands `mbr` by `reach` in every dimension.
+Rect ExpandRect(const Rect& mbr, double reach) {
+  std::vector<Interval> sides;
+  sides.reserve(mbr.dim());
+  for (size_t i = 0; i < mbr.dim(); ++i) {
+    sides.emplace_back(mbr.side(i).lo() - reach, mbr.side(i).hi() + reach);
+  }
+  return Rect(std::move(sides));
+}
+
+/// Contract checks that must run before the member-initializer list uses
+/// the values (a bad db would deref null building the index; num_workers
+/// of 0 would underflow the pool size).
+const UncertainDatabase& CheckedDb(
+    const std::shared_ptr<const UncertainDatabase>& db) {
+  UPDB_CHECK(db != nullptr && !db->empty());
+  return *db;
+}
+
+size_t CheckedPoolSize(size_t num_workers) {
+  UPDB_CHECK(num_workers >= 1);
+  return num_workers - 1;
+}
+
+}  // namespace
+
+QueryService::QueryService(std::shared_ptr<const UncertainDatabase> db,
+                           QueryServiceOptions options)
+    : db_(std::move(db)),
+      options_(options),
+      index_(BuildRTree(CheckedDb(db_).objects())),
+      pool_(CheckedPoolSize(options.num_workers)),
+      paused_(options.start_paused) {
+  UPDB_CHECK(options_.batch_size >= 1);
+  UPDB_CHECK(options_.max_queue >= 1);
+  UPDB_CHECK(options_.est_iteration_ms > 0.0);
+  dispatcher_ = std::thread([this] { DispatcherMain(); });
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+StatusOr<uint64_t> QueryService::Submit(QueryRequest request) {
+  const Status valid = ValidateRequest(request, *db_);
+  if (!valid.ok()) {
+    metrics_.RecordInvalid();
+    return valid;
+  }
+  uint64_t ticket = 0;
+  size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return Status::FailedPrecondition("service is shut down");
+    if (pending_.size() >= options_.max_queue) {
+      metrics_.RecordRejected();
+      return Status::ResourceExhausted("admission queue full");
+    }
+    ticket = next_ticket_++;
+    Pending p;
+    p.ticket = ticket;
+    p.request = std::move(request);
+    p.response.id = ticket;
+    p.response.kind = p.request.kind;
+    pending_.push_back(std::move(p));
+    ++admitted_;
+    depth = pending_.size();
+  }
+  metrics_.RecordAdmitted(depth);
+  queue_cv_.notify_one();
+  return ticket;
+}
+
+QueryResponse QueryService::Take(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return done_.find(ticket) != done_.end(); });
+  auto it = done_.find(ticket);
+  QueryResponse response = std::move(it->second);
+  done_.erase(it);
+  return response;
+}
+
+void QueryService::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return completed_ == admitted_; });
+}
+
+void QueryService::Pause() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = true;
+}
+
+void QueryService::Resume() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+  }
+  queue_cv_.notify_all();
+}
+
+void QueryService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void QueryService::DispatcherMain() {
+  for (;;) {
+    std::vector<Pending> round;
+    uint64_t batch_seq_base = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] {
+        return stop_ || (!paused_ && !pending_.empty());
+      });
+      // On stop, keep draining (even when paused) and exit once empty.
+      if (pending_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      const size_t take = std::min(
+          pending_.size(), options_.num_workers * options_.batch_size);
+      round.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        round.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+        round.back().queue_seconds = round.back().since_submit.ElapsedSeconds();
+      }
+      const size_t num_batches =
+          (take + options_.batch_size - 1) / options_.batch_size;
+      batch_seq_base = next_batch_seq_;
+      next_batch_seq_ += num_batches;
+      metrics_.RecordQueueDepth(pending_.size());
+    }
+
+    const size_t bs = options_.batch_size;
+    const size_t num_batches = (round.size() + bs - 1) / bs;
+    pool_.ParallelFor(
+        num_batches, options_.num_workers, [&](size_t b, size_t /*worker*/) {
+          const size_t begin = b * bs;
+          const size_t count = std::min(bs, round.size() - begin);
+          RunBatch(round.data() + begin, count, batch_seq_base + b);
+          metrics_.RecordBatch(count);
+        });
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (Pending& p : round) {
+        metrics_.RecordCompleted(p.response.status,
+                                 p.since_submit.ElapsedSeconds());
+        done_.emplace(p.ticket, std::move(p.response));
+      }
+      completed_ += round.size();
+    }
+    done_cv_.notify_all();
+  }
+}
+
+IdcaConfig QueryService::CompileBudget(const QueryBudget& budget,
+                                       int* iterations_granted) const {
+  IdcaConfig cfg = options_.base_config;
+  // The service owns the coarse-grained (batch-level) parallelism; engine
+  // runs stay serial so workers never contend for the shared pool.
+  cfg.num_threads = 1;
+  cfg.collect_stats = true;
+  int granted = budget.max_iterations;
+  if (budget.deadline_ms > 0.0) {
+    const double by_deadline =
+        std::floor(budget.deadline_ms / options_.est_iteration_ms);
+    if (by_deadline < static_cast<double>(granted)) {
+      granted = std::max(0, static_cast<int>(by_deadline));
+    }
+  }
+  cfg.max_iterations = granted;
+  cfg.uncertainty_epsilon = budget.uncertainty_epsilon;
+  *iterations_granted = granted;
+  return cfg;
+}
+
+void QueryService::RunBatch(Pending* batch, size_t count,
+                            uint64_t batch_seq) const {
+  // Group same-kind requests so they share one filter pass.
+  std::vector<Pending*> knn, rknn;
+  for (size_t i = 0; i < count; ++i) {
+    batch[i].response.stats.batch = batch_seq;
+    batch[i].response.stats.queue_seconds = batch[i].queue_seconds;
+    switch (batch[i].request.kind) {
+      case QueryKind::kThresholdKnn:
+        knn.push_back(&batch[i]);
+        break;
+      case QueryKind::kThresholdRknn:
+        rknn.push_back(&batch[i]);
+        break;
+      case QueryKind::kInverseRanking:
+        ExecInverseRanking(batch[i]);
+        break;
+      case QueryKind::kExpectedRank:
+        ExecExpectedRank(batch[i]);
+        break;
+    }
+  }
+  if (!knn.empty()) {
+    ExecThresholdBatch(knn.data(), knn.size(), /*reverse=*/false);
+  }
+  if (!rknn.empty()) {
+    ExecThresholdBatch(rknn.data(), rknn.size(), /*reverse=*/true);
+  }
+}
+
+void QueryService::ExecThresholdBatch(Pending** requests, size_t count,
+                                      bool reverse) const {
+  const LpNorm& norm = options_.base_config.norm;
+  const UncertainDatabase& db = *db_;
+
+  // Phase 1 — candidate filter, one index pass shared across the batch.
+  // Every request ends up with exactly the candidate set a solo run of
+  // queries.cc would produce (see the class comment on determinism), in
+  // ascending-id order.
+  std::vector<std::vector<ObjectId>> candidates(count);
+  if (!reverse) {
+    // Threshold kNN: per-request prune distance (KnnPruneDistance — the
+    // same rule the direct query path uses); one ScanByMinDist against
+    // the union MBR with the maximum prune distance over-collects a
+    // superset, re-filtered per request with its own prune distance.
+    std::vector<double> prune(count);
+    bool any_bounded = false;
+    Rect union_mbr = requests[0]->request.query->bounds();
+    double max_prune = 0.0;
+    for (size_t r = 0; r < count; ++r) {
+      const Rect& q_mbr = requests[r]->request.query->bounds();
+      union_mbr = Rect::Hull(union_mbr, q_mbr);
+      prune[r] = KnnPruneDistance(db, q_mbr, requests[r]->request.k, norm);
+      if (prune[r] == std::numeric_limits<double>::infinity()) continue;
+      max_prune = std::max(max_prune, prune[r]);
+      any_bounded = true;
+    }
+    std::vector<ObjectId> shared;
+    if (any_bounded) {
+      index_.ScanByMinDist(
+          union_mbr,
+          [&shared, max_prune](const RTreeEntry& e, double min_dist) {
+            if (min_dist > max_prune) return false;
+            shared.push_back(e.id);
+            return true;
+          },
+          norm);
+      std::sort(shared.begin(), shared.end());
+    }
+    for (size_t r = 0; r < count; ++r) {
+      if (prune[r] == std::numeric_limits<double>::infinity()) {
+        candidates[r].resize(db.size());
+        for (ObjectId id = 0; id < db.size(); ++id) candidates[r][id] = id;
+        continue;
+      }
+      const Rect& q_mbr = requests[r]->request.query->bounds();
+      for (ObjectId id : shared) {
+        if (norm.MinDist(db.object(id).mbr(), q_mbr) <= prune[r]) {
+          candidates[r].push_back(id);
+        }
+      }
+    }
+  } else {
+    // Threshold RkNN: B survives while fewer than k certain objects
+    // completely dominate Q w.r.t. B. One index probe per B with the
+    // union reach over the batch; any true dominator for any request lies
+    // within that request's own reach (complete domination implies
+    // MinDist(A,B) <= MaxDist(Q,B)), so counting over the superset is
+    // exact per request.
+    std::vector<const RTreeEntry*> hits;
+    for (const UncertainObject& b : db.objects()) {
+      double max_reach = 0.0;
+      for (size_t r = 0; r < count; ++r) {
+        max_reach = std::max(
+            max_reach,
+            norm.MaxDist(requests[r]->request.query->bounds(), b.mbr()));
+      }
+      hits.clear();
+      index_.ForEachIntersecting(ExpandRect(b.mbr(), max_reach),
+                                 [&hits](const RTreeEntry& e) {
+                                   hits.push_back(&e);
+                                   return true;
+                                 });
+      for (size_t r = 0; r < count; ++r) {
+        const QueryRequest& req = requests[r]->request;
+        size_t dominators = 0;
+        for (const RTreeEntry* e : hits) {
+          if (e->id != b.id() && db.object(e->id).existentially_certain() &&
+              Dominates(e->mbr, req.query->bounds(), b.mbr(),
+                        options_.base_config.criterion, norm)) {
+            if (++dominators >= req.k) break;
+          }
+        }
+        if (dominators < req.k) candidates[r].push_back(b.id());
+      }
+    }
+  }
+
+  // Phase 2 — per-request IDCA refinement under the compiled budget.
+  for (size_t r = 0; r < count; ++r) {
+    Pending& p = *requests[r];
+    Stopwatch exec;
+    int granted = 0;
+    const IdcaConfig cfg = CompileBudget(p.request.budget, &granted);
+    const IdcaEngine engine(db, &index_, cfg);
+    const IdcaPredicate predicate{p.request.k, p.request.tau};
+    p.response.threshold.reserve(candidates[r].size());
+    size_t iterations = 0;
+    bool undecided = false;
+    for (ObjectId id : candidates[r]) {
+      const IdcaResult result =
+          reverse ? engine.ComputeDomCountOfQuery(*p.request.query, id,
+                                                  predicate)
+                  : engine.ComputeDomCount(id, *p.request.query, predicate);
+      iterations += IterationsRun(result);
+      undecided |= result.decision == PredicateDecision::kUndecided;
+      p.response.threshold.push_back(
+          ThresholdQueryResult{id, result.predicate_prob, result.decision});
+    }
+    p.response.stats.iterations_granted = granted;
+    p.response.stats.candidates = candidates[r].size();
+    p.response.stats.idca_iterations = iterations;
+    p.response.status = granted < p.request.budget.max_iterations && undecided
+                            ? ResponseStatus::kExpired
+                            : ResponseStatus::kOk;
+    p.response.stats.exec_seconds = exec.ElapsedSeconds();
+  }
+}
+
+void QueryService::ExecInverseRanking(Pending& p) const {
+  Stopwatch exec;
+  int granted = 0;
+  const IdcaConfig cfg = CompileBudget(p.request.budget, &granted);
+  const IdcaEngine engine(*db_, &index_, cfg);
+  const IdcaResult result =
+      engine.ComputeDomCount(p.request.target, *p.request.query);
+  p.response.rank_bounds = result.bounds;
+  p.response.stats.iterations_granted = granted;
+  p.response.stats.candidates = result.influence_count;
+  p.response.stats.idca_iterations = IterationsRun(result);
+  p.response.status =
+      granted < p.request.budget.max_iterations &&
+              result.bounds.TotalUncertainty() >
+                  p.request.budget.uncertainty_epsilon
+          ? ResponseStatus::kExpired
+          : ResponseStatus::kOk;
+  p.response.stats.exec_seconds = exec.ElapsedSeconds();
+}
+
+void QueryService::ExecExpectedRank(Pending& p) const {
+  Stopwatch exec;
+  int granted = 0;
+  const IdcaConfig cfg = CompileBudget(p.request.budget, &granted);
+  // Delegate to the direct query path (serial here: cfg.num_threads == 1)
+  // so the service payload cannot diverge from ExpectedRankOrder.
+  size_t iterations = 0;
+  p.response.expected =
+      ExpectedRankOrder(*db_, *p.request.query, cfg, &index_, &iterations);
+  double total_width = 0.0;
+  for (const ExpectedRankEntry& e : p.response.expected) {
+    total_width += e.expected_rank.width();
+  }
+  p.response.stats.iterations_granted = granted;
+  p.response.stats.candidates = db_->size();
+  p.response.stats.idca_iterations = iterations;
+  p.response.status = granted < p.request.budget.max_iterations &&
+                              total_width > p.request.budget.uncertainty_epsilon
+                          ? ResponseStatus::kExpired
+                          : ResponseStatus::kOk;
+  p.response.stats.exec_seconds = exec.ElapsedSeconds();
+}
+
+}  // namespace service
+}  // namespace updb

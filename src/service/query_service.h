@@ -1,0 +1,174 @@
+// Copyright 2026 The updb Authors.
+// QueryService — the concurrent serving layer over the query stack
+// (ROADMAP north star: accept many heterogeneous requests, schedule them,
+// bound their cost, report tail latency). Architecture:
+//
+//   Submit() -> bounded admission queue -> dispatcher thread -> rounds of
+//   consecutive batches executed by N workers (ThreadPool::ParallelFor)
+//   against one immutable database snapshot -> response table.
+//
+// Scheduling/batching: the dispatcher pops up to num_workers * batch_size
+// queued requests per round, partitions them into consecutive
+// submission-order chunks of batch_size, and runs the chunks in parallel
+// on its own ThreadPool (the dispatcher participates as worker 0). Within
+// a batch, same-kind requests share one pass over the R-tree candidate
+// filter (union-MBR scan / union-reach probe), then each request refines
+// its own candidates with IDCA under its compiled budget. Rounds are a
+// barrier: a worker that finishes its batch idles until the round's
+// slowest batch completes (ThreadPool exposes ParallelFor, not task
+// handoff). That costs tail latency when one expensive request (e.g.
+// expected-rank) shares a round with cheap ones — an accepted tradeoff
+// here; continuous per-batch handoff would need a task-queue pool and
+// changes no response payload, so it can land later without breaking the
+// determinism contract.
+//
+// Determinism: batch *composition* may depend on timing (a drained queue
+// dispatches partial batches), so batching is constructed to be
+// result-invariant — the shared filters compute, per request, exactly the
+// candidate set a solo run would (the union scan only over-collects, and
+// each request re-filters with its own prune distance), and every
+// response is a pure function of (request, snapshot, compiled budget).
+// Responses are therefore bit-identical for any num_workers/batch_size
+// and any arrival timing; only the wall-clock stats fields differ.
+// Deadlines are compiled to iteration budgets at admission (see
+// service/request.h) — the wall clock never steers execution.
+
+#ifndef UPDB_SERVICE_QUERY_SERVICE_H_
+#define UPDB_SERVICE_QUERY_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/idca.h"
+#include "index/rtree.h"
+#include "service/metrics.h"
+#include "service/request.h"
+#include "uncertain/database.h"
+
+namespace updb {
+namespace service {
+
+/// Tuning knobs of the service.
+struct QueryServiceOptions {
+  /// Workers executing batches in parallel (the dispatcher thread is
+  /// worker 0; num_workers - 1 pool threads are spawned). Must be >= 1.
+  size_t num_workers = 1;
+  /// Admitted requests grouped into one batch (>= 1). Larger batches share
+  /// more filter work per index pass but coarsen the parallel grain.
+  size_t batch_size = 8;
+  /// Bound of the admission queue; Submit rejects (ResourceExhausted) when
+  /// this many requests are queued and not yet dispatched. Must be >= 1.
+  size_t max_queue = 1024;
+  /// Baseline engine configuration (norm, criterion, split policy, verdict
+  /// cache, index filter). Per-request budgets override max_iterations and
+  /// uncertainty_epsilon; num_threads is forced to 1 inside workers — the
+  /// service owns the coarse-grained parallelism.
+  IdcaConfig base_config;
+  /// Deadline compilation constant: a request with deadline_ms is granted
+  /// floor(deadline_ms / est_iteration_ms) refinement iterations (capped
+  /// by its max_iterations). A fixed constant, not a measurement, so the
+  /// granted budget — and with it the response — is deterministic.
+  double est_iteration_ms = 5.0;
+  /// Construct the service paused: admitted requests queue up but no batch
+  /// is dispatched until Resume(). Lets tests and closed-loop drivers
+  /// control batch composition exactly.
+  bool start_paused = false;
+};
+
+/// The concurrent query service. Thread-safe: any thread may Submit/Take;
+/// one internal dispatcher schedules execution.
+class QueryService {
+ public:
+  /// Serves queries against `db`, which becomes the service's immutable
+  /// snapshot (shared ownership; never mutated). Builds the R-tree over
+  /// the snapshot once. `db` must be non-null and non-empty.
+  QueryService(std::shared_ptr<const UncertainDatabase> db,
+               QueryServiceOptions options);
+
+  /// Drains admitted requests, then stops the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Validates and enqueues a request. Returns the ticket to redeem with
+  /// Take(), InvalidArgument when validation fails, ResourceExhausted when
+  /// the admission queue is full, FailedPrecondition after Shutdown().
+  StatusOr<uint64_t> Submit(QueryRequest request);
+
+  /// Blocks until the response for `ticket` is ready and returns it. Each
+  /// ticket is redeemable exactly once.
+  QueryResponse Take(uint64_t ticket);
+
+  /// Blocks until every admitted request has completed.
+  void Flush();
+
+  /// Pauses dispatching (admission continues); no-op when paused.
+  void Pause();
+  /// Resumes dispatching; no-op when running.
+  void Resume();
+
+  /// Drains and stops the dispatcher; further Submits fail. Idempotent.
+  void Shutdown();
+
+  const QueryServiceOptions& options() const { return options_; }
+  const UncertainDatabase& db() const { return *db_; }
+  const RTree& index() const { return index_; }
+  const ServiceMetrics& metrics() const { return metrics_; }
+
+ private:
+  /// A request in flight: ticket, payload, submit-time stopwatch, and the
+  /// response being assembled.
+  struct Pending {
+    uint64_t ticket = 0;
+    QueryRequest request;
+    Stopwatch since_submit;
+    double queue_seconds = 0.0;
+    QueryResponse response;
+  };
+
+  void DispatcherMain();
+  /// Executes one batch (consecutive slice of a round) serially, sharing
+  /// per-kind filter passes; fills each Pending's response.
+  void RunBatch(Pending* batch, size_t count, uint64_t batch_seq) const;
+
+  /// Deadline-compiled engine configuration for one request.
+  IdcaConfig CompileBudget(const QueryBudget& budget,
+                           int* iterations_granted) const;
+
+  void ExecThresholdBatch(Pending** requests, size_t count, bool reverse)
+      const;
+  void ExecInverseRanking(Pending& p) const;
+  void ExecExpectedRank(Pending& p) const;
+
+  const std::shared_ptr<const UncertainDatabase> db_;
+  const QueryServiceOptions options_;
+  const RTree index_;
+  ServiceMetrics metrics_;
+  ThreadPool pool_;  // num_workers - 1 threads; dispatcher is worker 0
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;  // dispatcher: work or stop
+  std::condition_variable done_cv_;   // Take/Flush: responses landed
+  std::deque<Pending> pending_;
+  std::unordered_map<uint64_t, QueryResponse> done_;
+  uint64_t next_ticket_ = 0;
+  uint64_t next_batch_seq_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t completed_ = 0;
+  bool paused_ = false;
+  bool stop_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace service
+}  // namespace updb
+
+#endif  // UPDB_SERVICE_QUERY_SERVICE_H_

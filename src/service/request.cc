@@ -1,0 +1,126 @@
+#include "service/request.h"
+
+#include <bit>
+
+#include "uncertain/database.h"
+
+namespace updb {
+namespace service {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void HashU64(uint64_t v, uint64_t& h) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+void HashDouble(double v, uint64_t& h) {
+  // +0.0 and -0.0 have distinct bit patterns; fold them so a sign-of-zero
+  // difference (possible through summation order) never flips a digest.
+  HashU64(std::bit_cast<uint64_t>(v == 0.0 ? 0.0 : v), h);
+}
+
+}  // namespace
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kThresholdKnn:
+      return "knn";
+    case QueryKind::kThresholdRknn:
+      return "rknn";
+    case QueryKind::kInverseRanking:
+      return "inverse";
+    case QueryKind::kExpectedRank:
+      return "expected_rank";
+  }
+  return "unknown";
+}
+
+const char* ResponseStatusName(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk:
+      return "ok";
+    case ResponseStatus::kExpired:
+      return "expired";
+    case ResponseStatus::kRejected:
+      return "rejected";
+    case ResponseStatus::kInvalid:
+      return "invalid";
+  }
+  return "unknown";
+}
+
+Status ValidateRequest(const QueryRequest& request,
+                       const UncertainDatabase& db) {
+  if (db.empty()) return Status::FailedPrecondition("empty database");
+  if (request.query == nullptr) {
+    return Status::InvalidArgument("request without query object");
+  }
+  if (request.query->bounds().dim() != db.dim()) {
+    return Status::InvalidArgument("query dimensionality mismatch");
+  }
+  if (request.budget.max_iterations < 0) {
+    return Status::InvalidArgument("negative iteration budget");
+  }
+  if (request.budget.deadline_ms < 0.0) {
+    return Status::InvalidArgument("negative deadline");
+  }
+  switch (request.kind) {
+    case QueryKind::kThresholdKnn:
+    case QueryKind::kThresholdRknn:
+      if (request.k < 1) return Status::InvalidArgument("k must be >= 1");
+      if (request.tau < 0.0 || request.tau > 1.0) {
+        return Status::InvalidArgument("tau must be in [0, 1]");
+      }
+      break;
+    case QueryKind::kInverseRanking:
+      if (request.target >= db.size()) {
+        return Status::InvalidArgument("inverse-ranking target out of range");
+      }
+      break;
+    case QueryKind::kExpectedRank:
+      break;
+  }
+  return Status::OK();
+}
+
+uint64_t ResponseDigest(const QueryResponse& response) {
+  uint64_t h = kFnvOffset;
+  HashU64(response.id, h);
+  HashU64(static_cast<uint64_t>(response.kind), h);
+  HashU64(static_cast<uint64_t>(response.status), h);
+  HashU64(static_cast<uint64_t>(response.stats.iterations_granted), h);
+  HashU64(response.stats.candidates, h);
+  HashU64(response.stats.idca_iterations, h);
+  for (const ThresholdQueryResult& r : response.threshold) {
+    HashU64(r.id, h);
+    HashU64(static_cast<uint64_t>(r.decision), h);
+    HashDouble(r.prob.lb, h);
+    HashDouble(r.prob.ub, h);
+  }
+  HashU64(response.rank_bounds.num_ranks(), h);
+  for (size_t k = 0; k < response.rank_bounds.num_ranks(); ++k) {
+    HashDouble(response.rank_bounds.lb(k), h);
+    HashDouble(response.rank_bounds.ub(k), h);
+  }
+  for (const ExpectedRankEntry& e : response.expected) {
+    HashU64(e.id, h);
+    HashDouble(e.expected_rank.lb, h);
+    HashDouble(e.expected_rank.ub, h);
+  }
+  return h;
+}
+
+uint64_t ResponseDigest(std::span<const QueryResponse> responses) {
+  uint64_t h = kFnvOffset;
+  for (const QueryResponse& r : responses) HashU64(ResponseDigest(r), h);
+  return h;
+}
+
+}  // namespace service
+}  // namespace updb

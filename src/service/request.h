@@ -1,0 +1,143 @@
+// Copyright 2026 The updb Authors.
+// Typed request/response model of the query service: one tagged request
+// shape covering the four query kinds of Section VI (threshold kNN,
+// threshold RkNN, inverse ranking, expected-rank ordering), a per-request
+// cost budget, and a response carrying the kind-specific payload plus a
+// terminal status and per-request statistics.
+//
+// Determinism contract: everything in a QueryResponse except the wall-clock
+// fields of RequestStats (queue_seconds/exec_seconds) is a pure function of
+// (request, database snapshot, compiled budget). ResponseDigest hashes
+// exactly that deterministic part, which is what the 1-vs-N-worker tests
+// and the service benchmark compare.
+
+#ifndef UPDB_SERVICE_REQUEST_H_
+#define UPDB_SERVICE_REQUEST_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gf/count_bounds.h"
+#include "queries/queries.h"
+#include "uncertain/pdf.h"
+
+namespace updb {
+namespace service {
+
+/// Which query a request asks for.
+enum class QueryKind {
+  kThresholdKnn,
+  kThresholdRknn,
+  kInverseRanking,
+  kExpectedRank,
+};
+
+/// Stable name of a QueryKind ("knn", "rknn", "inverse", "expected_rank").
+const char* QueryKindName(QueryKind kind);
+
+/// Per-request cost budget. Deadlines are *compiled to a deterministic
+/// iteration budget at admission* (deadline_ms / estimated per-iteration
+/// cost, see QueryServiceOptions::est_iteration_ms) instead of being
+/// enforced against the wall clock mid-run: an expiring request then
+/// returns its best-so-far brackets as kUndecided after a bounded number
+/// of iterations, and responses stay bit-identical across runs and worker
+/// counts.
+struct QueryBudget {
+  /// Hard cap on IDCA refinement iterations (0 = filter phase only, which
+  /// still yields valid vacuous-or-better brackets).
+  int max_iterations = 8;
+  /// Early-stop once accumulated uncertainty falls to or below this.
+  double uncertainty_epsilon = 0.0;
+  /// Soft deadline in milliseconds; 0 disables deadline compilation.
+  double deadline_ms = 0.0;
+};
+
+/// One query request. `query` is the uncertain query object Q for
+/// kThresholdKnn/kThresholdRknn/kExpectedRank and the reference object R
+/// for kInverseRanking; `target` is the ranked database object B for
+/// kInverseRanking (unused otherwise); `k`/`tau` apply to the threshold
+/// kinds only.
+struct QueryRequest {
+  QueryKind kind = QueryKind::kThresholdKnn;
+  std::shared_ptr<const Pdf> query;
+  ObjectId target = kInvalidObjectId;
+  size_t k = 1;
+  double tau = 0.5;
+  QueryBudget budget;
+};
+
+/// Terminal status of a request.
+enum class ResponseStatus {
+  /// Executed; decisions/bounds are as converged as the budget allowed.
+  kOk,
+  /// The deadline-compiled budget cut iterations short of the requested
+  /// max_iterations and the result is still not fully converged. Payload
+  /// fields hold the valid best-so-far brackets.
+  kExpired,
+  /// Never executed: the admission queue was full (set by ReplayTrace;
+  /// QueryService::Submit reports rejection as a Status).
+  kRejected,
+  /// Never executed: the request failed validation (set by ReplayTrace).
+  kInvalid,
+};
+
+/// Stable name of a ResponseStatus ("ok", "expired", ...).
+const char* ResponseStatusName(ResponseStatus status);
+
+/// Per-request execution statistics.
+struct RequestStats {
+  /// Iteration budget after deadline compilation (<= budget.max_iterations).
+  int iterations_granted = 0;
+  /// Candidates surviving the (shared) spatial filter / objects evaluated.
+  size_t candidates = 0;
+  /// IDCA refinement iterations actually executed across all candidates.
+  size_t idca_iterations = 0;
+  /// Batch sequence number the request executed in (diagnostics).
+  uint64_t batch = 0;
+  /// Wall-clock admission -> batch start. NOT covered by the determinism
+  /// contract; excluded from ResponseDigest.
+  double queue_seconds = 0.0;
+  /// Wall-clock execution time of this request within its batch. NOT
+  /// covered by the determinism contract; excluded from ResponseDigest.
+  double exec_seconds = 0.0;
+};
+
+/// Response to one request. Exactly one payload member is populated,
+/// selected by `kind`; threshold results and expected-rank entries are
+/// ordered by ascending object id (respectively expected-rank midpoint),
+/// never by index-scan order, so the payload is reproducible.
+struct QueryResponse {
+  /// Ticket assigned by QueryService::Submit (submission order).
+  uint64_t id = 0;
+  QueryKind kind = QueryKind::kThresholdKnn;
+  ResponseStatus status = ResponseStatus::kOk;
+  /// kThresholdKnn / kThresholdRknn: per-candidate bracket + decision.
+  std::vector<ThresholdQueryResult> threshold;
+  /// kInverseRanking: bounds on P(Rank = i+1), db-size ranks.
+  CountDistributionBounds rank_bounds = CountDistributionBounds(0);
+  /// kExpectedRank: all objects ordered by expected-rank midpoint.
+  std::vector<ExpectedRankEntry> expected;
+  RequestStats stats;
+};
+
+/// Validates a request against a database: non-null query PDF of matching
+/// dimensionality, k >= 1 and tau in [0, 1] for threshold kinds, a valid
+/// target id for inverse ranking, non-negative budget fields.
+Status ValidateRequest(const QueryRequest& request,
+                       const UncertainDatabase& db);
+
+/// FNV-1a hash over the deterministic part of a response (id, kind,
+/// status, payload values bit-patterns, deterministic stats). Wall-clock
+/// stats fields are excluded. Equal digests across worker counts is the
+/// service's determinism acceptance check.
+uint64_t ResponseDigest(const QueryResponse& response);
+
+/// Combined digest of a whole response sequence (order-sensitive).
+uint64_t ResponseDigest(std::span<const QueryResponse> responses);
+
+}  // namespace service
+}  // namespace updb
+
+#endif  // UPDB_SERVICE_REQUEST_H_

@@ -1,0 +1,104 @@
+#include "service/trace.h"
+
+#include <chrono>
+#include <thread>
+
+namespace updb {
+namespace service {
+
+std::vector<QueryRequest> MakeTrace(const UncertainDatabase& db,
+                                    const TraceConfig& config) {
+  UPDB_CHECK(!db.empty());
+  Rng rng(config.seed);
+  const double weights[] = {config.knn_weight, config.rknn_weight,
+                            config.inverse_weight,
+                            config.expected_rank_weight};
+  const QueryKind kinds[] = {QueryKind::kThresholdKnn,
+                             QueryKind::kThresholdRknn,
+                             QueryKind::kInverseRanking,
+                             QueryKind::kExpectedRank};
+  double total_weight = 0.0;
+  for (double w : weights) {
+    UPDB_CHECK(w >= 0.0);
+    total_weight += w;
+  }
+  UPDB_CHECK(total_weight > 0.0);
+
+  std::vector<QueryRequest> trace;
+  trace.reserve(config.num_requests);
+  for (size_t n = 0; n < config.num_requests; ++n) {
+    QueryRequest req;
+    double pick = rng.NextDouble() * total_weight;
+    req.kind = kinds[3];
+    for (size_t i = 0; i < 4; ++i) {
+      if (pick < weights[i]) {
+        req.kind = kinds[i];
+        break;
+      }
+      pick -= weights[i];
+    }
+    Point center(db.dim());
+    for (size_t i = 0; i < db.dim(); ++i) center[i] = rng.NextDouble();
+    req.query =
+        workload::MakeQueryObject(center, config.query_extent,
+                                  config.query_model,
+                                  config.samples_per_object, rng);
+    req.k = 1 + rng.NextBounded(config.k_max);
+    req.tau = config.tau;
+    if (req.kind == QueryKind::kInverseRanking) {
+      req.target = static_cast<ObjectId>(rng.NextBounded(db.size()));
+    }
+    req.budget = config.budget;
+    if (config.deadline_fraction > 0.0 &&
+        rng.Bernoulli(config.deadline_fraction)) {
+      req.budget.deadline_ms = config.deadline_ms;
+    } else {
+      req.budget.deadline_ms = 0.0;
+    }
+    trace.push_back(std::move(req));
+  }
+  return trace;
+}
+
+ReplayResult ReplayTrace(QueryService& service,
+                         const std::vector<QueryRequest>& trace,
+                         double offered_qps) {
+  ReplayResult out;
+  out.responses.resize(trace.size());
+  Stopwatch wall;
+  std::vector<std::pair<size_t, uint64_t>> tickets;  // trace index, ticket
+  tickets.reserve(trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (offered_qps > 0.0) {
+      const double scheduled_s = static_cast<double>(i) / offered_qps;
+      const double ahead_s = scheduled_s - wall.ElapsedSeconds();
+      if (ahead_s > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(ahead_s));
+      }
+    }
+    const StatusOr<uint64_t> ticket = service.Submit(trace[i]);
+    if (ticket.ok()) {
+      ++out.admitted;
+      tickets.emplace_back(i, *ticket);
+      continue;
+    }
+    QueryResponse& stub = out.responses[i];
+    stub.kind = trace[i].kind;
+    if (ticket.status().code() == StatusCode::kResourceExhausted) {
+      ++out.rejected;
+      stub.status = ResponseStatus::kRejected;
+    } else {
+      ++out.invalid;
+      stub.status = ResponseStatus::kInvalid;
+    }
+  }
+  service.Flush();
+  for (const auto& [index, ticket] : tickets) {
+    out.responses[index] = service.Take(ticket);
+  }
+  out.wall_seconds = wall.ElapsedSeconds();
+  return out;
+}
+
+}  // namespace service
+}  // namespace updb

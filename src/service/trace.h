@@ -1,0 +1,78 @@
+// Copyright 2026 The updb Authors.
+// Workload traces for the query service: a seed-deterministic mixed
+// request generator (built on workload::MakeQueryObject) and an open-loop
+// replayer that offers the trace to a service at a target rate. The trace
+// for a fixed (database, TraceConfig) is always the same request
+// sequence, which is what makes serve-bench runs reproducible from their
+// logged seed.
+
+#ifndef UPDB_SERVICE_TRACE_H_
+#define UPDB_SERVICE_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "service/query_service.h"
+#include "workload/generators.h"
+
+namespace updb {
+namespace service {
+
+/// Shape of a generated request mix. Kind weights need not sum to 1; a
+/// weight of 0 removes the kind from the mix.
+struct TraceConfig {
+  size_t num_requests = 100;
+  uint64_t seed = 1;
+  double knn_weight = 0.45;
+  double rknn_weight = 0.25;
+  double inverse_weight = 0.2;
+  /// Expected-rank requests cost one IDCA run per database object — keep
+  /// the weight small for large databases.
+  double expected_rank_weight = 0.1;
+  /// k for threshold kinds is uniform in [1, k_max].
+  size_t k_max = 10;
+  double tau = 0.5;
+  /// Relative extent of generated query rectangles.
+  double query_extent = 0.01;
+  workload::ObjectModel query_model = workload::ObjectModel::kUniform;
+  /// Samples per query object for ObjectModel::kDiscrete.
+  size_t samples_per_object = 64;
+  /// Budget stamped on every request.
+  QueryBudget budget;
+  /// Fraction of requests carrying `deadline_ms` (the rest run to their
+  /// full iteration budget).
+  double deadline_fraction = 0.0;
+  double deadline_ms = 0.0;
+};
+
+/// Generates the request trace. Deterministic in (db, config).
+std::vector<QueryRequest> MakeTrace(const UncertainDatabase& db,
+                                    const TraceConfig& config);
+
+/// Outcome of replaying a trace.
+struct ReplayResult {
+  /// One response per trace entry, in trace order. Rejected/invalid
+  /// submissions yield a stub response with the corresponding terminal
+  /// status (kRejected/kInvalid) and an empty payload.
+  std::vector<QueryResponse> responses;
+  size_t admitted = 0;
+  size_t rejected = 0;
+  size_t invalid = 0;
+  /// Submission span + drain, seconds.
+  double wall_seconds = 0.0;
+};
+
+/// Replays `trace` against `service`: submits request i at its scheduled
+/// arrival time i / offered_qps (offered_qps <= 0 submits as fast as
+/// possible — the closed-loop/benchmark mode), then flushes the service
+/// and collects every response. Rejections are not retried; they become
+/// kRejected stubs, so the offered-load experiment observes admission
+/// control directly.
+ReplayResult ReplayTrace(QueryService& service,
+                         const std::vector<QueryRequest>& trace,
+                         double offered_qps);
+
+}  // namespace service
+}  // namespace updb
+
+#endif  // UPDB_SERVICE_TRACE_H_

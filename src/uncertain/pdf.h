@@ -133,6 +133,13 @@ class MixturePdf final : public Pdf {
 
   size_t num_components() const { return components_.size(); }
 
+  /// Component PDFs / normalized weights (exposed for serialization and
+  /// diagnostics, mirroring TruncatedGaussianPdf::mean()/sigma()).
+  const std::vector<std::unique_ptr<Pdf>>& components() const {
+    return components_;
+  }
+  const std::vector<double>& weights() const { return weights_; }
+
  private:
   std::vector<std::unique_ptr<Pdf>> components_;
   std::vector<double> weights_;  // normalized

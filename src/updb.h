@@ -26,6 +26,10 @@
 #include "mc/monte_carlo.h"
 #include "queries/expected_distance.h"
 #include "queries/queries.h"
+#include "service/metrics.h"
+#include "service/query_service.h"
+#include "service/request.h"
+#include "service/trace.h"
 #include "uncertain/database.h"
 #include "uncertain/decomposition.h"
 #include "uncertain/object.h"

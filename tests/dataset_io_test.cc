@@ -64,15 +64,98 @@ TEST(SerializeObjectTest, DiscreteRoundTripPreservesSamples) {
   EXPECT_DOUBLE_EQ(d->weights()[1], 0.75);
 }
 
-TEST(SerializeObjectTest, MixtureIsUnimplemented) {
+TEST(SerializeObjectTest, MixtureRoundTripPreservesMass) {
+  // Bimodal mixture: a uniform mode, a Gaussian mode, and a discrete mode
+  // — one of each serializable component type.
   std::vector<std::unique_ptr<Pdf>> comps;
   comps.push_back(std::make_unique<UniformPdf>(
-      Rect(Point{0.0, 0.0}, Point{1.0, 1.0})));
-  UncertainObject o(0, std::make_shared<MixturePdf>(std::move(comps),
-                                                    std::vector<double>{1.0}));
+      Rect(Point{0.0, 0.0}, Point{0.4, 0.4})));
+  comps.push_back(std::make_unique<TruncatedGaussianPdf>(
+      Rect(Point{0.6, 0.6}, Point{1.0, 1.0}), std::vector<double>{0.8, 0.7},
+      std::vector<double>{0.1, 0.05}));
+  comps.push_back(std::make_unique<DiscreteSamplePdf>(
+      std::vector<Point>{Point{0.5, 0.5}, Point{0.55, 0.52}},
+      std::vector<double>{2.0, 1.0}));
+  auto pdf = std::make_shared<MixturePdf>(std::move(comps),
+                                          std::vector<double>{0.5, 0.3, 0.2});
+  UncertainObject o(0, pdf, 0.9);
   const StatusOr<std::string> line = SerializeObject(o);
-  EXPECT_FALSE(line.ok());
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  const StatusOr<io::ParsedObject> parsed = ParseObject(*line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->existence, 0.9);
+  const auto* m = dynamic_cast<const MixturePdf*>(parsed->pdf.get());
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->num_components(), 3u);
+  EXPECT_EQ(parsed->pdf->bounds(), pdf->bounds());
+  for (const Rect& probe :
+       {Rect(Point{0.0, 0.0}, Point{0.5, 0.5}),
+        Rect(Point{0.5, 0.5}, Point{1.0, 1.0}),
+        Rect(Point{0.2, 0.3}, Point{0.7, 0.9})}) {
+    EXPECT_NEAR(parsed->pdf->Mass(probe), pdf->Mass(probe), 1e-12);
+  }
+}
+
+TEST(SerializeObjectTest, NestedMixtureRoundTrips) {
+  std::vector<std::unique_ptr<Pdf>> inner;
+  inner.push_back(std::make_unique<UniformPdf>(
+      Rect(Point{0.0, 0.0}, Point{0.2, 0.2})));
+  inner.push_back(std::make_unique<UniformPdf>(
+      Rect(Point{0.3, 0.3}, Point{0.5, 0.5})));
+  std::vector<std::unique_ptr<Pdf>> outer;
+  outer.push_back(std::make_unique<MixturePdf>(std::move(inner),
+                                               std::vector<double>{1.0, 3.0}));
+  outer.push_back(std::make_unique<UniformPdf>(
+      Rect(Point{0.8, 0.8}, Point{1.0, 1.0})));
+  auto pdf = std::make_shared<MixturePdf>(std::move(outer),
+                                          std::vector<double>{0.6, 0.4});
+  UncertainObject o(0, pdf);
+  const StatusOr<std::string> line = SerializeObject(o);
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  const StatusOr<io::ParsedObject> parsed = ParseObject(*line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Rect probe(Point{0.25, 0.25}, Point{0.9, 0.9});
+  EXPECT_NEAR(parsed->pdf->Mass(probe), pdf->Mass(probe), 1e-12);
+}
+
+TEST(SerializeObjectTest, OverDeepMixtureFailsAtSaveTime) {
+  // Deeper than the parser's nesting limit: serialization must refuse,
+  // never produce a line LoadDatabase would reject.
+  auto pdf = std::unique_ptr<Pdf>(std::make_unique<UniformPdf>(
+      Rect(Point{0.0, 0.0}, Point{1.0, 1.0})));
+  for (int level = 0; level < 20; ++level) {
+    std::vector<std::unique_ptr<Pdf>> comps;
+    comps.push_back(std::move(pdf));
+    pdf = std::make_unique<MixturePdf>(std::move(comps),
+                                       std::vector<double>{1.0});
+  }
+  UncertainObject o(0, std::shared_ptr<const Pdf>(std::move(pdf)));
+  const StatusOr<std::string> line = SerializeObject(o);
+  ASSERT_FALSE(line.ok());
   EXPECT_EQ(line.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(DatabaseIoTest, MixtureDatabaseRoundTripsThroughFile) {
+  UncertainDatabase db;
+  std::vector<std::unique_ptr<Pdf>> comps;
+  comps.push_back(std::make_unique<UniformPdf>(
+      Rect(Point{0.1, 0.1}, Point{0.3, 0.3})));
+  comps.push_back(std::make_unique<UniformPdf>(
+      Rect(Point{0.6, 0.6}, Point{0.9, 0.9})));
+  db.Add(std::make_shared<MixturePdf>(std::move(comps),
+                                      std::vector<double>{1.0, 1.0}),
+         0.75);
+  db.Add(std::make_shared<UniformPdf>(Rect(Point{0.0, 0.0}, Point{1.0, 1.0})));
+  const std::string path = TempPath("mixture.updb");
+  ASSERT_TRUE(SaveDatabase(db, path).ok());
+  const StatusOr<UncertainDatabase> loaded = LoadDatabase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_NE(dynamic_cast<const MixturePdf*>(&loaded->object(0).pdf()),
+            nullptr);
+  EXPECT_DOUBLE_EQ(loaded->object(0).existence(), 0.75);
+  EXPECT_EQ(loaded->object(0).mbr(), db.object(0).mbr());
+  std::remove(path.c_str());
 }
 
 TEST(ParseObjectTest, RejectsMalformedInput) {
@@ -94,6 +177,13 @@ TEST(ParseObjectTest, RejectsMalformedInput) {
       {"discrete,1,2,0", "no samples"},
       {"discrete,1,2,2,0.5,0.1,0.2", "field count mismatch"},
       {"discrete,1,1,1,-1,0.5", "negative weight"},
+      {"mixture,1,2,0", "no components"},
+      {"mixture,1,2,1,0.5", "missing component type"},
+      {"mixture,1,2,1,-1,uniform,0,1,0,1", "negative component weight"},
+      {"mixture,1,2,1,1,bogus,0,1", "unknown component type"},
+      {"mixture,1,2,1,1,uniform,0,1,0,1,9", "trailing component field"},
+      {"discrete,1,2,99999999999,0.5,0.1,0.2", "hostile sample count"},
+      {"mixture,1,2,99999999999,1,uniform,0,1,0,1", "hostile component count"},
   };
   for (const Case& c : cases) {
     const StatusOr<io::ParsedObject> parsed = ParseObject(c.line);

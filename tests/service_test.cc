@@ -1,0 +1,347 @@
+#include "service/query_service.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "queries/queries.h"
+#include "service/trace.h"
+#include "workload/generators.h"
+
+namespace updb {
+namespace service {
+namespace {
+
+std::shared_ptr<const UncertainDatabase> MakeDb(size_t n, double extent,
+                                                uint64_t seed = 7) {
+  workload::SyntheticConfig cfg;
+  cfg.num_objects = n;
+  cfg.max_extent = extent;
+  cfg.seed = seed;
+  return std::make_shared<const UncertainDatabase>(
+      workload::MakeSyntheticDatabase(cfg));
+}
+
+std::shared_ptr<const Pdf> MakeQuery(double x, double y, double extent,
+                                     uint64_t seed = 5) {
+  Rng rng(seed);
+  return workload::MakeQueryObject(Point{x, y}, extent,
+                                   workload::ObjectModel::kUniform, 0, rng);
+}
+
+QueryRequest KnnRequest(std::shared_ptr<const Pdf> q, size_t k, double tau,
+                        int iterations) {
+  QueryRequest req;
+  req.kind = QueryKind::kThresholdKnn;
+  req.query = std::move(q);
+  req.k = k;
+  req.tau = tau;
+  req.budget.max_iterations = iterations;
+  return req;
+}
+
+/// Runs one request through a fresh service and returns its response.
+QueryResponse RunOne(std::shared_ptr<const UncertainDatabase> db,
+                     QueryRequest req, QueryServiceOptions options = {}) {
+  QueryService service(std::move(db), options);
+  const StatusOr<uint64_t> ticket = service.Submit(std::move(req));
+  EXPECT_TRUE(ticket.ok()) << ticket.status().ToString();
+  return service.Take(*ticket);
+}
+
+TEST(QueryServiceTest, KnnMatchesDirectQuery) {
+  const auto db = MakeDb(40, 0.08);
+  const auto q = MakeQuery(0.5, 0.5, 0.08);
+  IdcaConfig direct_cfg;
+  direct_cfg.max_iterations = 4;
+  const RTree index = BuildRTree(db->objects());
+  std::vector<ThresholdQueryResult> direct =
+      ProbabilisticThresholdKnn(*db, index, *q, 3, 0.5, direct_cfg);
+  std::sort(direct.begin(), direct.end(),
+            [](const ThresholdQueryResult& a, const ThresholdQueryResult& b) {
+              return a.id < b.id;
+            });
+
+  const QueryResponse response = RunOne(db, KnnRequest(q, 3, 0.5, 4));
+  EXPECT_EQ(response.status, ResponseStatus::kOk);
+  ASSERT_EQ(response.threshold.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(response.threshold[i].id, direct[i].id);
+    EXPECT_EQ(response.threshold[i].decision, direct[i].decision);
+    EXPECT_EQ(response.threshold[i].prob.lb, direct[i].prob.lb);
+    EXPECT_EQ(response.threshold[i].prob.ub, direct[i].prob.ub);
+  }
+}
+
+TEST(QueryServiceTest, RknnMatchesDirectQuery) {
+  const auto db = MakeDb(30, 0.08);
+  const auto q = MakeQuery(0.4, 0.6, 0.08);
+  IdcaConfig direct_cfg;
+  direct_cfg.max_iterations = 3;
+  const RTree index = BuildRTree(db->objects());
+  const std::vector<ThresholdQueryResult> direct =
+      ProbabilisticThresholdRknn(*db, index, *q, 2, 0.5, direct_cfg);
+  // The direct RkNN filter iterates objects in id order already.
+  QueryRequest req;
+  req.kind = QueryKind::kThresholdRknn;
+  req.query = q;
+  req.k = 2;
+  req.tau = 0.5;
+  req.budget.max_iterations = 3;
+  const QueryResponse response = RunOne(db, std::move(req));
+  ASSERT_EQ(response.threshold.size(), direct.size());
+  for (size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_EQ(response.threshold[i].id, direct[i].id);
+    EXPECT_EQ(response.threshold[i].decision, direct[i].decision);
+    EXPECT_EQ(response.threshold[i].prob.lb, direct[i].prob.lb);
+    EXPECT_EQ(response.threshold[i].prob.ub, direct[i].prob.ub);
+  }
+}
+
+TEST(QueryServiceTest, InverseRankingAndExpectedRankMatchDirect) {
+  const auto db = MakeDb(25, 0.1);
+  const auto q = MakeQuery(0.5, 0.5, 0.1);
+  IdcaConfig direct_cfg;
+  direct_cfg.max_iterations = 3;
+
+  QueryRequest inv;
+  inv.kind = QueryKind::kInverseRanking;
+  inv.query = q;
+  inv.target = 7;
+  inv.budget.max_iterations = 3;
+  const QueryResponse inv_response = RunOne(db, std::move(inv));
+  const CountDistributionBounds direct_bounds =
+      ProbabilisticInverseRanking(*db, 7, *q, direct_cfg);
+  ASSERT_EQ(inv_response.rank_bounds.num_ranks(), direct_bounds.num_ranks());
+  for (size_t k = 0; k < direct_bounds.num_ranks(); ++k) {
+    EXPECT_EQ(inv_response.rank_bounds.lb(k), direct_bounds.lb(k));
+    EXPECT_EQ(inv_response.rank_bounds.ub(k), direct_bounds.ub(k));
+  }
+
+  QueryRequest er;
+  er.kind = QueryKind::kExpectedRank;
+  er.query = q;
+  er.budget.max_iterations = 2;
+  direct_cfg.max_iterations = 2;
+  const QueryResponse er_response = RunOne(db, std::move(er));
+  const std::vector<ExpectedRankEntry> direct_order =
+      ExpectedRankOrder(*db, *q, direct_cfg);
+  ASSERT_EQ(er_response.expected.size(), direct_order.size());
+  for (size_t i = 0; i < direct_order.size(); ++i) {
+    EXPECT_EQ(er_response.expected[i].id, direct_order[i].id);
+    EXPECT_EQ(er_response.expected[i].expected_rank.lb,
+              direct_order[i].expected_rank.lb);
+    EXPECT_EQ(er_response.expected[i].expected_rank.ub,
+              direct_order[i].expected_rank.ub);
+  }
+}
+
+/// Acceptance: responses are bit-identical across num_workers in {1,2,8},
+/// and also across batch sizes — batching may regroup work but must never
+/// change a result.
+TEST(QueryServiceTest, DeterministicAcrossWorkersAndBatchSizes) {
+  const auto db = MakeDb(35, 0.08);
+  TraceConfig tcfg;
+  tcfg.num_requests = 18;
+  tcfg.seed = 99;
+  tcfg.query_extent = 0.08;
+  tcfg.k_max = 4;
+  tcfg.budget.max_iterations = 3;
+  tcfg.deadline_fraction = 0.3;
+  tcfg.deadline_ms = 10.0;
+  const std::vector<QueryRequest> trace = MakeTrace(*db, tcfg);
+
+  auto run = [&](size_t workers, size_t batch) {
+    QueryServiceOptions opts;
+    opts.num_workers = workers;
+    opts.batch_size = batch;
+    opts.max_queue = trace.size();
+    QueryService service(db, opts);
+    const ReplayResult result = ReplayTrace(service, trace, /*qps=*/0.0);
+    EXPECT_EQ(result.admitted, trace.size());
+    return ResponseDigest(result.responses);
+  };
+
+  const uint64_t base = run(1, 4);
+  EXPECT_EQ(run(2, 4), base);
+  EXPECT_EQ(run(8, 4), base);
+  EXPECT_EQ(run(2, 1), base);
+  EXPECT_EQ(run(2, 8), base);
+}
+
+/// A budget-expired query must return kUndecided with a valid bracket that
+/// is consistent with the converged ground truth — never a wrong decision.
+TEST(QueryServiceTest, ExpiredBudgetYieldsValidBracketNeverWrongDecision) {
+  const auto db = MakeDb(22, 0.12);
+  const auto q = MakeQuery(0.5, 0.5, 0.12);
+
+  // Ground truth: generous budget.
+  const QueryResponse truth = RunOne(db, KnnRequest(q, 3, 0.5, 6));
+
+  // Tiny deadline: compiles to 1 iteration (est 5 ms/iter, 5 ms deadline).
+  QueryRequest starved = KnnRequest(q, 3, 0.5, 6);
+  starved.budget.deadline_ms = 5.0;
+  const QueryResponse response = RunOne(db, std::move(starved));
+  EXPECT_EQ(response.stats.iterations_granted, 1);
+
+  ASSERT_EQ(response.threshold.size(), truth.threshold.size());
+  bool any_undecided = false;
+  for (size_t i = 0; i < response.threshold.size(); ++i) {
+    const ThresholdQueryResult& fast = response.threshold[i];
+    const ThresholdQueryResult& slow = truth.threshold[i];
+    ASSERT_EQ(fast.id, slow.id);
+    // Bracket validity.
+    EXPECT_LE(fast.prob.lb, fast.prob.ub);
+    EXPECT_GE(fast.prob.lb, 0.0);
+    EXPECT_LE(fast.prob.ub, 1.0);
+    // The starved bracket must contain the converged one (refinement only
+    // tightens), up to floating noise.
+    EXPECT_LE(fast.prob.lb, slow.prob.lb + 1e-12);
+    EXPECT_GE(fast.prob.ub, slow.prob.ub - 1e-12);
+    // Never a wrong decision.
+    if (fast.decision == PredicateDecision::kTrue) {
+      EXPECT_NE(slow.decision, PredicateDecision::kFalse);
+    }
+    if (fast.decision == PredicateDecision::kFalse) {
+      EXPECT_NE(slow.decision, PredicateDecision::kTrue);
+    }
+    any_undecided |= fast.decision == PredicateDecision::kUndecided;
+  }
+  if (any_undecided) {
+    EXPECT_EQ(response.status, ResponseStatus::kExpired);
+  }
+}
+
+TEST(QueryServiceTest, ZeroIterationDeadlineStillAnswers) {
+  const auto db = MakeDb(20, 0.1);
+  // Deadline below one estimated iteration: filter phase only.
+  QueryRequest req = KnnRequest(MakeQuery(0.5, 0.5, 0.1), 2, 0.5, 8);
+  req.budget.deadline_ms = 1.0;
+  const QueryResponse response = RunOne(db, std::move(req));
+  EXPECT_EQ(response.stats.iterations_granted, 0);
+  for (const ThresholdQueryResult& r : response.threshold) {
+    EXPECT_LE(r.prob.lb, r.prob.ub);
+  }
+}
+
+TEST(QueryServiceTest, RejectsWhenAdmissionQueueFull) {
+  const auto db = MakeDb(15, 0.05);
+  QueryServiceOptions opts;
+  opts.max_queue = 2;
+  opts.start_paused = true;
+  QueryService service(db, opts);
+  const auto q = MakeQuery(0.5, 0.5, 0.05);
+  const StatusOr<uint64_t> t0 = service.Submit(KnnRequest(q, 1, 0.5, 2));
+  const StatusOr<uint64_t> t1 = service.Submit(KnnRequest(q, 1, 0.5, 2));
+  const StatusOr<uint64_t> t2 = service.Submit(KnnRequest(q, 1, 0.5, 2));
+  ASSERT_TRUE(t0.ok());
+  ASSERT_TRUE(t1.ok());
+  ASSERT_FALSE(t2.ok());
+  EXPECT_EQ(t2.status().code(), StatusCode::kResourceExhausted);
+  service.Resume();
+  service.Flush();
+  EXPECT_EQ(service.Take(*t0).status, ResponseStatus::kOk);
+  EXPECT_EQ(service.Take(*t1).status, ResponseStatus::kOk);
+  const MetricsSnapshot m = service.metrics().Snapshot();
+  EXPECT_EQ(m.rejected, 1u);
+  EXPECT_EQ(m.admitted, 2u);
+  EXPECT_EQ(m.completed, 2u);
+}
+
+TEST(QueryServiceTest, RejectsInvalidRequests) {
+  const auto db = MakeDb(10, 0.05);
+  QueryService service(db, {});
+  QueryRequest no_query;
+  EXPECT_EQ(service.Submit(std::move(no_query)).status().code(),
+            StatusCode::kInvalidArgument);
+  QueryRequest bad_target;
+  bad_target.kind = QueryKind::kInverseRanking;
+  bad_target.query = MakeQuery(0.5, 0.5, 0.05);
+  bad_target.target = 1000;
+  EXPECT_EQ(service.Submit(std::move(bad_target)).status().code(),
+            StatusCode::kInvalidArgument);
+  QueryRequest bad_k = KnnRequest(MakeQuery(0.5, 0.5, 0.05), 0, 0.5, 2);
+  EXPECT_EQ(service.Submit(std::move(bad_k)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(service.metrics().Snapshot().invalid, 3u);
+}
+
+TEST(QueryServiceTest, MetricsSnapshotAndJson) {
+  const auto db = MakeDb(25, 0.06);
+  TraceConfig tcfg;
+  tcfg.num_requests = 10;
+  tcfg.seed = 3;
+  tcfg.query_extent = 0.06;
+  tcfg.budget.max_iterations = 2;
+  const std::vector<QueryRequest> trace = MakeTrace(*db, tcfg);
+  QueryServiceOptions opts;
+  opts.num_workers = 2;
+  opts.batch_size = 4;
+  QueryService service(db, opts);
+  const ReplayResult result = ReplayTrace(service, trace, /*qps=*/0.0);
+  EXPECT_EQ(result.responses.size(), trace.size());
+
+  const MetricsSnapshot m = service.metrics().Snapshot();
+  EXPECT_EQ(m.admitted, trace.size());
+  EXPECT_EQ(m.completed, trace.size());
+  EXPECT_GE(m.batches, 1u);
+  EXPECT_GT(m.mean_batch_fill, 0.0);
+  EXPECT_LE(m.latency_p50_ms, m.latency_p95_ms);
+  EXPECT_LE(m.latency_p95_ms, m.latency_p99_ms);
+  EXPECT_LE(m.latency_p99_ms, m.latency_max_ms);
+  EXPECT_GT(m.throughput_qps, 0.0);
+
+  const std::string json = m.ToJson();
+  EXPECT_NE(json.find("\"throughput_qps\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+/// Concurrent submitters — the TSan CI job drives this test.
+TEST(QueryServiceTest, ConcurrentSubmittersAllComplete) {
+  const auto db = MakeDb(20, 0.05);
+  QueryServiceOptions opts;
+  opts.num_workers = 2;
+  opts.batch_size = 2;
+  QueryService service(db, opts);
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 5;
+  std::vector<std::vector<uint64_t>> tickets(kThreads);
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        const auto q = MakeQuery(0.2 + 0.15 * static_cast<double>(t), 0.5,
+                                 0.05, /*seed=*/t * 100 + i);
+        const StatusOr<uint64_t> ticket =
+            service.Submit(KnnRequest(q, 1, 0.5, 2));
+        ASSERT_TRUE(ticket.ok());
+        tickets[t].push_back(*ticket);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  service.Flush();
+  for (const auto& per_thread : tickets) {
+    for (uint64_t ticket : per_thread) {
+      const QueryResponse r = service.Take(ticket);
+      EXPECT_EQ(r.status, ResponseStatus::kOk);
+    }
+  }
+  EXPECT_EQ(service.metrics().Snapshot().completed, kThreads * kPerThread);
+}
+
+TEST(QueryServiceTest, SubmitAfterShutdownFails) {
+  const auto db = MakeDb(10, 0.05);
+  QueryService service(db, {});
+  service.Shutdown();
+  const StatusOr<uint64_t> ticket =
+      service.Submit(KnnRequest(MakeQuery(0.5, 0.5, 0.05), 1, 0.5, 2));
+  EXPECT_EQ(ticket.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace updb

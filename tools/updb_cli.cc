@@ -6,13 +6,22 @@
 //            --out=data.updb
 //   updb_cli info --db=data.updb
 //   updb_cli domcount --db=data.updb --b=17 --qx=0.5 --qy=0.5
-//            --qextent=0.004 --iterations=6 --threads=1
+//            --qextent=0.004 --iterations=6 --threads=1 --seed=7
 //   (--threads: 1 = serial, 0 = all hardware threads; results are
-//    identical for every value — also accepted by knn/rknn)
+//    identical for every value — also accepted by knn/rknn.
+//    --seed drives query-object generation and is echoed in the output
+//    header, so any run is reproducible from its logged command line.)
 //   updb_cli knn --db=data.updb --k=5 --tau=0.5 --qx=0.5 --qy=0.5
-//            --qextent=0.004
+//            --qextent=0.004 --seed=7
 //   updb_cli rknn --db=data.updb --k=5 --tau=0.5 --qx=0.5 --qy=0.5
-//            --qextent=0.004
+//            --qextent=0.004 --seed=7
+//   updb_cli serve --n=400 --extent=0.02 --requests=100 --workers=2
+//            --batch=8 --queue=256 --qps=0 --iterations=6 --seed=1
+//            [--db=data.updb] [--deadline-ms=20 --deadline-fraction=0.5]
+//   (serve-bench mode: generates — or loads — a database, builds a mixed
+//    query trace from --seed, replays it at --qps offered load (0 = as
+//    fast as possible) against the concurrent QueryService, and prints
+//    the metrics JSON plus a determinism digest of all responses.)
 
 #include <cstdio>
 #include <cstring>
@@ -69,6 +78,7 @@ workload::ObjectModel ParseModel(const std::string& s) {
 int Generate(const Args& args) {
   const std::string out = args.Get("out", "data.updb");
   UncertainDatabase db;
+  uint64_t seed = 0;
   if (args.Get("kind", "synthetic") == "iip") {
     workload::IipConfig cfg;
     cfg.num_objects = args.GetSize("n", cfg.num_objects);
@@ -76,6 +86,7 @@ int Generate(const Args& args) {
     cfg.model = ParseModel(args.Get("model", "gaussian"));
     cfg.samples_per_object = args.GetSize("samples", 1000);
     cfg.seed = args.GetSize("seed", cfg.seed);
+    seed = cfg.seed;
     db = workload::MakeIipLikeDataset(cfg);
   } else {
     workload::SyntheticConfig cfg;
@@ -84,6 +95,7 @@ int Generate(const Args& args) {
     cfg.model = ParseModel(args.Get("model", "uniform"));
     cfg.samples_per_object = args.GetSize("samples", 1000);
     cfg.seed = args.GetSize("seed", cfg.seed);
+    seed = cfg.seed;
     db = workload::MakeSyntheticDatabase(cfg);
   }
   const Status status = io::SaveDatabase(db, out);
@@ -91,7 +103,8 @@ int Generate(const Args& args) {
     std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("wrote %zu objects to %s\n", db.size(), out.c_str());
+  std::printf("seed=%llu wrote %zu objects to %s\n",
+              static_cast<unsigned long long>(seed), db.size(), out.c_str());
   return 0;
 }
 
@@ -125,6 +138,12 @@ int Info(const Args& args) {
   return 0;
 }
 
+/// Seed for query-object generation: --seed, default 7 (the historical
+/// hard-wired value). Echoed in every command's output header.
+uint64_t QuerySeed(const Args& args) {
+  return static_cast<uint64_t>(args.GetSize("seed", 7));
+}
+
 std::shared_ptr<const Pdf> QueryObjectFromArgs(const Args& args, Rng& rng) {
   const Point center{args.GetDouble("qx", 0.5), args.GetDouble("qy", 0.5)};
   return workload::MakeQueryObject(center,
@@ -144,15 +163,17 @@ int DomCount(const Args& args) {
                  db->size());
     return 1;
   }
-  Rng rng(7);
+  const uint64_t seed = QuerySeed(args);
+  Rng rng(seed);
   const auto q = QueryObjectFromArgs(args, rng);
   IdcaConfig config;
   config.max_iterations = static_cast<int>(args.GetSize("iterations", 6));
   config.num_threads = static_cast<int>(args.GetSize("threads", 1));
   IdcaEngine engine(*db, config);
   const IdcaResult result = engine.ComputeDomCount(b, *q);
-  std::printf("complete dominators: %zu, influence objects: %zu, "
+  std::printf("seed=%llu complete dominators: %zu, influence objects: %zu, "
               "%.3f ms\n",
+              static_cast<unsigned long long>(seed),
               result.complete_domination_count, result.influence_count,
               result.seconds * 1e3);
   for (size_t k = 0; k < result.bounds.num_ranks(); ++k) {
@@ -169,7 +190,8 @@ int ThresholdQuery(const Args& args, bool reverse) {
     std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
     return 1;
   }
-  Rng rng(7);
+  const uint64_t seed = QuerySeed(args);
+  Rng rng(seed);
   const auto q = QueryObjectFromArgs(args, rng);
   const size_t k = args.GetSize("k", 5);
   const double tau = args.GetDouble("tau", 0.5);
@@ -182,9 +204,9 @@ int ThresholdQuery(const Args& args, bool reverse) {
       reverse
           ? ProbabilisticThresholdRknn(*db, index, *q, k, tau, config, &stats)
           : ProbabilisticThresholdKnn(*db, index, *q, k, tau, config, &stats);
-  std::printf("%s query, k=%zu tau=%.2f: %zu candidates, %.3f ms\n",
-              reverse ? "RkNN" : "kNN", k, tau, stats.candidates,
-              stats.seconds * 1e3);
+  std::printf("seed=%llu %s query, k=%zu tau=%.2f: %zu candidates, %.3f ms\n",
+              static_cast<unsigned long long>(seed), reverse ? "RkNN" : "kNN",
+              k, tau, stats.candidates, stats.seconds * 1e3);
   for (const auto& r : results) {
     if (r.decision == PredicateDecision::kFalse) continue;
     std::printf("object %u: P in [%.4f, %.4f] -> %s\n", r.id, r.prob.lb,
@@ -194,9 +216,79 @@ int ThresholdQuery(const Args& args, bool reverse) {
   return 0;
 }
 
+int Serve(const Args& args) {
+  // Snapshot: load --db when given, otherwise generate a synthetic
+  // database in memory from the logged parameters.
+  auto db = std::make_shared<UncertainDatabase>();
+  if (args.Get("db", "").empty()) {
+    workload::SyntheticConfig cfg;
+    cfg.num_objects = args.GetSize("n", 400);
+    cfg.max_extent = args.GetDouble("extent", 0.02);
+    cfg.model = ParseModel(args.Get("model", "uniform"));
+    cfg.samples_per_object = args.GetSize("samples", 64);
+    cfg.seed = args.GetSize("dbseed", cfg.seed);
+    *db = workload::MakeSyntheticDatabase(cfg);
+  } else {
+    StatusOr<UncertainDatabase> loaded = LoadDb(args);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    *db = std::move(loaded).value();
+  }
+
+  const uint64_t seed = static_cast<uint64_t>(args.GetSize("seed", 1));
+  service::TraceConfig tcfg;
+  tcfg.num_requests = args.GetSize("requests", 100);
+  tcfg.seed = seed;
+  tcfg.k_max = args.GetSize("kmax", 10);
+  tcfg.tau = args.GetDouble("tau", 0.5);
+  tcfg.query_extent = args.GetDouble("qextent", 0.02);
+  tcfg.budget.max_iterations =
+      static_cast<int>(args.GetSize("iterations", 6));
+  tcfg.budget.uncertainty_epsilon = args.GetDouble("epsilon", 0.0);
+  tcfg.deadline_ms = args.GetDouble("deadline-ms", 0.0);
+  tcfg.deadline_fraction =
+      tcfg.deadline_ms > 0.0 ? args.GetDouble("deadline-fraction", 1.0) : 0.0;
+  const std::vector<service::QueryRequest> trace =
+      service::MakeTrace(*db, tcfg);
+
+  service::QueryServiceOptions opts;
+  opts.num_workers = std::max<size_t>(args.GetSize("workers", 2), 1);
+  opts.batch_size = std::max<size_t>(args.GetSize("batch", 8), 1);
+  opts.max_queue = std::max<size_t>(args.GetSize("queue", 256), 1);
+  const double est_iter_ms = args.GetDouble("est-iter-ms", 5.0);
+  opts.est_iteration_ms = est_iter_ms > 0.0 ? est_iter_ms : 5.0;
+  const double qps = args.GetDouble("qps", 0.0);
+
+  std::printf("# updb serve — seed=%llu db_objects=%zu requests=%zu "
+              "workers=%zu batch=%zu queue=%zu qps=%.3g iterations=%d\n",
+              static_cast<unsigned long long>(seed), db->size(),
+              trace.size(), opts.num_workers, opts.batch_size,
+              opts.max_queue, qps, tcfg.budget.max_iterations);
+
+  service::QueryService svc(db, opts);
+  const service::ReplayResult result =
+      service::ReplayTrace(svc, trace, qps);
+
+  size_t by_status[4] = {0, 0, 0, 0};
+  for (const service::QueryResponse& r : result.responses) {
+    ++by_status[static_cast<size_t>(r.status)];
+  }
+  std::printf("# ok=%zu expired=%zu rejected=%zu invalid=%zu "
+              "wall_seconds=%.3f\n",
+              by_status[0], by_status[1], by_status[2], by_status[3],
+              result.wall_seconds);
+  std::printf("# response_digest=%016llx\n",
+              static_cast<unsigned long long>(
+                  service::ResponseDigest(result.responses)));
+  std::printf("%s\n", svc.metrics().Snapshot().ToJson().c_str());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: updb_cli <generate|info|domcount|knn|rknn> "
+               "usage: updb_cli <generate|info|domcount|knn|rknn|serve> "
                "[--key=value ...]\n(see header of tools/updb_cli.cc)\n");
   return 2;
 }
@@ -212,5 +304,6 @@ int main(int argc, char** argv) {
   if (command == "domcount") return DomCount(args);
   if (command == "knn") return ThresholdQuery(args, /*reverse=*/false);
   if (command == "rknn") return ThresholdQuery(args, /*reverse=*/true);
+  if (command == "serve") return Serve(args);
   return Usage();
 }
