@@ -1,0 +1,346 @@
+// Store churn benchmark: (a) publish latency of the versioned object
+// store with the delta-overlay index vs a full bulk rebuild at every
+// publish, and (b) query throughput of the live QueryService while a
+// writer thread mutates and publishes concurrently. Built-in oracles:
+// overlay and rebuilt stores fed the same mutation stream must serve
+// bit-identical payloads at every version, and two pinned replays of the
+// same trace against the same snapshot_version must produce equal digests
+// while churn continues — any mismatch exits 2.
+//
+// CSV to stdout; pass a path argument to also write the summary JSON (the
+// format committed as BENCH_store_churn.json). UPDB_BENCH_SCALE scales
+// database, trace and churn sizes.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "updb.h"
+
+namespace {
+
+using namespace updb;
+
+struct PublishSeries {
+  std::string mode;
+  size_t publishes = 0;
+  size_t compactions = 0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  size_t final_delta = 0;
+};
+
+/// Applies `batches` churn batches to a fresh store seeded with `db`,
+/// publishing after each, and reports the publish-latency series.
+PublishSeries RunPublishSeries(const UncertainDatabase& db,
+                               double compact_fraction, const char* mode,
+                               size_t batches, size_t per_batch,
+                               uint64_t seed) {
+  store::StoreOptions opts;
+  opts.compact_delta_fraction = compact_fraction;
+  store::VersionedObjectStore s(db, opts);
+  Rng rng(seed);
+  workload::ChurnConfig ccfg;
+  ccfg.mutations_per_batch = per_batch;
+  ccfg.max_extent = 0.01;
+  PublishSeries out;
+  out.mode = mode;
+  double total_ms = 0.0;
+  for (size_t b = 0; b < batches; ++b) {
+    workload::ApplyMutationBatch(
+        s, workload::MakeMutationBatch(s.LiveIds(), 2, ccfg, rng));
+    Stopwatch timer;
+    const auto snap = s.Publish();
+    const double ms = timer.ElapsedMillis();
+    total_ms += ms;
+    out.max_ms = std::max(out.max_ms, ms);
+    ++out.publishes;
+    if (snap->index().compacted()) ++out.compactions;
+    out.final_delta = snap->index().delta_entries();
+  }
+  out.mean_ms = total_ms / static_cast<double>(out.publishes);
+  return out;
+}
+
+/// One size-stationary churn batch: biases the insert/remove mix to keep
+/// the live set near `target_size`. Open-ended writer loops must not grow
+/// the database without bound while a replay drains — expected-rank
+/// requests cost O(N) IDCA runs, so unbounded growth compounds into a
+/// replay that never finishes.
+void ApplyStationaryChurnBatch(store::VersionedObjectStore& s,
+                               size_t target_size, Rng& rng) {
+  workload::ChurnConfig ccfg;
+  ccfg.mutations_per_batch = 8;
+  ccfg.max_extent = 0.03;
+  const size_t live = s.live_size();
+  const size_t band = target_size / 4;
+  if (live > target_size + band) {
+    ccfg.insert_weight = 0.2;
+    ccfg.remove_weight = 0.4;
+  } else if (live + band < target_size) {
+    ccfg.insert_weight = 0.4;
+    ccfg.remove_weight = 0.2;
+  } else {
+    ccfg.insert_weight = 0.3;
+    ccfg.remove_weight = 0.3;
+  }
+  workload::ApplyMutationBatch(
+      s, workload::MakeMutationBatch(s.LiveIds(), 2, ccfg, rng));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::PrintBanner("bench_store_churn",
+                     "versioned store: publish latency + QPS under churn");
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf("# hardware_threads=%u\n", hw);
+
+  // ---------------------------------------------------------------------
+  // Part A — publish latency: O(delta) overlay maintenance vs full bulk
+  // rebuild at every publish, on a database large enough that the rebuild
+  // cost is visible.
+  workload::SyntheticConfig big_cfg;
+  big_cfg.num_objects = bench::Scaled(20000);
+  big_cfg.max_extent = 0.004;
+  big_cfg.seed = 41;
+  const UncertainDatabase big_db = workload::MakeSyntheticDatabase(big_cfg);
+  const size_t publish_batches = bench::Scaled(24);
+  const size_t per_batch = 32;
+
+  std::printf("series,mode,publishes,compactions,mean_publish_ms,"
+              "max_publish_ms,final_delta\n");
+  std::vector<PublishSeries> publish_series;
+  publish_series.push_back(RunPublishSeries(
+      big_db, /*compact_fraction=*/0.25, "overlay", publish_batches,
+      per_batch, /*seed=*/51));
+  publish_series.push_back(RunPublishSeries(
+      big_db, /*compact_fraction=*/0.0, "rebuild_always", publish_batches,
+      per_batch, /*seed=*/51));
+  for (const PublishSeries& s : publish_series) {
+    std::printf("store_publish,%s,%zu,%zu,%.4f,%.4f,%zu\n", s.mode.c_str(),
+                s.publishes, s.compactions, s.mean_ms, s.max_ms,
+                s.final_delta);
+  }
+
+  // ---------------------------------------------------------------------
+  // Oracle 1 — overlay vs rebuilt snapshots serve identical payloads.
+  store::StoreOptions overlay_opts;
+  overlay_opts.compact_delta_fraction = 10.0;  // keep the overlay forever
+  store::StoreOptions rebuild_opts;
+  rebuild_opts.compact_delta_fraction = 0.0;
+  workload::SyntheticConfig small_cfg;
+  small_cfg.num_objects = bench::Scaled(200);
+  small_cfg.max_extent = 0.03;
+  small_cfg.seed = 11;
+  const UncertainDatabase small_db =
+      workload::MakeSyntheticDatabase(small_cfg);
+  store::VersionedObjectStore overlay_store(small_db, overlay_opts);
+  store::VersionedObjectStore rebuild_store(small_db, rebuild_opts);
+  {
+    Rng rng(61);
+    workload::ChurnConfig ccfg;
+    ccfg.mutations_per_batch = 24;
+    ccfg.max_extent = 0.03;
+    for (int b = 0; b < 3; ++b) {
+      const std::vector<store::Mutation> batch = workload::MakeMutationBatch(
+          overlay_store.LiveIds(), 2, ccfg, rng);
+      workload::ApplyMutationBatch(overlay_store, batch);
+      workload::ApplyMutationBatch(rebuild_store, batch);
+      overlay_store.Publish();
+      rebuild_store.Publish();
+    }
+  }
+  // Expected-rank requests cost one IDCA run per database object; a small
+  // weight keeps the closed-loop replays in CI-smoke budget on one core.
+  // Iteration budget 3: one level deeper multiplies the partition-pair
+  // count ~16x on the undecided tail and blows the smoke budget of a
+  // single-core CI host.
+  service::TraceConfig tcfg;
+  tcfg.num_requests = bench::Scaled(300);
+  tcfg.seed = 23;
+  tcfg.query_extent = 0.03;
+  tcfg.k_max = 5;
+  tcfg.expected_rank_weight = 0.05;
+  tcfg.budget.max_iterations = 3;
+  const std::vector<service::QueryRequest> oracle_trace =
+      service::MakeTrace(*overlay_store.latest()->db(), tcfg);
+  const auto pinned_digest =
+      [&oracle_trace](std::shared_ptr<const store::StoreSnapshot> snap,
+                      size_t workers) {
+        service::QueryServiceOptions opts;
+        opts.num_workers = workers;
+        opts.batch_size = 8;
+        opts.max_queue = oracle_trace.size();
+        service::QueryService svc(std::move(snap), opts);
+        return service::ResponseDigest(
+            service::ReplayTrace(svc, oracle_trace, /*qps=*/0.0).responses);
+      };
+  const uint64_t overlay_digest =
+      pinned_digest(overlay_store.latest(), /*workers=*/2);
+  const uint64_t rebuild_digest =
+      pinned_digest(rebuild_store.latest(), /*workers=*/2);
+  const bool overlay_matches = overlay_digest == rebuild_digest;
+  std::printf("series,overlay_vs_rebuild_digest\nstore_oracle,%s\n",
+              overlay_matches ? "equal" : "MISMATCH");
+
+  // ---------------------------------------------------------------------
+  // Part B — query throughput under churn: closed-loop replay against the
+  // live service while a writer publishes at full speed, vs the same
+  // replay against a quiescent store.
+  struct ChurnRow {
+    std::string mode;
+    double seconds = 0.0;
+    double qps = 0.0;
+    uint64_t versions_served_min = 0;
+    uint64_t versions_served_max = 0;
+    uint64_t publishes = 0;
+  };
+  std::vector<ChurnRow> churn_rows;
+  for (const bool with_churn : {false, true}) {
+    auto object_store =
+        std::make_shared<store::VersionedObjectStore>(small_db);
+    service::QueryServiceOptions opts;
+    opts.num_workers = 2;
+    opts.batch_size = 8;
+    opts.max_queue = oracle_trace.size();
+    service::QueryService svc(object_store, opts);
+    std::atomic<bool> stop{false};
+    std::thread writer;
+    if (with_churn) {
+      writer = std::thread([&object_store, &stop, target = small_db.size()] {
+        Rng rng(71);
+        while (!stop.load()) {
+          ApplyStationaryChurnBatch(*object_store, target, rng);
+          object_store->Publish();
+          // Pace the writer: full-speed publishing starves the query
+          // workers on single-core hosts and measures the scheduler, not
+          // the store.
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        }
+      });
+    }
+    Stopwatch timer;
+    const service::ReplayResult result =
+        service::ReplayTrace(svc, oracle_trace, /*qps=*/0.0);
+    const double seconds = timer.ElapsedSeconds();
+    stop.store(true);
+    if (writer.joinable()) writer.join();
+    ChurnRow row;
+    row.mode = with_churn ? "churn" : "quiescent";
+    row.seconds = seconds;
+    row.qps = static_cast<double>(oracle_trace.size()) / seconds;
+    row.versions_served_min = ~uint64_t{0};
+    for (const service::QueryResponse& r : result.responses) {
+      // Version 0 marks never-executed stubs; executed responses always
+      // name a published version here (the store seeds at version 1).
+      if (r.snapshot_version == 0) continue;
+      row.versions_served_min =
+          std::min(row.versions_served_min, r.snapshot_version);
+      row.versions_served_max =
+          std::max(row.versions_served_max, r.snapshot_version);
+    }
+    if (row.versions_served_min > row.versions_served_max) {
+      row.versions_served_min = row.versions_served_max;
+    }
+    row.publishes = object_store->version();
+    churn_rows.push_back(row);
+  }
+  std::printf("series,mode,seconds,throughput_qps,versions_served_min,"
+              "versions_served_max,publishes\n");
+  for (const ChurnRow& r : churn_rows) {
+    std::printf("churn_throughput,%s,%.3f,%.2f,%llu,%llu,%llu\n",
+                r.mode.c_str(), r.seconds, r.qps,
+                static_cast<unsigned long long>(r.versions_served_min),
+                static_cast<unsigned long long>(r.versions_served_max),
+                static_cast<unsigned long long>(r.publishes));
+  }
+
+  // ---------------------------------------------------------------------
+  // Oracle 2 — version-pinned determinism while churn continues: two
+  // replays pinned to the same snapshot, different worker counts, under a
+  // concurrently publishing writer.
+  bool pinned_deterministic = false;
+  {
+    store::StoreOptions opts;
+    opts.snapshot_retention = 4;
+    auto object_store =
+        std::make_shared<store::VersionedObjectStore>(small_db, opts);
+    const auto pinned = object_store->latest();
+    std::atomic<bool> stop{false};
+    std::thread writer([&object_store, &stop, target = small_db.size()] {
+      Rng rng(81);
+      while (!stop.load()) {
+        ApplyStationaryChurnBatch(*object_store, target, rng);
+        object_store->Publish();
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+    const uint64_t digest_a = pinned_digest(pinned, /*workers=*/1);
+    const uint64_t digest_b = pinned_digest(pinned, /*workers=*/4);
+    stop.store(true);
+    writer.join();
+    pinned_deterministic = digest_a == digest_b;
+    std::printf("series,pinned_replay_digest\nstore_determinism,%s\n",
+                pinned_deterministic ? "equal" : "MISMATCH");
+  }
+
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_store_churn\",\n");
+    std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+    std::fprintf(f,
+                 "  \"note\": \"publish series: %zu-object database, %zu "
+                 "publishes of %zu-mutation batches; overlay uses "
+                 "compact_delta_fraction 0.25, rebuild_always forces a "
+                 "full STR bulk build per publish. Throughput rows replay "
+                 "the same closed-loop trace against a quiescent store and "
+                 "against one whose writer publishes continuously (2 ms "
+                 "pacing, size-stationary mutation mix). Oracles: "
+                 "overlay-vs-rebuilt digests equal, pinned replays under "
+                 "churn equal.\",\n",
+                 big_db.size(), publish_batches, per_batch);
+    std::fprintf(f, "  \"publish_db_objects\": %zu,\n", big_db.size());
+    std::fprintf(f, "  \"churn_db_objects\": %zu,\n", small_db.size());
+    std::fprintf(f, "  \"requests\": %zu,\n", oracle_trace.size());
+    std::fprintf(f, "  \"overlay_matches_rebuild\": %s,\n",
+                 overlay_matches ? "true" : "false");
+    std::fprintf(f, "  \"pinned_replay_deterministic\": %s,\n",
+                 pinned_deterministic ? "true" : "false");
+    std::fprintf(f, "  \"publish_series\": [\n");
+    for (size_t i = 0; i < publish_series.size(); ++i) {
+      const PublishSeries& s = publish_series[i];
+      std::fprintf(f,
+                   "    {\"mode\": \"%s\", \"publishes\": %zu, "
+                   "\"compactions\": %zu, \"mean_publish_ms\": %.4f, "
+                   "\"max_publish_ms\": %.4f, \"final_delta\": %zu}%s\n",
+                   s.mode.c_str(), s.publishes, s.compactions, s.mean_ms,
+                   s.max_ms, s.final_delta,
+                   i + 1 < publish_series.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"churn_series\": [\n");
+    for (size_t i = 0; i < churn_rows.size(); ++i) {
+      const ChurnRow& r = churn_rows[i];
+      std::fprintf(f,
+                   "    {\"mode\": \"%s\", \"seconds\": %.3f, "
+                   "\"throughput_qps\": %.2f, \"versions_served\": [%llu, "
+                   "%llu], \"publishes\": %llu}%s\n",
+                   r.mode.c_str(), r.seconds, r.qps,
+                   static_cast<unsigned long long>(r.versions_served_min),
+                   static_cast<unsigned long long>(r.versions_served_max),
+                   static_cast<unsigned long long>(r.publishes),
+                   i + 1 < churn_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+  return overlay_matches && pinned_deterministic ? 0 : 2;
+}

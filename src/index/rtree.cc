@@ -192,6 +192,31 @@ std::vector<RTreeEntry> RTree::KnnByMinDist(const Rect& query, size_t k,
   return out;
 }
 
+bool RTree::Validate() const {
+  if (empty()) return entries_.empty();
+  size_t reachable = 0;
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.begin >= node.end) return false;
+    if (node.leaf) {
+      if (node.end > entries_.size()) return false;
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        if (!node.mbr.Contains(entries_[i].mbr)) return false;
+      }
+      reachable += node.end - node.begin;
+    } else {
+      if (node.end > nodes_.size()) return false;
+      for (uint32_t c = node.begin; c < node.end; ++c) {
+        if (!node.mbr.Contains(nodes_[c].mbr)) return false;
+        stack.push_back(c);
+      }
+    }
+  }
+  return reachable == num_entries_;
+}
+
 RTree BuildRTree(const std::vector<UncertainObject>& objects,
                  size_t leaf_capacity) {
   std::vector<RTreeEntry> entries;

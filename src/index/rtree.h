@@ -34,6 +34,8 @@ class RTree {
   explicit RTree(std::vector<RTreeEntry> entries, size_t leaf_capacity = 16);
 
   size_t size() const { return num_entries_; }
+  /// Alias of size(); the store/index layers use the explicit name.
+  size_t entry_count() const { return num_entries_; }
   bool empty() const { return num_entries_ == 0; }
 
   /// Ids of all entries whose MBR intersects `query`.
@@ -84,6 +86,12 @@ class RTree {
 
   /// Height of the tree (1 = a single leaf level); diagnostics.
   size_t height() const { return height_; }
+
+  /// Debug validation: every node MBR contains its children (entry MBRs at
+  /// the leaves, child-node MBRs internally) and the number of entries
+  /// reachable from the root equals entry_count(). O(N); used by the
+  /// store/index tests.
+  bool Validate() const;
 
  private:
   struct Node {

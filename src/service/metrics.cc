@@ -43,6 +43,7 @@ std::string MetricsSnapshot::ToJson() const {
   AppendField(out, "invalid", invalid);
   AppendField(out, "completed", completed);
   AppendField(out, "expired", expired);
+  AppendField(out, "invalidated", invalidated);
   AppendField(out, "batches", batches);
   AppendField(out, "mean_batch_fill", mean_batch_fill);
   AppendField(out, "queue_depth", static_cast<uint64_t>(queue_depth));
@@ -85,6 +86,7 @@ void ServiceMetrics::RecordCompleted(ResponseStatus status,
   std::lock_guard<std::mutex> lock(mu_);
   ++completed_;
   if (status == ResponseStatus::kExpired) ++expired_;
+  if (status == ResponseStatus::kInvalid) ++invalidated_;
   latencies_seconds_.push_back(latency_seconds);
   last_complete_at_ = clock_.ElapsedSeconds();
 }
@@ -110,6 +112,7 @@ MetricsSnapshot ServiceMetrics::Snapshot() const {
   s.invalid = invalid_;
   s.completed = completed_;
   s.expired = expired_;
+  s.invalidated = invalidated_;
   s.batches = batches_;
   s.mean_batch_fill =
       batches_ > 0

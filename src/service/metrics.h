@@ -27,7 +27,12 @@ struct MetricsSnapshot {
   uint64_t rejected = 0;   // admission-queue-full rejections
   uint64_t invalid = 0;    // failed validation
   uint64_t completed = 0;
-  uint64_t expired = 0;    // completed with ResponseStatus::kExpired
+  uint64_t expired = 0;      // completed with ResponseStatus::kExpired
+  /// Completed with ResponseStatus::kInvalid: admitted requests whose
+  /// validation no longer held against the snapshot they executed on
+  /// (live updates landed in between). Distinct from `invalid`, which
+  /// counts admission-time validation failures.
+  uint64_t invalidated = 0;
   uint64_t batches = 0;
   double mean_batch_fill = 0.0;  // requests per executed batch
   size_t queue_depth = 0;        // current
@@ -74,6 +79,7 @@ class ServiceMetrics {
   uint64_t invalid_ = 0;
   uint64_t completed_ = 0;
   uint64_t expired_ = 0;
+  uint64_t invalidated_ = 0;
   uint64_t batches_ = 0;
   uint64_t batched_requests_ = 0;
   size_t queue_depth_ = 0;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "queries/queries.h"
+
 namespace updb {
 namespace service {
 
@@ -25,29 +27,50 @@ Rect ExpandRect(const Rect& mbr, double reach) {
   return Rect(std::move(sides));
 }
 
-/// Contract checks that must run before the member-initializer list uses
-/// the values (a bad db would deref null building the index; num_workers
-/// of 0 would underflow the pool size).
-const UncertainDatabase& CheckedDb(
-    const std::shared_ptr<const UncertainDatabase>& db) {
-  UPDB_CHECK(db != nullptr && !db->empty());
-  return *db;
-}
-
 size_t CheckedPoolSize(size_t num_workers) {
   UPDB_CHECK(num_workers >= 1);
   return num_workers - 1;
+}
+
+/// Internal store for the pinned-single-version convenience constructor.
+std::shared_ptr<const store::StoreSnapshot> SeededSnapshot(
+    const std::shared_ptr<const UncertainDatabase>& db) {
+  if (db == nullptr || db->empty()) {
+    return store::VersionedObjectStore().latest();
+  }
+  return store::VersionedObjectStore(*db).latest();
 }
 
 }  // namespace
 
 QueryService::QueryService(std::shared_ptr<const UncertainDatabase> db,
                            QueryServiceOptions options)
-    : db_(std::move(db)),
+    : QueryService(nullptr, SeededSnapshot(db), options) {}
+
+QueryService::QueryService(
+    std::shared_ptr<store::VersionedObjectStore> db_store,
+    QueryServiceOptions options)
+    : QueryService(std::move(db_store), nullptr, options) {
+  UPDB_CHECK(store_ != nullptr);
+}
+
+QueryService::QueryService(
+    std::shared_ptr<const store::StoreSnapshot> snapshot,
+    QueryServiceOptions options)
+    : QueryService(nullptr, std::move(snapshot), options) {
+  UPDB_CHECK(pinned_ != nullptr);
+}
+
+QueryService::QueryService(
+    std::shared_ptr<store::VersionedObjectStore> db_store,
+    std::shared_ptr<const store::StoreSnapshot> pinned,
+    QueryServiceOptions options)
+    : store_(std::move(db_store)),
+      pinned_(std::move(pinned)),
       options_(options),
-      index_(BuildRTree(CheckedDb(db_).objects())),
       pool_(CheckedPoolSize(options.num_workers)),
       paused_(options.start_paused) {
+  UPDB_CHECK(store_ != nullptr || pinned_ != nullptr);
   UPDB_CHECK(options_.batch_size >= 1);
   UPDB_CHECK(options_.max_queue >= 1);
   UPDB_CHECK(options_.est_iteration_ms > 0.0);
@@ -56,8 +79,16 @@ QueryService::QueryService(std::shared_ptr<const UncertainDatabase> db,
 
 QueryService::~QueryService() { Shutdown(); }
 
+std::shared_ptr<const store::StoreSnapshot> QueryService::CurrentSnapshot()
+    const {
+  return pinned_ != nullptr ? pinned_ : store_->latest();
+}
+
 StatusOr<uint64_t> QueryService::Submit(QueryRequest request) {
-  const Status valid = ValidateRequest(request, *db_);
+  // Admission-time validation runs against the current snapshot; under
+  // live updates execution may see a newer version, which re-validates
+  // whatever can drift (see RunBatch).
+  const Status valid = ValidateRequest(request, *CurrentSnapshot());
   if (!valid.ok()) {
     metrics_.RecordInvalid();
     return valid;
@@ -151,13 +182,18 @@ void QueryService::DispatcherMain() {
       metrics_.RecordQueueDepth(pending_.size());
     }
 
+    // One snapshot per round: every batch of this round executes against
+    // the same version, acquired after the round's composition is fixed.
+    const std::shared_ptr<const store::StoreSnapshot> snap =
+        CurrentSnapshot();
+
     const size_t bs = options_.batch_size;
     const size_t num_batches = (round.size() + bs - 1) / bs;
     pool_.ParallelFor(
         num_batches, options_.num_workers, [&](size_t b, size_t /*worker*/) {
           const size_t begin = b * bs;
           const size_t count = std::min(bs, round.size() - begin);
-          RunBatch(round.data() + begin, count, batch_seq_base + b);
+          RunBatch(*snap, round.data() + begin, count, batch_seq_base + b);
           metrics_.RecordBatch(count);
         });
 
@@ -178,8 +214,12 @@ IdcaConfig QueryService::CompileBudget(const QueryBudget& budget,
                                        int* iterations_granted) const {
   IdcaConfig cfg = options_.base_config;
   // The service owns the coarse-grained (batch-level) parallelism; engine
-  // runs stay serial so workers never contend for the shared pool.
+  // runs stay serial so workers never contend for the shared pool. The
+  // engine-level index filter is bypassed too — the service already feeds
+  // the engine index-filtered candidates, and the linear filter computes
+  // the identical influence set, so the payload cannot change.
   cfg.num_threads = 1;
+  cfg.use_index_filter = false;
   cfg.collect_stats = true;
   int granted = budget.max_iterations;
   if (budget.deadline_ms > 0.0) {
@@ -195,40 +235,62 @@ IdcaConfig QueryService::CompileBudget(const QueryBudget& budget,
   return cfg;
 }
 
-void QueryService::RunBatch(Pending* batch, size_t count,
-                            uint64_t batch_seq) const {
-  // Group same-kind requests so they share one filter pass.
+void QueryService::RunBatch(const store::StoreSnapshot& snap, Pending* batch,
+                            size_t count, uint64_t batch_seq) const {
+  const UncertainDatabase& db = *snap.db();
+  // Group same-kind requests so they share one filter pass. Requests whose
+  // admission-time validation no longer holds against this round's
+  // snapshot (live updates landed in between) terminate as kInvalid;
+  // requests against an empty snapshot complete with empty payloads.
   std::vector<Pending*> knn, rknn;
   for (size_t i = 0; i < count; ++i) {
-    batch[i].response.stats.batch = batch_seq;
-    batch[i].response.stats.queue_seconds = batch[i].queue_seconds;
-    switch (batch[i].request.kind) {
+    Pending& p = batch[i];
+    p.response.snapshot_version = snap.version();
+    p.response.stats.batch = batch_seq;
+    p.response.stats.queue_seconds = p.queue_seconds;
+    if (!db.empty() && p.request.query->bounds().dim() != db.dim()) {
+      p.response.status = ResponseStatus::kInvalid;
+      continue;
+    }
+    switch (p.request.kind) {
       case QueryKind::kThresholdKnn:
-        knn.push_back(&batch[i]);
+        if (!db.empty()) knn.push_back(&p);
         break;
       case QueryKind::kThresholdRknn:
-        rknn.push_back(&batch[i]);
+        if (!db.empty()) rknn.push_back(&p);
         break;
-      case QueryKind::kInverseRanking:
-        ExecInverseRanking(batch[i]);
+      case QueryKind::kInverseRanking: {
+        // The target is a stable store id; re-translate it against this
+        // round's snapshot so churn between admission and execution can
+        // never re-bind the request to whichever object inherited the
+        // dense slot. A target no longer live terminates as kInvalid.
+        const StatusOr<ObjectId> dense = snap.DenseId(p.request.target);
+        if (!dense.ok()) {
+          p.response.status = ResponseStatus::kInvalid;
+        } else {
+          ExecInverseRanking(snap, p, *dense);
+        }
         break;
+      }
       case QueryKind::kExpectedRank:
-        ExecExpectedRank(batch[i]);
+        if (!db.empty()) ExecExpectedRank(snap, p);
         break;
     }
   }
   if (!knn.empty()) {
-    ExecThresholdBatch(knn.data(), knn.size(), /*reverse=*/false);
+    ExecThresholdBatch(snap, knn.data(), knn.size(), /*reverse=*/false);
   }
   if (!rknn.empty()) {
-    ExecThresholdBatch(rknn.data(), rknn.size(), /*reverse=*/true);
+    ExecThresholdBatch(snap, rknn.data(), rknn.size(), /*reverse=*/true);
   }
 }
 
-void QueryService::ExecThresholdBatch(Pending** requests, size_t count,
+void QueryService::ExecThresholdBatch(const store::StoreSnapshot& snap,
+                                      Pending** requests, size_t count,
                                       bool reverse) const {
   const LpNorm& norm = options_.base_config.norm;
-  const UncertainDatabase& db = *db_;
+  const UncertainDatabase& db = *snap.db();
+  const store::SnapshotIndex& index = snap.index();
 
   // Phase 1 — candidate filter, one index pass shared across the batch.
   // Every request ends up with exactly the candidate set a solo run of
@@ -254,7 +316,7 @@ void QueryService::ExecThresholdBatch(Pending** requests, size_t count,
     }
     std::vector<ObjectId> shared;
     if (any_bounded) {
-      index_.ScanByMinDist(
+      index.ScanByMinDist(
           union_mbr,
           [&shared, max_prune](const RTreeEntry& e, double min_dist) {
             if (min_dist > max_prune) return false;
@@ -284,7 +346,7 @@ void QueryService::ExecThresholdBatch(Pending** requests, size_t count,
     // within that request's own reach (complete domination implies
     // MinDist(A,B) <= MaxDist(Q,B)), so counting over the superset is
     // exact per request.
-    std::vector<const RTreeEntry*> hits;
+    std::vector<RTreeEntry> hits;
     for (const UncertainObject& b : db.objects()) {
       double max_reach = 0.0;
       for (size_t r = 0; r < count; ++r) {
@@ -293,17 +355,17 @@ void QueryService::ExecThresholdBatch(Pending** requests, size_t count,
             norm.MaxDist(requests[r]->request.query->bounds(), b.mbr()));
       }
       hits.clear();
-      index_.ForEachIntersecting(ExpandRect(b.mbr(), max_reach),
-                                 [&hits](const RTreeEntry& e) {
-                                   hits.push_back(&e);
-                                   return true;
-                                 });
+      index.ForEachIntersecting(ExpandRect(b.mbr(), max_reach),
+                                [&hits](const RTreeEntry& e) {
+                                  hits.push_back(e);
+                                  return true;
+                                });
       for (size_t r = 0; r < count; ++r) {
         const QueryRequest& req = requests[r]->request;
         size_t dominators = 0;
-        for (const RTreeEntry* e : hits) {
-          if (e->id != b.id() && db.object(e->id).existentially_certain() &&
-              Dominates(e->mbr, req.query->bounds(), b.mbr(),
+        for (const RTreeEntry& e : hits) {
+          if (e.id != b.id() && db.object(e.id).existentially_certain() &&
+              Dominates(e.mbr, req.query->bounds(), b.mbr(),
                         options_.base_config.criterion, norm)) {
             if (++dominators >= req.k) break;
           }
@@ -319,7 +381,7 @@ void QueryService::ExecThresholdBatch(Pending** requests, size_t count,
     Stopwatch exec;
     int granted = 0;
     const IdcaConfig cfg = CompileBudget(p.request.budget, &granted);
-    const IdcaEngine engine(db, &index_, cfg);
+    const IdcaEngine engine(db, cfg);
     const IdcaPredicate predicate{p.request.k, p.request.tau};
     p.response.threshold.reserve(candidates[r].size());
     size_t iterations = 0;
@@ -344,13 +406,15 @@ void QueryService::ExecThresholdBatch(Pending** requests, size_t count,
   }
 }
 
-void QueryService::ExecInverseRanking(Pending& p) const {
+void QueryService::ExecInverseRanking(const store::StoreSnapshot& snap,
+                                      Pending& p, ObjectId dense_target)
+    const {
   Stopwatch exec;
   int granted = 0;
   const IdcaConfig cfg = CompileBudget(p.request.budget, &granted);
-  const IdcaEngine engine(*db_, &index_, cfg);
+  const IdcaEngine engine(*snap.db(), cfg);
   const IdcaResult result =
-      engine.ComputeDomCount(p.request.target, *p.request.query);
+      engine.ComputeDomCount(dense_target, *p.request.query);
   p.response.rank_bounds = result.bounds;
   p.response.stats.iterations_granted = granted;
   p.response.stats.candidates = result.influence_count;
@@ -364,7 +428,9 @@ void QueryService::ExecInverseRanking(Pending& p) const {
   p.response.stats.exec_seconds = exec.ElapsedSeconds();
 }
 
-void QueryService::ExecExpectedRank(Pending& p) const {
+void QueryService::ExecExpectedRank(const store::StoreSnapshot& snap,
+                                    Pending& p) const {
+  const UncertainDatabase& db = *snap.db();
   Stopwatch exec;
   int granted = 0;
   const IdcaConfig cfg = CompileBudget(p.request.budget, &granted);
@@ -372,13 +438,13 @@ void QueryService::ExecExpectedRank(Pending& p) const {
   // so the service payload cannot diverge from ExpectedRankOrder.
   size_t iterations = 0;
   p.response.expected =
-      ExpectedRankOrder(*db_, *p.request.query, cfg, &index_, &iterations);
+      ExpectedRankOrder(db, *p.request.query, cfg, nullptr, &iterations);
   double total_width = 0.0;
   for (const ExpectedRankEntry& e : p.response.expected) {
     total_width += e.expected_rank.width();
   }
   p.response.stats.iterations_granted = granted;
-  p.response.stats.candidates = db_->size();
+  p.response.stats.candidates = db.size();
   p.response.stats.idca_iterations = iterations;
   p.response.status = granted < p.request.budget.max_iterations &&
                               total_width > p.request.budget.uncertainty_epsilon

@@ -5,33 +5,45 @@
 //
 //   Submit() -> bounded admission queue -> dispatcher thread -> rounds of
 //   consecutive batches executed by N workers (ThreadPool::ParallelFor)
-//   against one immutable database snapshot -> response table.
+//   against one store snapshot per round -> response table.
+//
+// Snapshots: the service serves a VersionedObjectStore (store/). In live
+// mode the dispatcher acquires the latest published snapshot once per
+// round, so every batch of a round sees one consistent version and
+// writers/publishers never block queries; in pinned mode (constructed
+// from a StoreSnapshot, or from a plain database which is wrapped into a
+// single published version) every round serves the same fixed version.
+// Every response is stamped with the snapshot_version it executed
+// against.
 //
 // Scheduling/batching: the dispatcher pops up to num_workers * batch_size
 // queued requests per round, partitions them into consecutive
 // submission-order chunks of batch_size, and runs the chunks in parallel
 // on its own ThreadPool (the dispatcher participates as worker 0). Within
-// a batch, same-kind requests share one pass over the R-tree candidate
-// filter (union-MBR scan / union-reach probe), then each request refines
-// its own candidates with IDCA under its compiled budget. Rounds are a
-// barrier: a worker that finishes its batch idles until the round's
-// slowest batch completes (ThreadPool exposes ParallelFor, not task
-// handoff). That costs tail latency when one expensive request (e.g.
-// expected-rank) shares a round with cheap ones — an accepted tradeoff
-// here; continuous per-batch handoff would need a task-queue pool and
-// changes no response payload, so it can land later without breaking the
-// determinism contract.
+// a batch, same-kind requests share one pass over the snapshot's index
+// for the candidate filter (union-MBR scan / union-reach probe), then
+// each request refines its own candidates with IDCA under its compiled
+// budget. Rounds are a barrier: a worker that finishes its batch idles
+// until the round's slowest batch completes (ThreadPool exposes
+// ParallelFor, not task handoff). That costs tail latency when one
+// expensive request (e.g. expected-rank) shares a round with cheap ones —
+// an accepted tradeoff here; continuous per-batch handoff would need a
+// task-queue pool and changes no response payload, so it can land later
+// without breaking the determinism contract.
 //
 // Determinism: batch *composition* may depend on timing (a drained queue
-// dispatches partial batches), so batching is constructed to be
-// result-invariant — the shared filters compute, per request, exactly the
-// candidate set a solo run would (the union scan only over-collects, and
-// each request re-filters with its own prune distance), and every
-// response is a pure function of (request, snapshot, compiled budget).
-// Responses are therefore bit-identical for any num_workers/batch_size
-// and any arrival timing; only the wall-clock stats fields differ.
-// Deadlines are compiled to iteration budgets at admission (see
-// service/request.h) — the wall clock never steers execution.
+// dispatches partial batches), and so may the version a round serves
+// under live updates — so both are constructed to be result-invariant
+// per (request, version): the shared filters compute, per request,
+// exactly the candidate set a solo run against that version would (the
+// union scan only over-collects, and each request re-filters with its own
+// prune distance), and every response is a pure function of (request,
+// snapshot version, compiled budget). Replaying a request pinned to the
+// version its response names reproduces the payload bit-identically for
+// any num_workers/batch_size and any arrival timing; only the wall-clock
+// stats fields differ. Deadlines are compiled to iteration budgets at
+// admission (see service/request.h) — the wall clock never steers
+// execution.
 
 #ifndef UPDB_SERVICE_QUERY_SERVICE_H_
 #define UPDB_SERVICE_QUERY_SERVICE_H_
@@ -47,9 +59,9 @@
 
 #include "common/thread_pool.h"
 #include "core/idca.h"
-#include "index/rtree.h"
 #include "service/metrics.h"
 #include "service/request.h"
+#include "store/object_store.h"
 #include "uncertain/database.h"
 
 namespace updb {
@@ -67,9 +79,12 @@ struct QueryServiceOptions {
   /// this many requests are queued and not yet dispatched. Must be >= 1.
   size_t max_queue = 1024;
   /// Baseline engine configuration (norm, criterion, split policy, verdict
-  /// cache, index filter). Per-request budgets override max_iterations and
+  /// cache). Per-request budgets override max_iterations and
   /// uncertainty_epsilon; num_threads is forced to 1 inside workers — the
-  /// service owns the coarse-grained parallelism.
+  /// service owns the coarse-grained parallelism — and use_index_filter is
+  /// forced off (the service runs its own candidate filters against the
+  /// snapshot index; the engine-level filter would need a per-version
+  /// dense-id tree and changes no response payload).
   IdcaConfig base_config;
   /// Deadline compilation constant: a request with deadline_ms is granted
   /// floor(deadline_ms / est_iteration_ms) refinement iterations (capped
@@ -86,10 +101,24 @@ struct QueryServiceOptions {
 /// one internal dispatcher schedules execution.
 class QueryService {
  public:
-  /// Serves queries against `db`, which becomes the service's immutable
-  /// snapshot (shared ownership; never mutated). Builds the R-tree over
-  /// the snapshot once. `db` must be non-null and non-empty.
+  /// Pinned-single-version convenience: wraps `db` into an internal
+  /// versioned store, publishes version 1, and serves that snapshot
+  /// forever. A null or empty `db` yields an empty snapshot (requests
+  /// complete with empty payloads) — the service no longer requires a
+  /// populated database to come up.
   QueryService(std::shared_ptr<const UncertainDatabase> db,
+               QueryServiceOptions options);
+
+  /// Live mode: serves `store`, acquiring the latest published snapshot
+  /// once per dispatch round. Writers mutate and Publish() concurrently;
+  /// the service never blocks them. `store` must be non-null.
+  QueryService(std::shared_ptr<store::VersionedObjectStore> db_store,
+               QueryServiceOptions options);
+
+  /// Pinned mode: serves exactly `snapshot` (any retained version) for the
+  /// service's lifetime, regardless of later publishes — the replay path
+  /// of the version-determinism contract. `snapshot` must be non-null.
+  QueryService(std::shared_ptr<const store::StoreSnapshot> snapshot,
                QueryServiceOptions options);
 
   /// Drains admitted requests, then stops the workers.
@@ -98,9 +127,10 @@ class QueryService {
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
 
-  /// Validates and enqueues a request. Returns the ticket to redeem with
-  /// Take(), InvalidArgument when validation fails, ResourceExhausted when
-  /// the admission queue is full, FailedPrecondition after Shutdown().
+  /// Validates (against the current snapshot) and enqueues a request.
+  /// Returns the ticket to redeem with Take(), InvalidArgument when
+  /// validation fails, ResourceExhausted when the admission queue is full,
+  /// FailedPrecondition after Shutdown().
   StatusOr<uint64_t> Submit(QueryRequest request);
 
   /// Blocks until the response for `ticket` is ready and returns it. Each
@@ -119,9 +149,10 @@ class QueryService {
   void Shutdown();
 
   const QueryServiceOptions& options() const { return options_; }
-  const UncertainDatabase& db() const { return *db_; }
-  const RTree& index() const { return index_; }
   const ServiceMetrics& metrics() const { return metrics_; }
+  /// The snapshot a round dispatched now would serve (pinned snapshot, or
+  /// the store's latest). Never null.
+  std::shared_ptr<const store::StoreSnapshot> CurrentSnapshot() const;
 
  private:
   /// A request in flight: ticket, payload, submit-time stopwatch, and the
@@ -134,23 +165,33 @@ class QueryService {
     QueryResponse response;
   };
 
+  QueryService(std::shared_ptr<store::VersionedObjectStore> db_store,
+               std::shared_ptr<const store::StoreSnapshot> pinned,
+               QueryServiceOptions options);
+
   void DispatcherMain();
-  /// Executes one batch (consecutive slice of a round) serially, sharing
-  /// per-kind filter passes; fills each Pending's response.
-  void RunBatch(Pending* batch, size_t count, uint64_t batch_seq) const;
+  /// Executes one batch (consecutive slice of a round) serially against
+  /// `snap`, sharing per-kind filter passes; fills each Pending's
+  /// response.
+  void RunBatch(const store::StoreSnapshot& snap, Pending* batch,
+                size_t count, uint64_t batch_seq) const;
 
   /// Deadline-compiled engine configuration for one request.
   IdcaConfig CompileBudget(const QueryBudget& budget,
                            int* iterations_granted) const;
 
-  void ExecThresholdBatch(Pending** requests, size_t count, bool reverse)
+  void ExecThresholdBatch(const store::StoreSnapshot& snap,
+                          Pending** requests, size_t count, bool reverse)
       const;
-  void ExecInverseRanking(Pending& p) const;
-  void ExecExpectedRank(Pending& p) const;
+  /// `dense_target` is the round snapshot's translation of the request's
+  /// stable target id.
+  void ExecInverseRanking(const store::StoreSnapshot& snap, Pending& p,
+                          ObjectId dense_target) const;
+  void ExecExpectedRank(const store::StoreSnapshot& snap, Pending& p) const;
 
-  const std::shared_ptr<const UncertainDatabase> db_;
+  const std::shared_ptr<store::VersionedObjectStore> store_;  // live mode
+  const std::shared_ptr<const store::StoreSnapshot> pinned_;  // pinned mode
   const QueryServiceOptions options_;
-  const RTree index_;
   ServiceMetrics metrics_;
   ThreadPool pool_;  // num_workers - 1 threads; dispatcher is worker 0
 

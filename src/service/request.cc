@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "store/object_store.h"
 #include "uncertain/database.h"
 
 namespace updb {
@@ -55,13 +56,16 @@ const char* ResponseStatusName(ResponseStatus status) {
   return "unknown";
 }
 
-Status ValidateRequest(const QueryRequest& request,
-                       const UncertainDatabase& db) {
-  if (db.empty()) return Status::FailedPrecondition("empty database");
+namespace {
+
+/// Everything ValidateRequest checks except the inverse-ranking target,
+/// whose id space depends on the overload (dense vs stable).
+Status ValidateCommon(const QueryRequest& request,
+                      const UncertainDatabase& db) {
   if (request.query == nullptr) {
     return Status::InvalidArgument("request without query object");
   }
-  if (request.query->bounds().dim() != db.dim()) {
+  if (!db.empty() && request.query->bounds().dim() != db.dim()) {
     return Status::InvalidArgument("query dimensionality mismatch");
   }
   if (request.budget.max_iterations < 0) {
@@ -79,12 +83,31 @@ Status ValidateRequest(const QueryRequest& request,
       }
       break;
     case QueryKind::kInverseRanking:
-      if (request.target >= db.size()) {
-        return Status::InvalidArgument("inverse-ranking target out of range");
-      }
-      break;
     case QueryKind::kExpectedRank:
       break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateRequest(const QueryRequest& request,
+                       const UncertainDatabase& db) {
+  UPDB_RETURN_IF_ERROR(ValidateCommon(request, db));
+  if (request.kind == QueryKind::kInverseRanking &&
+      request.target >= db.size()) {
+    return Status::InvalidArgument("inverse-ranking target out of range");
+  }
+  return Status::OK();
+}
+
+Status ValidateRequest(const QueryRequest& request,
+                       const store::StoreSnapshot& snapshot) {
+  UPDB_RETURN_IF_ERROR(ValidateCommon(request, *snapshot.db()));
+  if (request.kind == QueryKind::kInverseRanking &&
+      !snapshot.DenseId(request.target).ok()) {
+    return Status::InvalidArgument(
+        "inverse-ranking target not live at the current version");
   }
   return Status::OK();
 }
@@ -94,6 +117,7 @@ uint64_t ResponseDigest(const QueryResponse& response) {
   HashU64(response.id, h);
   HashU64(static_cast<uint64_t>(response.kind), h);
   HashU64(static_cast<uint64_t>(response.status), h);
+  HashU64(response.snapshot_version, h);
   HashU64(static_cast<uint64_t>(response.stats.iterations_granted), h);
   HashU64(response.stats.candidates, h);
   HashU64(response.stats.idca_iterations, h);

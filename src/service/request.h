@@ -7,9 +7,13 @@
 //
 // Determinism contract: everything in a QueryResponse except the wall-clock
 // fields of RequestStats (queue_seconds/exec_seconds) is a pure function of
-// (request, database snapshot, compiled budget). ResponseDigest hashes
-// exactly that deterministic part, which is what the 1-vs-N-worker tests
-// and the service benchmark compare.
+// (request, snapshot version, compiled budget) — with live updates, the
+// snapshot a request executes against is named by the snapshot_version the
+// response is stamped with, and replaying the request pinned to that
+// version reproduces the payload bit-identically. ResponseDigest hashes
+// exactly that deterministic part (version included), which is what the
+// 1-vs-N-worker tests, the store churn tests, and the service benchmarks
+// compare.
 
 #ifndef UPDB_SERVICE_REQUEST_H_
 #define UPDB_SERVICE_REQUEST_H_
@@ -24,6 +28,10 @@
 #include "uncertain/pdf.h"
 
 namespace updb {
+namespace store {
+class StoreSnapshot;
+}  // namespace store
+
 namespace service {
 
 /// Which query a request asks for.
@@ -59,6 +67,14 @@ struct QueryBudget {
 /// for kInverseRanking; `target` is the ranked database object B for
 /// kInverseRanking (unused otherwise); `k`/`tau` apply to the threshold
 /// kinds only.
+///
+/// `target` names a *stable store id* (see store/object_store.h), which
+/// equals the dense database id for any single-version database (a store
+/// seeded from a plain db publishes with identity mapping). Under live
+/// updates the service re-translates the stable id against each round's
+/// snapshot, so the request keeps naming the same object across versions;
+/// a target no longer live terminates as kInvalid rather than silently
+/// binding to whichever object inherited its dense slot.
 struct QueryRequest {
   QueryKind kind = QueryKind::kThresholdKnn;
   std::shared_ptr<const Pdf> query;
@@ -79,7 +95,10 @@ enum class ResponseStatus {
   /// Never executed: the admission queue was full (set by ReplayTrace;
   /// QueryService::Submit reports rejection as a Status).
   kRejected,
-  /// Never executed: the request failed validation (set by ReplayTrace).
+  /// Not executed: the request failed validation at admission (set by
+  /// ReplayTrace), or — under live updates — no longer validated against
+  /// the snapshot it was dispatched on (e.g. its inverse-ranking target
+  /// was removed between admission and execution).
   kInvalid,
 };
 
@@ -113,6 +132,10 @@ struct QueryResponse {
   uint64_t id = 0;
   QueryKind kind = QueryKind::kThresholdKnn;
   ResponseStatus status = ResponseStatus::kOk;
+  /// Version of the store snapshot the request executed against (0 for
+  /// never-executed stubs). Part of the determinism contract: the payload
+  /// is reproducible by replaying the request pinned to this version.
+  uint64_t snapshot_version = 0;
   /// kThresholdKnn / kThresholdRknn: per-candidate bracket + decision.
   std::vector<ThresholdQueryResult> threshold;
   /// kInverseRanking: bounds on P(Rank = i+1), db-size ranks.
@@ -124,13 +147,24 @@ struct QueryResponse {
 
 /// Validates a request against a database: non-null query PDF of matching
 /// dimensionality, k >= 1 and tau in [0, 1] for threshold kinds, a valid
-/// target id for inverse ranking, non-negative budget fields.
+/// target id for inverse ranking (dense-range semantics — use the
+/// snapshot overload when stable ids may diverge), non-negative budget
+/// fields. An empty database is not an error for most kinds (the service
+/// answers with an empty payload so an unpublished store can come up);
+/// only inverse ranking fails then, since no target id can be valid.
 Status ValidateRequest(const QueryRequest& request,
                        const UncertainDatabase& db);
 
+/// Snapshot-aware validation — what QueryService::Submit uses: identical
+/// to the database overload except that the inverse-ranking target is
+/// checked as a *stable* store id (must be live at the snapshot).
+Status ValidateRequest(const QueryRequest& request,
+                       const store::StoreSnapshot& snapshot);
+
 /// FNV-1a hash over the deterministic part of a response (id, kind,
-/// status, payload values bit-patterns, deterministic stats). Wall-clock
-/// stats fields are excluded. Equal digests across worker counts is the
+/// status, snapshot version, payload values bit-patterns, deterministic
+/// stats). Wall-clock stats fields are excluded. Equal digests across
+/// worker counts — and across replays pinned to the same version — is the
 /// service's determinism acceptance check.
 uint64_t ResponseDigest(const QueryResponse& response);
 

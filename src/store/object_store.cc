@@ -1,0 +1,308 @@
+#include "store/object_store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace updb {
+namespace store {
+
+const char* MutationKindName(Mutation::Kind kind) {
+  switch (kind) {
+    case Mutation::Kind::kInsert:
+      return "insert";
+    case Mutation::Kind::kUpdate:
+      return "update";
+    case Mutation::Kind::kRemove:
+      return "remove";
+  }
+  return "unknown";
+}
+
+ObjectId StoreSnapshot::StableId(ObjectId dense) const {
+  UPDB_CHECK(dense < stable_by_dense_->size());
+  return (*stable_by_dense_)[dense];
+}
+
+StatusOr<ObjectId> StoreSnapshot::DenseId(ObjectId stable) const {
+  const std::vector<ObjectId>& ids = *stable_by_dense_;
+  const auto it = std::lower_bound(ids.begin(), ids.end(), stable);
+  if (it == ids.end() || *it != stable) {
+    return Status::NotFound("stable id not live at this version");
+  }
+  return static_cast<ObjectId>(it - ids.begin());
+}
+
+VersionedObjectStore::VersionedObjectStore(StoreOptions options)
+    : options_(options) {
+  UPDB_CHECK(options_.snapshot_retention >= 1);
+  UPDB_CHECK(options_.leaf_capacity >= 2);
+  InstallEmptySnapshot();
+}
+
+VersionedObjectStore::VersionedObjectStore(const UncertainDatabase& db,
+                                           StoreOptions options)
+    : VersionedObjectStore(options) {
+  for (const UncertainObject& o : db.objects()) {
+    const StatusOr<ObjectId> id = Insert(o.shared_pdf(), o.existence());
+    UPDB_CHECK(id.ok());  // seed objects passed the same checks at Add()
+  }
+  Publish();
+}
+
+void VersionedObjectStore::InstallEmptySnapshot() {
+  auto no_ids = std::make_shared<const std::vector<ObjectId>>();
+  auto base = std::make_shared<const RTree>(std::vector<RTreeEntry>{},
+                                            options_.leaf_capacity);
+  auto snap = std::shared_ptr<const StoreSnapshot>(new StoreSnapshot(
+      /*version=*/0, std::make_shared<const UncertainDatabase>(),
+      SnapshotIndex(base, no_ids, {}, {}, no_ids), no_ids));
+  latest_ = snap;
+  retained_.push_back(std::move(snap));
+}
+
+StatusOr<ObjectId> VersionedObjectStore::Insert(
+    std::shared_ptr<const Pdf> pdf, double existence) {
+  Mutation m;
+  m.kind = Mutation::Kind::kInsert;
+  m.pdf = std::move(pdf);
+  m.existence = existence;
+  return Apply(m);
+}
+
+Status VersionedObjectStore::Update(ObjectId id,
+                                    std::shared_ptr<const Pdf> pdf,
+                                    double existence) {
+  Mutation m;
+  m.kind = Mutation::Kind::kUpdate;
+  m.id = id;
+  m.pdf = std::move(pdf);
+  m.existence = existence;
+  return Apply(m).status();
+}
+
+Status VersionedObjectStore::Remove(ObjectId id) {
+  Mutation m;
+  m.kind = Mutation::Kind::kRemove;
+  m.id = id;
+  return Apply(m).status();
+}
+
+StatusOr<ObjectId> VersionedObjectStore::Apply(const Mutation& mutation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ApplyLocked(mutation);
+}
+
+StatusOr<ObjectId> VersionedObjectStore::ApplyLocked(
+    const Mutation& mutation) {
+  // Validate fully before touching any state: a rejected mutation must
+  // leave both the live table and the write-ahead log unchanged.
+  ObjectId target = mutation.id;
+  switch (mutation.kind) {
+    case Mutation::Kind::kInsert:
+    case Mutation::Kind::kUpdate: {
+      if (mutation.pdf == nullptr) {
+        return Status::InvalidArgument("mutation without PDF");
+      }
+      if (mutation.existence <= 0.0 || mutation.existence > 1.0) {
+        return Status::InvalidArgument("existence must be in (0, 1]");
+      }
+      if (dim_ != 0 && mutation.pdf->bounds().dim() != dim_) {
+        return Status::InvalidArgument("object dimensionality mismatch");
+      }
+      if (mutation.kind == Mutation::Kind::kUpdate &&
+          live_.find(target) == live_.end()) {
+        return Status::NotFound("update of unknown object id");
+      }
+      break;
+    }
+    case Mutation::Kind::kRemove:
+      if (live_.find(target) == live_.end()) {
+        return Status::NotFound("remove of unknown object id");
+      }
+      break;
+  }
+  if (mutation.kind == Mutation::Kind::kInsert) {
+    target = next_id_++;
+    if (dim_ == 0) dim_ = mutation.pdf->bounds().dim();
+  }
+
+  // Write-ahead: log first, then apply to the live table.
+  LogRecord record;
+  record.sequence = next_sequence_++;
+  record.mutation = mutation;
+  record.mutation.id = target;
+  record.assigned_id = target;
+  wal_.push_back(std::move(record));
+  ++total_mutations_;
+
+  switch (mutation.kind) {
+    case Mutation::Kind::kInsert:
+    case Mutation::Kind::kUpdate:
+      live_[target] = LiveObject{mutation.pdf, mutation.existence};
+      break;
+    case Mutation::Kind::kRemove:
+      live_.erase(target);
+      break;
+  }
+  return target;
+}
+
+std::shared_ptr<const StoreSnapshot> VersionedObjectStore::Publish() {
+  // Publishers serialize here so builds (which overlap with writers)
+  // install in version order.
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+
+  std::map<ObjectId, LiveObject> live;
+  std::vector<LogRecord> window;
+  std::shared_ptr<const StoreSnapshot> prev;
+  Version version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    live = live_;
+    window = std::move(wal_);
+    wal_.clear();
+    prev = latest_;
+    version = next_version_++;
+  }
+
+  // Materialize the dense-id view (O(N) pointer copies).
+  auto stable_by_dense = std::make_shared<std::vector<ObjectId>>();
+  stable_by_dense->reserve(live.size());
+  auto db = std::make_shared<UncertainDatabase>();
+  for (const auto& [id, obj] : live) {
+    stable_by_dense->push_back(id);
+    db->Add(obj.pdf, obj.existence);
+  }
+
+  // Stable ids touched by this window (insert/update/remove alike).
+  std::vector<ObjectId> touched;
+  touched.reserve(window.size());
+  for (const LogRecord& r : window) touched.push_back(r.assigned_id);
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  const auto is_touched = [&touched](ObjectId id) {
+    return std::binary_search(touched.begin(), touched.end(), id);
+  };
+
+  // Compose the overlay relative to the previous snapshot's base: keep
+  // untouched deltas, re-derive every touched id from the live table.
+  const SnapshotIndex& prev_index = prev->index();
+  std::shared_ptr<const RTree> base = prev_index.base_shared();
+  std::shared_ptr<const std::vector<ObjectId>> base_ids =
+      prev_index.base_ids_shared();
+  std::vector<RTreeEntry> added;
+  added.reserve(prev_index.added().size() + touched.size());
+  for (const RTreeEntry& e : prev_index.added()) {
+    if (!is_touched(e.id)) added.push_back(e);
+  }
+  std::vector<ObjectId> removed = prev_index.removed();
+  for (ObjectId t : touched) {
+    if (std::binary_search(base_ids->begin(), base_ids->end(), t)) {
+      removed.push_back(t);
+    }
+    const auto it = live.find(t);
+    if (it != live.end()) {
+      added.push_back(RTreeEntry{it->second.pdf->bounds(), t});
+    }
+  }
+  std::sort(added.begin(), added.end(),
+            [](const RTreeEntry& a, const RTreeEntry& b) {
+              return a.id < b.id;
+            });
+  std::sort(removed.begin(), removed.end());
+  removed.erase(std::unique(removed.begin(), removed.end()), removed.end());
+
+  const size_t delta = added.size() + removed.size();
+  const bool rebuild =
+      options_.compact_delta_fraction <= 0.0 ||
+      static_cast<double>(delta) >
+          options_.compact_delta_fraction *
+              static_cast<double>(std::max<size_t>(base->size(), 1));
+
+  std::shared_ptr<const StoreSnapshot> snap;
+  if (rebuild) {
+    std::vector<RTreeEntry> entries;
+    entries.reserve(live.size());
+    for (const auto& [id, obj] : live) {
+      entries.push_back(RTreeEntry{obj.pdf->bounds(), id});
+    }
+    auto fresh = std::make_shared<const RTree>(std::move(entries),
+                                               options_.leaf_capacity);
+    snap = std::shared_ptr<const StoreSnapshot>(new StoreSnapshot(
+        version, db,
+        SnapshotIndex(std::move(fresh), stable_by_dense, {}, {},
+                      stable_by_dense),
+        stable_by_dense));
+  } else {
+    snap = std::shared_ptr<const StoreSnapshot>(new StoreSnapshot(
+        version, db,
+        SnapshotIndex(std::move(base), std::move(base_ids), std::move(added),
+                      std::move(removed), stable_by_dense),
+        stable_by_dense));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    latest_ = snap;
+    retained_.push_back(snap);
+    while (retained_.size() > options_.snapshot_retention) {
+      retained_.pop_front();
+    }
+  }
+  return snap;
+}
+
+std::shared_ptr<const StoreSnapshot> VersionedObjectStore::latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_;
+}
+
+std::shared_ptr<const StoreSnapshot> VersionedObjectStore::snapshot(
+    Version version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& snap : retained_) {
+    if (snap->version() == version) return snap;
+  }
+  return nullptr;
+}
+
+Version VersionedObjectStore::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latest_->version();
+}
+
+size_t VersionedObjectStore::live_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+size_t VersionedObjectStore::pending_mutations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_.size();
+}
+
+uint64_t VersionedObjectStore::total_mutations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_mutations_;
+}
+
+std::vector<LogRecord> VersionedObjectStore::PendingLog() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_;
+}
+
+std::vector<ObjectId> VersionedObjectStore::LiveIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ObjectId> ids;
+  ids.reserve(live_.size());
+  for (const auto& [id, obj] : live_) ids.push_back(id);
+  return ids;
+}
+
+size_t VersionedObjectStore::dim() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dim_;
+}
+
+}  // namespace store
+}  // namespace updb

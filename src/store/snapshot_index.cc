@@ -1,0 +1,142 @@
+#include "store/snapshot_index.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace updb {
+namespace store {
+
+SnapshotIndex::SnapshotIndex(
+    std::shared_ptr<const RTree> base,
+    std::shared_ptr<const std::vector<ObjectId>> base_ids,
+    std::vector<RTreeEntry> added, std::vector<ObjectId> removed,
+    std::shared_ptr<const std::vector<ObjectId>> stable_by_dense)
+    : base_(std::move(base)),
+      base_ids_(std::move(base_ids)),
+      added_(std::move(added)),
+      removed_(std::move(removed)),
+      stable_by_dense_(std::move(stable_by_dense)) {
+  UPDB_CHECK(base_ != nullptr);
+  UPDB_CHECK(base_ids_ != nullptr && base_ids_->size() == base_->size());
+  UPDB_CHECK(stable_by_dense_ != nullptr);
+  if (!added_.empty()) {
+    added_hull_ = added_[0].mbr;
+    for (size_t i = 1; i < added_.size(); ++i) {
+      added_hull_ = Rect::Hull(added_hull_, added_[i].mbr);
+    }
+  }
+}
+
+ObjectId SnapshotIndex::DenseOf(ObjectId stable) const {
+  const std::vector<ObjectId>& ids = *stable_by_dense_;
+  const auto it = std::lower_bound(ids.begin(), ids.end(), stable);
+  UPDB_DCHECK(it != ids.end() && *it == stable);
+  return static_cast<ObjectId>(it - ids.begin());
+}
+
+bool SnapshotIndex::IsRemoved(ObjectId stable) const {
+  return std::binary_search(removed_.begin(), removed_.end(), stable);
+}
+
+void SnapshotIndex::ForEachIntersecting(
+    const Rect& query, const std::function<bool(const RTreeEntry&)>& fn)
+    const {
+  bool live = true;
+  base_->ForEachIntersecting(query, [&](const RTreeEntry& e) {
+    if (IsRemoved(e.id)) return true;
+    live = fn(RTreeEntry{e.mbr, DenseOf(e.id)});
+    return live;
+  });
+  if (!live) return;
+  if (added_.empty() || !added_hull_.Intersects(query)) return;
+  for (const RTreeEntry& a : added_) {
+    if (!a.mbr.Intersects(query)) continue;
+    if (!fn(RTreeEntry{a.mbr, DenseOf(a.id)})) return;
+  }
+}
+
+void SnapshotIndex::ScanByMinDist(
+    const Rect& query,
+    const std::function<bool(const RTreeEntry&, double)>& fn,
+    const LpNorm& norm) const {
+  // Distance-sort the overlay up front (it is bounded by the compaction
+  // threshold), then merge it into the base tree's best-first stream.
+  struct AddedItem {
+    double dist;
+    size_t index;  // into added_
+  };
+  std::vector<AddedItem> order;
+  order.reserve(added_.size());
+  for (size_t i = 0; i < added_.size(); ++i) {
+    order.push_back(AddedItem{norm.MinDist(added_[i].mbr, query), i});
+  }
+  std::sort(order.begin(), order.end(),
+            [this](const AddedItem& a, const AddedItem& b) {
+              if (a.dist != b.dist) return a.dist < b.dist;
+              return added_[a.index].id < added_[b.index].id;
+            });
+
+  size_t next_added = 0;
+  bool live = true;
+  // Emits overlay entries at distance <= limit; false once `fn` stops.
+  const auto emit_added_up_to = [&](double limit) {
+    while (live && next_added < order.size() &&
+           order[next_added].dist <= limit) {
+      const AddedItem& item = order[next_added++];
+      const RTreeEntry& a = added_[item.index];
+      live = fn(RTreeEntry{a.mbr, DenseOf(a.id)}, item.dist);
+    }
+    return live;
+  };
+
+  base_->ScanByMinDist(
+      query,
+      [&](const RTreeEntry& e, double dist) {
+        if (!emit_added_up_to(dist)) return false;
+        if (IsRemoved(e.id)) return true;
+        live = fn(RTreeEntry{e.mbr, DenseOf(e.id)}, dist);
+        return live;
+      },
+      norm);
+  if (live) emit_added_up_to(std::numeric_limits<double>::infinity());
+}
+
+bool SnapshotIndex::Validate() const {
+  if (!base_->Validate()) return false;
+  const std::vector<ObjectId>& live = *stable_by_dense_;
+  const std::vector<ObjectId>& base_ids = *base_ids_;
+  const auto sorted_unique = [](const std::vector<ObjectId>& v) {
+    return std::is_sorted(v.begin(), v.end()) &&
+           std::adjacent_find(v.begin(), v.end()) == v.end();
+  };
+  if (!sorted_unique(live) || !sorted_unique(removed_) ||
+      !sorted_unique(base_ids)) {
+    return false;
+  }
+  const auto is_live = [&live](ObjectId id) {
+    return std::binary_search(live.begin(), live.end(), id);
+  };
+  ObjectId prev_added = 0;
+  for (size_t i = 0; i < added_.size(); ++i) {
+    if (i > 0 && added_[i].id <= prev_added) return false;  // sorted, unique
+    prev_added = added_[i].id;
+    if (!is_live(added_[i].id)) return false;
+  }
+  // Removed ids must mask real base entries; every surviving base entry
+  // must be live; and the live count reconciles with base/overlay sizes.
+  for (ObjectId id : removed_) {
+    if (!std::binary_search(base_ids.begin(), base_ids.end(), id)) {
+      return false;
+    }
+  }
+  size_t base_live = 0;
+  for (ObjectId id : base_ids) {
+    if (IsRemoved(id)) continue;
+    ++base_live;
+    if (!is_live(id)) return false;
+  }
+  return base_live + added_.size() == live.size();
+}
+
+}  // namespace store
+}  // namespace updb

@@ -1,0 +1,109 @@
+// Copyright 2026 The updb Authors.
+// Index layer of one published store snapshot: a bulk-built (STR) base
+// R-tree plus a delta overlay of entries inserted/removed since the base
+// was built. The overlay keeps Publish() O(delta) — mutating a handful of
+// objects must not pay the O(N log N) bulk re-pack — while query results
+// stay identical to a freshly rebuilt tree (the store's tests and the
+// churn benchmark enforce this with a digest oracle). Once the overlay
+// grows past a configurable fraction of the base, the store compacts it
+// into a new bulk build (see StoreOptions::compact_delta_fraction).
+//
+// Id spaces: the base tree and the overlay are keyed by *stable* store
+// ids, which never change across versions — that is what keeps one base
+// tree valid under arbitrary interleavings of inserts and removes. Query
+// callers, however, see the *dense* ids of the snapshot's materialized
+// UncertainDatabase (0..N-1 in ascending stable-id order); every emitted
+// RTreeEntry is translated on the way out.
+
+#ifndef UPDB_STORE_SNAPSHOT_INDEX_H_
+#define UPDB_STORE_SNAPSHOT_INDEX_H_
+
+#include <memory>
+#include <vector>
+
+#include "index/rtree.h"
+
+namespace updb {
+namespace store {
+
+/// Immutable index view of one snapshot. Thread-safe for concurrent reads
+/// (all state is const after construction).
+class SnapshotIndex {
+ public:
+  /// `base` is the bulk-built tree whose entries carry stable ids and
+  /// `base_ids` the same ids as a sorted vector (the membership surface
+  /// overlay composition needs); `added` are overlay entries (stable ids,
+  /// current MBRs) sorted by id; `removed` are stable ids masked out of
+  /// the base, sorted; and `stable_by_dense` is the snapshot's ascending
+  /// live stable-id list (dense id i names stable id stable_by_dense[i]).
+  /// Invariant: the live set equals (base entries \ removed) ∪ added, with
+  /// an updated object appearing in both `removed` (old entry) and
+  /// `added` (new entry).
+  SnapshotIndex(std::shared_ptr<const RTree> base,
+                std::shared_ptr<const std::vector<ObjectId>> base_ids,
+                std::vector<RTreeEntry> added, std::vector<ObjectId> removed,
+                std::shared_ptr<const std::vector<ObjectId>> stable_by_dense);
+
+  /// Live entries served by this index (== snapshot database size).
+  size_t entry_count() const { return stable_by_dense_->size(); }
+
+  /// Overlay size: inserted entries + removed base ids. 0 right after a
+  /// compaction (bulk rebuild).
+  size_t delta_entries() const { return added_.size() + removed_.size(); }
+  bool compacted() const { return delta_entries() == 0; }
+
+  /// The underlying bulk-built tree (stable-id entries); diagnostics.
+  const RTree& base() const { return *base_; }
+
+  /// Invokes `fn(entry)` — dense ids — for every live entry whose MBR
+  /// intersects `query`; stops early when `fn` returns false. Overlay
+  /// entries are visited after the base pass.
+  void ForEachIntersecting(const Rect& query,
+                           const std::function<bool(const RTreeEntry&)>& fn)
+      const;
+
+  /// Incremental best-first scan over the live entries in ascending
+  /// MinDist(mbr, query) order (dense ids), merging the base tree's scan
+  /// with the sorted overlay; returning false from `fn` stops the scan.
+  /// At equal distance, overlay entries are emitted before base entries —
+  /// callers that need a canonical order must impose their own tie-break
+  /// (the serving layer re-sorts candidates by id).
+  void ScanByMinDist(const Rect& query,
+                     const std::function<bool(const RTreeEntry&, double)>& fn,
+                     const LpNorm& norm = LpNorm::Euclidean()) const;
+
+  /// Debug validation: the base tree validates, overlay vectors are sorted
+  /// and duplicate-free, every added id is live, every non-removed base id
+  /// is live, and the live count reconciles with base/overlay sizes.
+  bool Validate() const;
+
+  // Accessors the store uses to compose the next snapshot's overlay from
+  // this one; not part of the query surface.
+  const std::shared_ptr<const RTree>& base_shared() const { return base_; }
+  const std::shared_ptr<const std::vector<ObjectId>>& base_ids_shared() const {
+    return base_ids_;
+  }
+  const std::vector<RTreeEntry>& added() const { return added_; }
+  const std::vector<ObjectId>& removed() const { return removed_; }
+
+ private:
+  /// Dense id of a live stable id (binary search; the id must be live).
+  ObjectId DenseOf(ObjectId stable) const;
+  bool IsRemoved(ObjectId stable) const;
+
+  std::shared_ptr<const RTree> base_;
+  std::shared_ptr<const std::vector<ObjectId>> base_ids_;  // sorted
+  std::vector<RTreeEntry> added_;    // sorted by stable id
+  std::vector<ObjectId> removed_;    // sorted stable ids
+  /// Hull over added_ MBRs: an O(1) reject so per-object probe loops
+  /// (e.g. the service's RkNN filter, one ForEachIntersecting per
+  /// database object) don't pay a linear overlay scan for queries that
+  /// cannot hit it. Meaningless when added_ is empty.
+  Rect added_hull_;
+  std::shared_ptr<const std::vector<ObjectId>> stable_by_dense_;
+};
+
+}  // namespace store
+}  // namespace updb
+
+#endif  // UPDB_STORE_SNAPSHOT_INDEX_H_

@@ -30,10 +30,13 @@
 #include "service/query_service.h"
 #include "service/request.h"
 #include "service/trace.h"
+#include "store/object_store.h"
+#include "store/snapshot_index.h"
 #include "uncertain/database.h"
 #include "uncertain/decomposition.h"
 #include "uncertain/object.h"
 #include "uncertain/pdf.h"
+#include "workload/churn.h"
 #include "workload/generators.h"
 
 #endif  // UPDB_UPDB_H_

@@ -1,0 +1,69 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+
+namespace updb {
+namespace workload {
+
+std::vector<store::Mutation> MakeMutationBatch(
+    const std::vector<ObjectId>& live_ids, size_t dim,
+    const ChurnConfig& config, Rng& rng) {
+  UPDB_CHECK(dim >= 1);
+  UPDB_CHECK(config.insert_weight >= 0.0 && config.update_weight >= 0.0 &&
+             config.remove_weight >= 0.0);
+  UPDB_CHECK(config.insert_weight + config.update_weight +
+                 config.remove_weight >
+             0.0);
+
+  std::vector<ObjectId> pool = live_ids;  // ids still targetable
+  std::vector<store::Mutation> batch;
+  batch.reserve(config.mutations_per_batch);
+  for (size_t n = 0; n < config.mutations_per_batch; ++n) {
+    const double targeted_weight =
+        pool.empty() ? 0.0 : config.update_weight + config.remove_weight;
+    const double total = config.insert_weight + targeted_weight;
+    if (total <= 0.0) break;  // pool drained and inserts disabled
+    const double pick = rng.NextDouble() * total;
+
+    store::Mutation m;
+    if (pick < config.insert_weight) {
+      m.kind = store::Mutation::Kind::kInsert;
+    } else if (pick < config.insert_weight + config.update_weight) {
+      m.kind = store::Mutation::Kind::kUpdate;
+    } else {
+      m.kind = store::Mutation::Kind::kRemove;
+    }
+    if (m.kind != store::Mutation::Kind::kInsert) {
+      const size_t at = static_cast<size_t>(rng.NextBounded(pool.size()));
+      m.id = pool[at];
+      pool.erase(pool.begin() + static_cast<ptrdiff_t>(at));
+    }
+    if (m.kind != store::Mutation::Kind::kRemove) {
+      Point center(dim);
+      for (size_t i = 0; i < dim; ++i) center[i] = rng.NextDouble();
+      const double extent = rng.Uniform(0.0, config.max_extent);
+      m.pdf = MakeQueryObject(center, extent, config.model,
+                              config.samples_per_object, rng);
+      m.existence = 1.0;
+      if (config.uncertain_existence_fraction > 0.0 &&
+          rng.Bernoulli(config.uncertain_existence_fraction)) {
+        m.existence = rng.Uniform(0.5, 1.0);
+      }
+    }
+    batch.push_back(std::move(m));
+  }
+  return batch;
+}
+
+Status ApplyMutationBatch(store::VersionedObjectStore& object_store,
+                          const std::vector<store::Mutation>& batch) {
+  Status first_error;
+  for (const store::Mutation& m : batch) {
+    const Status status = object_store.Apply(m).status();
+    if (!status.ok() && first_error.ok()) first_error = status;
+  }
+  return first_error;
+}
+
+}  // namespace workload
+}  // namespace updb

@@ -1,0 +1,66 @@
+// Copyright 2026 The updb Authors.
+// Mixed read/write workload support: seed-deterministic mutation batches
+// against a versioned object store. The query side of a mixed trace comes
+// from service::MakeTrace (the layering puts request shapes above this
+// file); this half generates the write side — insert/update/remove
+// streams whose targets are drawn deterministically from a live-id list —
+// so churn experiments (updb_cli mutate / serve --churn,
+// bench_store_churn) replay exactly from their logged seed.
+
+#ifndef UPDB_WORKLOAD_CHURN_H_
+#define UPDB_WORKLOAD_CHURN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "store/object_store.h"
+#include "workload/generators.h"
+
+namespace updb {
+namespace workload {
+
+/// Shape of a generated mutation batch. Kind weights need not sum to 1; a
+/// weight of 0 removes the kind from the mix. When the live set is empty,
+/// update/remove weights are ignored (insert-only).
+struct ChurnConfig {
+  size_t mutations_per_batch = 32;
+  double insert_weight = 0.4;
+  double update_weight = 0.4;
+  double remove_weight = 0.2;
+  /// Relative extent of inserted/updated uncertainty regions (drawn
+  /// uniform in [0, max_extent] per dimension, like the synthetic
+  /// generator).
+  double max_extent = 0.01;
+  ObjectModel model = ObjectModel::kUniform;
+  /// Samples per object for ObjectModel::kDiscrete.
+  size_t samples_per_object = 64;
+  /// Fraction of inserted/updated objects carrying existential
+  /// uncertainty; their existence is uniform in [0.5, 1).
+  double uncertain_existence_fraction = 0.0;
+};
+
+/// Generates one mutation batch. Deterministic in (live_ids, dim, config,
+/// rng state): the same inputs always yield the same batch, which is what
+/// makes churn runs replayable from a seed. `live_ids` is the sorted
+/// stable-id list mutations may target (VersionedObjectStore::LiveIds());
+/// update/remove targets are drawn from it without replacement within the
+/// batch, so a batch never removes the same id twice or updates a
+/// just-removed id. `dim` is the dimensionality of generated PDFs (must
+/// match the store's once fixed). Inserted objects leave Mutation::id
+/// unset — the store assigns stable ids at Apply time.
+std::vector<store::Mutation> MakeMutationBatch(
+    const std::vector<ObjectId>& live_ids, size_t dim,
+    const ChurnConfig& config, Rng& rng);
+
+/// Applies a batch in order against `object_store`, without publishing.
+/// Returns the first non-OK status (remaining mutations are still
+/// applied); callers that generated the batch with MakeMutationBatch
+/// against the store's current LiveIds() never see a failure.
+Status ApplyMutationBatch(store::VersionedObjectStore& object_store,
+                          const std::vector<store::Mutation>& batch);
+
+}  // namespace workload
+}  // namespace updb
+
+#endif  // UPDB_WORKLOAD_CHURN_H_

@@ -150,6 +150,128 @@ TEST(RTreeTest, SmallLeafCapacity) {
   EXPECT_EQ(tree.RangeIntersect(everything).size(), 64u);
 }
 
+TEST(RTreeTest, EntryCountAndValidate) {
+  Rng rng(133);
+  EXPECT_TRUE(RTree({}).Validate());
+  for (size_t n : {1u, 7u, 64u, 500u}) {
+    RTree tree(RandomEntries(n, rng), 4);
+    EXPECT_EQ(tree.entry_count(), n);
+    EXPECT_EQ(tree.entry_count(), tree.size());
+    EXPECT_TRUE(tree.Validate()) << "n=" << n;
+  }
+}
+
+// Classification traversal over degenerate geometry: zero-area (point)
+// MBRs and duplicate entries. Previously only exercised indirectly via the
+// service filters; the store's overlay maintenance leans on this surface.
+
+TEST(RTreeTest, TraverseZeroAreaMbrs) {
+  // All entries are points; several coincide exactly.
+  std::vector<RTreeEntry> entries;
+  for (int i = 0; i < 40; ++i) {
+    const double x = 0.1 * static_cast<double>(i % 5);
+    const double y = 0.1 * static_cast<double>(i / 5);
+    entries.push_back(
+        RTreeEntry{Rect::FromPoint(Point{x, y}), static_cast<ObjectId>(i)});
+  }
+  RTree tree(entries, 4);
+  EXPECT_TRUE(tree.Validate());
+
+  // Classify by containment in [0, 0.25]^2: point MBRs are either fully
+  // inside (kTakeAll) or fully outside (kSkip) — never undecided.
+  const Rect region(Point{0.0, 0.0}, Point{0.25, 0.25});
+  std::vector<ObjectId> taken;
+  tree.Traverse(
+      [&region](const Rect& mbr) {
+        if (region.Contains(mbr)) return RTree::VisitDecision::kTakeAll;
+        if (!region.Intersects(mbr)) return RTree::VisitDecision::kSkip;
+        return RTree::VisitDecision::kDescend;
+      },
+      [&taken](const RTreeEntry& e, RTree::VisitDecision decision) {
+        EXPECT_EQ(decision, RTree::VisitDecision::kTakeAll);
+        taken.push_back(e.id);
+      });
+  std::sort(taken.begin(), taken.end());
+  std::vector<ObjectId> expected;
+  for (const RTreeEntry& e : entries) {
+    if (region.Contains(e.mbr)) expected.push_back(e.id);
+  }
+  EXPECT_EQ(taken, expected);
+  EXPECT_FALSE(taken.empty());
+}
+
+TEST(RTreeTest, TraverseDuplicateEntriesAllEmitted) {
+  // The same zero-area rect indexed under many distinct ids, plus one
+  // far-away entry that must be pruned as a subtree.
+  std::vector<RTreeEntry> entries;
+  const Rect dup = Rect::FromPoint(Point{0.5, 0.5});
+  for (ObjectId id = 0; id < 9; ++id) entries.push_back(RTreeEntry{dup, id});
+  entries.push_back(RTreeEntry{Rect::FromPoint(Point{10.0, 10.0}), 9});
+  RTree tree(entries, 3);
+  EXPECT_TRUE(tree.Validate());
+
+  const Rect region(Point{0.4, 0.4}, Point{0.6, 0.6});
+  size_t emitted = 0;
+  size_t classified_nodes = 0;
+  tree.Traverse(
+      [&](const Rect& mbr) {
+        ++classified_nodes;
+        if (region.Contains(mbr)) return RTree::VisitDecision::kTakeAll;
+        if (!region.Intersects(mbr)) return RTree::VisitDecision::kSkip;
+        return RTree::VisitDecision::kDescend;
+      },
+      [&emitted](const RTreeEntry& e, RTree::VisitDecision) {
+        EXPECT_EQ(e.mbr, Rect::FromPoint(Point{0.5, 0.5}));
+        ++emitted;
+      });
+  // Every duplicate is reported individually; the far entry is pruned.
+  EXPECT_EQ(emitted, 9u);
+  EXPECT_GE(classified_nodes, 1u);
+
+  // A scan query at the duplicate point sees all nine at distance zero.
+  size_t zero_dist = 0;
+  tree.ScanByMinDist(Rect::FromPoint(Point{0.5, 0.5}),
+                     [&zero_dist](const RTreeEntry&, double dist) {
+                       if (dist == 0.0) ++zero_dist;
+                       return true;
+                     });
+  EXPECT_EQ(zero_dist, 9u);
+}
+
+TEST(RTreeTest, TraverseDescendOnUndecidedEntries) {
+  // Mixed extents around a region boundary: entries straddling the region
+  // must surface as individually-undecided (kDescend) emissions.
+  Rng rng(137);
+  const auto entries = RandomEntries(120, rng, 0.3);
+  RTree tree(entries, 4);
+  const Rect region(Point{0.25, 0.25}, Point{0.75, 0.75});
+  size_t take_all = 0, undecided = 0;
+  tree.Traverse(
+      [&region](const Rect& mbr) {
+        if (region.Contains(mbr)) return RTree::VisitDecision::kTakeAll;
+        if (!region.Intersects(mbr)) return RTree::VisitDecision::kSkip;
+        return RTree::VisitDecision::kDescend;
+      },
+      [&](const RTreeEntry& e, RTree::VisitDecision decision) {
+        if (decision == RTree::VisitDecision::kTakeAll) {
+          EXPECT_TRUE(region.Contains(e.mbr));
+          ++take_all;
+        } else {
+          EXPECT_EQ(decision, RTree::VisitDecision::kDescend);
+          EXPECT_TRUE(region.Intersects(e.mbr));
+          EXPECT_FALSE(region.Contains(e.mbr));
+          ++undecided;
+        }
+      });
+  size_t expected_in_or_straddling = 0;
+  for (const RTreeEntry& e : entries) {
+    if (region.Intersects(e.mbr)) ++expected_in_or_straddling;
+  }
+  EXPECT_EQ(take_all + undecided, expected_in_or_straddling);
+  EXPECT_GT(take_all, 0u);
+  EXPECT_GT(undecided, 0u);
+}
+
 TEST(RTreeTest, BuildFromObjects) {
   UncertainDatabase db;
   Rng rng(131);

@@ -333,6 +333,40 @@ TEST(QueryServiceTest, ConcurrentSubmittersAllComplete) {
   EXPECT_EQ(service.metrics().Snapshot().completed, kThreads * kPerThread);
 }
 
+TEST(QueryServiceTest, ResponsesStampSnapshotVersion) {
+  // The plain-database constructor wraps the db into a store and publishes
+  // version 1; every response names it.
+  const auto db = MakeDb(15, 0.05);
+  const QueryResponse r =
+      RunOne(db, KnnRequest(MakeQuery(0.5, 0.5, 0.05), 1, 0.5, 2));
+  EXPECT_EQ(r.snapshot_version, 1u);
+}
+
+TEST(QueryServiceTest, NullAndEmptyDatabasesComeUpGracefully) {
+  // No more hard "db must be non-null and non-empty": both an absent and
+  // an empty database yield the empty version-0 snapshot, and threshold
+  // queries complete with empty payloads.
+  for (const auto& db :
+       {std::shared_ptr<const UncertainDatabase>(),
+        std::make_shared<const UncertainDatabase>()}) {
+    QueryService service(db, {});
+    const StatusOr<uint64_t> ticket =
+        service.Submit(KnnRequest(MakeQuery(0.5, 0.5, 0.05), 1, 0.5, 2));
+    ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+    const QueryResponse r = service.Take(*ticket);
+    EXPECT_EQ(r.status, ResponseStatus::kOk);
+    EXPECT_EQ(r.snapshot_version, 0u);
+    EXPECT_TRUE(r.threshold.empty());
+    // Inverse ranking stays invalid: no target can exist.
+    QueryRequest inverse;
+    inverse.kind = QueryKind::kInverseRanking;
+    inverse.query = MakeQuery(0.5, 0.5, 0.05);
+    inverse.target = 0;
+    EXPECT_EQ(service.Submit(std::move(inverse)).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+}
+
 TEST(QueryServiceTest, SubmitAfterShutdownFails) {
   const auto db = MakeDb(10, 0.05);
   QueryService service(db, {});

@@ -1,0 +1,578 @@
+#include "store/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "queries/queries.h"
+#include "service/query_service.h"
+#include "service/trace.h"
+#include "workload/churn.h"
+#include "workload/generators.h"
+
+namespace updb {
+namespace store {
+namespace {
+
+UncertainDatabase MakeDb(size_t n, double extent, uint64_t seed = 7) {
+  workload::SyntheticConfig cfg;
+  cfg.num_objects = n;
+  cfg.max_extent = extent;
+  cfg.seed = seed;
+  return workload::MakeSyntheticDatabase(cfg);
+}
+
+std::shared_ptr<const Pdf> MakePdf(double x, double y, double extent,
+                                   uint64_t seed = 5) {
+  Rng rng(seed);
+  return workload::MakeQueryObject(Point{x, y}, extent,
+                                   workload::ObjectModel::kUniform, 0, rng);
+}
+
+/// Replays `trace` against a service pinned to `snap` and returns the
+/// combined response digest.
+uint64_t PinnedDigest(std::shared_ptr<const StoreSnapshot> snap,
+                      const std::vector<service::QueryRequest>& trace,
+                      size_t workers = 2, size_t batch = 4) {
+  service::QueryServiceOptions opts;
+  opts.num_workers = workers;
+  opts.batch_size = batch;
+  opts.max_queue = trace.size() + 1;
+  service::QueryService svc(std::move(snap), opts);
+  const service::ReplayResult result =
+      service::ReplayTrace(svc, trace, /*qps=*/0.0);
+  return service::ResponseDigest(result.responses);
+}
+
+TEST(VersionedObjectStoreTest, InsertUpdateRemoveAndWal) {
+  VersionedObjectStore s;
+  EXPECT_EQ(s.version(), 0u);
+  EXPECT_EQ(s.live_size(), 0u);
+  EXPECT_EQ(s.dim(), 0u);
+
+  const StatusOr<ObjectId> a = s.Insert(MakePdf(0.2, 0.2, 0.02));
+  const StatusOr<ObjectId> b = s.Insert(MakePdf(0.8, 0.8, 0.02));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, 0u);
+  EXPECT_EQ(*b, 1u);
+  EXPECT_EQ(s.dim(), 2u);
+  EXPECT_EQ(s.pending_mutations(), 2u);
+
+  // The write-ahead window records application order and assigned ids.
+  const std::vector<LogRecord> wal = s.PendingLog();
+  ASSERT_EQ(wal.size(), 2u);
+  EXPECT_EQ(wal[0].sequence, 1u);
+  EXPECT_EQ(wal[0].assigned_id, 0u);
+  EXPECT_EQ(wal[1].sequence, 2u);
+  EXPECT_EQ(wal[1].mutation.kind, Mutation::Kind::kInsert);
+
+  EXPECT_TRUE(s.Update(*a, MakePdf(0.3, 0.3, 0.02)).ok());
+  EXPECT_TRUE(s.Remove(*b).ok());
+  EXPECT_EQ(s.live_size(), 1u);
+  EXPECT_EQ(s.pending_mutations(), 4u);
+  EXPECT_EQ(s.total_mutations(), 4u);
+
+  // Rejected mutations leave state and WAL untouched.
+  EXPECT_EQ(s.Remove(*b).code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.Update(99, MakePdf(0.1, 0.1, 0.02)).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(s.Insert(nullptr).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.Insert(MakePdf(0.5, 0.5, 0.02), 1.5).status().code(),
+            StatusCode::kInvalidArgument);
+  const auto three_d = std::make_shared<UniformPdf>(
+      Rect(Point{0, 0, 0}, Point{1, 1, 1}));
+  EXPECT_EQ(s.Insert(three_d).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.pending_mutations(), 4u);
+
+  const auto snap = s.Publish();
+  EXPECT_EQ(snap->version(), 1u);
+  EXPECT_EQ(snap->size(), 1u);
+  EXPECT_EQ(s.pending_mutations(), 0u);
+  // Stable ids are never reused.
+  const StatusOr<ObjectId> c = s.Insert(MakePdf(0.6, 0.6, 0.02));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, 2u);
+}
+
+TEST(VersionedObjectStoreTest, DenseStableTranslation) {
+  VersionedObjectStore s(MakeDb(5, 0.05));
+  ASSERT_TRUE(s.Remove(2).ok());
+  const auto snap = s.Publish();
+  ASSERT_EQ(snap->size(), 4u);
+  // Dense ids re-pack in ascending stable order: 0,1,3,4.
+  EXPECT_EQ(snap->StableId(0), 0u);
+  EXPECT_EQ(snap->StableId(2), 3u);
+  EXPECT_EQ(snap->StableId(3), 4u);
+  EXPECT_EQ(*snap->DenseId(4), 3u);
+  EXPECT_EQ(snap->DenseId(2).status().code(), StatusCode::kNotFound);
+  // The materialized database and the index agree on the dense space.
+  EXPECT_EQ(snap->db()->size(), 4u);
+  EXPECT_EQ(snap->index().entry_count(), 4u);
+  EXPECT_TRUE(snap->index().Validate());
+}
+
+TEST(VersionedObjectStoreTest, SnapshotIsolationUnderMutation) {
+  auto store = std::make_shared<VersionedObjectStore>(MakeDb(25, 0.08));
+  const auto pinned = store->latest();
+  ASSERT_EQ(pinned->version(), 1u);
+
+  service::TraceConfig tcfg;
+  tcfg.num_requests = 12;
+  tcfg.seed = 42;
+  tcfg.query_extent = 0.08;
+  tcfg.budget.max_iterations = 3;
+  const std::vector<service::QueryRequest> trace =
+      service::MakeTrace(*pinned->db(), tcfg);
+  const uint64_t before = PinnedDigest(pinned, trace);
+
+  // Heavy churn after the snapshot was taken.
+  Rng rng(9);
+  workload::ChurnConfig ccfg;
+  ccfg.mutations_per_batch = 20;
+  ccfg.max_extent = 0.08;
+  for (int i = 0; i < 4; ++i) {
+    workload::ApplyMutationBatch(
+        *store,
+        workload::MakeMutationBatch(store->LiveIds(), 2, ccfg, rng));
+    store->Publish();
+  }
+  EXPECT_GT(store->version(), 1u);
+
+  // The old snapshot is untouched: same size, same payloads, bit-identical
+  // digest — and it answers even though newer versions exist.
+  EXPECT_EQ(pinned->size(), 25u);
+  EXPECT_EQ(PinnedDigest(pinned, trace), before);
+}
+
+/// Acceptance: a delta-overlay snapshot and an always-rebuilt snapshot of
+/// the same mutation history are indistinguishable — identical index
+/// enumeration and bit-identical response payloads at every version.
+TEST(VersionedObjectStoreTest, OverlayMatchesRebuiltIndex) {
+  StoreOptions overlay_opts;
+  overlay_opts.compact_delta_fraction = 10.0;  // never compact
+  overlay_opts.snapshot_retention = 16;
+  StoreOptions rebuild_opts;
+  rebuild_opts.compact_delta_fraction = 0.0;  // rebuild every publish
+  rebuild_opts.snapshot_retention = 16;
+  const UncertainDatabase seed_db = MakeDb(40, 0.08);
+  VersionedObjectStore overlay_store(seed_db, overlay_opts);
+  VersionedObjectStore rebuild_store(seed_db, rebuild_opts);
+
+  Rng rng(31);
+  workload::ChurnConfig ccfg;
+  ccfg.mutations_per_batch = 14;
+  ccfg.max_extent = 0.08;
+  ccfg.uncertain_existence_fraction = 0.2;
+  service::TraceConfig tcfg;
+  tcfg.num_requests = 10;
+  tcfg.query_extent = 0.08;
+  tcfg.budget.max_iterations = 3;
+
+  for (int round = 0; round < 5; ++round) {
+    // One deterministic batch, applied to both stores.
+    const std::vector<Mutation> batch =
+        workload::MakeMutationBatch(overlay_store.LiveIds(), 2, ccfg, rng);
+    ASSERT_TRUE(workload::ApplyMutationBatch(overlay_store, batch).ok());
+    ASSERT_TRUE(workload::ApplyMutationBatch(rebuild_store, batch).ok());
+    const auto snap_overlay = overlay_store.Publish();
+    const auto snap_rebuild = rebuild_store.Publish();
+    ASSERT_EQ(snap_overlay->version(), snap_rebuild->version());
+    ASSERT_EQ(snap_overlay->size(), snap_rebuild->size());
+    EXPECT_TRUE(snap_overlay->index().Validate());
+    EXPECT_TRUE(snap_rebuild->index().Validate());
+    EXPECT_GT(snap_overlay->index().delta_entries(), 0u);
+    EXPECT_TRUE(snap_rebuild->index().compacted());
+
+    // Index enumeration agrees in the dense-id space.
+    const Rect everything(Point{-1.0, -1.0}, Point{2.0, 2.0});
+    std::vector<ObjectId> ids_overlay, ids_rebuild;
+    snap_overlay->index().ForEachIntersecting(
+        everything, [&ids_overlay](const RTreeEntry& e) {
+          ids_overlay.push_back(e.id);
+          return true;
+        });
+    snap_rebuild->index().ForEachIntersecting(
+        everything, [&ids_rebuild](const RTreeEntry& e) {
+          ids_rebuild.push_back(e.id);
+          return true;
+        });
+    std::sort(ids_overlay.begin(), ids_overlay.end());
+    std::sort(ids_rebuild.begin(), ids_rebuild.end());
+    ASSERT_EQ(ids_overlay, ids_rebuild);
+
+    // Best-first scans stream the same (distance, id) sequence modulo
+    // equal-distance ties; distances must be identical and monotone.
+    std::vector<std::pair<double, ObjectId>> scan_overlay, scan_rebuild;
+    const Rect probe = Rect::FromPoint(Point{0.5, 0.5});
+    snap_overlay->index().ScanByMinDist(
+        probe, [&scan_overlay](const RTreeEntry& e, double d) {
+          scan_overlay.emplace_back(d, e.id);
+          return true;
+        });
+    snap_rebuild->index().ScanByMinDist(
+        probe, [&scan_rebuild](const RTreeEntry& e, double d) {
+          scan_rebuild.emplace_back(d, e.id);
+          return true;
+        });
+    ASSERT_EQ(scan_overlay.size(), scan_rebuild.size());
+    for (size_t i = 1; i < scan_overlay.size(); ++i) {
+      EXPECT_GE(scan_overlay[i].first, scan_overlay[i - 1].first);
+    }
+    std::sort(scan_overlay.begin(), scan_overlay.end());
+    std::sort(scan_rebuild.begin(), scan_rebuild.end());
+    EXPECT_EQ(scan_overlay, scan_rebuild);
+
+    // Served payloads are bit-identical (digest covers the version, which
+    // matches by construction).
+    tcfg.seed = 100 + static_cast<uint64_t>(round);
+    const std::vector<service::QueryRequest> trace =
+        service::MakeTrace(*snap_overlay->db(), tcfg);
+    EXPECT_EQ(PinnedDigest(snap_overlay, trace),
+              PinnedDigest(snap_rebuild, trace))
+        << "round=" << round;
+  }
+}
+
+TEST(VersionedObjectStoreTest, CompactionTriggersPastThreshold) {
+  StoreOptions opts;
+  opts.compact_delta_fraction = 0.25;
+  VersionedObjectStore s(MakeDb(40, 0.05), opts);
+  ASSERT_TRUE(s.latest()->index().compacted());
+  // A small batch stays an overlay; repeated batches cross 0.25 * 40 and
+  // compact back to delta 0.
+  Rng rng(3);
+  workload::ChurnConfig ccfg;
+  ccfg.mutations_per_batch = 6;
+  ccfg.max_extent = 0.05;
+  bool saw_overlay = false, saw_compaction = false;
+  for (int i = 0; i < 6; ++i) {
+    workload::ApplyMutationBatch(
+        s, workload::MakeMutationBatch(s.LiveIds(), 2, ccfg, rng));
+    const auto snap = s.Publish();
+    EXPECT_TRUE(snap->index().Validate());
+    if (snap->index().compacted()) {
+      saw_compaction = true;
+    } else {
+      saw_overlay = true;
+    }
+  }
+  EXPECT_TRUE(saw_overlay);
+  EXPECT_TRUE(saw_compaction);
+}
+
+TEST(VersionedObjectStoreTest, SnapshotRetentionEvictsFifo) {
+  StoreOptions opts;
+  opts.snapshot_retention = 2;
+  VersionedObjectStore s(MakeDb(5, 0.05), opts);  // publishes version 1
+  s.Insert(MakePdf(0.5, 0.5, 0.02)).status();
+  s.Publish();  // version 2
+  s.Publish();  // version 3 (empty window is allowed)
+  EXPECT_EQ(s.version(), 3u);
+  EXPECT_NE(s.snapshot(3), nullptr);
+  EXPECT_NE(s.snapshot(2), nullptr);
+  EXPECT_EQ(s.snapshot(1), nullptr);  // evicted
+  EXPECT_EQ(s.snapshot(99), nullptr);
+  // An evicted version a reader still holds stays alive via shared_ptr
+  // (checked implicitly by SnapshotIsolationUnderMutation).
+}
+
+TEST(VersionedObjectStoreTest, EmptyStoreComesUpAndServes) {
+  auto store = std::make_shared<VersionedObjectStore>();
+  service::QueryServiceOptions opts;
+  opts.num_workers = 2;
+  service::QueryService svc(store, opts);
+
+  // Threshold query against the unpublished (empty, version-0) snapshot:
+  // admitted, completes with an empty payload.
+  service::QueryRequest req;
+  req.kind = service::QueryKind::kThresholdKnn;
+  req.query = MakePdf(0.5, 0.5, 0.05);
+  req.k = 2;
+  const StatusOr<uint64_t> ticket = svc.Submit(req);
+  ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
+  const service::QueryResponse empty_response = svc.Take(*ticket);
+  EXPECT_EQ(empty_response.status, service::ResponseStatus::kOk);
+  EXPECT_EQ(empty_response.snapshot_version, 0u);
+  EXPECT_TRUE(empty_response.threshold.empty());
+
+  // Inverse ranking cannot name a valid target on an empty database.
+  service::QueryRequest inverse;
+  inverse.kind = service::QueryKind::kInverseRanking;
+  inverse.query = MakePdf(0.5, 0.5, 0.05);
+  inverse.target = 0;
+  EXPECT_EQ(svc.Submit(inverse).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // First publish brings data online; the same request now does work.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        store->Insert(MakePdf(0.1 * i, 0.5, 0.03, /*seed=*/50 + i)).ok());
+  }
+  store->Publish();
+  const StatusOr<uint64_t> ticket2 = svc.Submit(req);
+  ASSERT_TRUE(ticket2.ok());
+  const service::QueryResponse live_response = svc.Take(*ticket2);
+  EXPECT_EQ(live_response.snapshot_version, 1u);
+  EXPECT_FALSE(live_response.threshold.empty());
+}
+
+TEST(VersionedObjectStoreTest, LiveServiceObservesPublishedVersions) {
+  auto store = std::make_shared<VersionedObjectStore>(MakeDb(20, 0.08));
+  service::QueryServiceOptions opts;
+  opts.start_paused = true;
+  service::QueryService svc(store, opts);
+
+  service::QueryRequest req;
+  req.kind = service::QueryKind::kThresholdKnn;
+  req.query = MakePdf(0.5, 0.5, 0.08);
+  req.k = 2;
+  req.budget.max_iterations = 2;
+  const StatusOr<uint64_t> t = svc.Submit(req);
+  ASSERT_TRUE(t.ok());
+
+  // Publish two more versions while dispatch is paused; the round then
+  // serves the latest.
+  store->Insert(MakePdf(0.9, 0.9, 0.02)).status();
+  store->Publish();
+  store->Publish();
+  EXPECT_EQ(store->version(), 3u);
+  svc.Resume();
+  const service::QueryResponse r = svc.Take(*t);
+  EXPECT_EQ(r.snapshot_version, 3u);
+  EXPECT_EQ(r.status, service::ResponseStatus::kOk);
+}
+
+TEST(VersionedObjectStoreTest, ExecutionRevalidatesAgainstRoundSnapshot) {
+  // An inverse-ranking target valid at admission but outside the snapshot
+  // the round serves terminates as kInvalid, not as a crash or a wrong
+  // payload.
+  auto store = std::make_shared<VersionedObjectStore>(MakeDb(10, 0.05));
+  service::QueryServiceOptions opts;
+  opts.start_paused = true;
+  service::QueryService svc(store, opts);
+
+  service::QueryRequest req;
+  req.kind = service::QueryKind::kInverseRanking;
+  req.query = MakePdf(0.5, 0.5, 0.05);
+  req.target = 9;  // valid against version 1
+  const StatusOr<uint64_t> t = svc.Submit(req);
+  ASSERT_TRUE(t.ok());
+
+  for (ObjectId id = 5; id < 10; ++id) ASSERT_TRUE(store->Remove(id).ok());
+  store->Publish();  // version 2: only 5 objects remain
+  svc.Resume();
+  const service::QueryResponse r = svc.Take(*t);
+  EXPECT_EQ(r.snapshot_version, 2u);
+  EXPECT_EQ(r.status, service::ResponseStatus::kInvalid);
+  EXPECT_EQ(r.rank_bounds.num_ranks(), 0u);
+  // Execution-time invalidation is observable: counted separately from
+  // admission-time validation failures.
+  const service::MetricsSnapshot m = svc.metrics().Snapshot();
+  EXPECT_EQ(m.invalidated, 1u);
+  EXPECT_EQ(m.invalid, 0u);
+}
+
+TEST(VersionedObjectStoreTest, InverseTargetTracksStableIdAcrossVersions) {
+  // The request's target is a stable id: removing a *lower* id before the
+  // round executes shifts every dense id, and the service must still rank
+  // the object the client named — never whichever object inherited the
+  // dense slot.
+  auto store = std::make_shared<VersionedObjectStore>(MakeDb(10, 0.08));
+  service::QueryServiceOptions opts;
+  opts.start_paused = true;
+  service::QueryService svc(store, opts);
+
+  const auto query = MakePdf(0.5, 0.5, 0.08);
+  service::QueryRequest req;
+  req.kind = service::QueryKind::kInverseRanking;
+  req.query = query;
+  req.target = 3;  // stable id
+  req.budget.max_iterations = 3;
+  const StatusOr<uint64_t> t = svc.Submit(req);
+  ASSERT_TRUE(t.ok());
+
+  ASSERT_TRUE(store->Remove(0).ok());
+  const auto snap = store->Publish();  // stable 3 now lives at dense 2
+  ASSERT_EQ(*snap->DenseId(3), 2u);
+  svc.Resume();
+  const service::QueryResponse r = svc.Take(*t);
+  EXPECT_EQ(r.snapshot_version, 2u);
+  ASSERT_EQ(r.status, service::ResponseStatus::kOk);
+
+  IdcaConfig direct_cfg;
+  direct_cfg.max_iterations = 3;
+  const CountDistributionBounds expected =
+      ProbabilisticInverseRanking(*snap->db(), 2, *query, direct_cfg);
+  ASSERT_EQ(r.rank_bounds.num_ranks(), expected.num_ranks());
+  for (size_t k = 0; k < expected.num_ranks(); ++k) {
+    EXPECT_EQ(r.rank_bounds.lb(k), expected.lb(k));
+    EXPECT_EQ(r.rank_bounds.ub(k), expected.ub(k));
+  }
+}
+
+/// Acceptance: with writers mutating and publishing concurrently, two
+/// replays of the same request list pinned to the same snapshot_version
+/// produce bit-identical payloads. The TSan CI job drives this test.
+TEST(VersionedObjectStoreTest, VersionPinnedDeterminismUnderChurn) {
+  StoreOptions opts;
+  opts.snapshot_retention = 64;
+  auto store =
+      std::make_shared<VersionedObjectStore>(MakeDb(30, 0.08), opts);
+  const auto pinned = store->latest();
+
+  service::TraceConfig tcfg;
+  tcfg.num_requests = 10;
+  tcfg.seed = 77;
+  tcfg.query_extent = 0.08;
+  tcfg.budget.max_iterations = 2;
+  const std::vector<service::QueryRequest> trace =
+      service::MakeTrace(*pinned->db(), tcfg);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Rng rng(13);
+    workload::ChurnConfig ccfg;
+    ccfg.mutations_per_batch = 8;
+    ccfg.max_extent = 0.08;
+    while (!stop.load()) {
+      workload::ApplyMutationBatch(
+          *store,
+          workload::MakeMutationBatch(store->LiveIds(), 2, ccfg, rng));
+      store->Publish();
+    }
+  });
+
+  uint64_t digest_a = 0, digest_b = 0;
+  std::thread replay_a(
+      [&] { digest_a = PinnedDigest(pinned, trace, /*workers=*/2); });
+  std::thread replay_b(
+      [&] { digest_b = PinnedDigest(pinned, trace, /*workers=*/1); });
+  replay_a.join();
+  replay_b.join();
+  stop.store(true);
+  writer.join();
+
+  EXPECT_EQ(digest_a, digest_b);
+  EXPECT_GT(store->version(), 1u);  // the writer really was publishing
+}
+
+/// Concurrent writers + live readers, the store/churn TSan surface: all
+/// submissions complete and every response names a version that was
+/// published at some point.
+TEST(VersionedObjectStoreTest, ConcurrentWritersAndLiveReaders) {
+  auto store = std::make_shared<VersionedObjectStore>(MakeDb(20, 0.05));
+  service::QueryServiceOptions opts;
+  opts.num_workers = 2;
+  opts.batch_size = 2;
+  service::QueryService svc(store, opts);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Rng rng(17);
+    workload::ChurnConfig ccfg;
+    ccfg.mutations_per_batch = 4;
+    ccfg.max_extent = 0.05;
+    while (!stop.load()) {
+      workload::ApplyMutationBatch(
+          *store,
+          workload::MakeMutationBatch(store->LiveIds(), 2, ccfg, rng));
+      store->Publish();
+    }
+  });
+
+  constexpr size_t kThreads = 3;
+  constexpr size_t kPerThread = 6;
+  std::vector<std::vector<uint64_t>> tickets(kThreads);
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        service::QueryRequest req;
+        req.kind = service::QueryKind::kThresholdKnn;
+        req.query = MakePdf(0.2 + 0.2 * static_cast<double>(t), 0.5, 0.05,
+                            /*seed=*/t * 100 + i);
+        req.k = 1;
+        req.budget.max_iterations = 2;
+        const StatusOr<uint64_t> ticket = svc.Submit(req);
+        ASSERT_TRUE(ticket.ok());
+        tickets[t].push_back(*ticket);
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  svc.Flush();
+  stop.store(true);
+  writer.join();
+
+  const uint64_t final_version = store->version();
+  for (const auto& per_thread : tickets) {
+    for (uint64_t ticket : per_thread) {
+      const service::QueryResponse r = svc.Take(ticket);
+      EXPECT_TRUE(r.status == service::ResponseStatus::kOk ||
+                  r.status == service::ResponseStatus::kExpired);
+      EXPECT_GE(r.snapshot_version, 1u);
+      EXPECT_LE(r.snapshot_version, final_version);
+    }
+  }
+}
+
+TEST(ChurnWorkloadTest, MutationBatchesAreSeedDeterministic) {
+  const std::vector<ObjectId> live = {0, 1, 2, 3, 4, 5, 6, 7};
+  workload::ChurnConfig ccfg;
+  ccfg.mutations_per_batch = 16;
+  ccfg.uncertain_existence_fraction = 0.3;
+  Rng rng_a(99), rng_b(99);
+  const std::vector<Mutation> a =
+      workload::MakeMutationBatch(live, 2, ccfg, rng_a);
+  const std::vector<Mutation> b =
+      workload::MakeMutationBatch(live, 2, ccfg, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].id, b[i].id);
+    EXPECT_EQ(a[i].existence, b[i].existence);
+    if (a[i].pdf != nullptr) {
+      ASSERT_NE(b[i].pdf, nullptr);
+      EXPECT_EQ(a[i].pdf->bounds(), b[i].pdf->bounds());
+    } else {
+      EXPECT_EQ(b[i].pdf, nullptr);
+    }
+  }
+}
+
+TEST(ChurnWorkloadTest, TargetsDrawnWithoutReplacement) {
+  const std::vector<ObjectId> live = {3, 5, 9};
+  workload::ChurnConfig ccfg;
+  ccfg.mutations_per_batch = 40;
+  ccfg.insert_weight = 0.0;  // update/remove only: pool drains after 3
+  Rng rng(1);
+  const std::vector<Mutation> batch =
+      workload::MakeMutationBatch(live, 2, ccfg, rng);
+  EXPECT_EQ(batch.size(), 3u);
+  std::vector<ObjectId> targets;
+  for (const Mutation& m : batch) targets.push_back(m.id);
+  std::sort(targets.begin(), targets.end());
+  EXPECT_EQ(targets, live);
+}
+
+TEST(ChurnWorkloadTest, EmptyLiveSetFallsBackToInserts) {
+  workload::ChurnConfig ccfg;
+  ccfg.mutations_per_batch = 5;
+  ccfg.insert_weight = 0.1;
+  ccfg.update_weight = 10.0;
+  ccfg.remove_weight = 10.0;
+  Rng rng(2);
+  const std::vector<Mutation> batch =
+      workload::MakeMutationBatch({}, 2, ccfg, rng);
+  ASSERT_EQ(batch.size(), 5u);
+  for (const Mutation& m : batch) {
+    EXPECT_EQ(m.kind, Mutation::Kind::kInsert);
+  }
+}
+
+}  // namespace
+}  // namespace store
+}  // namespace updb

@@ -18,15 +18,32 @@
 //   updb_cli serve --n=400 --extent=0.02 --requests=100 --workers=2
 //            --batch=8 --queue=256 --qps=0 --iterations=6 --seed=1
 //            [--db=data.updb] [--deadline-ms=20 --deadline-fraction=0.5]
-//   (serve-bench mode: generates — or loads — a database, builds a mixed
-//    query trace from --seed, replays it at --qps offered load (0 = as
-//    fast as possible) against the concurrent QueryService, and prints
-//    the metrics JSON plus a determinism digest of all responses.)
+//            [--metrics-out=metrics.json]
+//            [--churn --churn-batches=8 --churn-per-batch=16
+//             --churn-interval-ms=20 --churn-seed=2]
+//   (serve-bench mode: generates — or loads — a database into a versioned
+//    store, builds a mixed query trace from --seed, replays it at --qps
+//    offered load (0 = as fast as possible) against the concurrent
+//    QueryService, and prints a determinism digest of all responses plus
+//    the metrics JSON — to stdout, or to --metrics-out so the digest
+//    stays machine-greppable on its own. With --churn a writer thread
+//    concurrently applies seed-deterministic mutation batches and
+//    publishes new versions while the trace replays; the summary then
+//    reports the span of snapshot versions the responses were served
+//    from.)
+//   updb_cli mutate --db=data.updb --out=data2.updb --batches=4
+//            --per-batch=32 --insert-w=0.4 --update-w=0.4 --remove-w=0.2
+//            --extent=0.01 --model=uniform --samples=64 --seed=1
+//            [--compact-fraction=0.25]
+//   (replays a seed-deterministic mutation trace against the store — one
+//    publish per batch, logging per-publish delta size, compactions and
+//    latency — and writes the final published snapshot to --out.)
 
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "updb.h"
 
@@ -217,9 +234,9 @@ int ThresholdQuery(const Args& args, bool reverse) {
 }
 
 int Serve(const Args& args) {
-  // Snapshot: load --db when given, otherwise generate a synthetic
+  // Store seed: load --db when given, otherwise generate a synthetic
   // database in memory from the logged parameters.
-  auto db = std::make_shared<UncertainDatabase>();
+  UncertainDatabase db;
   if (args.Get("db", "").empty()) {
     workload::SyntheticConfig cfg;
     cfg.num_objects = args.GetSize("n", 400);
@@ -227,14 +244,14 @@ int Serve(const Args& args) {
     cfg.model = ParseModel(args.Get("model", "uniform"));
     cfg.samples_per_object = args.GetSize("samples", 64);
     cfg.seed = args.GetSize("dbseed", cfg.seed);
-    *db = workload::MakeSyntheticDatabase(cfg);
+    db = workload::MakeSyntheticDatabase(cfg);
   } else {
     StatusOr<UncertainDatabase> loaded = LoadDb(args);
     if (!loaded.ok()) {
       std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
       return 1;
     }
-    *db = std::move(loaded).value();
+    db = std::move(loaded).value();
   }
 
   const uint64_t seed = static_cast<uint64_t>(args.GetSize("seed", 1));
@@ -251,7 +268,7 @@ int Serve(const Args& args) {
   tcfg.deadline_fraction =
       tcfg.deadline_ms > 0.0 ? args.GetDouble("deadline-fraction", 1.0) : 0.0;
   const std::vector<service::QueryRequest> trace =
-      service::MakeTrace(*db, tcfg);
+      service::MakeTrace(db, tcfg);
 
   service::QueryServiceOptions opts;
   opts.num_workers = std::max<size_t>(args.GetSize("workers", 2), 1);
@@ -260,35 +277,170 @@ int Serve(const Args& args) {
   const double est_iter_ms = args.GetDouble("est-iter-ms", 5.0);
   opts.est_iteration_ms = est_iter_ms > 0.0 ? est_iter_ms : 5.0;
   const double qps = args.GetDouble("qps", 0.0);
+  const bool churn = !args.Get("churn", "").empty();
 
   std::printf("# updb serve — seed=%llu db_objects=%zu requests=%zu "
-              "workers=%zu batch=%zu queue=%zu qps=%.3g iterations=%d\n",
-              static_cast<unsigned long long>(seed), db->size(),
+              "workers=%zu batch=%zu queue=%zu qps=%.3g iterations=%d "
+              "churn=%d\n",
+              static_cast<unsigned long long>(seed), db.size(),
               trace.size(), opts.num_workers, opts.batch_size,
-              opts.max_queue, qps, tcfg.budget.max_iterations);
+              opts.max_queue, qps, tcfg.budget.max_iterations,
+              churn ? 1 : 0);
 
-  service::QueryService svc(db, opts);
+  auto object_store = std::make_shared<store::VersionedObjectStore>(db);
+  service::QueryService svc(object_store, opts);
+
+  // --churn: a writer thread applies seed-deterministic mutation batches
+  // and publishes new versions while the trace replays.
+  std::thread writer;
+  if (churn) {
+    const size_t churn_batches = args.GetSize("churn-batches", 8);
+    const uint64_t churn_seed =
+        static_cast<uint64_t>(args.GetSize("churn-seed", seed + 1));
+    workload::ChurnConfig ccfg;
+    ccfg.mutations_per_batch = args.GetSize("churn-per-batch", 16);
+    ccfg.max_extent = args.GetDouble("churn-extent",
+                                     args.GetDouble("extent", 0.02));
+    ccfg.model = ParseModel(args.Get("model", "uniform"));
+    ccfg.samples_per_object = args.GetSize("samples", 64);
+    const double interval_ms = args.GetDouble("churn-interval-ms", 20.0);
+    writer = std::thread([object_store, churn_batches, churn_seed, ccfg,
+                          interval_ms] {
+      Rng rng(churn_seed);
+      const size_t dim = std::max<size_t>(object_store->dim(), 1);
+      for (size_t b = 0; b < churn_batches; ++b) {
+        const std::vector<store::Mutation> batch =
+            workload::MakeMutationBatch(object_store->LiveIds(), dim, ccfg,
+                                        rng);
+        const Status status = workload::ApplyMutationBatch(*object_store,
+                                                           batch);
+        if (!status.ok()) {
+          std::fprintf(stderr, "churn apply failed: %s\n",
+                       status.ToString().c_str());
+        }
+        object_store->Publish();
+        if (interval_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(interval_ms));
+        }
+      }
+    });
+  }
+
   const service::ReplayResult result =
       service::ReplayTrace(svc, trace, qps);
+  if (writer.joinable()) writer.join();
 
   size_t by_status[4] = {0, 0, 0, 0};
+  uint64_t min_version = ~uint64_t{0}, max_version = 0;
   for (const service::QueryResponse& r : result.responses) {
     ++by_status[static_cast<size_t>(r.status)];
+    // Never-executed stubs carry version 0; executed responses (kInvalid
+    // included — execution-time invalidation stamps the round's version)
+    // name a published version, since the store seeds at version 1.
+    if (r.snapshot_version == 0) continue;
+    min_version = std::min(min_version, r.snapshot_version);
+    max_version = std::max(max_version, r.snapshot_version);
   }
+  if (min_version > max_version) min_version = max_version;
   std::printf("# ok=%zu expired=%zu rejected=%zu invalid=%zu "
               "wall_seconds=%.3f\n",
               by_status[0], by_status[1], by_status[2], by_status[3],
               result.wall_seconds);
+  std::printf("# versions_served=[%llu, %llu] store_version=%llu "
+              "live_objects=%zu mutations=%llu\n",
+              static_cast<unsigned long long>(min_version),
+              static_cast<unsigned long long>(max_version),
+              static_cast<unsigned long long>(object_store->version()),
+              object_store->live_size(),
+              static_cast<unsigned long long>(
+                  object_store->total_mutations()));
   std::printf("# response_digest=%016llx\n",
               static_cast<unsigned long long>(
                   service::ResponseDigest(result.responses)));
-  std::printf("%s\n", svc.metrics().Snapshot().ToJson().c_str());
+  const std::string metrics_json = svc.metrics().Snapshot().ToJson();
+  const std::string metrics_out = args.Get("metrics-out", "");
+  if (metrics_out.empty()) {
+    std::printf("%s\n", metrics_json.c_str());
+  } else {
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", metrics_json.c_str());
+    std::fclose(f);
+    std::printf("# metrics written to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
+int Mutate(const Args& args) {
+  StatusOr<UncertainDatabase> loaded = LoadDb(args);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    return 1;
+  }
+  store::StoreOptions sopts;
+  sopts.compact_delta_fraction = args.GetDouble("compact-fraction", 0.25);
+  store::VersionedObjectStore object_store(*loaded, sopts);
+
+  const uint64_t seed = static_cast<uint64_t>(args.GetSize("seed", 1));
+  workload::ChurnConfig ccfg;
+  ccfg.mutations_per_batch = args.GetSize("per-batch", 32);
+  ccfg.insert_weight = args.GetDouble("insert-w", 0.4);
+  ccfg.update_weight = args.GetDouble("update-w", 0.4);
+  ccfg.remove_weight = args.GetDouble("remove-w", 0.2);
+  ccfg.max_extent = args.GetDouble("extent", 0.01);
+  ccfg.model = ParseModel(args.Get("model", "uniform"));
+  ccfg.samples_per_object = args.GetSize("samples", 64);
+  const size_t batches = args.GetSize("batches", 4);
+  const size_t dim = std::max<size_t>(object_store.dim(), 1);
+
+  std::printf("# updb mutate — seed=%llu objects=%zu batches=%zu "
+              "per_batch=%zu weights=%.2f/%.2f/%.2f compact_fraction=%.2f\n",
+              static_cast<unsigned long long>(seed),
+              object_store.live_size(), batches, ccfg.mutations_per_batch,
+              ccfg.insert_weight, ccfg.update_weight, ccfg.remove_weight,
+              sopts.compact_delta_fraction);
+  std::printf("version,live,delta_entries,compacted,publish_ms\n");
+  Rng rng(seed);
+  for (size_t b = 0; b < batches; ++b) {
+    const std::vector<store::Mutation> batch = workload::MakeMutationBatch(
+        object_store.LiveIds(), dim, ccfg, rng);
+    const Status status = workload::ApplyMutationBatch(object_store, batch);
+    if (!status.ok()) {
+      std::fprintf(stderr, "apply failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    Stopwatch publish;
+    const auto snap = object_store.Publish();
+    std::printf("%llu,%zu,%zu,%d,%.3f\n",
+                static_cast<unsigned long long>(snap->version()),
+                snap->size(), snap->index().delta_entries(),
+                snap->index().compacted() ? 1 : 0, publish.ElapsedMillis());
+  }
+
+  // Never default to the input path — a forgotten --out must not clobber
+  // the source dataset.
+  const std::string out = args.Get("out", "mutated.updb");
+  const Status saved =
+      io::SaveDatabase(*object_store.latest()->db(), out);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("# wrote %zu objects (version %llu) to %s\n",
+              object_store.latest()->size(),
+              static_cast<unsigned long long>(object_store.version()),
+              out.c_str());
   return 0;
 }
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: updb_cli <generate|info|domcount|knn|rknn|serve> "
+               "usage: updb_cli "
+               "<generate|info|domcount|knn|rknn|serve|mutate> "
                "[--key=value ...]\n(see header of tools/updb_cli.cc)\n");
   return 2;
 }
@@ -305,5 +457,6 @@ int main(int argc, char** argv) {
   if (command == "knn") return ThresholdQuery(args, /*reverse=*/false);
   if (command == "rknn") return ThresholdQuery(args, /*reverse=*/true);
   if (command == "serve") return Serve(args);
+  if (command == "mutate") return Mutate(args);
   return Usage();
 }
