@@ -1,11 +1,18 @@
 // Store churn benchmark: (a) publish latency of the versioned object
-// store with the delta-overlay index vs a full bulk rebuild at every
-// publish, and (b) query throughput of the live QueryService while a
-// writer thread mutates and publishes concurrently. Built-in oracles:
-// overlay and rebuilt stores fed the same mutation stream must serve
-// bit-identical payloads at every version, and two pinned replays of the
-// same trace against the same snapshot_version must produce equal digests
-// while churn continues — any mismatch exits 2.
+// store — split into drain time (the only step holding the writer mutex)
+// and build time (snapshot materialization outside it) — comparing the
+// delta-overlay index, a full bulk rebuild at every publish, and a
+// sharded copy-on-write store; (b) a drain-scaling series showing the
+// CoW drain stays flat as the live-table size grows (the ROADMAP open
+// item this closes: the old store copied the whole live map under the
+// writer mutex, O(N)); and (c) query throughput of the live QueryService
+// while a writer thread mutates and publishes concurrently. Built-in
+// oracles: overlay and rebuilt stores fed the same mutation stream must
+// serve bit-identical payloads at every version, sharded (2/7-way) and
+// unsharded stores of the same history must serve bit-identical
+// payloads, and two pinned replays of the same trace against the same
+// snapshot_version must produce equal digests while churn continues —
+// any mismatch exits 2.
 //
 // CSV to stdout; pass a path argument to also write the summary JSON (the
 // format committed as BENCH_store_churn.json). UPDB_BENCH_SCALE scales
@@ -27,21 +34,28 @@ using namespace updb;
 
 struct PublishSeries {
   std::string mode;
+  size_t shards = 1;
   size_t publishes = 0;
   size_t compactions = 0;
   double mean_ms = 0.0;
   double max_ms = 0.0;
+  double mean_drain_ms = 0.0;
+  double max_drain_ms = 0.0;
+  double mean_build_ms = 0.0;
+  double max_build_ms = 0.0;
   size_t final_delta = 0;
 };
 
 /// Applies `batches` churn batches to a fresh store seeded with `db`,
-/// publishing after each, and reports the publish-latency series.
+/// publishing after each, and reports the publish-latency series split
+/// into drain time (under the writer mutex) and build time (outside it).
 PublishSeries RunPublishSeries(const UncertainDatabase& db,
-                               double compact_fraction, const char* mode,
-                               size_t batches, size_t per_batch,
-                               uint64_t seed) {
+                               double compact_fraction, size_t num_shards,
+                               const char* mode, size_t batches,
+                               size_t per_batch, uint64_t seed) {
   store::StoreOptions opts;
   opts.compact_delta_fraction = compact_fraction;
+  opts.num_shards = num_shards;
   store::VersionedObjectStore s(db, opts);
   Rng rng(seed);
   workload::ChurnConfig ccfg;
@@ -49,20 +63,29 @@ PublishSeries RunPublishSeries(const UncertainDatabase& db,
   ccfg.max_extent = 0.01;
   PublishSeries out;
   out.mode = mode;
-  double total_ms = 0.0;
+  out.shards = num_shards;
+  double total_ms = 0.0, total_drain_ms = 0.0, total_build_ms = 0.0;
   for (size_t b = 0; b < batches; ++b) {
     workload::ApplyMutationBatch(
         s, workload::MakeMutationBatch(s.LiveIds(), 2, ccfg, rng));
     Stopwatch timer;
-    const auto snap = s.Publish();
+    store::PublishStats stats;
+    const auto snap = s.Publish(&stats);
     const double ms = timer.ElapsedMillis();
     total_ms += ms;
+    total_drain_ms += stats.drain_ms;
+    total_build_ms += stats.build_ms;
     out.max_ms = std::max(out.max_ms, ms);
+    out.max_drain_ms = std::max(out.max_drain_ms, stats.drain_ms);
+    out.max_build_ms = std::max(out.max_build_ms, stats.build_ms);
     ++out.publishes;
     if (snap->index().compacted()) ++out.compactions;
     out.final_delta = snap->index().delta_entries();
   }
-  out.mean_ms = total_ms / static_cast<double>(out.publishes);
+  const double n = static_cast<double>(out.publishes);
+  out.mean_ms = total_ms / n;
+  out.mean_drain_ms = total_drain_ms / n;
+  out.mean_build_ms = total_build_ms / n;
   return out;
 }
 
@@ -112,19 +135,54 @@ int main(int argc, char** argv) {
   const size_t publish_batches = bench::Scaled(24);
   const size_t per_batch = 32;
 
-  std::printf("series,mode,publishes,compactions,mean_publish_ms,"
-              "max_publish_ms,final_delta\n");
+  std::printf("series,mode,shards,publishes,compactions,mean_publish_ms,"
+              "max_publish_ms,mean_drain_ms,max_drain_ms,mean_build_ms,"
+              "max_build_ms,final_delta\n");
   std::vector<PublishSeries> publish_series;
   publish_series.push_back(RunPublishSeries(
-      big_db, /*compact_fraction=*/0.25, "overlay", publish_batches,
-      per_batch, /*seed=*/51));
+      big_db, /*compact_fraction=*/0.25, /*num_shards=*/1, "overlay",
+      publish_batches, per_batch, /*seed=*/51));
   publish_series.push_back(RunPublishSeries(
-      big_db, /*compact_fraction=*/0.0, "rebuild_always", publish_batches,
-      per_batch, /*seed=*/51));
+      big_db, /*compact_fraction=*/0.0, /*num_shards=*/1, "rebuild_always",
+      publish_batches, per_batch, /*seed=*/51));
+  publish_series.push_back(RunPublishSeries(
+      big_db, /*compact_fraction=*/0.25, /*num_shards=*/8,
+      "overlay_sharded8", publish_batches, per_batch, /*seed=*/51));
   for (const PublishSeries& s : publish_series) {
-    std::printf("store_publish,%s,%zu,%zu,%.4f,%.4f,%zu\n", s.mode.c_str(),
-                s.publishes, s.compactions, s.mean_ms, s.max_ms,
-                s.final_delta);
+    std::printf("store_publish,%s,%zu,%zu,%zu,%.4f,%.4f,%.5f,%.5f,%.4f,"
+                "%.4f,%zu\n",
+                s.mode.c_str(), s.shards, s.publishes, s.compactions,
+                s.mean_ms, s.max_ms, s.mean_drain_ms, s.max_drain_ms,
+                s.mean_build_ms, s.max_build_ms, s.final_delta);
+  }
+
+  // ---------------------------------------------------------------------
+  // Drain scaling — the ROADMAP open item: drain time (writer-mutex hold)
+  // must stay flat as the live-table size grows, while build time may
+  // scale with N. Fixed-size mutation batches against increasing
+  // databases.
+  struct DrainScalingRow {
+    size_t objects = 0;
+    double mean_drain_ms = 0.0;
+    double mean_build_ms = 0.0;
+  };
+  std::vector<DrainScalingRow> drain_scaling;
+  std::printf("series,objects,mean_drain_ms,mean_build_ms\n");
+  for (const size_t n : {bench::Scaled(5000), bench::Scaled(10000),
+                         bench::Scaled(20000)}) {
+    workload::SyntheticConfig cfg;
+    cfg.num_objects = n;
+    cfg.max_extent = 0.004;
+    cfg.seed = 43;
+    const UncertainDatabase db = workload::MakeSyntheticDatabase(cfg);
+    const PublishSeries s =
+        RunPublishSeries(db, /*compact_fraction=*/0.25, /*num_shards=*/1,
+                         "drain_scaling", bench::Scaled(12), per_batch,
+                         /*seed=*/53);
+    drain_scaling.push_back(
+        DrainScalingRow{db.size(), s.mean_drain_ms, s.mean_build_ms});
+    std::printf("drain_scaling,%zu,%.5f,%.4f\n", db.size(),
+                s.mean_drain_ms, s.mean_build_ms);
   }
 
   // ---------------------------------------------------------------------
@@ -139,8 +197,14 @@ int main(int argc, char** argv) {
   small_cfg.seed = 11;
   const UncertainDatabase small_db =
       workload::MakeSyntheticDatabase(small_cfg);
+  store::StoreOptions sharded2_opts;
+  sharded2_opts.num_shards = 2;
+  store::StoreOptions sharded7_opts;
+  sharded7_opts.num_shards = 7;
   store::VersionedObjectStore overlay_store(small_db, overlay_opts);
   store::VersionedObjectStore rebuild_store(small_db, rebuild_opts);
+  store::VersionedObjectStore sharded2_store(small_db, sharded2_opts);
+  store::VersionedObjectStore sharded7_store(small_db, sharded7_opts);
   {
     Rng rng(61);
     workload::ChurnConfig ccfg;
@@ -151,8 +215,12 @@ int main(int argc, char** argv) {
           overlay_store.LiveIds(), 2, ccfg, rng);
       workload::ApplyMutationBatch(overlay_store, batch);
       workload::ApplyMutationBatch(rebuild_store, batch);
+      workload::ApplyMutationBatch(sharded2_store, batch);
+      workload::ApplyMutationBatch(sharded7_store, batch);
       overlay_store.Publish();
       rebuild_store.Publish();
+      sharded2_store.Publish();
+      sharded7_store.Publish();
     }
   }
   // Expected-rank requests cost one IDCA run per database object; a small
@@ -187,6 +255,19 @@ int main(int argc, char** argv) {
   const bool overlay_matches = overlay_digest == rebuild_digest;
   std::printf("series,overlay_vs_rebuild_digest\nstore_oracle,%s\n",
               overlay_matches ? "equal" : "MISMATCH");
+
+  // Oracle 1b — sharded stores of the same mutation history serve
+  // bit-identical payloads to the unsharded store, for every worker
+  // count.
+  const bool sharded_matches =
+      pinned_digest(sharded2_store.latest(), /*workers=*/2) ==
+          overlay_digest &&
+      pinned_digest(sharded7_store.latest(), /*workers=*/2) ==
+          overlay_digest &&
+      pinned_digest(sharded7_store.latest(), /*workers=*/1) ==
+          overlay_digest;
+  std::printf("series,sharded_vs_unsharded_digest\nstore_shard_oracle,%s\n",
+              sharded_matches ? "equal" : "MISMATCH");
 
   // ---------------------------------------------------------------------
   // Part B — query throughput under churn: closed-loop replay against the
@@ -301,30 +382,51 @@ int main(int argc, char** argv) {
                  "  \"note\": \"publish series: %zu-object database, %zu "
                  "publishes of %zu-mutation batches; overlay uses "
                  "compact_delta_fraction 0.25, rebuild_always forces a "
-                 "full STR bulk build per publish. Throughput rows replay "
-                 "the same closed-loop trace against a quiescent store and "
-                 "against one whose writer publishes continuously (2 ms "
-                 "pacing, size-stationary mutation mix). Oracles: "
-                 "overlay-vs-rebuilt digests equal, pinned replays under "
-                 "churn equal.\",\n",
+                 "full STR bulk build per publish, overlay_sharded8 "
+                 "shards the CoW store 8 ways. drain_ms is the time the "
+                 "publish held the writer mutex (the CoW drain, O(delta)); "
+                 "build_ms is snapshot materialization outside it. The "
+                 "drain_scaling series shows mean drain flat vs live-table "
+                 "size while build grows. Throughput rows replay the same "
+                 "closed-loop trace against a quiescent store and against "
+                 "one whose writer publishes continuously (2 ms pacing, "
+                 "size-stationary mutation mix). Oracles: "
+                 "overlay-vs-rebuilt digests equal, sharded(2/7)-vs-"
+                 "unsharded digests equal, pinned replays under churn "
+                 "equal.\",\n",
                  big_db.size(), publish_batches, per_batch);
     std::fprintf(f, "  \"publish_db_objects\": %zu,\n", big_db.size());
     std::fprintf(f, "  \"churn_db_objects\": %zu,\n", small_db.size());
     std::fprintf(f, "  \"requests\": %zu,\n", oracle_trace.size());
     std::fprintf(f, "  \"overlay_matches_rebuild\": %s,\n",
                  overlay_matches ? "true" : "false");
+    std::fprintf(f, "  \"sharded_matches_unsharded\": %s,\n",
+                 sharded_matches ? "true" : "false");
     std::fprintf(f, "  \"pinned_replay_deterministic\": %s,\n",
                  pinned_deterministic ? "true" : "false");
     std::fprintf(f, "  \"publish_series\": [\n");
     for (size_t i = 0; i < publish_series.size(); ++i) {
       const PublishSeries& s = publish_series[i];
       std::fprintf(f,
-                   "    {\"mode\": \"%s\", \"publishes\": %zu, "
-                   "\"compactions\": %zu, \"mean_publish_ms\": %.4f, "
-                   "\"max_publish_ms\": %.4f, \"final_delta\": %zu}%s\n",
-                   s.mode.c_str(), s.publishes, s.compactions, s.mean_ms,
-                   s.max_ms, s.final_delta,
+                   "    {\"mode\": \"%s\", \"shards\": %zu, "
+                   "\"publishes\": %zu, \"compactions\": %zu, "
+                   "\"mean_publish_ms\": %.4f, \"max_publish_ms\": %.4f, "
+                   "\"mean_drain_ms\": %.5f, \"max_drain_ms\": %.5f, "
+                   "\"mean_build_ms\": %.4f, \"max_build_ms\": %.4f, "
+                   "\"final_delta\": %zu}%s\n",
+                   s.mode.c_str(), s.shards, s.publishes, s.compactions,
+                   s.mean_ms, s.max_ms, s.mean_drain_ms, s.max_drain_ms,
+                   s.mean_build_ms, s.max_build_ms, s.final_delta,
                    i + 1 < publish_series.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"drain_scaling\": [\n");
+    for (size_t i = 0; i < drain_scaling.size(); ++i) {
+      const DrainScalingRow& r = drain_scaling[i];
+      std::fprintf(f,
+                   "    {\"objects\": %zu, \"mean_drain_ms\": %.5f, "
+                   "\"mean_build_ms\": %.4f}%s\n",
+                   r.objects, r.mean_drain_ms, r.mean_build_ms,
+                   i + 1 < drain_scaling.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n  \"churn_series\": [\n");
     for (size_t i = 0; i < churn_rows.size(); ++i) {
@@ -342,5 +444,5 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
   }
-  return overlay_matches && pinned_deterministic ? 0 : 2;
+  return overlay_matches && sharded_matches && pinned_deterministic ? 0 : 2;
 }

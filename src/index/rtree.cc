@@ -115,33 +115,44 @@ void RTree::ScanByMinDist(
     const Rect& query,
     const std::function<bool(const RTreeEntry&, double)>& fn,
     const LpNorm& norm) const {
-  if (empty()) return;
-  struct Item {
-    double dist;
-    bool is_entry;
-    uint32_t idx;
-    bool operator>(const Item& other) const { return dist > other.dist; }
-  };
-  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq;
-  pq.push(Item{norm.MinDist(nodes_[root_].mbr, query), false, root_});
-  while (!pq.empty()) {
-    const Item item = pq.top();
-    pq.pop();
+  MinDistCursor cursor(*this, query, norm);
+  const RTreeEntry* entry = nullptr;
+  double dist = 0.0;
+  while (cursor.Next(&entry, &dist)) {
+    if (!fn(*entry, dist)) return;
+  }
+}
+
+RTree::MinDistCursor::MinDistCursor(const RTree& tree, const Rect& query,
+                                    const LpNorm& norm)
+    : tree_(tree), query_(query), norm_(norm) {
+  if (!tree_.empty()) {
+    pq_.push(Item{norm_.MinDist(tree_.nodes_[tree_.root_].mbr, query_),
+                  false, tree_.root_});
+  }
+}
+
+bool RTree::MinDistCursor::Next(const RTreeEntry** entry, double* dist) {
+  while (!pq_.empty()) {
+    const Item item = pq_.top();
+    pq_.pop();
     if (item.is_entry) {
-      if (!fn(entries_[item.idx], item.dist)) return;
-      continue;
+      *entry = &tree_.entries_[item.idx];
+      *dist = item.dist;
+      return true;
     }
-    const Node& node = nodes_[item.idx];
+    const Node& node = tree_.nodes_[item.idx];
     if (node.leaf) {
       for (uint32_t i = node.begin; i < node.end; ++i) {
-        pq.push(Item{norm.MinDist(entries_[i].mbr, query), true, i});
+        pq_.push(Item{norm_.MinDist(tree_.entries_[i].mbr, query_), true, i});
       }
     } else {
       for (uint32_t c = node.begin; c < node.end; ++c) {
-        pq.push(Item{norm.MinDist(nodes_[c].mbr, query), false, c});
+        pq_.push(Item{norm_.MinDist(tree_.nodes_[c].mbr, query_), false, c});
       }
     }
   }
+  return false;
 }
 
 void RTree::Traverse(

@@ -60,6 +60,33 @@ class RTree {
                      const std::function<bool(const RTreeEntry&, double)>& fn,
                      const LpNorm& norm = LpNorm::Euclidean()) const;
 
+  /// Pull-based form of ScanByMinDist: yields exactly the entries
+  /// ScanByMinDist would emit, in the same order, but resumable between
+  /// entries — what merging layers (the sharded store index) need to
+  /// k-way merge several trees' streams without materializing them. The
+  /// tree must outlive the cursor.
+  class MinDistCursor {
+   public:
+    MinDistCursor(const RTree& tree, const Rect& query, const LpNorm& norm);
+
+    /// Advances to the next entry in ascending MinDist order; returns
+    /// false when the scan is exhausted. `*entry` points into the tree.
+    bool Next(const RTreeEntry** entry, double* dist);
+
+   private:
+    struct Item {
+      double dist;
+      bool is_entry;
+      uint32_t idx;
+      bool operator>(const Item& other) const { return dist > other.dist; }
+    };
+
+    const RTree& tree_;
+    const Rect query_;
+    const LpNorm norm_;
+    std::priority_queue<Item, std::vector<Item>, std::greater<Item>> pq_;
+  };
+
   /// Verdict of a classification traversal on a node MBR or entry MBR.
   enum class VisitDecision {
     /// Look inside (for an entry: report it as individually undecided).

@@ -290,18 +290,22 @@ void QueryService::ExecThresholdBatch(const store::StoreSnapshot& snap,
                                       bool reverse) const {
   const LpNorm& norm = options_.base_config.norm;
   const UncertainDatabase& db = *snap.db();
-  const store::SnapshotIndex& index = snap.index();
+  const store::ShardedSnapshotIndex& index = snap.index();
+  const size_t num_shards = index.num_shards();
 
-  // Phase 1 — candidate filter, one index pass shared across the batch.
-  // Every request ends up with exactly the candidate set a solo run of
-  // queries.cc would produce (see the class comment on determinism), in
-  // ascending-id order.
+  // Phase 1 — candidate filter, one index pass shared across the batch,
+  // fanned out per shard and reduced in fixed shard order. Every request
+  // ends up with exactly the candidate set a solo run of queries.cc
+  // would produce (see the class comment on determinism), in
+  // ascending-id order — a distance cutoff (kNN) and a dominator count
+  // (RkNN) are both partition-invariant, so the shard count never
+  // changes a candidate set.
   std::vector<std::vector<ObjectId>> candidates(count);
   if (!reverse) {
     // Threshold kNN: per-request prune distance (KnnPruneDistance — the
-    // same rule the direct query path uses); one ScanByMinDist against
-    // the union MBR with the maximum prune distance over-collects a
-    // superset, re-filtered per request with its own prune distance.
+    // same rule the direct query path uses); one ScanByMinDist per shard
+    // against the union MBR with the maximum prune distance over-collects
+    // a superset, re-filtered per request with its own prune distance.
     std::vector<double> prune(count);
     bool any_bounded = false;
     Rect union_mbr = requests[0]->request.query->bounds();
@@ -316,14 +320,22 @@ void QueryService::ExecThresholdBatch(const store::StoreSnapshot& snap,
     }
     std::vector<ObjectId> shared;
     if (any_bounded) {
-      index.ScanByMinDist(
-          union_mbr,
-          [&shared, max_prune](const RTreeEntry& e, double min_dist) {
-            if (min_dist > max_prune) return false;
-            shared.push_back(e.id);
-            return true;
-          },
-          norm);
+      std::vector<std::vector<ObjectId>> per_shard(num_shards);
+      ThreadPool::SharedParallelFor(
+          num_shards, num_shards, [&](size_t s, size_t /*worker*/) {
+            index.ShardScanByMinDist(
+                s, union_mbr,
+                [&per_shard, s, max_prune](const RTreeEntry& e,
+                                           double min_dist) {
+                  if (min_dist > max_prune) return false;
+                  per_shard[s].push_back(e.id);
+                  return true;
+                },
+                norm);
+          });
+      for (const std::vector<ObjectId>& ids : per_shard) {
+        shared.insert(shared.end(), ids.begin(), ids.end());
+      }
       std::sort(shared.begin(), shared.end());
     }
     for (size_t r = 0; r < count; ++r) {
@@ -341,36 +353,70 @@ void QueryService::ExecThresholdBatch(const store::StoreSnapshot& snap,
     }
   } else {
     // Threshold RkNN: B survives while fewer than k certain objects
-    // completely dominate Q w.r.t. B. One index probe per B with the
+    // completely dominate Q w.r.t. B. One probe per (B, shard) with the
     // union reach over the batch; any true dominator for any request lies
     // within that request's own reach (complete domination implies
     // MinDist(A,B) <= MaxDist(Q,B)), so counting over the superset is
-    // exact per request.
-    std::vector<RTreeEntry> hits;
-    for (const UncertainObject& b : db.objects()) {
-      double max_reach = 0.0;
+    // exact per request. Each shard counts its own dominators (capped at
+    // the request's k — once a single shard holds k the total is
+    // decided) and the per-object totals reduce over shards in fixed
+    // shard order.
+    std::vector<double> reach(db.size(), 0.0);
+    for (ObjectId b = 0; b < db.size(); ++b) {
+      const Rect& b_mbr = db.object(b).mbr();
       for (size_t r = 0; r < count; ++r) {
-        max_reach = std::max(
-            max_reach,
-            norm.MaxDist(requests[r]->request.query->bounds(), b.mbr()));
+        reach[b] = std::max(
+            reach[b],
+            norm.MaxDist(requests[r]->request.query->bounds(), b_mbr));
       }
-      hits.clear();
-      index.ForEachIntersecting(ExpandRect(b.mbr(), max_reach),
-                                [&hits](const RTreeEntry& e) {
-                                  hits.push_back(e);
-                                  return true;
-                                });
-      for (size_t r = 0; r < count; ++r) {
-        const QueryRequest& req = requests[r]->request;
-        size_t dominators = 0;
-        for (const RTreeEntry& e : hits) {
-          if (e.id != b.id() && db.object(e.id).existentially_certain() &&
-              Dominates(e.mbr, req.query->bounds(), b.mbr(),
-                        options_.base_config.criterion, norm)) {
-            if (++dominators >= req.k) break;
+    }
+    // Objects are processed in fixed-size blocks so the per-shard count
+    // buffers stay O(num_shards × batch × block) — never O(database
+    // size) — and each block reduces in shard order before the next one
+    // starts (block and shard order are both fixed, so the candidate
+    // sets stay deterministic).
+    constexpr size_t kBlock = 1024;
+    std::vector<std::vector<std::vector<uint32_t>>> dominators(num_shards);
+    for (size_t block_begin = 0; block_begin < db.size();
+         block_begin += kBlock) {
+      const size_t block = std::min(kBlock, db.size() - block_begin);
+      ThreadPool::SharedParallelFor(
+          num_shards, num_shards, [&](size_t s, size_t /*worker*/) {
+            std::vector<std::vector<uint32_t>>& counts = dominators[s];
+            counts.assign(count, std::vector<uint32_t>(block, 0));
+            std::vector<RTreeEntry> hits;
+            for (size_t i = 0; i < block; ++i) {
+              const ObjectId b = static_cast<ObjectId>(block_begin + i);
+              const Rect& b_mbr = db.object(b).mbr();
+              hits.clear();
+              index.ShardForEachIntersecting(s, ExpandRect(b_mbr, reach[b]),
+                                             [&hits](const RTreeEntry& e) {
+                                               hits.push_back(e);
+                                               return true;
+                                             });
+              for (size_t r = 0; r < count; ++r) {
+                const QueryRequest& req = requests[r]->request;
+                uint32_t& found = counts[r][i];
+                for (const RTreeEntry& e : hits) {
+                  if (e.id != b &&
+                      db.object(e.id).existentially_certain() &&
+                      Dominates(e.mbr, req.query->bounds(), b_mbr,
+                                options_.base_config.criterion, norm)) {
+                    if (++found >= req.k) break;
+                  }
+                }
+              }
+            }
+          });
+      for (size_t i = 0; i < block; ++i) {
+        const ObjectId b = static_cast<ObjectId>(block_begin + i);
+        for (size_t r = 0; r < count; ++r) {
+          size_t total = 0;
+          for (size_t s = 0; s < num_shards; ++s) {
+            total += dominators[s][r][i];
           }
+          if (total < requests[r]->request.k) candidates[r].push_back(b);
         }
-        if (dominators < req.k) candidates[r].push_back(b.id());
       }
     }
   }

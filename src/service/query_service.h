@@ -21,9 +21,17 @@
 // submission-order chunks of batch_size, and runs the chunks in parallel
 // on its own ThreadPool (the dispatcher participates as worker 0). Within
 // a batch, same-kind requests share one pass over the snapshot's index
-// for the candidate filter (union-MBR scan / union-reach probe), then
-// each request refines its own candidates with IDCA under its compiled
-// budget. Rounds are a barrier: a worker that finishes its batch idles
+// for the candidate filter (union-MBR scan / union-reach probe), fanned
+// out per store shard (ThreadPool::SharedParallelFor over the snapshot's
+// shard indexes, reduced in fixed shard order — a distance cutoff and a
+// dominator count are partition-invariant, so candidate sets are
+// identical for every num_shards), then each request refines its own
+// candidates with IDCA under its compiled budget. The shard fan-out runs
+// genuinely parallel in single-batch rounds (ParallelFor(n == 1) keeps
+// the nested loop's parallelism); in multi-batch rounds the nested call
+// runs inline and batch-level parallelism dominates — either way the
+// reduction order, and with it the payload, is fixed. Rounds are a
+// barrier: a worker that finishes its batch idles
 // until the round's slowest batch completes (ThreadPool exposes
 // ParallelFor, not task handoff). That costs tail latency when one
 // expensive request (e.g. expected-rank) shares a round with cheap ones —
@@ -40,10 +48,10 @@
 // prune distance), and every response is a pure function of (request,
 // snapshot version, compiled budget). Replaying a request pinned to the
 // version its response names reproduces the payload bit-identically for
-// any num_workers/batch_size and any arrival timing; only the wall-clock
-// stats fields differ. Deadlines are compiled to iteration budgets at
-// admission (see service/request.h) — the wall clock never steers
-// execution.
+// any num_workers/batch_size/num_shards and any arrival timing; only the
+// wall-clock stats fields differ. Deadlines are compiled to iteration
+// budgets at admission (see service/request.h) — the wall clock never
+// steers execution.
 
 #ifndef UPDB_SERVICE_QUERY_SERVICE_H_
 #define UPDB_SERVICE_QUERY_SERVICE_H_

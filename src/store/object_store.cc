@@ -3,8 +3,22 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/stopwatch.h"
+
 namespace updb {
 namespace store {
+
+namespace {
+
+/// Entry of `id` in a sorted CoW live table, nullptr when absent.
+const LiveEntry* FindEntry(const LiveTable& table, ObjectId id) {
+  const auto it = std::lower_bound(
+      table.begin(), table.end(), id,
+      [](const LiveEntry& e, ObjectId v) { return e.id < v; });
+  return it != table.end() && it->id == id ? &*it : nullptr;
+}
+
+}  // namespace
 
 const char* MutationKindName(Mutation::Kind kind) {
   switch (kind) {
@@ -36,6 +50,10 @@ VersionedObjectStore::VersionedObjectStore(StoreOptions options)
     : options_(options) {
   UPDB_CHECK(options_.snapshot_retention >= 1);
   UPDB_CHECK(options_.leaf_capacity >= 2);
+  UPDB_CHECK(options_.num_shards >= 1);
+  auto empty_table = std::make_shared<const LiveTable>();
+  shards_.resize(options_.num_shards);
+  for (Shard& shard : shards_) shard.table = empty_table;
   InstallEmptySnapshot();
 }
 
@@ -51,11 +69,23 @@ VersionedObjectStore::VersionedObjectStore(const UncertainDatabase& db,
 
 void VersionedObjectStore::InstallEmptySnapshot() {
   auto no_ids = std::make_shared<const std::vector<ObjectId>>();
-  auto base = std::make_shared<const RTree>(std::vector<RTreeEntry>{},
-                                            options_.leaf_capacity);
+  std::vector<SnapshotIndex> shard_indexes;
+  std::vector<std::shared_ptr<const std::vector<ObjectId>>> global_by_local;
+  shard_indexes.reserve(options_.num_shards);
+  global_by_local.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    auto base = std::make_shared<const RTree>(std::vector<RTreeEntry>{},
+                                              options_.leaf_capacity);
+    shard_indexes.emplace_back(std::move(base), no_ids,
+                               std::vector<RTreeEntry>{},
+                               std::vector<ObjectId>{}, no_ids);
+    global_by_local.push_back(no_ids);
+  }
   auto snap = std::shared_ptr<const StoreSnapshot>(new StoreSnapshot(
       /*version=*/0, std::make_shared<const UncertainDatabase>(),
-      SnapshotIndex(base, no_ids, {}, {}, no_ids), no_ids));
+      ShardedSnapshotIndex(std::move(shard_indexes),
+                           std::move(global_by_local), no_ids),
+      no_ids));
   latest_ = snap;
   retained_.push_back(std::move(snap));
 }
@@ -92,10 +122,21 @@ StatusOr<ObjectId> VersionedObjectStore::Apply(const Mutation& mutation) {
   return ApplyLocked(mutation);
 }
 
+bool VersionedObjectStore::IsLiveLocked(const Shard& shard,
+                                        ObjectId id) const {
+  const auto delta_it = shard.delta.find(id);
+  if (delta_it != shard.delta.end()) return !delta_it->second.removed;
+  if (shard.draining != nullptr) {
+    const auto drain_it = shard.draining->find(id);
+    if (drain_it != shard.draining->end()) return !drain_it->second.removed;
+  }
+  return FindEntry(*shard.table, id) != nullptr;
+}
+
 StatusOr<ObjectId> VersionedObjectStore::ApplyLocked(
     const Mutation& mutation) {
   // Validate fully before touching any state: a rejected mutation must
-  // leave both the live table and the write-ahead log unchanged.
+  // leave both the live view and the write-ahead windows unchanged.
   ObjectId target = mutation.id;
   switch (mutation.kind) {
     case Mutation::Kind::kInsert:
@@ -110,13 +151,13 @@ StatusOr<ObjectId> VersionedObjectStore::ApplyLocked(
         return Status::InvalidArgument("object dimensionality mismatch");
       }
       if (mutation.kind == Mutation::Kind::kUpdate &&
-          live_.find(target) == live_.end()) {
+          !IsLiveLocked(shards_[ShardOf(target)], target)) {
         return Status::NotFound("update of unknown object id");
       }
       break;
     }
     case Mutation::Kind::kRemove:
-      if (live_.find(target) == live_.end()) {
+      if (!IsLiveLocked(shards_[ShardOf(target)], target)) {
         return Status::NotFound("remove of unknown object id");
       }
       break;
@@ -125,130 +166,228 @@ StatusOr<ObjectId> VersionedObjectStore::ApplyLocked(
     target = next_id_++;
     if (dim_ == 0) dim_ = mutation.pdf->bounds().dim();
   }
+  Shard& shard = shards_[ShardOf(target)];
 
-  // Write-ahead: log first, then apply to the live table.
+  // Write-ahead: log first, then apply to the shard's live delta.
   LogRecord record;
   record.sequence = next_sequence_++;
   record.mutation = mutation;
   record.mutation.id = target;
   record.assigned_id = target;
-  wal_.push_back(std::move(record));
+  shard.wal.push_back(std::move(record));
   ++total_mutations_;
 
   switch (mutation.kind) {
     case Mutation::Kind::kInsert:
+      shard.delta[target] = LiveDelta{false,
+                                      LiveObject{mutation.pdf,
+                                                 mutation.existence}};
+      ++shard.live_count;
+      break;
     case Mutation::Kind::kUpdate:
-      live_[target] = LiveObject{mutation.pdf, mutation.existence};
+      shard.delta[target] = LiveDelta{false,
+                                      LiveObject{mutation.pdf,
+                                                 mutation.existence}};
       break;
     case Mutation::Kind::kRemove:
-      live_.erase(target);
+      shard.delta[target] = LiveDelta{true, LiveObject{}};
+      --shard.live_count;
       break;
   }
   return target;
 }
 
-std::shared_ptr<const StoreSnapshot> VersionedObjectStore::Publish() {
+std::shared_ptr<const StoreSnapshot> VersionedObjectStore::Publish(
+    PublishStats* stats) {
   // Publishers serialize here so builds (which overlap with writers)
   // install in version order.
   std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  const size_t num_shards = shards_.size();
 
-  std::map<ObjectId, LiveObject> live;
-  std::vector<LogRecord> window;
+  PublishStats local_stats;
+  std::vector<std::shared_ptr<const LiveTable>> tables(num_shards);
+  std::vector<std::shared_ptr<const DeltaMap>> draining(num_shards);
+  std::vector<std::vector<LogRecord>> windows(num_shards);
   std::shared_ptr<const StoreSnapshot> prev;
   Version version = 0;
   {
+    // Drain: O(drained mutations + num_shards) — pointer grabs and moves
+    // only, never a live-table copy. This is the only step writers wait
+    // on; the timer starts after acquisition so drain_ms measures the
+    // mutex *hold*, not contention-dependent lock wait.
     std::lock_guard<std::mutex> lock(mu_);
-    live = live_;
-    window = std::move(wal_);
-    wal_.clear();
+    Stopwatch drain_timer;
+    for (size_t s = 0; s < num_shards; ++s) {
+      Shard& shard = shards_[s];
+      UPDB_DCHECK(shard.draining == nullptr);  // publishers serialize
+      if (!shard.delta.empty()) {
+        shard.draining = std::make_shared<const DeltaMap>(
+            std::move(shard.delta));
+        shard.delta.clear();
+      }
+      draining[s] = shard.draining;
+      windows[s] = std::move(shard.wal);
+      shard.wal.clear();
+      tables[s] = shard.table;
+      local_stats.drained_mutations += windows[s].size();
+    }
     prev = latest_;
     version = next_version_++;
+    local_stats.drain_ms = drain_timer.ElapsedMillis();
   }
 
-  // Materialize the dense-id view (O(N) pointer copies).
+  Stopwatch build_timer;
+  // Per shard: merge the CoW table with the drained delta, then compose
+  // the shard's index overlay relative to the previous snapshot — keep
+  // untouched deltas, re-derive every touched id from the merged table.
+  std::vector<std::shared_ptr<const LiveTable>> merged(num_shards);
+  std::vector<SnapshotIndex> shard_indexes;
+  shard_indexes.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (draining[s] == nullptr) {
+      merged[s] = tables[s];
+    } else {
+      auto table = std::make_shared<LiveTable>();
+      table->reserve(tables[s]->size() + draining[s]->size());
+      auto it = tables[s]->begin();
+      const auto table_end = tables[s]->end();
+      for (const auto& [id, change] : *draining[s]) {
+        while (it != table_end && it->id < id) table->push_back(*it++);
+        if (it != table_end && it->id == id) ++it;  // superseded
+        if (!change.removed) table->push_back(LiveEntry{id, change.object});
+      }
+      table->insert(table->end(), it, table_end);
+      merged[s] = std::move(table);
+    }
+    const LiveTable& live = *merged[s];
+
+    auto shard_ids = std::make_shared<std::vector<ObjectId>>();
+    shard_ids->reserve(live.size());
+    for (const LiveEntry& e : live) shard_ids->push_back(e.id);
+
+    // Stable ids touched by this shard's window (insert/update/remove
+    // alike).
+    std::vector<ObjectId> touched;
+    touched.reserve(windows[s].size());
+    for (const LogRecord& r : windows[s]) touched.push_back(r.assigned_id);
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+    const auto is_touched = [&touched](ObjectId id) {
+      return std::binary_search(touched.begin(), touched.end(), id);
+    };
+    const SnapshotIndex& prev_shard = prev->index().shard(s);
+    std::shared_ptr<const RTree> base = prev_shard.base_shared();
+    std::shared_ptr<const std::vector<ObjectId>> base_ids =
+        prev_shard.base_ids_shared();
+    std::vector<RTreeEntry> added;
+    added.reserve(prev_shard.added().size() + touched.size());
+    for (const RTreeEntry& e : prev_shard.added()) {
+      if (!is_touched(e.id)) added.push_back(e);
+    }
+    std::vector<ObjectId> removed = prev_shard.removed();
+    for (ObjectId t : touched) {
+      if (std::binary_search(base_ids->begin(), base_ids->end(), t)) {
+        removed.push_back(t);
+      }
+      if (const LiveEntry* entry = FindEntry(live, t)) {
+        added.push_back(RTreeEntry{entry->object.pdf->bounds(), t});
+      }
+    }
+    std::sort(added.begin(), added.end(),
+              [](const RTreeEntry& a, const RTreeEntry& b) {
+                return a.id < b.id;
+              });
+    std::sort(removed.begin(), removed.end());
+    removed.erase(std::unique(removed.begin(), removed.end()),
+                  removed.end());
+
+    const size_t delta = added.size() + removed.size();
+    const bool rebuild =
+        options_.compact_delta_fraction <= 0.0 ||
+        static_cast<double>(delta) >
+            options_.compact_delta_fraction *
+                static_cast<double>(std::max<size_t>(base->size(), 1));
+    if (rebuild) {
+      std::vector<RTreeEntry> entries;
+      entries.reserve(live.size());
+      for (const LiveEntry& e : live) {
+        entries.push_back(RTreeEntry{e.object.pdf->bounds(), e.id});
+      }
+      auto fresh = std::make_shared<const RTree>(std::move(entries),
+                                                 options_.leaf_capacity);
+      shard_indexes.emplace_back(std::move(fresh), shard_ids,
+                                 std::vector<RTreeEntry>{},
+                                 std::vector<ObjectId>{}, shard_ids);
+    } else {
+      shard_indexes.emplace_back(std::move(base), std::move(base_ids),
+                                 std::move(added), std::move(removed),
+                                 shard_ids);
+    }
+  }
+
+  // Global materialization: k-way merge of the shard tables in ascending
+  // stable-id order (the dense-id space), building the database, the
+  // stable↔dense translation and the per-shard local→global maps.
+  size_t total_live = 0;
+  for (const auto& table : merged) total_live += table->size();
   auto stable_by_dense = std::make_shared<std::vector<ObjectId>>();
-  stable_by_dense->reserve(live.size());
+  stable_by_dense->reserve(total_live);
   auto db = std::make_shared<UncertainDatabase>();
-  for (const auto& [id, obj] : live) {
-    stable_by_dense->push_back(id);
-    db->Add(obj.pdf, obj.existence);
+  std::vector<std::shared_ptr<std::vector<ObjectId>>> global_by_local(
+      num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    global_by_local[s] = std::make_shared<std::vector<ObjectId>>();
+    global_by_local[s]->reserve(merged[s]->size());
   }
-
-  // Stable ids touched by this window (insert/update/remove alike).
-  std::vector<ObjectId> touched;
-  touched.reserve(window.size());
-  for (const LogRecord& r : window) touched.push_back(r.assigned_id);
-  std::sort(touched.begin(), touched.end());
-  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
-  const auto is_touched = [&touched](ObjectId id) {
-    return std::binary_search(touched.begin(), touched.end(), id);
-  };
-
-  // Compose the overlay relative to the previous snapshot's base: keep
-  // untouched deltas, re-derive every touched id from the live table.
-  const SnapshotIndex& prev_index = prev->index();
-  std::shared_ptr<const RTree> base = prev_index.base_shared();
-  std::shared_ptr<const std::vector<ObjectId>> base_ids =
-      prev_index.base_ids_shared();
-  std::vector<RTreeEntry> added;
-  added.reserve(prev_index.added().size() + touched.size());
-  for (const RTreeEntry& e : prev_index.added()) {
-    if (!is_touched(e.id)) added.push_back(e);
-  }
-  std::vector<ObjectId> removed = prev_index.removed();
-  for (ObjectId t : touched) {
-    if (std::binary_search(base_ids->begin(), base_ids->end(), t)) {
-      removed.push_back(t);
+  std::vector<size_t> heads(num_shards, 0);
+  for (size_t dense = 0; dense < total_live; ++dense) {
+    size_t pick = num_shards;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (heads[s] >= merged[s]->size()) continue;
+      if (pick == num_shards ||
+          (*merged[s])[heads[s]].id < (*merged[pick])[heads[pick]].id) {
+        pick = s;
+      }
     }
-    const auto it = live.find(t);
-    if (it != live.end()) {
-      added.push_back(RTreeEntry{it->second.pdf->bounds(), t});
-    }
+    const LiveEntry& e = (*merged[pick])[heads[pick]++];
+    stable_by_dense->push_back(e.id);
+    global_by_local[pick]->push_back(static_cast<ObjectId>(dense));
+    db->Add(e.object.pdf, e.object.existence);
   }
-  std::sort(added.begin(), added.end(),
-            [](const RTreeEntry& a, const RTreeEntry& b) {
-              return a.id < b.id;
-            });
-  std::sort(removed.begin(), removed.end());
-  removed.erase(std::unique(removed.begin(), removed.end()), removed.end());
+  std::vector<std::shared_ptr<const std::vector<ObjectId>>> translations;
+  translations.reserve(num_shards);
+  for (auto& t : global_by_local) translations.push_back(std::move(t));
 
-  const size_t delta = added.size() + removed.size();
-  const bool rebuild =
-      options_.compact_delta_fraction <= 0.0 ||
-      static_cast<double>(delta) >
-          options_.compact_delta_fraction *
-              static_cast<double>(std::max<size_t>(base->size(), 1));
-
-  std::shared_ptr<const StoreSnapshot> snap;
-  if (rebuild) {
-    std::vector<RTreeEntry> entries;
-    entries.reserve(live.size());
-    for (const auto& [id, obj] : live) {
-      entries.push_back(RTreeEntry{obj.pdf->bounds(), id});
-    }
-    auto fresh = std::make_shared<const RTree>(std::move(entries),
-                                               options_.leaf_capacity);
-    snap = std::shared_ptr<const StoreSnapshot>(new StoreSnapshot(
-        version, db,
-        SnapshotIndex(std::move(fresh), stable_by_dense, {}, {},
-                      stable_by_dense),
-        stable_by_dense));
-  } else {
-    snap = std::shared_ptr<const StoreSnapshot>(new StoreSnapshot(
-        version, db,
-        SnapshotIndex(std::move(base), std::move(base_ids), std::move(added),
-                      std::move(removed), stable_by_dense),
-        stable_by_dense));
-  }
+  auto snap = std::shared_ptr<const StoreSnapshot>(new StoreSnapshot(
+      version, std::move(db),
+      ShardedSnapshotIndex(std::move(shard_indexes), std::move(translations),
+                           stable_by_dense),
+      stable_by_dense));
+  local_stats.build_ms = build_timer.ElapsedMillis();
 
   {
+    // Install: swap in the merged tables and the snapshot — O(num_shards)
+    // pointer stores.
     std::lock_guard<std::mutex> lock(mu_);
+    for (size_t s = 0; s < num_shards; ++s) {
+      shards_[s].table = merged[s];
+      shards_[s].draining = nullptr;
+    }
     latest_ = snap;
     retained_.push_back(snap);
     while (retained_.size() > options_.snapshot_retention) {
       retained_.pop_front();
     }
+    ++publish_metrics_.publishes;
+    publish_metrics_.total_drain_ms += local_stats.drain_ms;
+    publish_metrics_.max_drain_ms =
+        std::max(publish_metrics_.max_drain_ms, local_stats.drain_ms);
+    publish_metrics_.total_build_ms += local_stats.build_ms;
+    publish_metrics_.max_build_ms =
+        std::max(publish_metrics_.max_build_ms, local_stats.build_ms);
   }
+  if (stats != nullptr) *stats = local_stats;
   return snap;
 }
 
@@ -273,12 +412,24 @@ Version VersionedObjectStore::version() const {
 
 size_t VersionedObjectStore::live_size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return live_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.live_count;
+  return total;
+}
+
+std::vector<size_t> VersionedObjectStore::ShardLiveCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<size_t> counts;
+  counts.reserve(shards_.size());
+  for (const Shard& shard : shards_) counts.push_back(shard.live_count);
+  return counts;
 }
 
 size_t VersionedObjectStore::pending_mutations() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return wal_.size();
+  size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.wal.size();
+  return total;
 }
 
 uint64_t VersionedObjectStore::total_mutations() const {
@@ -286,16 +437,72 @@ uint64_t VersionedObjectStore::total_mutations() const {
   return total_mutations_;
 }
 
+PublishMetrics VersionedObjectStore::publish_metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return publish_metrics_;
+}
+
 std::vector<LogRecord> VersionedObjectStore::PendingLog() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return wal_;
+  std::vector<LogRecord> log;
+  for (const Shard& shard : shards_) {
+    log.insert(log.end(), shard.wal.begin(), shard.wal.end());
+  }
+  std::sort(log.begin(), log.end(),
+            [](const LogRecord& a, const LogRecord& b) {
+              return a.sequence < b.sequence;
+            });
+  return log;
 }
 
 std::vector<ObjectId> VersionedObjectStore::LiveIds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Consistent per-shard views — immutable table/draining pointers plus an
+  // O(delta) copy of the pending map — so the walks and the final sort run
+  // off the writer mutex (the mutex-hold discipline is O(delta), same as
+  // the publish drain).
+  struct ShardView {
+    std::shared_ptr<const LiveTable> table;
+    std::shared_ptr<const DeltaMap> draining;
+    DeltaMap delta;
+  };
+  std::vector<ShardView> views;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    views.reserve(shards_.size());
+    for (const Shard& shard : shards_) {
+      views.push_back(ShardView{shard.table, shard.draining, shard.delta});
+    }
+  }
+  static const DeltaMap kEmptyDelta;
   std::vector<ObjectId> ids;
-  ids.reserve(live_.size());
-  for (const auto& [id, obj] : live_) ids.push_back(id);
+  for (const ShardView& view : views) {
+    // Three-way ascending walk of table ∘ draining ∘ delta (rightmost
+    // wins), appending this shard's live ids.
+    const LiveTable& table = *view.table;
+    const DeltaMap& draining =
+        view.draining != nullptr ? *view.draining : kEmptyDelta;
+    size_t ti = 0;
+    auto di = draining.begin();
+    auto pi = view.delta.begin();
+    while (ti < table.size() || di != draining.end() ||
+           pi != view.delta.end()) {
+      ObjectId id = kInvalidObjectId;
+      if (ti < table.size()) id = std::min(id, table[ti].id);
+      if (di != draining.end()) id = std::min(id, di->first);
+      if (pi != view.delta.end()) id = std::min(id, pi->first);
+      bool removed = false;
+      if (pi != view.delta.end() && pi->first == id) {
+        removed = pi->second.removed;
+      } else if (di != draining.end() && di->first == id) {
+        removed = di->second.removed;
+      }
+      if (!removed) ids.push_back(id);
+      if (ti < table.size() && table[ti].id == id) ++ti;
+      if (di != draining.end() && di->first == id) ++di;
+      if (pi != view.delta.end() && pi->first == id) ++pi;
+    }
+  }
+  std::sort(ids.begin(), ids.end());
   return ids;
 }
 

@@ -4,17 +4,29 @@
 // inserts/updates/deletes — without giving up the determinism contracts of
 // PR 1/2). Design:
 //
+//  * The stable-id space is partitioned into `num_shards` shards (stable
+//    id i routes to shard i % num_shards). Each shard owns its own WAL
+//    window, its own copy-on-write live table, and — per snapshot — its
+//    own delta-overlay SnapshotIndex; one snapshot's query surface merges
+//    the shards in deterministic shard order (see store/snapshot_index.h).
 //  * Writers apply Insert/Update/Remove mutations. Each mutation is
-//    appended to a write-ahead mutation log *before* the live table is
-//    touched; the pending log window is the source of truth for what the
-//    next snapshot must re-index.
-//  * Publish() drains the pending window and atomically installs an
-//    immutable StoreSnapshot {version, db, index}. Snapshots are
-//    copy-on-write: object PDFs are shared by pointer, the database
-//    materialization is O(N) pointer copies, and the index work is
-//    O(delta) — a delta overlay over the bulk-built base R-tree (see
-//    store/snapshot_index.h) that is compacted into a fresh bulk build
-//    once it exceeds compact_delta_fraction of the base.
+//    appended to the target shard's write-ahead window *before* the live
+//    state is touched; the pending windows are the source of truth for
+//    what the next snapshot must re-index.
+//  * The live table of a shard is copy-on-write: an immutable sorted
+//    snapshot array (shared with published snapshots and in-flight
+//    builds) plus a small mutable delta map of changes since the last
+//    publish. Publish() *drains* in O(delta) under the writer mutex —
+//    move the delta map, move the WAL windows, grab the array pointers —
+//    and does every O(N) step (table merge, database materialization,
+//    index composition) outside it, so publishing never stalls writers or
+//    readers for a live-table copy (the drain/build split is measured by
+//    bench_store_churn and reported via PublishStats).
+//  * Publish() installs an immutable StoreSnapshot {version, db, sharded
+//    index}. Snapshots share object PDFs by pointer; per-shard index work
+//    is O(shard delta) — a delta overlay over the shard's bulk-built base
+//    R-tree, compacted into a fresh bulk build once it exceeds
+//    compact_delta_fraction of the base.
 //  * Readers acquire latest() (or a retained snapshot(version) for pinned
 //    serving) and never block writers; a snapshot stays valid for as long
 //    as someone holds it, independent of later mutations or eviction.
@@ -24,8 +36,9 @@
 // assigned in ascending stable-id order — that is what the query stack
 // expects — and the snapshot carries the translation both ways. For a
 // fixed version the translation, the database and the index are all pure
-// functions of the mutation history, so responses served from a version
-// are bit-identical across replays (store_test's digest oracle).
+// functions of the mutation history — independent of the shard count —
+// so responses served from a version are bit-identical across replays
+// and across num_shards (store_test's digest oracles).
 
 #ifndef UPDB_STORE_OBJECT_STORE_H_
 #define UPDB_STORE_OBJECT_STORE_H_
@@ -73,10 +86,11 @@ struct LogRecord {
 
 /// Tuning knobs of the store.
 struct StoreOptions {
-  /// Publish compacts the index overlay into a fresh bulk build once
-  /// delta_entries exceeds this fraction of the base tree size. 0 forces a
-  /// full rebuild at every publish (the ablation baseline the churn
-  /// benchmark compares against); values >= 1 effectively never compact.
+  /// Publish compacts a shard's index overlay into a fresh bulk build once
+  /// its delta_entries exceed this fraction of the shard's base tree size.
+  /// 0 forces a full rebuild at every publish (the ablation baseline the
+  /// churn benchmark compares against); values >= 1 effectively never
+  /// compact.
   double compact_delta_fraction = 0.25;
   /// Leaf capacity of bulk-built base R-trees.
   size_t leaf_capacity = 16;
@@ -84,7 +98,46 @@ struct StoreOptions {
   /// latest. Must be >= 1; older versions are evicted FIFO (a snapshot a
   /// reader still holds stays alive through its shared_ptr).
   size_t snapshot_retention = 8;
+  /// Shards of the stable-id space (id % num_shards). Must be >= 1 and is
+  /// fixed for the store's lifetime. 1 reproduces the unsharded store;
+  /// snapshot contents and served payloads are identical for every value.
+  size_t num_shards = 1;
 };
+
+/// Wall-clock breakdown of one Publish() (see bench_store_churn): the
+/// drain step is the only part that holds the writer mutex and is
+/// O(drained mutations + num_shards), never O(live-table size).
+struct PublishStats {
+  double drain_ms = 0.0;
+  double build_ms = 0.0;
+  size_t drained_mutations = 0;
+};
+
+/// Aggregate publish timing over a store's lifetime (CLI metrics JSON).
+struct PublishMetrics {
+  uint64_t publishes = 0;
+  double total_drain_ms = 0.0;
+  double max_drain_ms = 0.0;
+  double total_build_ms = 0.0;
+  double max_build_ms = 0.0;
+};
+
+/// One live object; PDFs are shared by pointer, snapshots copy nothing
+/// deep.
+struct LiveObject {
+  std::shared_ptr<const Pdf> pdf;
+  double existence = 1.0;
+};
+
+/// Entry of a shard's copy-on-write live table (sorted by stable id).
+struct LiveEntry {
+  ObjectId id = kInvalidObjectId;
+  LiveObject object;
+};
+
+/// Immutable sorted-by-stable-id array: the published live table of one
+/// shard.
+using LiveTable = std::vector<LiveEntry>;
 
 /// One immutable published state of the store. Cheap to hold and share;
 /// all members are immutable after Publish() constructs it.
@@ -93,8 +146,12 @@ class StoreSnapshot {
   Version version() const { return version_; }
   /// Dense-id materialization of the live set at this version.
   const std::shared_ptr<const UncertainDatabase>& db() const { return db_; }
-  const SnapshotIndex& index() const { return index_; }
+  /// The merged (shard-order deterministic) index surface.
+  const ShardedSnapshotIndex& index() const { return index_; }
   size_t size() const { return stable_by_dense_->size(); }
+  size_t num_shards() const { return index_.num_shards(); }
+  /// Live objects routed to shard `s` at this version.
+  size_t shard_size(size_t s) const { return index_.shard(s).entry_count(); }
 
   /// Stable id of a dense id (must be < size()).
   ObjectId StableId(ObjectId dense) const;
@@ -106,7 +163,7 @@ class StoreSnapshot {
   friend class VersionedObjectStore;
   StoreSnapshot(Version version,
                 std::shared_ptr<const UncertainDatabase> db,
-                SnapshotIndex index,
+                ShardedSnapshotIndex index,
                 std::shared_ptr<const std::vector<ObjectId>> stable_by_dense)
       : version_(version),
         db_(std::move(db)),
@@ -115,17 +172,15 @@ class StoreSnapshot {
 
   Version version_;
   std::shared_ptr<const UncertainDatabase> db_;
-  SnapshotIndex index_;
+  ShardedSnapshotIndex index_;
   std::shared_ptr<const std::vector<ObjectId>> stable_by_dense_;  // sorted
 };
 
 /// The versioned store. Thread-safe: any thread may mutate, publish, or
 /// acquire snapshots; publishing serializes against other publishers but
-/// overlaps with both writers and readers — the index build and database
-/// materialization run outside the writer lock; only the O(N) live-table
-/// copy of the drain step holds it (single-digit milliseconds at 20k
-/// objects; a copy-on-write live table would make the drain O(delta) and
-/// is noted in the ROADMAP).
+/// overlaps with both writers and readers — the live-table merges, the
+/// index builds and the database materialization all run outside the
+/// writer lock; only the O(delta) drain step holds it.
 class VersionedObjectStore {
  public:
   explicit VersionedObjectStore(StoreOptions options = {});
@@ -151,11 +206,13 @@ class VersionedObjectStore {
   /// Applies one mutation record; returns the affected stable id.
   StatusOr<ObjectId> Apply(const Mutation& mutation);
 
-  /// Drains the pending mutation window into a new immutable snapshot and
-  /// installs it as latest(). O(delta) index work (see file comment); a
-  /// no-op window still publishes a new version (callers gate on
-  /// pending_mutations() when they care).
-  std::shared_ptr<const StoreSnapshot> Publish();
+  /// Drains the pending mutation windows into a new immutable snapshot
+  /// and installs it as latest(). The drain holds the writer mutex for
+  /// O(delta) only; per-shard index work is O(shard delta) (see file
+  /// comment). A no-op window still publishes a new version (callers gate
+  /// on pending_mutations() when they care). When `stats` is non-null it
+  /// receives this publish's drain/build timing split.
+  std::shared_ptr<const StoreSnapshot> Publish(PublishStats* stats = nullptr);
 
   /// The latest published snapshot; never null (version 0 before the
   /// first Publish).
@@ -165,11 +222,16 @@ class VersionedObjectStore {
 
   Version version() const;
   size_t live_size() const;
+  /// Live object counts per shard, in shard order.
+  std::vector<size_t> ShardLiveCounts() const;
   /// Mutations applied but not yet published.
   size_t pending_mutations() const;
   /// Mutations applied over the store's lifetime.
   uint64_t total_mutations() const;
-  /// Copy of the pending write-ahead window, in application order.
+  /// Aggregate drain/build timing over all publishes so far.
+  PublishMetrics publish_metrics() const;
+  /// Copy of the pending write-ahead window, in application order
+  /// (ascending global sequence, merged across shards).
   std::vector<LogRecord> PendingLog() const;
   /// Sorted live stable ids (the deterministic targeting surface for
   /// churn generators).
@@ -178,29 +240,53 @@ class VersionedObjectStore {
   size_t dim() const;
 
   const StoreOptions& options() const { return options_; }
+  size_t num_shards() const { return options_.num_shards; }
+  /// Shard a stable id routes to.
+  size_t ShardOf(ObjectId id) const { return id % options_.num_shards; }
 
  private:
-  struct LiveObject {
-    std::shared_ptr<const Pdf> pdf;
-    double existence = 1.0;
+  /// One pending change to a shard's copy-on-write table: the latest
+  /// state of a stable id since the last drain (tombstone for removes).
+  struct LiveDelta {
+    bool removed = false;
+    LiveObject object;
+  };
+  using DeltaMap = std::map<ObjectId, LiveDelta>;
+
+  /// Writer-side state of one shard, guarded by mu_.
+  struct Shard {
+    /// Immutable published table; replaced wholesale at publish install.
+    std::shared_ptr<const LiveTable> table;
+    /// Changes since the last drain.
+    DeltaMap delta;
+    /// Changes drained by an in-flight publish: still part of the logical
+    /// live view until the merged table is installed.
+    std::shared_ptr<const DeltaMap> draining;
+    /// Pending write-ahead window.
+    std::vector<LogRecord> wal;
+    /// |table ∘ draining ∘ delta| — maintained incrementally.
+    size_t live_count = 0;
   };
 
   StatusOr<ObjectId> ApplyLocked(const Mutation& mutation);
+  /// Liveness of `id` in its shard's logical view (delta over draining
+  /// over table); requires mu_.
+  bool IsLiveLocked(const Shard& shard, ObjectId id) const;
   /// Installs the version-0 empty snapshot at construction.
   void InstallEmptySnapshot();
 
   const StoreOptions options_;
 
-  /// Writer state: live table + pending WAL window. Held briefly by
-  /// mutators and by Publish's drain/install steps.
+  /// Writer state: per-shard CoW tables + pending WAL windows. Held
+  /// briefly by mutators and by Publish's O(delta) drain/install steps.
   mutable std::mutex mu_;
-  std::map<ObjectId, LiveObject> live_;  // ordered => deterministic scans
+  std::vector<Shard> shards_;
   ObjectId next_id_ = 0;
   uint64_t next_sequence_ = 1;
   size_t dim_ = 0;
-  std::vector<LogRecord> wal_;
   uint64_t total_mutations_ = 0;
   Version next_version_ = 1;
+  PublishMetrics publish_metrics_;
   std::shared_ptr<const StoreSnapshot> latest_;
   std::deque<std::shared_ptr<const StoreSnapshot>> retained_;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
 
 namespace updb {
 namespace store {
@@ -59,46 +60,65 @@ void SnapshotIndex::ScanByMinDist(
     const Rect& query,
     const std::function<bool(const RTreeEntry&, double)>& fn,
     const LpNorm& norm) const {
-  // Distance-sort the overlay up front (it is bounded by the compaction
-  // threshold), then merge it into the base tree's best-first stream.
-  struct AddedItem {
-    double dist;
-    size_t index;  // into added_
-  };
-  std::vector<AddedItem> order;
-  order.reserve(added_.size());
-  for (size_t i = 0; i < added_.size(); ++i) {
-    order.push_back(AddedItem{norm.MinDist(added_[i].mbr, query), i});
+  MinDistCursor cursor(*this, query, norm);
+  const RTreeEntry* entry = nullptr;
+  double dist = 0.0;
+  while (cursor.Next(&entry, &dist)) {
+    if (!fn(*entry, dist)) return;
   }
-  std::sort(order.begin(), order.end(),
-            [this](const AddedItem& a, const AddedItem& b) {
-              if (a.dist != b.dist) return a.dist < b.dist;
-              return added_[a.index].id < added_[b.index].id;
+}
+
+SnapshotIndex::MinDistCursor::MinDistCursor(const SnapshotIndex& index,
+                                            const Rect& query,
+                                            const LpNorm& norm)
+    : index_(index), base_(*index.base_, query, norm) {
+  // Distance-sort the overlay up front (it is bounded by the compaction
+  // threshold), then merge it into the base tree's best-first stream. At
+  // equal distance, overlay entries win; among themselves they order by
+  // (distance, stable id).
+  added_order_.reserve(index_.added_.size());
+  for (size_t i = 0; i < index_.added_.size(); ++i) {
+    added_order_.emplace_back(norm.MinDist(index_.added_[i].mbr, query), i);
+  }
+  std::sort(added_order_.begin(), added_order_.end(),
+            [&index](const std::pair<double, size_t>& a,
+                     const std::pair<double, size_t>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return index.added_[a.second].id < index.added_[b.second].id;
             });
+  AdvanceBase();
+}
 
-  size_t next_added = 0;
-  bool live = true;
-  // Emits overlay entries at distance <= limit; false once `fn` stops.
-  const auto emit_added_up_to = [&](double limit) {
-    while (live && next_added < order.size() &&
-           order[next_added].dist <= limit) {
-      const AddedItem& item = order[next_added++];
-      const RTreeEntry& a = added_[item.index];
-      live = fn(RTreeEntry{a.mbr, DenseOf(a.id)}, item.dist);
-    }
-    return live;
-  };
+void SnapshotIndex::MinDistCursor::AdvanceBase() {
+  base_entry_ = nullptr;
+  const RTreeEntry* e = nullptr;
+  double d = 0.0;
+  while (base_.Next(&e, &d)) {
+    if (index_.IsRemoved(e->id)) continue;
+    base_entry_ = e;
+    base_dist_ = d;
+    return;
+  }
+}
 
-  base_->ScanByMinDist(
-      query,
-      [&](const RTreeEntry& e, double dist) {
-        if (!emit_added_up_to(dist)) return false;
-        if (IsRemoved(e.id)) return true;
-        live = fn(RTreeEntry{e.mbr, DenseOf(e.id)}, dist);
-        return live;
-      },
-      norm);
-  if (live) emit_added_up_to(std::numeric_limits<double>::infinity());
+bool SnapshotIndex::MinDistCursor::Next(const RTreeEntry** entry,
+                                        double* dist) {
+  if (next_added_ < added_order_.size() &&
+      (base_entry_ == nullptr ||
+       added_order_[next_added_].first <= base_dist_)) {
+    const auto& [d, idx] = added_order_[next_added_++];
+    const RTreeEntry& a = index_.added_[idx];
+    scratch_ = RTreeEntry{a.mbr, index_.DenseOf(a.id)};
+    *entry = &scratch_;
+    *dist = d;
+    return true;
+  }
+  if (base_entry_ == nullptr) return false;
+  scratch_ = RTreeEntry{base_entry_->mbr, index_.DenseOf(base_entry_->id)};
+  *dist = base_dist_;
+  *entry = &scratch_;
+  AdvanceBase();
+  return true;
 }
 
 bool SnapshotIndex::Validate() const {
@@ -136,6 +156,127 @@ bool SnapshotIndex::Validate() const {
     if (!is_live(id)) return false;
   }
   return base_live + added_.size() == live.size();
+}
+
+ShardedSnapshotIndex::ShardedSnapshotIndex(
+    std::vector<SnapshotIndex> shards,
+    std::vector<std::shared_ptr<const std::vector<ObjectId>>> global_by_local,
+    std::shared_ptr<const std::vector<ObjectId>> stable_by_dense)
+    : shards_(std::move(shards)),
+      global_by_local_(std::move(global_by_local)),
+      stable_by_dense_(std::move(stable_by_dense)) {
+  UPDB_CHECK(!shards_.empty());
+  UPDB_CHECK(global_by_local_.size() == shards_.size());
+  UPDB_CHECK(stable_by_dense_ != nullptr);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    UPDB_CHECK(global_by_local_[s] != nullptr &&
+               global_by_local_[s]->size() == shards_[s].entry_count());
+  }
+}
+
+size_t ShardedSnapshotIndex::delta_entries() const {
+  size_t total = 0;
+  for (const SnapshotIndex& shard : shards_) total += shard.delta_entries();
+  return total;
+}
+
+void ShardedSnapshotIndex::ShardForEachIntersecting(
+    size_t s, const Rect& query,
+    const std::function<bool(const RTreeEntry&)>& fn) const {
+  const std::vector<ObjectId>& translate = *global_by_local_[s];
+  shards_[s].ForEachIntersecting(query, [&](const RTreeEntry& e) {
+    return fn(RTreeEntry{e.mbr, translate[e.id]});
+  });
+}
+
+void ShardedSnapshotIndex::ShardScanByMinDist(
+    size_t s, const Rect& query,
+    const std::function<bool(const RTreeEntry&, double)>& fn,
+    const LpNorm& norm) const {
+  const std::vector<ObjectId>& translate = *global_by_local_[s];
+  shards_[s].ScanByMinDist(
+      query,
+      [&](const RTreeEntry& e, double dist) {
+        return fn(RTreeEntry{e.mbr, translate[e.id]}, dist);
+      },
+      norm);
+}
+
+void ShardedSnapshotIndex::ForEachIntersecting(
+    const Rect& query, const std::function<bool(const RTreeEntry&)>& fn)
+    const {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    bool live = true;
+    ShardForEachIntersecting(s, query, [&](const RTreeEntry& e) {
+      live = fn(e);
+      return live;
+    });
+    if (!live) return;
+  }
+}
+
+void ShardedSnapshotIndex::ScanByMinDist(
+    const Rect& query,
+    const std::function<bool(const RTreeEntry&, double)>& fn,
+    const LpNorm& norm) const {
+  if (shards_.size() == 1) {
+    ShardScanByMinDist(0, query, fn, norm);
+    return;
+  }
+  // K-way best-first merge of the shard cursors; ties break toward the
+  // lower shard index so the emission order is deterministic.
+  struct Head {
+    double dist;
+    size_t shard;
+  };
+  const auto later = [](const Head& a, const Head& b) {
+    if (a.dist != b.dist) return a.dist > b.dist;
+    return a.shard > b.shard;
+  };
+  std::vector<std::unique_ptr<SnapshotIndex::MinDistCursor>> cursors;
+  std::vector<const RTreeEntry*> head_entry(shards_.size(), nullptr);
+  std::vector<double> head_dist(shards_.size(), 0.0);
+  std::priority_queue<Head, std::vector<Head>, decltype(later)> heads(later);
+  cursors.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    cursors.push_back(std::make_unique<SnapshotIndex::MinDistCursor>(
+        shards_[s], query, norm));
+    if (cursors[s]->Next(&head_entry[s], &head_dist[s])) {
+      heads.push(Head{head_dist[s], s});
+    }
+  }
+  while (!heads.empty()) {
+    const Head head = heads.top();
+    heads.pop();
+    const size_t s = head.shard;
+    const RTreeEntry out{head_entry[s]->mbr,
+                         (*global_by_local_[s])[head_entry[s]->id]};
+    if (!fn(out, head.dist)) return;
+    if (cursors[s]->Next(&head_entry[s], &head_dist[s])) {
+      heads.push(Head{head_dist[s], s});
+    }
+  }
+}
+
+bool ShardedSnapshotIndex::Validate() const {
+  const std::vector<ObjectId>& global = *stable_by_dense_;
+  size_t total = 0;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (!shards_[s].Validate()) return false;
+    const std::vector<ObjectId>& locals = *shards_[s].stable_by_dense_shared();
+    const std::vector<ObjectId>& translate = *global_by_local_[s];
+    if (translate.size() != locals.size()) return false;
+    for (size_t l = 0; l < locals.size(); ++l) {
+      // Shard routing and translation must agree with the global list.
+      if (locals[l] % shards_.size() != s) return false;
+      if (translate[l] >= global.size() ||
+          global[translate[l]] != locals[l]) {
+        return false;
+      }
+    }
+    total += locals.size();
+  }
+  return total == global.size();
 }
 
 }  // namespace store

@@ -8,12 +8,23 @@
 // grows past a configurable fraction of the base, the store compacts it
 // into a new bulk build (see StoreOptions::compact_delta_fraction).
 //
+// Sharding: the store partitions the stable-id space into `num_shards`
+// shards (stable id i routes to shard i % num_shards), each with its own
+// SnapshotIndex. One snapshot's query surface is the ShardedSnapshotIndex
+// view below: it merges the per-shard indexes in deterministic shard
+// order — concatenation (shard-then-dense order) for ForEachIntersecting,
+// a best-first k-way cursor merge for ScanByMinDist — so callers see one
+// index regardless of the shard count, and a single-shard view behaves
+// exactly like the unsharded index.
+//
 // Id spaces: the base tree and the overlay are keyed by *stable* store
 // ids, which never change across versions — that is what keeps one base
 // tree valid under arbitrary interleavings of inserts and removes. Query
 // callers, however, see the *dense* ids of the snapshot's materialized
-// UncertainDatabase (0..N-1 in ascending stable-id order); every emitted
-// RTreeEntry is translated on the way out.
+// UncertainDatabase (0..N-1 in ascending stable-id order); a shard-level
+// SnapshotIndex emits shard-local dense ids (dense within the shard's
+// live set), and the ShardedSnapshotIndex translates them to the global
+// dense space on the way out.
 
 #ifndef UPDB_STORE_SNAPSHOT_INDEX_H_
 #define UPDB_STORE_SNAPSHOT_INDEX_H_
@@ -26,8 +37,8 @@
 namespace updb {
 namespace store {
 
-/// Immutable index view of one snapshot. Thread-safe for concurrent reads
-/// (all state is const after construction).
+/// Immutable index view of one snapshot shard. Thread-safe for concurrent
+/// reads (all state is const after construction).
 class SnapshotIndex {
  public:
   /// `base` is the bulk-built tree whose entries carry stable ids and
@@ -44,7 +55,7 @@ class SnapshotIndex {
                 std::vector<RTreeEntry> added, std::vector<ObjectId> removed,
                 std::shared_ptr<const std::vector<ObjectId>> stable_by_dense);
 
-  /// Live entries served by this index (== snapshot database size).
+  /// Live entries served by this index (== shard live-set size).
   size_t entry_count() const { return stable_by_dense_->size(); }
 
   /// Overlay size: inserted entries + removed base ids. 0 right after a
@@ -55,22 +66,49 @@ class SnapshotIndex {
   /// The underlying bulk-built tree (stable-id entries); diagnostics.
   const RTree& base() const { return *base_; }
 
-  /// Invokes `fn(entry)` — dense ids — for every live entry whose MBR
-  /// intersects `query`; stops early when `fn` returns false. Overlay
-  /// entries are visited after the base pass.
+  /// Invokes `fn(entry)` — shard-local dense ids — for every live entry
+  /// whose MBR intersects `query`; stops early when `fn` returns false.
+  /// Overlay entries are visited after the base pass.
   void ForEachIntersecting(const Rect& query,
                            const std::function<bool(const RTreeEntry&)>& fn)
       const;
 
   /// Incremental best-first scan over the live entries in ascending
-  /// MinDist(mbr, query) order (dense ids), merging the base tree's scan
-  /// with the sorted overlay; returning false from `fn` stops the scan.
-  /// At equal distance, overlay entries are emitted before base entries —
-  /// callers that need a canonical order must impose their own tie-break
-  /// (the serving layer re-sorts candidates by id).
+  /// MinDist(mbr, query) order (shard-local dense ids), merging the base
+  /// tree's scan with the sorted overlay; returning false from `fn` stops
+  /// the scan. At equal distance, overlay entries are emitted before base
+  /// entries — callers that need a canonical order must impose their own
+  /// tie-break (the serving layer re-sorts candidates by id).
   void ScanByMinDist(const Rect& query,
                      const std::function<bool(const RTreeEntry&, double)>& fn,
                      const LpNorm& norm = LpNorm::Euclidean()) const;
+
+  /// Pull-based form of ScanByMinDist: the same entries in the same
+  /// order, resumable between entries so the sharded view can k-way merge
+  /// shard streams. The index must outlive the cursor.
+  class MinDistCursor {
+   public:
+    MinDistCursor(const SnapshotIndex& index, const Rect& query,
+                  const LpNorm& norm);
+
+    /// Advances to the next live entry (shard-local dense id); returns
+    /// false when exhausted. `*entry` stays valid until the next call.
+    bool Next(const RTreeEntry** entry, double* dist);
+
+   private:
+    /// Pulls the base cursor to its next non-removed entry.
+    void AdvanceBase();
+
+    const SnapshotIndex& index_;
+    RTree::MinDistCursor base_;
+    /// Overlay emission order: (distance, index into added_), sorted by
+    /// (distance, stable id).
+    std::vector<std::pair<double, size_t>> added_order_;
+    size_t next_added_ = 0;
+    const RTreeEntry* base_entry_ = nullptr;  // pending non-removed entry
+    double base_dist_ = 0.0;
+    RTreeEntry scratch_{Rect(), 0};
+  };
 
   /// Debug validation: the base tree validates, overlay vectors are sorted
   /// and duplicate-free, every added id is live, every non-removed base id
@@ -85,9 +123,14 @@ class SnapshotIndex {
   }
   const std::vector<RTreeEntry>& added() const { return added_; }
   const std::vector<ObjectId>& removed() const { return removed_; }
+  const std::shared_ptr<const std::vector<ObjectId>>& stable_by_dense_shared()
+      const {
+    return stable_by_dense_;
+  }
 
  private:
-  /// Dense id of a live stable id (binary search; the id must be live).
+  /// Shard-local dense id of a live stable id (binary search; the id must
+  /// be live).
   ObjectId DenseOf(ObjectId stable) const;
   bool IsRemoved(ObjectId stable) const;
 
@@ -100,6 +143,70 @@ class SnapshotIndex {
   /// database object) don't pay a linear overlay scan for queries that
   /// cannot hit it. Meaningless when added_ is empty.
   Rect added_hull_;
+  std::shared_ptr<const std::vector<ObjectId>> stable_by_dense_;
+};
+
+/// The query surface of one published snapshot: per-shard SnapshotIndexes
+/// merged in deterministic shard order, emitting *global* dense ids.
+/// Immutable and thread-safe for concurrent reads. A one-shard view is a
+/// pass-through over the single SnapshotIndex (the translation is the
+/// identity), so `num_shards = 1` behaves exactly like the unsharded
+/// store.
+class ShardedSnapshotIndex {
+ public:
+  /// `shards[s]` indexes the live objects routed to shard s;
+  /// `global_by_local[s][l]` is the global dense id of shard s's local
+  /// dense id l; `stable_by_dense` is the snapshot's global ascending
+  /// live stable-id list.
+  ShardedSnapshotIndex(
+      std::vector<SnapshotIndex> shards,
+      std::vector<std::shared_ptr<const std::vector<ObjectId>>>
+          global_by_local,
+      std::shared_ptr<const std::vector<ObjectId>> stable_by_dense);
+
+  size_t num_shards() const { return shards_.size(); }
+  const SnapshotIndex& shard(size_t s) const { return shards_[s]; }
+
+  /// Live entries served across all shards (== snapshot database size).
+  size_t entry_count() const { return stable_by_dense_->size(); }
+  /// Total overlay size over all shards; 0 when every shard is compacted.
+  size_t delta_entries() const;
+  bool compacted() const { return delta_entries() == 0; }
+
+  /// Invokes `fn(entry)` — global dense ids — for every live entry whose
+  /// MBR intersects `query`, shard 0..k-1 concatenated (base-then-overlay
+  /// within a shard); stops early when `fn` returns false.
+  void ForEachIntersecting(const Rect& query,
+                           const std::function<bool(const RTreeEntry&)>& fn)
+      const;
+
+  /// Best-first k-way merge of the shard scans in ascending
+  /// MinDist(mbr, query) order (global dense ids); at equal distance the
+  /// lower shard index is emitted first. Returning false from `fn` stops
+  /// the scan.
+  void ScanByMinDist(const Rect& query,
+                     const std::function<bool(const RTreeEntry&, double)>& fn,
+                     const LpNorm& norm = LpNorm::Euclidean()) const;
+
+  /// Single-shard slices of the two scans above, emitting global dense
+  /// ids — the fan-out surface the service's per-shard candidate
+  /// generation uses (reduce in ascending shard order for determinism).
+  void ShardForEachIntersecting(
+      size_t s, const Rect& query,
+      const std::function<bool(const RTreeEntry&)>& fn) const;
+  void ShardScanByMinDist(
+      size_t s, const Rect& query,
+      const std::function<bool(const RTreeEntry&, double)>& fn,
+      const LpNorm& norm = LpNorm::Euclidean()) const;
+
+  /// Debug validation: every shard validates, shard live counts reconcile
+  /// with the global live list, and the local→global translation maps
+  /// every shard-local stable id to itself in the global list.
+  bool Validate() const;
+
+ private:
+  std::vector<SnapshotIndex> shards_;
+  std::vector<std::shared_ptr<const std::vector<ObjectId>>> global_by_local_;
   std::shared_ptr<const std::vector<ObjectId>> stable_by_dense_;
 };
 

@@ -15,7 +15,15 @@ std::vector<store::Mutation> MakeMutationBatch(
                  config.remove_weight >
              0.0);
 
-  std::vector<ObjectId> pool = live_ids;  // ids still targetable
+  std::vector<ObjectId> pool;  // ids still targetable
+  if (config.num_shards > 0) {
+    UPDB_CHECK(config.target_shard < config.num_shards);
+    for (ObjectId id : live_ids) {
+      if (id % config.num_shards == config.target_shard) pool.push_back(id);
+    }
+  } else {
+    pool = live_ids;
+  }
   std::vector<store::Mutation> batch;
   batch.reserve(config.mutations_per_batch);
   for (size_t n = 0; n < config.mutations_per_batch; ++n) {

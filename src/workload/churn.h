@@ -38,6 +38,14 @@ struct ChurnConfig {
   /// Fraction of inserted/updated objects carrying existential
   /// uncertainty; their existence is uniform in [0.5, 1).
   double uncertain_existence_fraction = 0.0;
+  /// Shard-aware targeting (multi-tenant / partitioned churn): when
+  /// num_shards > 0, update/remove targets are drawn only from live ids
+  /// routing to `target_shard` (stable id % num_shards — the store's
+  /// routing). Inserts are unaffected: the store assigns stable ids, so
+  /// an insert's shard is not the generator's to choose. 0 disables the
+  /// filter.
+  size_t num_shards = 0;
+  size_t target_shard = 0;
 };
 
 /// Generates one mutation batch. Deterministic in (live_ids, dim, config,

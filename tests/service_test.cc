@@ -2,17 +2,35 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "queries/queries.h"
 #include "service/trace.h"
+#include "store/object_store.h"
+#include "test_shards.h"
 #include "workload/generators.h"
 
 namespace updb {
 namespace service {
 namespace {
+
+using test_util::TestShards;
+
+/// What the plain-database QueryService constructor does internally, but
+/// honoring TestShards(): wraps `db` into a store sharded N ways and pins
+/// its first published version.
+std::shared_ptr<const store::StoreSnapshot> PinnedSnapshot(
+    const std::shared_ptr<const UncertainDatabase>& db) {
+  store::StoreOptions sopts;
+  sopts.num_shards = TestShards();
+  if (db == nullptr || db->empty()) {
+    return store::VersionedObjectStore(sopts).latest();
+  }
+  return store::VersionedObjectStore(*db, sopts).latest();
+}
 
 std::shared_ptr<const UncertainDatabase> MakeDb(size_t n, double extent,
                                                 uint64_t seed = 7) {
@@ -45,7 +63,7 @@ QueryRequest KnnRequest(std::shared_ptr<const Pdf> q, size_t k, double tau,
 /// Runs one request through a fresh service and returns its response.
 QueryResponse RunOne(std::shared_ptr<const UncertainDatabase> db,
                      QueryRequest req, QueryServiceOptions options = {}) {
-  QueryService service(std::move(db), options);
+  QueryService service(PinnedSnapshot(db), options);
   const StatusOr<uint64_t> ticket = service.Submit(std::move(req));
   EXPECT_TRUE(ticket.ok()) << ticket.status().ToString();
   return service.Take(*ticket);
@@ -158,7 +176,7 @@ TEST(QueryServiceTest, DeterministicAcrossWorkersAndBatchSizes) {
     opts.num_workers = workers;
     opts.batch_size = batch;
     opts.max_queue = trace.size();
-    QueryService service(db, opts);
+    QueryService service(PinnedSnapshot(db), opts);
     const ReplayResult result = ReplayTrace(service, trace, /*qps=*/0.0);
     EXPECT_EQ(result.admitted, trace.size());
     return ResponseDigest(result.responses);
@@ -231,7 +249,7 @@ TEST(QueryServiceTest, RejectsWhenAdmissionQueueFull) {
   QueryServiceOptions opts;
   opts.max_queue = 2;
   opts.start_paused = true;
-  QueryService service(db, opts);
+  QueryService service(PinnedSnapshot(db), opts);
   const auto q = MakeQuery(0.5, 0.5, 0.05);
   const StatusOr<uint64_t> t0 = service.Submit(KnnRequest(q, 1, 0.5, 2));
   const StatusOr<uint64_t> t1 = service.Submit(KnnRequest(q, 1, 0.5, 2));
@@ -252,7 +270,7 @@ TEST(QueryServiceTest, RejectsWhenAdmissionQueueFull) {
 
 TEST(QueryServiceTest, RejectsInvalidRequests) {
   const auto db = MakeDb(10, 0.05);
-  QueryService service(db, {});
+  QueryService service(PinnedSnapshot(db), {});
   QueryRequest no_query;
   EXPECT_EQ(service.Submit(std::move(no_query)).status().code(),
             StatusCode::kInvalidArgument);
@@ -279,7 +297,7 @@ TEST(QueryServiceTest, MetricsSnapshotAndJson) {
   QueryServiceOptions opts;
   opts.num_workers = 2;
   opts.batch_size = 4;
-  QueryService service(db, opts);
+  QueryService service(PinnedSnapshot(db), opts);
   const ReplayResult result = ReplayTrace(service, trace, /*qps=*/0.0);
   EXPECT_EQ(result.responses.size(), trace.size());
 
@@ -305,7 +323,7 @@ TEST(QueryServiceTest, ConcurrentSubmittersAllComplete) {
   QueryServiceOptions opts;
   opts.num_workers = 2;
   opts.batch_size = 2;
-  QueryService service(db, opts);
+  QueryService service(PinnedSnapshot(db), opts);
   constexpr size_t kThreads = 4;
   constexpr size_t kPerThread = 5;
   std::vector<std::vector<uint64_t>> tickets(kThreads);
@@ -349,7 +367,7 @@ TEST(QueryServiceTest, NullAndEmptyDatabasesComeUpGracefully) {
   for (const auto& db :
        {std::shared_ptr<const UncertainDatabase>(),
         std::make_shared<const UncertainDatabase>()}) {
-    QueryService service(db, {});
+    QueryService service(PinnedSnapshot(db), {});
     const StatusOr<uint64_t> ticket =
         service.Submit(KnnRequest(MakeQuery(0.5, 0.5, 0.05), 1, 0.5, 2));
     ASSERT_TRUE(ticket.ok()) << ticket.status().ToString();
@@ -369,7 +387,7 @@ TEST(QueryServiceTest, NullAndEmptyDatabasesComeUpGracefully) {
 
 TEST(QueryServiceTest, SubmitAfterShutdownFails) {
   const auto db = MakeDb(10, 0.05);
-  QueryService service(db, {});
+  QueryService service(PinnedSnapshot(db), {});
   service.Shutdown();
   const StatusOr<uint64_t> ticket =
       service.Submit(KnnRequest(MakeQuery(0.5, 0.5, 0.05), 1, 0.5, 2));

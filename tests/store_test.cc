@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -10,12 +11,21 @@
 #include "queries/queries.h"
 #include "service/query_service.h"
 #include "service/trace.h"
+#include "test_shards.h"
 #include "workload/churn.h"
 #include "workload/generators.h"
 
 namespace updb {
 namespace store {
 namespace {
+
+using test_util::TestShards;
+
+StoreOptions TestOptions() {
+  StoreOptions opts;
+  opts.num_shards = TestShards();
+  return opts;
+}
 
 UncertainDatabase MakeDb(size_t n, double extent, uint64_t seed = 7) {
   workload::SyntheticConfig cfg;
@@ -48,7 +58,7 @@ uint64_t PinnedDigest(std::shared_ptr<const StoreSnapshot> snap,
 }
 
 TEST(VersionedObjectStoreTest, InsertUpdateRemoveAndWal) {
-  VersionedObjectStore s;
+  VersionedObjectStore s(TestOptions());
   EXPECT_EQ(s.version(), 0u);
   EXPECT_EQ(s.live_size(), 0u);
   EXPECT_EQ(s.dim(), 0u);
@@ -98,7 +108,7 @@ TEST(VersionedObjectStoreTest, InsertUpdateRemoveAndWal) {
 }
 
 TEST(VersionedObjectStoreTest, DenseStableTranslation) {
-  VersionedObjectStore s(MakeDb(5, 0.05));
+  VersionedObjectStore s(MakeDb(5, 0.05), TestOptions());
   ASSERT_TRUE(s.Remove(2).ok());
   const auto snap = s.Publish();
   ASSERT_EQ(snap->size(), 4u);
@@ -115,7 +125,8 @@ TEST(VersionedObjectStoreTest, DenseStableTranslation) {
 }
 
 TEST(VersionedObjectStoreTest, SnapshotIsolationUnderMutation) {
-  auto store = std::make_shared<VersionedObjectStore>(MakeDb(25, 0.08));
+  auto store =
+      std::make_shared<VersionedObjectStore>(MakeDb(25, 0.08), TestOptions());
   const auto pinned = store->latest();
   ASSERT_EQ(pinned->version(), 1u);
 
@@ -151,10 +162,10 @@ TEST(VersionedObjectStoreTest, SnapshotIsolationUnderMutation) {
 /// the same mutation history are indistinguishable — identical index
 /// enumeration and bit-identical response payloads at every version.
 TEST(VersionedObjectStoreTest, OverlayMatchesRebuiltIndex) {
-  StoreOptions overlay_opts;
+  StoreOptions overlay_opts = TestOptions();
   overlay_opts.compact_delta_fraction = 10.0;  // never compact
   overlay_opts.snapshot_retention = 16;
-  StoreOptions rebuild_opts;
+  StoreOptions rebuild_opts = TestOptions();
   rebuild_opts.compact_delta_fraction = 0.0;  // rebuild every publish
   rebuild_opts.snapshot_retention = 16;
   const UncertainDatabase seed_db = MakeDb(40, 0.08);
@@ -279,8 +290,192 @@ TEST(VersionedObjectStoreTest, SnapshotRetentionEvictsFifo) {
   // (checked implicitly by SnapshotIsolationUnderMutation).
 }
 
+/// Acceptance: the shard count is invisible in snapshot contents — the
+/// same mutation history served at num_shards ∈ {1, 2, 7} yields the same
+/// dense materialization, identical index enumeration, and bit-identical
+/// response payloads at every version.
+TEST(VersionedObjectStoreTest, ShardedMatchesUnshardedDigests) {
+  constexpr size_t kShardCounts[] = {1, 2, 7};
+  const UncertainDatabase seed_db = MakeDb(40, 0.08);
+  std::vector<std::unique_ptr<VersionedObjectStore>> stores;
+  for (size_t shards : kShardCounts) {
+    StoreOptions opts;
+    opts.num_shards = shards;
+    stores.push_back(
+        std::make_unique<VersionedObjectStore>(seed_db, opts));
+  }
+
+  Rng rng(47);
+  workload::ChurnConfig ccfg;
+  ccfg.mutations_per_batch = 14;
+  ccfg.max_extent = 0.08;
+  ccfg.uncertain_existence_fraction = 0.2;
+  service::TraceConfig tcfg;
+  tcfg.num_requests = 10;
+  tcfg.query_extent = 0.08;
+  tcfg.budget.max_iterations = 3;
+
+  for (int round = 0; round < 4; ++round) {
+    const std::vector<Mutation> batch =
+        workload::MakeMutationBatch(stores[0]->LiveIds(), 2, ccfg, rng);
+    std::vector<std::shared_ptr<const StoreSnapshot>> snaps;
+    for (auto& store : stores) {
+      ASSERT_TRUE(workload::ApplyMutationBatch(*store, batch).ok());
+      snaps.push_back(store->Publish());
+    }
+    tcfg.seed = 300 + static_cast<uint64_t>(round);
+    const std::vector<service::QueryRequest> trace =
+        service::MakeTrace(*snaps[0]->db(), tcfg);
+    const uint64_t reference = PinnedDigest(snaps[0], trace);
+    const Rect everything(Point{-1.0, -1.0}, Point{2.0, 2.0});
+    std::vector<ObjectId> reference_ids;
+    snaps[0]->index().ForEachIntersecting(
+        everything, [&reference_ids](const RTreeEntry& e) {
+          reference_ids.push_back(e.id);
+          return true;
+        });
+    std::sort(reference_ids.begin(), reference_ids.end());
+    for (size_t i = 1; i < snaps.size(); ++i) {
+      ASSERT_EQ(snaps[i]->size(), snaps[0]->size());
+      ASSERT_EQ(snaps[i]->num_shards(), kShardCounts[i]);
+      EXPECT_TRUE(snaps[i]->index().Validate());
+      // Same dense space: identical stable↔dense translation.
+      for (ObjectId d = 0; d < snaps[0]->size(); ++d) {
+        ASSERT_EQ(snaps[i]->StableId(d), snaps[0]->StableId(d));
+      }
+      // Same enumeration set in the dense-id space.
+      std::vector<ObjectId> ids;
+      snaps[i]->index().ForEachIntersecting(everything,
+                                            [&ids](const RTreeEntry& e) {
+                                              ids.push_back(e.id);
+                                              return true;
+                                            });
+      std::sort(ids.begin(), ids.end());
+      ASSERT_EQ(ids, reference_ids);
+      // Bit-identical served payloads.
+      EXPECT_EQ(PinnedDigest(snaps[i], trace), reference)
+          << "round=" << round << " shards=" << kShardCounts[i];
+    }
+  }
+}
+
+TEST(VersionedObjectStoreTest, ShardRoutingAndCounts) {
+  StoreOptions opts;
+  opts.num_shards = 3;
+  VersionedObjectStore s(MakeDb(10, 0.05), opts);
+  ASSERT_TRUE(s.Remove(4).ok());  // shard 1
+  const auto snap = s.Publish();
+  ASSERT_EQ(snap->num_shards(), 3u);
+  // Stable ids 0..9 minus 4: shard 0 holds {0,3,6,9}, shard 1 {1,7},
+  // shard 2 {2,5,8}.
+  EXPECT_EQ(snap->shard_size(0), 4u);
+  EXPECT_EQ(snap->shard_size(1), 2u);
+  EXPECT_EQ(snap->shard_size(2), 3u);
+  const std::vector<size_t> counts = s.ShardLiveCounts();
+  ASSERT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 4u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 3u);
+  // The best-first merge across shards is globally distance-sorted.
+  const Rect probe = Rect::FromPoint(Point{0.5, 0.5});
+  double last = 0.0;
+  size_t seen = 0;
+  snap->index().ScanByMinDist(probe, [&](const RTreeEntry& e, double d) {
+    EXPECT_GE(d, last);
+    EXPECT_LT(e.id, snap->size());
+    last = d;
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, snap->size());
+}
+
+TEST(VersionedObjectStoreTest, PublishStatsSplitDrainFromBuild) {
+  StoreOptions opts = TestOptions();
+  VersionedObjectStore s(MakeDb(30, 0.05), opts);
+  Rng rng(5);
+  workload::ChurnConfig ccfg;
+  ccfg.mutations_per_batch = 12;
+  ccfg.max_extent = 0.05;
+  workload::ApplyMutationBatch(
+      s, workload::MakeMutationBatch(s.LiveIds(), 2, ccfg, rng));
+  PublishStats stats;
+  s.Publish(&stats);
+  EXPECT_EQ(stats.drained_mutations, 12u);
+  EXPECT_GE(stats.drain_ms, 0.0);
+  EXPECT_GE(stats.build_ms, 0.0);
+  const PublishMetrics metrics = s.publish_metrics();
+  EXPECT_EQ(metrics.publishes, 2u);  // seed publish + this one
+  EXPECT_GE(metrics.max_drain_ms, stats.drain_ms);
+  EXPECT_GE(metrics.max_build_ms, stats.build_ms);
+  EXPECT_GE(metrics.total_drain_ms, stats.drain_ms);
+}
+
+/// TSan surface: readers iterate snapshots — including the latest,
+/// re-acquired mid-publish — while a writer mutates and publishes through
+/// the copy-on-write drain/merge/install cycle. Every acquired snapshot
+/// must stay internally consistent (index enumeration matches its
+/// database size) no matter where publishing is in its cycle.
+TEST(VersionedObjectStoreTest, CowPublishOverlapsConcurrentReaders) {
+  StoreOptions opts = TestOptions();
+  auto store =
+      std::make_shared<VersionedObjectStore>(MakeDb(60, 0.05), opts);
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Rng rng(23);
+    workload::ChurnConfig ccfg;
+    ccfg.mutations_per_batch = 10;
+    ccfg.max_extent = 0.05;
+    while (!stop.load()) {
+      workload::ApplyMutationBatch(
+          *store,
+          workload::MakeMutationBatch(store->LiveIds(), 2, ccfg, rng));
+      store->Publish();
+    }
+  });
+
+  constexpr size_t kReaders = 3;
+  std::vector<std::thread> readers;
+  std::atomic<size_t> snapshots_checked{0};
+  for (size_t t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      const Rect everything(Point{-1.0, -1.0}, Point{2.0, 2.0});
+      for (int i = 0; i < 40; ++i) {
+        const auto snap = store->latest();
+        size_t enumerated = 0;
+        snap->index().ForEachIntersecting(everything,
+                                          [&enumerated](const RTreeEntry&) {
+                                            ++enumerated;
+                                            return true;
+                                          });
+        ASSERT_EQ(enumerated, snap->size());
+        ASSERT_EQ(snap->db()->size(), snap->size());
+        double last = 0.0;
+        const Rect probe =
+            Rect::FromPoint(Point{0.3 * static_cast<double>(t), 0.5});
+        snap->index().ScanByMinDist(probe,
+                                    [&last](const RTreeEntry&, double d) {
+                                      EXPECT_GE(d, last);
+                                      last = d;
+                                      return true;
+                                    });
+        // Writer-side live views stay readable mid-publish too.
+        store->LiveIds();
+        store->live_size();
+        ++snapshots_checked;
+      }
+    });
+  }
+  for (std::thread& r : readers) r.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(snapshots_checked.load(), kReaders * 40);
+  EXPECT_GT(store->version(), 1u);
+}
+
 TEST(VersionedObjectStoreTest, EmptyStoreComesUpAndServes) {
-  auto store = std::make_shared<VersionedObjectStore>();
+  auto store = std::make_shared<VersionedObjectStore>(TestOptions());
   service::QueryServiceOptions opts;
   opts.num_workers = 2;
   service::QueryService svc(store, opts);
@@ -320,7 +515,8 @@ TEST(VersionedObjectStoreTest, EmptyStoreComesUpAndServes) {
 }
 
 TEST(VersionedObjectStoreTest, LiveServiceObservesPublishedVersions) {
-  auto store = std::make_shared<VersionedObjectStore>(MakeDb(20, 0.08));
+  auto store =
+      std::make_shared<VersionedObjectStore>(MakeDb(20, 0.08), TestOptions());
   service::QueryServiceOptions opts;
   opts.start_paused = true;
   service::QueryService svc(store, opts);
@@ -349,7 +545,8 @@ TEST(VersionedObjectStoreTest, ExecutionRevalidatesAgainstRoundSnapshot) {
   // An inverse-ranking target valid at admission but outside the snapshot
   // the round serves terminates as kInvalid, not as a crash or a wrong
   // payload.
-  auto store = std::make_shared<VersionedObjectStore>(MakeDb(10, 0.05));
+  auto store =
+      std::make_shared<VersionedObjectStore>(MakeDb(10, 0.05), TestOptions());
   service::QueryServiceOptions opts;
   opts.start_paused = true;
   service::QueryService svc(store, opts);
@@ -380,7 +577,8 @@ TEST(VersionedObjectStoreTest, InverseTargetTracksStableIdAcrossVersions) {
   // round executes shifts every dense id, and the service must still rank
   // the object the client named — never whichever object inherited the
   // dense slot.
-  auto store = std::make_shared<VersionedObjectStore>(MakeDb(10, 0.08));
+  auto store =
+      std::make_shared<VersionedObjectStore>(MakeDb(10, 0.08), TestOptions());
   service::QueryServiceOptions opts;
   opts.start_paused = true;
   service::QueryService svc(store, opts);
@@ -417,7 +615,7 @@ TEST(VersionedObjectStoreTest, InverseTargetTracksStableIdAcrossVersions) {
 /// replays of the same request list pinned to the same snapshot_version
 /// produce bit-identical payloads. The TSan CI job drives this test.
 TEST(VersionedObjectStoreTest, VersionPinnedDeterminismUnderChurn) {
-  StoreOptions opts;
+  StoreOptions opts = TestOptions();
   opts.snapshot_retention = 64;
   auto store =
       std::make_shared<VersionedObjectStore>(MakeDb(30, 0.08), opts);
@@ -463,7 +661,8 @@ TEST(VersionedObjectStoreTest, VersionPinnedDeterminismUnderChurn) {
 /// submissions complete and every response names a version that was
 /// published at some point.
 TEST(VersionedObjectStoreTest, ConcurrentWritersAndLiveReaders) {
-  auto store = std::make_shared<VersionedObjectStore>(MakeDb(20, 0.05));
+  auto store =
+      std::make_shared<VersionedObjectStore>(MakeDb(20, 0.05), TestOptions());
   service::QueryServiceOptions opts;
   opts.num_workers = 2;
   opts.batch_size = 2;
@@ -570,6 +769,25 @@ TEST(ChurnWorkloadTest, EmptyLiveSetFallsBackToInserts) {
   ASSERT_EQ(batch.size(), 5u);
   for (const Mutation& m : batch) {
     EXPECT_EQ(m.kind, Mutation::Kind::kInsert);
+  }
+}
+
+TEST(ChurnWorkloadTest, ShardTargetedBatchesRouteToOneShard) {
+  std::vector<ObjectId> live(20);
+  for (ObjectId id = 0; id < 20; ++id) live[id] = id;
+  workload::ChurnConfig ccfg;
+  ccfg.mutations_per_batch = 30;
+  ccfg.insert_weight = 0.0;  // update/remove only: every target observable
+  ccfg.num_shards = 4;
+  ccfg.target_shard = 2;
+  Rng rng(8);
+  const std::vector<Mutation> batch =
+      workload::MakeMutationBatch(live, 2, ccfg, rng);
+  // The pool is the 5 live ids of shard 2 (2, 6, 10, 14, 18), drawn
+  // without replacement.
+  EXPECT_EQ(batch.size(), 5u);
+  for (const Mutation& m : batch) {
+    EXPECT_EQ(m.id % 4, 2u);
   }
 }
 

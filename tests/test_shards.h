@@ -1,0 +1,26 @@
+// Shared helper of the shard-parameterized suites (store_test,
+// service_test): UPDB_TEST_SHARDS selects the store shard count — the CI
+// sharded re-run drives both suites at 4 — defaulting to 1. Payloads are
+// shard-count-invariant, so the suites assert identical results at every
+// value.
+
+#ifndef UPDB_TESTS_TEST_SHARDS_H_
+#define UPDB_TESTS_TEST_SHARDS_H_
+
+#include <cstddef>
+#include <cstdlib>
+
+namespace updb {
+namespace test_util {
+
+inline size_t TestShards() {
+  const char* env = std::getenv("UPDB_TEST_SHARDS");
+  if (env == nullptr) return 1;
+  const long v = std::atol(env);
+  return v >= 1 ? static_cast<size_t>(v) : 1;
+}
+
+}  // namespace test_util
+}  // namespace updb
+
+#endif  // UPDB_TESTS_TEST_SHARDS_H_

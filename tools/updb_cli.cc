@@ -17,27 +17,34 @@
 //            --qextent=0.004 --seed=7
 //   updb_cli serve --n=400 --extent=0.02 --requests=100 --workers=2
 //            --batch=8 --queue=256 --qps=0 --iterations=6 --seed=1
-//            [--db=data.updb] [--deadline-ms=20 --deadline-fraction=0.5]
+//            [--shards=4] [--db=data.updb]
+//            [--deadline-ms=20 --deadline-fraction=0.5]
 //            [--metrics-out=metrics.json]
 //            [--churn --churn-batches=8 --churn-per-batch=16
 //             --churn-interval-ms=20 --churn-seed=2]
 //   (serve-bench mode: generates — or loads — a database into a versioned
-//    store, builds a mixed query trace from --seed, replays it at --qps
-//    offered load (0 = as fast as possible) against the concurrent
-//    QueryService, and prints a determinism digest of all responses plus
-//    the metrics JSON — to stdout, or to --metrics-out so the digest
-//    stays machine-greppable on its own. With --churn a writer thread
-//    concurrently applies seed-deterministic mutation batches and
-//    publishes new versions while the trace replays; the summary then
-//    reports the span of snapshot versions the responses were served
-//    from.)
+//    store (sharded --shards ways; payloads are shard-count-invariant),
+//    builds a mixed query trace from --seed, replays it at --qps offered
+//    load (0 = as fast as possible) against the concurrent QueryService,
+//    and prints a determinism digest of all responses plus the metrics
+//    JSON — to stdout, or to --metrics-out so the digest stays
+//    machine-greppable on its own. The metrics JSON has two sections:
+//    "service" (the ServiceMetrics snapshot) and "store" (per-shard live
+//    object counts plus publish drain/build latency aggregates). With
+//    --churn a writer thread concurrently applies seed-deterministic
+//    mutation batches and publishes new versions while the trace replays;
+//    the summary then reports the span of snapshot versions the responses
+//    were served from.)
 //   updb_cli mutate --db=data.updb --out=data2.updb --batches=4
 //            --per-batch=32 --insert-w=0.4 --update-w=0.4 --remove-w=0.2
 //            --extent=0.01 --model=uniform --samples=64 --seed=1
-//            [--compact-fraction=0.25]
+//            [--compact-fraction=0.25] [--shards=4]
+//            [--metrics-out=store_metrics.json]
 //   (replays a seed-deterministic mutation trace against the store — one
 //    publish per batch, logging per-publish delta size, compactions and
-//    latency — and writes the final published snapshot to --out.)
+//    drain/build latency — and writes the final published snapshot to
+//    --out; --metrics-out dumps the same per-shard/publish-latency store
+//    JSON as serve.)
 
 #include <cstdio>
 #include <cstring>
@@ -233,6 +240,34 @@ int ThresholdQuery(const Args& args, bool reverse) {
   return 0;
 }
 
+/// Store half of the metrics JSON: per-shard live object counts plus the
+/// drain/build publish-latency aggregates.
+std::string StoreMetricsJson(const store::VersionedObjectStore& s) {
+  const store::PublishMetrics pm = s.publish_metrics();
+  const std::vector<size_t> counts = s.ShardLiveCounts();
+  const double publishes =
+      pm.publishes > 0 ? static_cast<double>(pm.publishes) : 1.0;
+  char buf[256];
+  std::string out = "{";
+  std::snprintf(buf, sizeof(buf), "\"num_shards\": %zu, ",
+                s.num_shards());
+  out += buf;
+  out += "\"shard_live_counts\": [";
+  for (size_t i = 0; i < counts.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%zu", i > 0 ? ", " : "", counts[i]);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "], \"publishes\": %llu, "
+                "\"publish_drain_ms\": {\"mean\": %.6g, \"max\": %.6g}, "
+                "\"publish_build_ms\": {\"mean\": %.6g, \"max\": %.6g}}",
+                static_cast<unsigned long long>(pm.publishes),
+                pm.total_drain_ms / publishes, pm.max_drain_ms,
+                pm.total_build_ms / publishes, pm.max_build_ms);
+  out += buf;
+  return out;
+}
+
 int Serve(const Args& args) {
   // Store seed: load --db when given, otherwise generate a synthetic
   // database in memory from the logged parameters.
@@ -279,15 +314,19 @@ int Serve(const Args& args) {
   const double qps = args.GetDouble("qps", 0.0);
   const bool churn = !args.Get("churn", "").empty();
 
+  store::StoreOptions sopts;
+  sopts.num_shards = std::max<size_t>(args.GetSize("shards", 1), 1);
+
   std::printf("# updb serve — seed=%llu db_objects=%zu requests=%zu "
               "workers=%zu batch=%zu queue=%zu qps=%.3g iterations=%d "
-              "churn=%d\n",
+              "shards=%zu churn=%d\n",
               static_cast<unsigned long long>(seed), db.size(),
               trace.size(), opts.num_workers, opts.batch_size,
               opts.max_queue, qps, tcfg.budget.max_iterations,
-              churn ? 1 : 0);
+              sopts.num_shards, churn ? 1 : 0);
 
-  auto object_store = std::make_shared<store::VersionedObjectStore>(db);
+  auto object_store =
+      std::make_shared<store::VersionedObjectStore>(db, sopts);
   service::QueryService svc(object_store, opts);
 
   // --churn: a writer thread applies seed-deterministic mutation batches
@@ -358,7 +397,10 @@ int Serve(const Args& args) {
   std::printf("# response_digest=%016llx\n",
               static_cast<unsigned long long>(
                   service::ResponseDigest(result.responses)));
-  const std::string metrics_json = svc.metrics().Snapshot().ToJson();
+  const std::string metrics_json = "{\"service\": " +
+                                   svc.metrics().Snapshot().ToJson() +
+                                   ", \"store\": " +
+                                   StoreMetricsJson(*object_store) + "}";
   const std::string metrics_out = args.Get("metrics-out", "");
   if (metrics_out.empty()) {
     std::printf("%s\n", metrics_json.c_str());
@@ -383,6 +425,7 @@ int Mutate(const Args& args) {
   }
   store::StoreOptions sopts;
   sopts.compact_delta_fraction = args.GetDouble("compact-fraction", 0.25);
+  sopts.num_shards = std::max<size_t>(args.GetSize("shards", 1), 1);
   store::VersionedObjectStore object_store(*loaded, sopts);
 
   const uint64_t seed = static_cast<uint64_t>(args.GetSize("seed", 1));
@@ -398,12 +441,13 @@ int Mutate(const Args& args) {
   const size_t dim = std::max<size_t>(object_store.dim(), 1);
 
   std::printf("# updb mutate — seed=%llu objects=%zu batches=%zu "
-              "per_batch=%zu weights=%.2f/%.2f/%.2f compact_fraction=%.2f\n",
+              "per_batch=%zu weights=%.2f/%.2f/%.2f compact_fraction=%.2f "
+              "shards=%zu\n",
               static_cast<unsigned long long>(seed),
               object_store.live_size(), batches, ccfg.mutations_per_batch,
               ccfg.insert_weight, ccfg.update_weight, ccfg.remove_weight,
-              sopts.compact_delta_fraction);
-  std::printf("version,live,delta_entries,compacted,publish_ms\n");
+              sopts.compact_delta_fraction, sopts.num_shards);
+  std::printf("version,live,delta_entries,compacted,drain_ms,build_ms\n");
   Rng rng(seed);
   for (size_t b = 0; b < batches; ++b) {
     const std::vector<store::Mutation> batch = workload::MakeMutationBatch(
@@ -413,12 +457,24 @@ int Mutate(const Args& args) {
       std::fprintf(stderr, "apply failed: %s\n", status.ToString().c_str());
       return 1;
     }
-    Stopwatch publish;
-    const auto snap = object_store.Publish();
-    std::printf("%llu,%zu,%zu,%d,%.3f\n",
+    store::PublishStats stats;
+    const auto snap = object_store.Publish(&stats);
+    std::printf("%llu,%zu,%zu,%d,%.3f,%.3f\n",
                 static_cast<unsigned long long>(snap->version()),
                 snap->size(), snap->index().delta_entries(),
-                snap->index().compacted() ? 1 : 0, publish.ElapsedMillis());
+                snap->index().compacted() ? 1 : 0, stats.drain_ms,
+                stats.build_ms);
+  }
+  const std::string metrics_out = args.Get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    std::FILE* f = std::fopen(metrics_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s\n", StoreMetricsJson(object_store).c_str());
+    std::fclose(f);
+    std::printf("# metrics written to %s\n", metrics_out.c_str());
   }
 
   // Never default to the input path — a forgotten --out must not clobber
