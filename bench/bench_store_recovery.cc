@@ -1,0 +1,322 @@
+// Durability benchmark: (a) publish latency of the versioned object
+// store under churn, comparing the in-memory store with durable stores at
+// each WAL fsync policy (never / every_publish / every_batch) — the cost
+// of crash safety in the publish path; (b) recovery time as a function of
+// the WAL tail length behind the newest checkpoint — replaying a longer
+// tail must scale linearly, and the checkpoint must keep restart time
+// bounded regardless of total history; (c) a digest oracle: a durable
+// store is run, "crashed" (abandoned), recovered from disk, and the
+// recovered latest snapshot must serve payloads bit-identical to the
+// original's — any mismatch exits 2.
+//
+// CSV to stdout; pass a path argument to also write the summary JSON (the
+// format committed as BENCH_store_recovery.json). UPDB_BENCH_SCALE scales
+// database and churn sizes.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "updb.h"
+
+namespace {
+
+using namespace updb;
+
+std::string FreshWalDir(const std::string& tag) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("updb_bench_recovery_" + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+uint64_t WalBytes(const std::string& dir) {
+  uint64_t total = 0;
+  for (const auto& it : std::filesystem::directory_iterator(dir)) {
+    size_t shard = 0;
+    if (store::ParseWalShardFileName(it.path().filename().string(), &shard)) {
+      total += static_cast<uint64_t>(std::filesystem::file_size(it.path()));
+    }
+  }
+  return total;
+}
+
+struct PolicyRow {
+  std::string mode;
+  size_t publishes = 0;
+  double mean_publish_ms = 0.0;
+  double max_publish_ms = 0.0;
+  double wall_seconds = 0.0;
+  uint64_t wal_bytes = 0;
+};
+
+/// Churns a store (in-memory when `wal_dir` is empty, durable otherwise)
+/// and reports the publish-latency series.
+PolicyRow RunPolicy(const UncertainDatabase& db, const std::string& mode,
+                    const std::string& wal_dir, store::FsyncPolicy fsync,
+                    size_t batches, size_t per_batch) {
+  store::StoreOptions opts;
+  opts.num_shards = 2;
+  std::unique_ptr<store::VersionedObjectStore> owned;
+  if (!wal_dir.empty()) {
+    opts.durability.wal_dir = wal_dir;
+    opts.durability.fsync = fsync;
+    opts.durability.checkpoint_every = 8;
+    StatusOr<std::unique_ptr<store::VersionedObjectStore>> opened =
+        store::VersionedObjectStore::Open(db, opts);
+    UPDB_CHECK(opened.ok());
+    owned = std::move(opened).value();
+  } else {
+    owned = std::make_unique<store::VersionedObjectStore>(db, opts);
+  }
+  store::VersionedObjectStore& s = *owned;
+
+  Rng rng(77);
+  workload::ChurnConfig ccfg;
+  ccfg.mutations_per_batch = per_batch;
+  ccfg.max_extent = 0.01;
+  PolicyRow row;
+  row.mode = mode;
+  Stopwatch wall;
+  double total_ms = 0.0;
+  for (size_t b = 0; b < batches; ++b) {
+    UPDB_CHECK(workload::ApplyMutationBatch(
+                   s, workload::MakeMutationBatch(s.LiveIds(), 2, ccfg, rng))
+                   .ok());
+    Stopwatch timer;
+    s.Publish();
+    const double ms = timer.ElapsedMillis();
+    total_ms += ms;
+    row.max_publish_ms = std::max(row.max_publish_ms, ms);
+    ++row.publishes;
+  }
+  row.wall_seconds = wall.ElapsedSeconds();
+  row.mean_publish_ms = total_ms / static_cast<double>(row.publishes);
+  if (!wal_dir.empty()) {
+    UPDB_CHECK(s.wal_status().ok());
+    row.wal_bytes = WalBytes(wal_dir);
+  }
+  return row;
+}
+
+uint64_t SnapshotDigest(std::shared_ptr<const store::StoreSnapshot> snap) {
+  service::TraceConfig tcfg;
+  tcfg.num_requests = bench::Scaled(60);
+  tcfg.seed = 29;
+  tcfg.query_extent = 0.03;
+  tcfg.k_max = 5;
+  tcfg.budget.max_iterations = 3;
+  const std::vector<service::QueryRequest> trace =
+      service::MakeTrace(*snap->db(), tcfg);
+  service::QueryServiceOptions opts;
+  opts.num_workers = 2;
+  opts.batch_size = 8;
+  opts.max_queue = trace.size();
+  service::QueryService svc(std::move(snap), opts);
+  return service::ResponseDigest(
+      service::ReplayTrace(svc, trace, /*qps=*/0.0).responses);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::PrintBanner("bench_store_recovery",
+                     "durable store: fsync-policy cost + recovery scaling");
+
+  workload::SyntheticConfig cfg;
+  cfg.num_objects = bench::Scaled(2000);
+  cfg.max_extent = 0.01;
+  cfg.seed = 47;
+  const UncertainDatabase db = workload::MakeSyntheticDatabase(cfg);
+  const size_t batches = bench::Scaled(24);
+  const size_t per_batch = 32;
+
+  // ---------------------------------------------------------------------
+  // Part A — publish latency per fsync policy, against the in-memory
+  // store as baseline.
+  std::vector<PolicyRow> policy_rows;
+  policy_rows.push_back(RunPolicy(db, "in_memory", "",
+                                  store::FsyncPolicy::kNever, batches,
+                                  per_batch));
+  for (const store::FsyncPolicy policy :
+       {store::FsyncPolicy::kNever, store::FsyncPolicy::kEveryPublish,
+        store::FsyncPolicy::kEveryBatch}) {
+    const std::string mode =
+        std::string("wal_") + store::FsyncPolicyName(policy);
+    policy_rows.push_back(RunPolicy(db, mode, FreshWalDir(mode), policy,
+                                    batches, per_batch));
+  }
+  std::printf("series,mode,publishes,mean_publish_ms,max_publish_ms,"
+              "wall_seconds,wal_bytes\n");
+  for (const PolicyRow& r : policy_rows) {
+    std::printf("fsync_policy,%s,%zu,%.4f,%.4f,%.3f,%llu\n", r.mode.c_str(),
+                r.publishes, r.mean_publish_ms, r.max_publish_ms,
+                r.wall_seconds,
+                static_cast<unsigned long long>(r.wal_bytes));
+  }
+
+  // ---------------------------------------------------------------------
+  // Part B — recovery time vs WAL tail length. checkpoint_every is set
+  // beyond the run length, so the whole history after the attach-time
+  // checkpoint is tail replay; the tail grows with the batch count.
+  struct RecoveryRow {
+    size_t batches = 0;
+    uint64_t wal_bytes = 0;
+    uint64_t replayed_records = 0;
+    double recover_ms = 0.0;
+    uint64_t recovered_version = 0;
+  };
+  std::vector<RecoveryRow> recovery_rows;
+  std::printf("series,batches,wal_bytes,replayed_records,recover_ms,"
+              "recovered_version\n");
+  for (const size_t tail_batches :
+       {bench::Scaled(4), bench::Scaled(12), bench::Scaled(36)}) {
+    const std::string dir =
+        FreshWalDir("tail_" + std::to_string(tail_batches));
+    store::StoreOptions opts;
+    opts.num_shards = 2;
+    opts.durability.wal_dir = dir;
+    opts.durability.fsync = store::FsyncPolicy::kNever;
+    opts.durability.checkpoint_every = tail_batches + 1;
+    {
+      StatusOr<std::unique_ptr<store::VersionedObjectStore>> victim =
+          store::VersionedObjectStore::Open(db, opts);
+      UPDB_CHECK(victim.ok());
+      Rng rng(78);
+      workload::ChurnConfig ccfg;
+      ccfg.mutations_per_batch = per_batch;
+      ccfg.max_extent = 0.01;
+      for (size_t b = 0; b < tail_batches; ++b) {
+        UPDB_CHECK(workload::ApplyMutationBatch(
+                       **victim, workload::MakeMutationBatch(
+                                     (*victim)->LiveIds(), 2, ccfg, rng))
+                       .ok());
+        (*victim)->Publish();
+      }
+      UPDB_CHECK((*victim)->wal_status().ok());
+    }  // crash
+    store::RecoveryReport report;
+    Stopwatch timer;
+    StatusOr<std::unique_ptr<store::VersionedObjectStore>> recovered =
+        store::RecoverStore(dir, store::StoreOptions{}, &report);
+    const double recover_ms = timer.ElapsedMillis();
+    UPDB_CHECK(recovered.ok());
+    RecoveryRow row;
+    row.batches = tail_batches;
+    row.wal_bytes = WalBytes(dir);
+    row.replayed_records =
+        report.replayed_mutations + report.replayed_publishes;
+    row.recover_ms = recover_ms;
+    row.recovered_version = report.recovered_version;
+    recovery_rows.push_back(row);
+    std::printf("recovery_scaling,%zu,%llu,%llu,%.3f,%llu\n", row.batches,
+                static_cast<unsigned long long>(row.wal_bytes),
+                static_cast<unsigned long long>(row.replayed_records),
+                row.recover_ms,
+                static_cast<unsigned long long>(row.recovered_version));
+    std::filesystem::remove_all(dir);
+  }
+
+  // ---------------------------------------------------------------------
+  // Oracle — the recovered store serves payloads bit-identical to the
+  // crashed original's.
+  bool digests_equal = false;
+  {
+    const std::string dir = FreshWalDir("oracle");
+    store::StoreOptions opts;
+    opts.num_shards = 2;
+    opts.durability.wal_dir = dir;
+    opts.durability.fsync = store::FsyncPolicy::kEveryPublish;
+    opts.durability.checkpoint_every = 3;
+    uint64_t original_digest = 0;
+    uint64_t original_version = 0;
+    {
+      StatusOr<std::unique_ptr<store::VersionedObjectStore>> victim =
+          store::VersionedObjectStore::Open(db, opts);
+      UPDB_CHECK(victim.ok());
+      Rng rng(79);
+      workload::ChurnConfig ccfg;
+      ccfg.mutations_per_batch = per_batch;
+      ccfg.max_extent = 0.01;
+      for (size_t b = 0; b < 7; ++b) {
+        UPDB_CHECK(workload::ApplyMutationBatch(
+                       **victim, workload::MakeMutationBatch(
+                                     (*victim)->LiveIds(), 2, ccfg, rng))
+                       .ok());
+        (*victim)->Publish();
+      }
+      original_digest = SnapshotDigest((*victim)->latest());
+      original_version = (*victim)->version();
+    }  // crash
+    store::RecoveryReport report;
+    StatusOr<std::unique_ptr<store::VersionedObjectStore>> recovered =
+        store::RecoverStore(dir, store::StoreOptions{}, &report);
+    UPDB_CHECK(recovered.ok());
+    digests_equal = !report.data_loss &&
+                    (*recovered)->version() == original_version &&
+                    SnapshotDigest((*recovered)->latest()) == original_digest;
+    std::printf("series,recovered_vs_original_digest\nrecovery_oracle,%s\n",
+                digests_equal ? "equal" : "MISMATCH");
+    std::filesystem::remove_all(dir);
+  }
+
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_store_recovery\",\n");
+    std::fprintf(f,
+                 "  \"note\": \"fsync_policy series: %zu-object database, "
+                 "%zu publishes of %zu-mutation batches on a 2-shard "
+                 "store; in_memory is the non-durable baseline, the wal_* "
+                 "rows append every mutation to per-shard CRC32C WAL "
+                 "segments and differ only in flush policy (never = "
+                 "OS-buffered, every_publish = fsync dirty segments per "
+                 "publish, every_batch = additionally fsync per mutation "
+                 "batch; checkpoints every 8 publishes). recovery_scaling "
+                 "re-opens crashed stores whose entire history is WAL "
+                 "tail (no covering checkpoint): recover_ms must grow "
+                 "linearly in replayed_records. Oracle: the recovered "
+                 "latest snapshot serves a query trace digest-identical "
+                 "to the crashed original's (exit 2 on mismatch).\",\n",
+                 db.size(), batches, per_batch);
+    std::fprintf(f, "  \"db_objects\": %zu,\n", db.size());
+    std::fprintf(f, "  \"recovered_matches_original\": %s,\n",
+                 digests_equal ? "true" : "false");
+    std::fprintf(f, "  \"fsync_policies\": [\n");
+    for (size_t i = 0; i < policy_rows.size(); ++i) {
+      const PolicyRow& r = policy_rows[i];
+      std::fprintf(f,
+                   "    {\"mode\": \"%s\", \"publishes\": %zu, "
+                   "\"mean_publish_ms\": %.4f, \"max_publish_ms\": %.4f, "
+                   "\"wall_seconds\": %.3f, \"wal_bytes\": %llu}%s\n",
+                   r.mode.c_str(), r.publishes, r.mean_publish_ms,
+                   r.max_publish_ms, r.wall_seconds,
+                   static_cast<unsigned long long>(r.wal_bytes),
+                   i + 1 < policy_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n  \"recovery_scaling\": [\n");
+    for (size_t i = 0; i < recovery_rows.size(); ++i) {
+      const RecoveryRow& r = recovery_rows[i];
+      std::fprintf(f,
+                   "    {\"batches\": %zu, \"wal_bytes\": %llu, "
+                   "\"replayed_records\": %llu, \"recover_ms\": %.3f, "
+                   "\"recovered_version\": %llu}%s\n",
+                   r.batches, static_cast<unsigned long long>(r.wal_bytes),
+                   static_cast<unsigned long long>(r.replayed_records),
+                   r.recover_ms,
+                   static_cast<unsigned long long>(r.recovered_version),
+                   i + 1 < recovery_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+  return digests_equal ? 0 : 2;
+}

@@ -23,6 +23,15 @@ enum class StatusCode {
   kUnimplemented = 5,
   kInternal = 6,
   kResourceExhausted = 7,
+  /// Unrecoverable loss or corruption of persisted data (torn or
+  /// CRC-corrupt WAL tails, checkpoint files that fail validation). The
+  /// operation may still have produced a usable partial result — recovery
+  /// reports what was dropped instead of aborting.
+  kDataLoss = 8,
+  /// A required resource (file, directory, device) cannot be reached right
+  /// now; retrying or fixing the environment may succeed where the same
+  /// call just failed.
+  kUnavailable = 9,
 };
 
 /// Returns a stable human-readable name for a StatusCode ("OK",
@@ -65,6 +74,12 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,93 @@
+// Copyright 2026 The updb Authors.
+// Snapshot checkpoints for the durable store: a checkpoint file captures
+// one published version (stable ids + objects + id/sequence watermarks)
+// so recovery can load it and replay only the WAL tail behind it.
+//
+// File format (text; doubles %.17g round-trip exact via io/dataset_io):
+//
+//   # updb-checkpoint v1
+//   version=<V> next_id=<I> next_sequence=<S> dim=<D> entries=<N>
+//   <stable_id>,<object line>                      (N times, ascending id)
+//   # crc32c=<8 hex digits over everything above>
+//
+// Installation is atomic: the content is written to `<name>.tmp`,
+// fsynced, renamed over the final `checkpoint-<version>.updbck` name, and
+// the directory is fsynced — a crash mid-checkpoint leaves either the
+// previous checkpoint set intact (plus a stale .tmp recovery ignores) or
+// the new file complete. Loading validates the trailer CRC and every
+// entry; a file that fails validation is skipped with a DataLoss warning
+// and the next older checkpoint is tried instead of aborting.
+
+#ifndef UPDB_STORE_CHECKPOINT_H_
+#define UPDB_STORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "uncertain/object.h"
+#include "uncertain/pdf.h"
+
+namespace updb {
+namespace store {
+
+/// One live object of a checkpointed version.
+struct CheckpointEntry {
+  ObjectId stable_id = kInvalidObjectId;
+  std::shared_ptr<const Pdf> pdf;
+  double existence = 1.0;
+};
+
+/// The full state a checkpoint captures: the live set of one published
+/// version plus the watermarks recovery needs to continue the id and
+/// sequence spaces without reuse.
+struct CheckpointState {
+  /// Published version this checkpoint materializes.
+  uint64_t version = 0;
+  /// Next stable id the store would assign.
+  ObjectId next_id = 0;
+  /// First WAL sequence number NOT covered by this checkpoint — recovery
+  /// replays records with sequence >= next_sequence.
+  uint64_t next_sequence = 1;
+  /// Store dimensionality (0 before the first insert).
+  size_t dim = 0;
+  /// Live objects in ascending stable-id order.
+  std::vector<CheckpointEntry> entries;
+};
+
+/// "checkpoint-<version, zero padded>.updbck" — padded so lexical order
+/// equals version order in directory listings.
+std::string CheckpointFileName(uint64_t version);
+
+/// Writes `state` into `dir` atomically (tmp + fsync + rename + dir
+/// fsync). Unavailable on IO failure, Unimplemented when an entry's PDF
+/// type has no serialization.
+Status WriteCheckpoint(const std::string& dir, const CheckpointState& state);
+
+/// A successfully loaded checkpoint plus any older/corrupt siblings that
+/// were skipped on the way.
+struct LoadedCheckpoint {
+  CheckpointState state;
+  std::string path;
+  /// Human-readable notes about checkpoint files that failed validation.
+  std::vector<std::string> warnings;
+};
+
+/// Loads the newest valid checkpoint in `dir`, trying older ones when the
+/// newest fails validation. Fails with:
+///  * Unavailable — `dir` cannot be read;
+///  * NotFound    — no checkpoint files exist;
+///  * DataLoss    — checkpoint files exist but none validates (the
+///                  warnings describing each failure are in the message).
+StatusOr<LoadedCheckpoint> LoadNewestCheckpoint(const std::string& dir);
+
+/// Deletes all but the newest `keep` checkpoint files (and any stale
+/// .tmp leftovers). Best-effort: returns the first error but keeps going.
+Status PruneCheckpoints(const std::string& dir, size_t keep);
+
+}  // namespace store
+}  // namespace updb
+
+#endif  // UPDB_STORE_CHECKPOINT_H_

@@ -1,9 +1,11 @@
 #include "store/object_store.h"
 
 #include <algorithm>
+#include <filesystem>
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "store/checkpoint.h"
 
 namespace updb {
 namespace store {
@@ -16,6 +18,45 @@ const LiveEntry* FindEntry(const LiveTable& table, ObjectId id) {
       table.begin(), table.end(), id,
       [](const LiveEntry& e, ObjectId v) { return e.id < v; });
   return it != table.end() && it->id == id ? &*it : nullptr;
+}
+
+/// On-disk record kind of a mutation kind.
+WalRecordKind WalKindOf(Mutation::Kind kind) {
+  switch (kind) {
+    case Mutation::Kind::kInsert:
+      return WalRecordKind::kInsert;
+    case Mutation::Kind::kUpdate:
+      return WalRecordKind::kUpdate;
+    case Mutation::Kind::kRemove:
+      return WalRecordKind::kRemove;
+  }
+  return WalRecordKind::kInsert;
+}
+
+/// The published live set of `snap` as checkpoint entries (ascending
+/// stable id — the dense-id order).
+std::vector<CheckpointEntry> CheckpointEntriesOf(const StoreSnapshot& snap) {
+  std::vector<CheckpointEntry> entries;
+  entries.reserve(snap.size());
+  const std::vector<UncertainObject>& objects = snap.db()->objects();
+  for (size_t dense = 0; dense < snap.size(); ++dense) {
+    const UncertainObject& o = objects[dense];
+    entries.push_back(
+        CheckpointEntry{snap.StableId(static_cast<ObjectId>(dense)),
+                        o.shared_pdf(), o.existence()});
+  }
+  return entries;
+}
+
+/// True when `dir` already holds WAL segments or checkpoints.
+bool DirHoldsStoreData(const std::string& dir) {
+  std::error_code ec;
+  for (const auto& it : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = it.path().filename().string();
+    if (ParseWalShardFileName(name, nullptr)) return true;
+    if (name.rfind("checkpoint-", 0) == 0) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -162,15 +203,38 @@ StatusOr<ObjectId> VersionedObjectStore::ApplyLocked(
       }
       break;
   }
+  if (mutation.kind == Mutation::Kind::kInsert) target = next_id_;
+
+  // Durable stores write ahead to the target shard's WAL segment before
+  // any in-memory state changes; a failed (or unencodable) append rejects
+  // the mutation with no side effects, and IO failures additionally stop
+  // the store via the sticky wal_status_.
+  if (durable_) {
+    WalRecord wal_record;
+    wal_record.kind = WalKindOf(mutation.kind);
+    wal_record.sequence = next_sequence_;
+    wal_record.id = target;
+    wal_record.existence = mutation.existence;
+    wal_record.pdf = mutation.pdf;
+    UPDB_RETURN_IF_ERROR(WalAppendLocked(wal_record));
+  }
+
   if (mutation.kind == Mutation::Kind::kInsert) {
-    target = next_id_++;
+    ++next_id_;
     if (dim_ == 0) dim_ = mutation.pdf->bounds().dim();
   }
+  CommitMutationLocked(mutation, target, next_sequence_++);
+  return target;
+}
+
+void VersionedObjectStore::CommitMutationLocked(const Mutation& mutation,
+                                                ObjectId target,
+                                                uint64_t sequence) {
   Shard& shard = shards_[ShardOf(target)];
 
   // Write-ahead: log first, then apply to the shard's live delta.
   LogRecord record;
-  record.sequence = next_sequence_++;
+  record.sequence = sequence;
   record.mutation = mutation;
   record.mutation.id = target;
   record.assigned_id = target;
@@ -194,7 +258,19 @@ StatusOr<ObjectId> VersionedObjectStore::ApplyLocked(
       --shard.live_count;
       break;
   }
-  return target;
+}
+
+Status VersionedObjectStore::WalAppendLocked(const WalRecord& record) {
+  UPDB_DCHECK(durable_);
+  if (!wal_status_.ok()) {
+    return Status::Unavailable("durable store is failed: " +
+                               wal_status_.ToString());
+  }
+  const size_t shard =
+      record.kind == WalRecordKind::kPublish ? 0 : ShardOf(record.id);
+  const Status appended = wal_writers_[shard]->Append(record);
+  if (!appended.ok()) wal_status_ = appended;
+  return appended;
 }
 
 std::shared_ptr<const StoreSnapshot> VersionedObjectStore::Publish(
@@ -210,6 +286,10 @@ std::shared_ptr<const StoreSnapshot> VersionedObjectStore::Publish(
   std::vector<std::vector<LogRecord>> windows(num_shards);
   std::shared_ptr<const StoreSnapshot> prev;
   Version version = 0;
+  bool checkpoint_due = false;
+  ObjectId ck_next_id = 0;
+  uint64_t ck_next_sequence = 1;
+  size_t ck_dim = 0;
   {
     // Drain: O(drained mutations + num_shards) — pointer grabs and moves
     // only, never a live-table copy. This is the only step writers wait
@@ -233,6 +313,26 @@ std::shared_ptr<const StoreSnapshot> VersionedObjectStore::Publish(
     }
     prev = latest_;
     version = next_version_++;
+    if (durable_) {
+      // The version-boundary marker consumes the next global sequence
+      // number *inside* the drain, so every record drained into this
+      // version has a smaller sequence and every still-pending one a
+      // larger — recovery replays exactly this boundary. On append
+      // failure the sequence is not consumed (no permanent gap); the
+      // sticky wal_status_ stops further durable mutations anyway.
+      WalRecord marker;
+      marker.kind = WalRecordKind::kPublish;
+      marker.sequence = next_sequence_;
+      marker.version = version;
+      if (WalAppendLocked(marker).ok()) ++next_sequence_;
+      if (++publishes_since_checkpoint_ >= durability_.checkpoint_every) {
+        checkpoint_due = true;
+        publishes_since_checkpoint_ = 0;
+      }
+      ck_next_id = next_id_;
+      ck_next_sequence = next_sequence_;
+      ck_dim = dim_;
+    }
     local_stats.drain_ms = drain_timer.ElapsedMillis();
   }
 
@@ -366,10 +466,25 @@ std::shared_ptr<const StoreSnapshot> VersionedObjectStore::Publish(
       stable_by_dense));
   local_stats.build_ms = build_timer.ElapsedMillis();
 
+  // Under every_publish/every_batch, force the drained records to stable
+  // storage *before* the snapshot becomes visible: a version a reader can
+  // observe is a version recovery can rebuild. Runs outside mu_ —
+  // concurrent appends belong to later versions and syncing them early is
+  // harmless.
+  Status sync_error;
+  if (durable_ && durability_.fsync != FsyncPolicy::kNever) {
+    for (const auto& writer : wal_writers_) {
+      if (!writer->dirty()) continue;
+      const Status synced = writer->Sync();
+      if (!synced.ok() && sync_error.ok()) sync_error = synced;
+    }
+  }
+
   {
     // Install: swap in the merged tables and the snapshot — O(num_shards)
     // pointer stores.
     std::lock_guard<std::mutex> lock(mu_);
+    if (!sync_error.ok() && wal_status_.ok()) wal_status_ = sync_error;
     for (size_t s = 0; s < num_shards; ++s) {
       shards_[s].table = merged[s];
       shards_[s].draining = nullptr;
@@ -387,8 +502,286 @@ std::shared_ptr<const StoreSnapshot> VersionedObjectStore::Publish(
     publish_metrics_.max_build_ms =
         std::max(publish_metrics_.max_build_ms, local_stats.build_ms);
   }
+
+  if (checkpoint_due) {
+    // Checkpoint the just-installed version (outside mu_, still under
+    // publish_mu_). Always fsynced + atomically renamed regardless of the
+    // WAL fsync policy; a failure is sticky but the in-memory snapshot
+    // stays valid.
+    CheckpointState ck;
+    ck.version = version;
+    ck.next_id = ck_next_id;
+    ck.next_sequence = ck_next_sequence;
+    ck.dim = ck_dim;
+    ck.entries = CheckpointEntriesOf(*snap);
+    Status ck_status = WriteCheckpoint(durability_.wal_dir, ck);
+    if (ck_status.ok()) {
+      ck_status =
+          PruneCheckpoints(durability_.wal_dir, durability_.checkpoint_keep);
+    }
+    if (!ck_status.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (wal_status_.ok()) wal_status_ = ck_status;
+    }
+  }
+
   if (stats != nullptr) *stats = local_stats;
   return snap;
+}
+
+StatusOr<std::unique_ptr<VersionedObjectStore>> VersionedObjectStore::Open(
+    StoreOptions options) {
+  const std::string& dir = options.durability.wal_dir;
+  if (dir.empty()) {
+    return Status::InvalidArgument("Open() requires durability.wal_dir");
+  }
+  if (DirHoldsStoreData(dir)) {
+    return Status::FailedPrecondition(
+        "'" + dir + "' already holds WAL segments or checkpoints; recover "
+        "them with store::RecoverStore instead of overwriting");
+  }
+  auto store = std::make_unique<VersionedObjectStore>(options);
+  UPDB_RETURN_IF_ERROR(store->AttachDurability(options.durability));
+  return store;
+}
+
+StatusOr<std::unique_ptr<VersionedObjectStore>> VersionedObjectStore::Open(
+    const UncertainDatabase& db, StoreOptions options) {
+  const std::string& dir = options.durability.wal_dir;
+  if (dir.empty()) {
+    return Status::InvalidArgument("Open() requires durability.wal_dir");
+  }
+  if (DirHoldsStoreData(dir)) {
+    return Status::FailedPrecondition(
+        "'" + dir + "' already holds WAL segments or checkpoints; recover "
+        "them with store::RecoverStore instead of overwriting");
+  }
+  auto store = std::make_unique<VersionedObjectStore>(db, options);
+  UPDB_RETURN_IF_ERROR(store->AttachDurability(options.durability));
+  return store;
+}
+
+Status VersionedObjectStore::AttachDurability(
+    const DurabilityOptions& durability) {
+  // publish_mu_ keeps any concurrent Publish out of the capture below;
+  // the caller guarantees no concurrent mutators (see header).
+  std::lock_guard<std::mutex> publish_lock(publish_mu_);
+  if (durable_) {
+    return Status::FailedPrecondition("durability already attached");
+  }
+  if (durability.wal_dir.empty()) {
+    return Status::InvalidArgument("durability requires a wal_dir");
+  }
+  if (durability.checkpoint_every == 0 || durability.checkpoint_keep == 0) {
+    return Status::InvalidArgument(
+        "checkpoint_every and checkpoint_keep must be >= 1");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(durability.wal_dir, ec);
+  if (ec) {
+    return Status::Unavailable("cannot create WAL directory '" +
+                               durability.wal_dir + "': " + ec.message());
+  }
+
+  // Capture the published state and the still-pending windows. The
+  // checkpoint's next_sequence points at the first pending record, so a
+  // crash at any point below replays the pending tail from whichever
+  // segment set (old or fresh) survives.
+  CheckpointState ck;
+  std::vector<LogRecord> pending;
+  std::shared_ptr<const StoreSnapshot> snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap = latest_;
+    ck.version = snap->version();
+    ck.next_id = next_id_;
+    ck.dim = dim_;
+    for (const Shard& shard : shards_) {
+      pending.insert(pending.end(), shard.wal.begin(), shard.wal.end());
+    }
+    std::sort(pending.begin(), pending.end(),
+              [](const LogRecord& a, const LogRecord& b) {
+                return a.sequence < b.sequence;
+              });
+    ck.next_sequence =
+        pending.empty() ? next_sequence_ : pending.front().sequence;
+  }
+  ck.entries = CheckpointEntriesOf(*snap);
+  UPDB_RETURN_IF_ERROR(WriteCheckpoint(durability.wal_dir, ck));
+
+  // Rebuild the WAL segment set from scratch: delete every stale segment
+  // (including those of a different shard count — replay routes by
+  // sequence, but leftovers would shadow fresh appends), open fresh ones,
+  // re-append the pending mutations, and sync.
+  for (const auto& it :
+       std::filesystem::directory_iterator(durability.wal_dir, ec)) {
+    if (ParseWalShardFileName(it.path().filename().string(), nullptr)) {
+      std::error_code rm_ec;
+      std::filesystem::remove(it.path(), rm_ec);
+      if (rm_ec) {
+        return Status::Unavailable("cannot remove stale WAL segment '" +
+                                   it.path().string() + "'");
+      }
+    }
+  }
+  std::vector<std::unique_ptr<WalShardWriter>> writers;
+  writers.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    StatusOr<std::unique_ptr<WalShardWriter>> writer = WalShardWriter::Open(
+        durability.wal_dir + "/" + WalShardFileName(s), /*truncate=*/true);
+    if (!writer.ok()) return writer.status();
+    writers.push_back(std::move(writer).value());
+  }
+  for (const LogRecord& r : pending) {
+    WalRecord wal_record;
+    wal_record.kind = WalKindOf(r.mutation.kind);
+    wal_record.sequence = r.sequence;
+    wal_record.id = r.assigned_id;
+    wal_record.existence = r.mutation.existence;
+    wal_record.pdf = r.mutation.pdf;
+    UPDB_RETURN_IF_ERROR(
+        writers[ShardOf(r.assigned_id)]->Append(wal_record));
+  }
+  for (const auto& writer : writers) {
+    UPDB_RETURN_IF_ERROR(writer->Sync());
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    durable_ = true;
+    durability_ = durability;
+    wal_writers_ = std::move(writers);
+    wal_status_ = Status::OK();
+    publishes_since_checkpoint_ = 0;
+  }
+  // Best-effort: stale checkpoints never affect correctness.
+  (void)PruneCheckpoints(durability.wal_dir, durability.checkpoint_keep);
+  return Status::OK();
+}
+
+Status VersionedObjectStore::wal_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wal_status_;
+}
+
+Status VersionedObjectStore::SyncWal() {
+  if (!durable_) return Status::OK();
+  Status first;
+  for (const auto& writer : wal_writers_) {
+    if (!writer->dirty()) continue;
+    const Status synced = writer->Sync();
+    if (!synced.ok() && first.ok()) first = synced;
+  }
+  if (!first.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (wal_status_.ok()) wal_status_ = first;
+  }
+  return first;
+}
+
+Status VersionedObjectStore::ApplyForRecovery(const WalRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (durable_) {
+    return Status::FailedPrecondition(
+        "recovery replay after durability attached");
+  }
+  Mutation m;
+  switch (record.kind) {
+    case WalRecordKind::kInsert:
+      m.kind = Mutation::Kind::kInsert;
+      break;
+    case WalRecordKind::kUpdate:
+      m.kind = Mutation::Kind::kUpdate;
+      break;
+    case WalRecordKind::kRemove:
+      m.kind = Mutation::Kind::kRemove;
+      break;
+    case WalRecordKind::kPublish:
+      return Status::InvalidArgument(
+          "publish marker is not a mutation record");
+  }
+  m.id = record.id;
+  m.pdf = record.pdf;
+  m.existence = record.existence;
+  if (m.id == kInvalidObjectId) {
+    return Status::DataLoss("replayed record without a target id");
+  }
+
+  // A CRC-valid record whose content cannot apply is corruption too —
+  // reject with DataLoss (the caller truncates replay there), never abort.
+  switch (m.kind) {
+    case Mutation::Kind::kInsert:
+    case Mutation::Kind::kUpdate: {
+      if (m.pdf == nullptr) {
+        return Status::DataLoss("replayed mutation without PDF");
+      }
+      if (m.existence <= 0.0 || m.existence > 1.0) {
+        return Status::DataLoss("replayed existence outside (0, 1]");
+      }
+      if (dim_ != 0 && m.pdf->bounds().dim() != dim_) {
+        return Status::DataLoss("replayed object dimensionality mismatch");
+      }
+      if (m.kind == Mutation::Kind::kInsert) {
+        if (m.id < next_id_) {
+          return Status::DataLoss("replayed insert id regresses");
+        }
+      } else if (!IsLiveLocked(shards_[ShardOf(m.id)], m.id)) {
+        return Status::DataLoss("replayed update of a dead id");
+      }
+      break;
+    }
+    case Mutation::Kind::kRemove:
+      if (!IsLiveLocked(shards_[ShardOf(m.id)], m.id)) {
+        return Status::DataLoss("replayed remove of a dead id");
+      }
+      break;
+  }
+
+  if (m.kind == Mutation::Kind::kInsert) {
+    next_id_ = m.id + 1;
+    if (dim_ == 0) dim_ = m.pdf->bounds().dim();
+  }
+  CommitMutationLocked(m, m.id, record.sequence);
+  if (record.sequence >= next_sequence_) {
+    next_sequence_ = record.sequence + 1;
+  }
+  return Status::OK();
+}
+
+Status VersionedObjectStore::PublishForRecovery(Version version) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (durable_) {
+      return Status::FailedPrecondition(
+          "recovery replay after durability attached");
+    }
+    if (version < next_version_) {
+      return Status::DataLoss("replayed publish version regresses");
+    }
+    next_version_ = version;
+  }
+  Publish();
+  return Status::OK();
+}
+
+Status VersionedObjectStore::SetRecoveryWatermarks(ObjectId next_id,
+                                                   uint64_t next_sequence,
+                                                   size_t dim) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (durable_) {
+    return Status::FailedPrecondition(
+        "recovery replay after durability attached");
+  }
+  if (dim != 0) {
+    if (dim_ != 0 && dim_ != dim) {
+      return Status::DataLoss(
+          "checkpoint dimensionality disagrees with restored state");
+    }
+    dim_ = dim;
+  }
+  next_id_ = std::max(next_id_, next_id);
+  next_sequence_ = std::max(next_sequence_, next_sequence);
+  return Status::OK();
 }
 
 std::shared_ptr<const StoreSnapshot> VersionedObjectStore::latest() const {

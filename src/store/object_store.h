@@ -48,10 +48,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "store/snapshot_index.h"
+#include "store/wal.h"
 #include "uncertain/database.h"
 
 namespace updb {
@@ -84,6 +86,26 @@ struct LogRecord {
   ObjectId assigned_id = kInvalidObjectId;
 };
 
+/// Durable-mode configuration. A store with a non-empty `wal_dir` (opened
+/// via VersionedObjectStore::Open or store::RecoverStore +
+/// AttachDurability) appends every mutation to a per-shard WAL file before
+/// applying it, writes a kPublish marker per Publish(), and checkpoints
+/// the published state every `checkpoint_every` publishes.
+struct DurabilityOptions {
+  /// Directory holding the per-shard WAL segments and checkpoints. Empty
+  /// means in-memory only (the plain constructors always run in-memory
+  /// and ignore this struct).
+  std::string wal_dir;
+  /// When WAL appends are forced to stable storage (see store/wal.h).
+  FsyncPolicy fsync = FsyncPolicy::kEveryPublish;
+  /// Publishes between snapshot checkpoints. A checkpoint bounds the WAL
+  /// tail recovery must replay; checkpoint installs are always fsynced
+  /// regardless of the fsync policy.
+  uint64_t checkpoint_every = 8;
+  /// Checkpoint files retained (newest first); older ones are pruned.
+  size_t checkpoint_keep = 2;
+};
+
 /// Tuning knobs of the store.
 struct StoreOptions {
   /// Publish compacts a shard's index overlay into a fresh bulk build once
@@ -102,6 +124,8 @@ struct StoreOptions {
   /// fixed for the store's lifetime. 1 reproduces the unsharded store;
   /// snapshot contents and served payloads are identical for every value.
   size_t num_shards = 1;
+  /// Durable-mode configuration; honored by Open()/AttachDurability only.
+  DurabilityOptions durability;
 };
 
 /// Wall-clock breakdown of one Publish() (see bench_store_churn): the
@@ -192,6 +216,38 @@ class VersionedObjectStore {
   VersionedObjectStore(const VersionedObjectStore&) = delete;
   VersionedObjectStore& operator=(const VersionedObjectStore&) = delete;
 
+  /// Creates a *durable* store over a fresh WAL directory
+  /// (options.durability.wal_dir, created if missing). Fails with
+  /// InvalidArgument when wal_dir is empty and FailedPrecondition when the
+  /// directory already holds WAL segments or checkpoints — recover those
+  /// with store::RecoverStore instead of silently overwriting them.
+  static StatusOr<std::unique_ptr<VersionedObjectStore>> Open(
+      StoreOptions options);
+  /// Durable variant of the seeding constructor: seeds `db`, publishes
+  /// version 1, then attaches durability (the initial checkpoint covers
+  /// the seed).
+  static StatusOr<std::unique_ptr<VersionedObjectStore>> Open(
+      const UncertainDatabase& db, StoreOptions options);
+
+  /// Attaches durability to a store built in memory (freshly constructed
+  /// or rebuilt by store::RecoverStore). Writes a checkpoint of the
+  /// current published state, rebuilds the per-shard WAL segments from
+  /// scratch (stale segments — including those of a different shard count
+  /// — are deleted), re-appends any still-pending mutations, and syncs.
+  /// Must not race with concurrent mutators/publishers.
+  /// FailedPrecondition when durability is already attached.
+  Status AttachDurability(const DurabilityOptions& durability);
+
+  /// First WAL/checkpoint IO error, sticky: once an append or checkpoint
+  /// fails the store stops accepting durable mutations and reports the
+  /// original failure here. Always OK for in-memory stores.
+  Status wal_status() const;
+  /// Fsyncs every dirty WAL segment (no-op in memory). Batch appliers
+  /// call this under FsyncPolicy::kEveryBatch.
+  Status SyncWal();
+  /// True when durability is attached.
+  bool durable() const { return durable_; }
+
   /// Inserts a new object; returns its stable id. InvalidArgument on a
   /// null PDF, an existence outside (0, 1], or a dimensionality mismatch
   /// (the first insert fixes the store's dimensionality).
@@ -244,6 +300,24 @@ class VersionedObjectStore {
   /// Shard a stable id routes to.
   size_t ShardOf(ObjectId id) const { return id % options_.num_shards; }
 
+  // Recovery-support hooks (store::RecoverStore only; single-threaded,
+  // before durability attaches). They replay history with the *original*
+  // ids, sequence numbers and version numbers so recovered snapshots are
+  // bit-identical to the lost process's — a replayed record that cannot
+  // apply (dead target, duplicate id, dimensionality clash) fails with
+  // DataLoss instead of aborting, and the caller stops replay there.
+
+  /// Applies one replayed mutation record with its forced stable id and
+  /// sequence number.
+  Status ApplyForRecovery(const WalRecord& record);
+  /// Publishes with a forced version number (replaying a kPublish
+  /// marker). DataLoss when `version` does not advance the store.
+  Status PublishForRecovery(Version version);
+  /// Restores the id/sequence/dimension watermarks a checkpoint recorded
+  /// (monotonic: never moves a watermark backwards).
+  Status SetRecoveryWatermarks(ObjectId next_id, uint64_t next_sequence,
+                               size_t dim);
+
  private:
   /// One pending change to a shard's copy-on-write table: the latest
   /// state of a stable id since the last drain (tombstone for removes).
@@ -274,6 +348,16 @@ class VersionedObjectStore {
   bool IsLiveLocked(const Shard& shard, ObjectId id) const;
   /// Installs the version-0 empty snapshot at construction.
   void InstallEmptySnapshot();
+  /// Appends `record` to the WAL segment of shard ShardOf(record.id)
+  /// (kPublish markers go to shard 0); requires mu_ and durable_. On
+  /// failure the error becomes the sticky wal_status_.
+  Status WalAppendLocked(const WalRecord& record);
+  /// Applies an already-validated mutation to its shard: WAL window +
+  /// delta map + live count; requires mu_. `sequence` is consumed by the
+  /// caller (normal appliers pass next_sequence_++, recovery the replayed
+  /// record's).
+  void CommitMutationLocked(const Mutation& mutation, ObjectId target,
+                            uint64_t sequence);
 
   const StoreOptions options_;
 
@@ -289,6 +373,16 @@ class VersionedObjectStore {
   PublishMetrics publish_metrics_;
   std::shared_ptr<const StoreSnapshot> latest_;
   std::deque<std::shared_ptr<const StoreSnapshot>> retained_;
+
+  // Durable-mode state. durable_ flips once, inside AttachDurability
+  // (which must not race with other operations); afterwards wal_writers_
+  // is immutable and appends are serialized under mu_ while Publish()
+  // fsyncs concurrently (safe — see WalShardWriter).
+  bool durable_ = false;
+  DurabilityOptions durability_;
+  std::vector<std::unique_ptr<WalShardWriter>> wal_writers_;
+  Status wal_status_;                          // guarded by mu_
+  uint64_t publishes_since_checkpoint_ = 0;    // guarded by mu_
 
   /// Serializes publishers so snapshot builds (which run outside mu_)
   /// install in version order.

@@ -1,0 +1,89 @@
+// Copyright 2026 The updb Authors.
+// Crash recovery for the durable versioned store: load the newest valid
+// checkpoint, then replay the per-shard WAL tails merged by global
+// sequence number.
+//
+// Damage never aborts the process — it bounds what is recovered:
+//
+//  * A torn or CRC-corrupt frame truncates that segment at the damage
+//    (store/wal.h); the dropped byte count is reported.
+//  * The merged replay applies the longest *contiguous* sequence run
+//    starting at the checkpoint's next_sequence. A gap (e.g. a record
+//    lost to one segment's torn tail while later records survive in
+//    another segment) stops replay there: everything after the gap is
+//    dropped and reported as data loss, so the recovered store is always
+//    a consistent prefix of the original history.
+//  * A corrupt newest checkpoint falls back to the next older one; when
+//    every checkpoint fails validation, recovery degrades to an empty
+//    start plus full WAL replay and flags data loss.
+//
+// Replay reuses the original stable ids, sequence numbers and version
+// numbers (kPublish markers), so every recovered snapshot version serves
+// payloads bit-identical to what the lost process served — the digest
+// oracle recovery_test and bench_store_recovery enforce.
+//
+// RecoverStore() itself never writes to the directory; the rebuilt store
+// is in-memory until the caller re-attaches durability
+// (VersionedObjectStore::AttachDurability), which checkpoints the
+// recovered state and starts fresh WAL segments.
+
+#ifndef UPDB_STORE_RECOVERY_H_
+#define UPDB_STORE_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/object_store.h"
+
+namespace updb {
+namespace store {
+
+/// What recovery found, rebuilt, and had to drop.
+struct RecoveryReport {
+  /// Version of the checkpoint recovery started from (0 = empty start).
+  uint64_t checkpoint_version = 0;
+  /// Live objects loaded from that checkpoint.
+  uint64_t checkpoint_entries = 0;
+  /// Latest published version of the recovered store.
+  uint64_t recovered_version = 0;
+  /// WAL mutation records replayed (insert/update/remove).
+  uint64_t replayed_mutations = 0;
+  /// kPublish markers replayed (versions re-published).
+  uint64_t replayed_publishes = 0;
+  /// Replayed mutations past the last marker: applied but unpublished,
+  /// exactly as they were in the original process.
+  uint64_t pending_mutations = 0;
+  /// Damaged tail bytes truncated, summed over all WAL segments.
+  uint64_t truncated_bytes = 0;
+  /// CRC-valid records dropped anyway (sequence gap, covered-by-newer
+  /// checkpoint records are NOT counted, unreplayable content).
+  uint64_t dropped_records = 0;
+  /// True when recovery lost acknowledged state: damaged tails, dropped
+  /// records, or checkpoint fallback.
+  bool data_loss = false;
+  /// Human-readable notes on everything skipped or dropped.
+  std::vector<std::string> warnings;
+
+  /// Single-line JSON rendering (updb_cli recover).
+  std::string ToJson() const;
+};
+
+/// Rebuilds a store from `wal_dir`'s newest valid checkpoint plus the
+/// replayable WAL tail. `options.durability` is ignored here — the result
+/// is in-memory (see file comment). Fails with:
+///  * NotFound    — `wal_dir` does not exist;
+///  * Unavailable — it exists but cannot be read.
+/// Damage inside the directory is never an error: it is absorbed into the
+/// report (`data_loss`, `warnings`) and the longest consistent prefix is
+/// recovered, down to an empty store.
+StatusOr<std::unique_ptr<VersionedObjectStore>> RecoverStore(
+    const std::string& wal_dir, StoreOptions options,
+    RecoveryReport* report = nullptr);
+
+}  // namespace store
+}  // namespace updb
+
+#endif  // UPDB_STORE_RECOVERY_H_

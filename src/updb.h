@@ -30,8 +30,11 @@
 #include "service/query_service.h"
 #include "service/request.h"
 #include "service/trace.h"
+#include "store/checkpoint.h"
 #include "store/object_store.h"
+#include "store/recovery.h"
 #include "store/snapshot_index.h"
+#include "store/wal.h"
 #include "uncertain/database.h"
 #include "uncertain/decomposition.h"
 #include "uncertain/object.h"

@@ -63,6 +63,17 @@ std::vector<store::Mutation> MakeMutationBatch(
   return batch;
 }
 
+namespace {
+
+/// True when `object_store` wants a WAL sync per applied batch.
+bool SyncsEveryBatch(const store::VersionedObjectStore& object_store) {
+  return object_store.durable() &&
+         object_store.options().durability.fsync ==
+             store::FsyncPolicy::kEveryBatch;
+}
+
+}  // namespace
+
 Status ApplyMutationBatch(store::VersionedObjectStore& object_store,
                           const std::vector<store::Mutation>& batch) {
   Status first_error;
@@ -70,6 +81,59 @@ Status ApplyMutationBatch(store::VersionedObjectStore& object_store,
     const Status status = object_store.Apply(m).status();
     if (!status.ok() && first_error.ok()) first_error = status;
   }
+  if (SyncsEveryBatch(object_store)) {
+    const Status synced = object_store.SyncWal();
+    if (!synced.ok() && first_error.ok()) first_error = synced;
+  }
+  return first_error;
+}
+
+std::vector<ChurnStep> MakeChurnSchedule(size_t batches, size_t dim,
+                                         const ChurnConfig& config,
+                                         Rng& rng) {
+  // The scratch store only tracks the live-id set (so update/remove
+  // targets and predicted insert ids are exact); it never publishes.
+  store::VersionedObjectStore scratch;
+  std::vector<ChurnStep> schedule;
+  schedule.reserve(batches * (config.mutations_per_batch + 1));
+  for (size_t b = 0; b < batches; ++b) {
+    const std::vector<store::Mutation> batch =
+        MakeMutationBatch(scratch.LiveIds(), dim, config, rng);
+    for (const store::Mutation& m : batch) {
+      UPDB_CHECK(scratch.Apply(m).ok());
+      ChurnStep step;
+      step.mutation = m;
+      schedule.push_back(std::move(step));
+    }
+    ChurnStep boundary;
+    boundary.publish = true;
+    schedule.push_back(std::move(boundary));
+  }
+  return schedule;
+}
+
+Status ApplyChurnPrefix(store::VersionedObjectStore& object_store,
+                        const std::vector<ChurnStep>& schedule,
+                        size_t steps) {
+  const bool sync_batches = SyncsEveryBatch(object_store);
+  Status first_error;
+  const auto note = [&first_error](const Status& status) {
+    if (!status.ok() && first_error.ok()) first_error = status;
+  };
+  bool batch_open = false;  // mutations applied since the last boundary
+  const size_t count = std::min(steps, schedule.size());
+  for (size_t i = 0; i < count; ++i) {
+    const ChurnStep& step = schedule[i];
+    if (step.publish) {
+      if (sync_batches && batch_open) note(object_store.SyncWal());
+      batch_open = false;
+      object_store.Publish();
+    } else {
+      note(object_store.Apply(step.mutation).status());
+      batch_open = true;
+    }
+  }
+  if (sync_batches && batch_open) note(object_store.SyncWal());
   return first_error;
 }
 

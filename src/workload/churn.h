@@ -64,9 +64,38 @@ std::vector<store::Mutation> MakeMutationBatch(
 /// Applies a batch in order against `object_store`, without publishing.
 /// Returns the first non-OK status (remaining mutations are still
 /// applied); callers that generated the batch with MakeMutationBatch
-/// against the store's current LiveIds() never see a failure.
+/// against the store's current LiveIds() never see a failure. On a
+/// durable store configured with FsyncPolicy::kEveryBatch, the WAL is
+/// synced once after the batch (store::VersionedObjectStore::SyncWal).
 Status ApplyMutationBatch(store::VersionedObjectStore& object_store,
                           const std::vector<store::Mutation>& batch);
+
+/// One step of a pre-generated churn schedule: either a single mutation
+/// or a publish boundary.
+struct ChurnStep {
+  /// True for a Publish() boundary; `mutation` is unused then.
+  bool publish = false;
+  store::Mutation mutation;
+};
+
+/// Pre-generates a flat, fully deterministic schedule of `batches`
+/// mutation batches, each followed by one publish step. Unlike the
+/// incremental MakeMutationBatch loop, the whole history is fixed up
+/// front (a scratch store predicts the stable ids inserts will receive),
+/// so two independent runs — e.g. a crash-recovery victim and its
+/// in-memory reference oracle — replay the *identical* history, and any
+/// step index is a reproducible kill point for fault-injection tests.
+std::vector<ChurnStep> MakeChurnSchedule(size_t batches, size_t dim,
+                                         const ChurnConfig& config, Rng& rng);
+
+/// Applies the first `steps` entries of `schedule` (clamped to its
+/// length) against `object_store`: mutation steps via Apply, publish
+/// steps via Publish. Under FsyncPolicy::kEveryBatch the WAL is synced at
+/// each batch boundary (before every publish step and after a trailing
+/// partial batch). Returns the first non-OK status; remaining steps are
+/// still applied.
+Status ApplyChurnPrefix(store::VersionedObjectStore& object_store,
+                        const std::vector<ChurnStep>& schedule, size_t steps);
 
 }  // namespace workload
 }  // namespace updb

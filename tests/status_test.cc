@@ -23,6 +23,8 @@ TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
   EXPECT_EQ(Status::Internal("i").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::ResourceExhausted("re").code(),
             StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DataLoss("dl").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::Unavailable("ua").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
 }
 
@@ -49,6 +51,15 @@ TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
   EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
             "ResourceExhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "DataLoss");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+}
+
+TEST(StatusTest, DataLossAndUnavailableCarryMessages) {
+  EXPECT_EQ(Status::DataLoss("torn tail").ToString(), "DataLoss: torn tail");
+  EXPECT_EQ(Status::Unavailable("no such dir").ToString(),
+            "Unavailable: no such dir");
+  EXPECT_FALSE(Status::DataLoss("x") == Status::Unavailable("x"));
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -40,11 +40,30 @@
 //            --extent=0.01 --model=uniform --samples=64 --seed=1
 //            [--compact-fraction=0.25] [--shards=4]
 //            [--metrics-out=store_metrics.json]
+//            [--wal-dir=walr --fsync=never|every_publish|every_batch
+//             --checkpoint-every=8]
 //   (replays a seed-deterministic mutation trace against the store — one
 //    publish per batch, logging per-publish delta size, compactions and
 //    drain/build latency — and writes the final published snapshot to
 //    --out; --metrics-out dumps the same per-shard/publish-latency store
 //    JSON as serve.)
+//   updb_cli recover --wal-dir=walr [--shards=4] [--out=recovered.updb]
+//   (rebuilds the store from the newest valid checkpoint plus the WAL
+//    tail in --wal-dir, prints a single-line JSON report — recovered
+//    version, records replayed, truncated-tail bytes, data-loss flag and
+//    per-file warnings — and optionally saves the recovered latest
+//    snapshot to --out. Exit 0 on success, 1 when nothing recoverable.)
+//
+//   Durability (--wal-dir on serve/mutate): every mutation is appended to
+//   per-shard CRC32C-framed WAL segments in --wal-dir before it is
+//   acknowledged, and publishes write periodic checkpoints
+//   (--checkpoint-every, default 8 publishes). --fsync picks the flush
+//   policy: "never" (OS-buffered), "every_publish" (default; each
+//   published version is durable) or "every_batch" (each acknowledged
+//   batch is durable). If --wal-dir already holds WAL or checkpoint data
+//   the command first RECOVERS that history — the --db/--n seed is
+//   ignored — and then continues appending to the same log, so a killed
+//   run can simply be re-executed.
 
 #include <cstdio>
 #include <cstring>
@@ -268,6 +287,79 @@ std::string StoreMetricsJson(const store::VersionedObjectStore& s) {
   return out;
 }
 
+/// Builds the store for serve/mutate, honoring --wal-dir / --fsync /
+/// --checkpoint-every. Without --wal-dir: a plain in-memory store seeded
+/// from `db`. With --wal-dir on a fresh directory: a durable store seeded
+/// from `db`. With --wal-dir on a directory that already holds WAL or
+/// checkpoint data: the persisted history is recovered (`db` is ignored),
+/// the recovery report is printed as a `# recovery ...` line, and
+/// durability is re-attached so the run continues the existing log.
+StatusOr<std::shared_ptr<store::VersionedObjectStore>> MakeStore(
+    const Args& args, const UncertainDatabase& db,
+    store::StoreOptions sopts) {
+  const std::string wal_dir = args.Get("wal-dir", "");
+  if (wal_dir.empty()) {
+    return std::make_shared<store::VersionedObjectStore>(db, sopts);
+  }
+  const StatusOr<store::FsyncPolicy> fsync =
+      store::ParseFsyncPolicy(args.Get("fsync", "every_publish"));
+  if (!fsync.ok()) return fsync.status();
+  sopts.durability.wal_dir = wal_dir;
+  sopts.durability.fsync = *fsync;
+  sopts.durability.checkpoint_every =
+      std::max<uint64_t>(args.GetSize("checkpoint-every", 8), 1);
+
+  StatusOr<std::unique_ptr<store::VersionedObjectStore>> opened =
+      store::VersionedObjectStore::Open(db, sopts);
+  if (opened.ok()) {
+    return std::shared_ptr<store::VersionedObjectStore>(std::move(*opened));
+  }
+  if (opened.status().code() != StatusCode::kFailedPrecondition) {
+    return opened.status();
+  }
+  // The directory already holds store data: recover and continue.
+  store::RecoveryReport report;
+  StatusOr<std::unique_ptr<store::VersionedObjectStore>> recovered =
+      store::RecoverStore(wal_dir, sopts, &report);
+  if (!recovered.ok()) return recovered.status();
+  std::printf("# recovery %s\n", report.ToJson().c_str());
+  const Status attached = (*recovered)->AttachDurability(sopts.durability);
+  if (!attached.ok()) return attached;
+  return std::shared_ptr<store::VersionedObjectStore>(std::move(*recovered));
+}
+
+int Recover(const Args& args) {
+  const std::string wal_dir = args.Get("wal-dir", "");
+  if (wal_dir.empty()) {
+    std::fprintf(stderr, "recover requires --wal-dir\n");
+    return 2;
+  }
+  store::StoreOptions sopts;
+  sopts.num_shards = std::max<size_t>(args.GetSize("shards", 1), 1);
+  store::RecoveryReport report;
+  StatusOr<std::unique_ptr<store::VersionedObjectStore>> recovered =
+      store::RecoverStore(wal_dir, sopts, &report);
+  if (!recovered.ok()) {
+    std::fprintf(stderr, "recover failed: %s\n",
+                 recovered.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", report.ToJson().c_str());
+  const std::string out = args.Get("out", "");
+  if (!out.empty()) {
+    const Status saved =
+        io::SaveDatabase(*(*recovered)->latest()->db(), out);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "# wrote recovered version %llu (%zu objects) to %s\n",
+                 static_cast<unsigned long long>((*recovered)->version()),
+                 (*recovered)->latest()->size(), out.c_str());
+  }
+  return 0;
+}
+
 int Serve(const Args& args) {
   // Store seed: load --db when given, otherwise generate a synthetic
   // database in memory from the logged parameters.
@@ -319,14 +411,23 @@ int Serve(const Args& args) {
 
   std::printf("# updb serve — seed=%llu db_objects=%zu requests=%zu "
               "workers=%zu batch=%zu queue=%zu qps=%.3g iterations=%d "
-              "shards=%zu churn=%d\n",
+              "shards=%zu churn=%d wal_dir=%s fsync=%s\n",
               static_cast<unsigned long long>(seed), db.size(),
               trace.size(), opts.num_workers, opts.batch_size,
               opts.max_queue, qps, tcfg.budget.max_iterations,
-              sopts.num_shards, churn ? 1 : 0);
+              sopts.num_shards, churn ? 1 : 0,
+              args.Get("wal-dir", "-").c_str(),
+              args.Get("fsync", "every_publish").c_str());
 
-  auto object_store =
-      std::make_shared<store::VersionedObjectStore>(db, sopts);
+  StatusOr<std::shared_ptr<store::VersionedObjectStore>> made =
+      MakeStore(args, db, sopts);
+  if (!made.ok()) {
+    std::fprintf(stderr, "store open failed: %s\n",
+                 made.status().ToString().c_str());
+    return 1;
+  }
+  std::shared_ptr<store::VersionedObjectStore> object_store =
+      std::move(made).value();
   service::QueryService svc(object_store, opts);
 
   // --churn: a writer thread applies seed-deterministic mutation batches
@@ -369,6 +470,10 @@ int Serve(const Args& args) {
   const service::ReplayResult result =
       service::ReplayTrace(svc, trace, qps);
   if (writer.joinable()) writer.join();
+  if (object_store->durable() && !object_store->wal_status().ok()) {
+    std::fprintf(stderr, "wal error: %s\n",
+                 object_store->wal_status().ToString().c_str());
+  }
 
   size_t by_status[4] = {0, 0, 0, 0};
   uint64_t min_version = ~uint64_t{0}, max_version = 0;
@@ -426,7 +531,14 @@ int Mutate(const Args& args) {
   store::StoreOptions sopts;
   sopts.compact_delta_fraction = args.GetDouble("compact-fraction", 0.25);
   sopts.num_shards = std::max<size_t>(args.GetSize("shards", 1), 1);
-  store::VersionedObjectStore object_store(*loaded, sopts);
+  StatusOr<std::shared_ptr<store::VersionedObjectStore>> made =
+      MakeStore(args, *loaded, sopts);
+  if (!made.ok()) {
+    std::fprintf(stderr, "store open failed: %s\n",
+                 made.status().ToString().c_str());
+    return 1;
+  }
+  store::VersionedObjectStore& object_store = **made;
 
   const uint64_t seed = static_cast<uint64_t>(args.GetSize("seed", 1));
   workload::ChurnConfig ccfg;
@@ -465,6 +577,11 @@ int Mutate(const Args& args) {
                 snap->index().compacted() ? 1 : 0, stats.drain_ms,
                 stats.build_ms);
   }
+  if (object_store.durable() && !object_store.wal_status().ok()) {
+    std::fprintf(stderr, "wal error: %s\n",
+                 object_store.wal_status().ToString().c_str());
+    return 1;
+  }
   const std::string metrics_out = args.Get("metrics-out", "");
   if (!metrics_out.empty()) {
     std::FILE* f = std::fopen(metrics_out.c_str(), "w");
@@ -496,8 +613,11 @@ int Mutate(const Args& args) {
 int Usage() {
   std::fprintf(stderr,
                "usage: updb_cli "
-               "<generate|info|domcount|knn|rknn|serve|mutate> "
-               "[--key=value ...]\n(see header of tools/updb_cli.cc)\n");
+               "<generate|info|domcount|knn|rknn|serve|mutate|recover> "
+               "[--key=value ...]\n(see header of tools/updb_cli.cc; "
+               "serve/mutate take --wal-dir/--fsync for durability,\n"
+               "recover rebuilds from a WAL directory and prints a JSON "
+               "report)\n");
   return 2;
 }
 
@@ -514,5 +634,6 @@ int main(int argc, char** argv) {
   if (command == "rknn") return ThresholdQuery(args, /*reverse=*/true);
   if (command == "serve") return Serve(args);
   if (command == "mutate") return Mutate(args);
+  if (command == "recover") return Recover(args);
   return Usage();
 }
