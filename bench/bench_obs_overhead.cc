@@ -1,0 +1,187 @@
+// Observability overhead benchmark: the same closed-loop service workload
+// executed three ways — observability off (null recorder, private
+// registry), metrics only, and metrics + full span tracing — with two
+// built-in oracles:
+//
+//  * digest oracle: all three configurations must produce bit-identical
+//    response payloads (observability is payload-invariant), or exit 2;
+//  * overhead oracle: the fully-instrumented run must stay within
+//    kMaxOverhead x the baseline wall time (min-of-3 runs each, so a
+//    single scheduler hiccup doesn't fail the bound), or exit 2.
+//
+// CSV to stdout; pass a path to also write the summary JSON committed as
+// BENCH_obs_overhead.json. UPDB_BENCH_SCALE scales the workload.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "updb.h"
+
+namespace {
+
+using namespace updb;
+
+/// The instrumented run must finish within this factor of the baseline.
+/// The budget is deliberately loose — the point is to catch a pathological
+/// regression (an accidental mutex or per-pair span on the hot path),
+/// not to flake on machine noise.
+constexpr double kMaxOverhead = 2.0;
+
+struct RunResult {
+  double seconds = 0.0;
+  uint64_t digest = 0;
+  size_t trace_events = 0;
+};
+
+/// One closed-loop replay: the whole trace is admitted while paused, then
+/// timed from Resume() to Flush(). min-of-`repeats` wall time; the digest
+/// must be identical across repeats (it is checked across modes anyway).
+RunResult RunOnce(const std::shared_ptr<const UncertainDatabase>& db,
+                  const std::vector<service::QueryRequest>& trace,
+                  obs::MetricsRegistry* registry, obs::TraceRecorder* tracer,
+                  int repeats) {
+  RunResult out;
+  out.seconds = 1e100;
+  for (int rep = 0; rep < repeats; ++rep) {
+    service::QueryServiceOptions opts;
+    opts.num_workers = 2;
+    opts.batch_size = 8;
+    opts.max_queue = trace.size();
+    opts.start_paused = true;
+    opts.metrics_registry = registry;
+    opts.trace = tracer;
+    service::QueryService svc(db, opts);
+    std::vector<uint64_t> tickets;
+    tickets.reserve(trace.size());
+    for (const service::QueryRequest& req : trace) {
+      const StatusOr<uint64_t> ticket = svc.Submit(req);
+      if (!ticket.ok()) {
+        std::fprintf(stderr, "submit failed: %s\n",
+                     ticket.status().ToString().c_str());
+        std::exit(1);
+      }
+      tickets.push_back(*ticket);
+    }
+    Stopwatch timer;
+    svc.Resume();
+    svc.Flush();
+    out.seconds = std::min(out.seconds, timer.ElapsedSeconds());
+    std::vector<service::QueryResponse> responses;
+    responses.reserve(tickets.size());
+    for (uint64_t t : tickets) responses.push_back(svc.Take(t));
+    out.digest = service::ResponseDigest(
+        std::span<const service::QueryResponse>(responses));
+  }
+  if (tracer != nullptr) out.trace_events = tracer->size();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::PrintBanner("bench_obs_overhead",
+                     "payload invariance + overhead bound of the "
+                     "observability layer");
+
+  workload::SyntheticConfig dbcfg;
+  dbcfg.num_objects = bench::Scaled(300);
+  dbcfg.max_extent = 0.03;
+  dbcfg.seed = 11;
+  const auto db = std::make_shared<const UncertainDatabase>(
+      workload::MakeSyntheticDatabase(dbcfg));
+
+  service::TraceConfig tcfg;
+  tcfg.num_requests = bench::Scaled(80);
+  tcfg.seed = 23;
+  tcfg.query_extent = 0.03;
+  tcfg.k_max = 6;
+  tcfg.budget.max_iterations = 4;
+  const std::vector<service::QueryRequest> trace =
+      service::MakeTrace(*db, tcfg);
+
+  constexpr int kRepeats = 3;
+  const RunResult off = RunOnce(db, trace, nullptr, nullptr, kRepeats);
+
+  obs::MetricsRegistry metrics_registry;
+  const RunResult metrics =
+      RunOnce(db, trace, &metrics_registry, nullptr, kRepeats);
+
+  obs::MetricsRegistry full_registry;
+  obs::TraceRecorder recorder;
+  const RunResult full =
+      RunOnce(db, trace, &full_registry, &recorder, kRepeats);
+
+  const double metrics_overhead = metrics.seconds / off.seconds;
+  const double full_overhead = full.seconds / off.seconds;
+  std::printf("series,mode,seconds,overhead_x,trace_events,digest\n");
+  std::printf("obs_overhead,off,%.4f,1.00,0,%016llx\n", off.seconds,
+              static_cast<unsigned long long>(off.digest));
+  std::printf("obs_overhead,metrics,%.4f,%.2f,0,%016llx\n", metrics.seconds,
+              metrics_overhead,
+              static_cast<unsigned long long>(metrics.digest));
+  std::printf("obs_overhead,metrics+trace,%.4f,%.2f,%zu,%016llx\n",
+              full.seconds, full_overhead, full.trace_events,
+              static_cast<unsigned long long>(full.digest));
+
+  const bool invariant =
+      off.digest == metrics.digest && off.digest == full.digest;
+  const bool within_budget = full_overhead <= kMaxOverhead;
+  std::printf("series,payload_invariant,within_overhead_budget\n"
+              "obs_oracle,%s,%s\n",
+              invariant ? "yes" : "NO", within_budget ? "yes" : "NO");
+  if (!invariant) {
+    std::fprintf(stderr,
+                 "FAIL: observability changed response payloads "
+                 "(off=%016llx metrics=%016llx full=%016llx)\n",
+                 static_cast<unsigned long long>(off.digest),
+                 static_cast<unsigned long long>(metrics.digest),
+                 static_cast<unsigned long long>(full.digest));
+  }
+  if (!within_budget) {
+    std::fprintf(stderr,
+                 "FAIL: instrumented run %.2fx over baseline "
+                 "(budget %.2fx)\n",
+                 full_overhead, kMaxOverhead);
+  }
+
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_obs_overhead\",\n");
+    std::fprintf(f,
+                 "  \"note\": \"closed-loop service replay, min-of-%d "
+                 "runs per mode. Digests must match across modes "
+                 "(payload invariance) and the metrics+trace run must "
+                 "stay within %.1fx of the baseline.\",\n",
+                 kRepeats, kMaxOverhead);
+    std::fprintf(f, "  \"db_objects\": %zu,\n", db->size());
+    std::fprintf(f, "  \"requests\": %zu,\n", trace.size());
+    std::fprintf(f, "  \"max_overhead_x\": %.2f,\n", kMaxOverhead);
+    std::fprintf(f, "  \"payload_invariant\": %s,\n",
+                 invariant ? "true" : "false");
+    std::fprintf(f, "  \"within_overhead_budget\": %s,\n",
+                 within_budget ? "true" : "false");
+    std::fprintf(f, "  \"response_digest\": \"%016llx\",\n",
+                 static_cast<unsigned long long>(off.digest));
+    std::fprintf(f, "  \"trace_events\": %zu,\n", full.trace_events);
+    std::fprintf(
+        f,
+        "  \"series\": [\n"
+        "    {\"mode\": \"off\", \"seconds\": %.4f, \"overhead_x\": 1.0},\n"
+        "    {\"mode\": \"metrics\", \"seconds\": %.4f, \"overhead_x\": "
+        "%.3f},\n"
+        "    {\"mode\": \"metrics+trace\", \"seconds\": %.4f, "
+        "\"overhead_x\": %.3f}\n  ]\n}\n",
+        off.seconds, metrics.seconds, metrics_overhead, full.seconds,
+        full_overhead);
+    std::fclose(f);
+  }
+  return invariant && within_budget ? 0 : 2;
+}

@@ -99,6 +99,7 @@ struct ChunkState {
   std::vector<double> frozen_pdom_ub;
   size_t pairs = 0;
   size_t tests = 0;
+  IdcaCounters counters;               // per-iteration work (chunk-local)
 
   ChunkState() : agg(0), frozen_agg(0) {}
 };
@@ -197,12 +198,19 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
   Stopwatch timer;
   IdcaResult result;
   const size_t total_ranks = db_.size();
+  obs::TraceSpan run_span(config_.trace, "idca_run", "idca");
 
   // ---- Phase 1: complete-domination filter (Algorithm 1, lines 3-10).
   size_t complete = 0;
   std::vector<const UncertainObject*> influence;
-  Filter(target, reference, exclude, complete, influence);
+  {
+    obs::TraceSpan filter_span(config_.trace, "idca_filter", "idca");
+    Filter(target, reference, exclude, complete, influence);
+    filter_span.AddArg("complete", complete);
+    filter_span.AddArg("influence", influence.size());
+  }
   const size_t C = influence.size();
+  run_span.AddArg("influence", C);
   result.complete_domination_count = complete;
   result.influence_count = C;
   result.influence_pdom.assign(C, ProbabilityBounds{0.0, 1.0});
@@ -297,6 +305,8 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
   std::vector<char> cand_live(C, 1);
 
   for (int iter = 1; iter <= config_.max_iterations; ++iter) {
+    obs::TraceSpan iter_span(config_.trace, "idca_iter", "idca");
+    iter_span.AddArg("iteration", static_cast<uint64_t>(iter));
     // Deepen all still-read decompositions one level (Algorithm 1, line
     // 15). A dead tree's frontier and child offsets are never indexed.
     size_t splits = target_tree.Deepen() + ref_tree.Deepen();
@@ -337,6 +347,8 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
           st.frozen_pdom_ub.assign(C, 0.0);
           st.pairs = 0;
           st.tests = 0;
+          st.counters = IdcaCounters{};
+          const uint64_t ugf_base = st.ugf.total_multiplies();
 
           const size_t p_begin = cur.num_pairs * chunk / num_chunks;
           const size_t p_end = cur.num_pairs * (chunk + 1) / num_chunks;
@@ -366,6 +378,11 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
                       cand_trees[i]->child_offsets();
                   double dom = old_res[i];
                   double ndom = old_res[C + i];
+                  // Any inherited resolved mass means a prior iteration's
+                  // verdicts carried over for this (candidate, pair) slot.
+                  if (dom != 0.0 || ndom != 0.0) {
+                    ++st.counters.verdict_cache_hits;
+                  }
                   out.und_off.push_back(
                       static_cast<uint32_t>(out.undecided.size()));
                   for (uint32_t u = old_off[i]; u < old_off[i + 1]; ++u) {
@@ -415,6 +432,7 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
                 // drop the pair instead of expanding it next level.
                 const bool frozen = cache && out.undecided.size() == und_base;
                 if (frozen) {
+                  ++st.counters.pairs_frozen;
                   out.b_node.pop_back();
                   out.r_node.pop_back();
                   out.resolved.resize(res_base);
@@ -446,6 +464,10 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
               }
             }
           }
+          st.counters.pairs_evaluated = st.pairs;
+          st.counters.domination_tests = st.tests;
+          st.counters.verdict_cache_misses = st.tests;
+          st.counters.ugf_multiplies = st.ugf.total_multiplies() - ugf_base;
         });
 
     // Deterministic reduction in chunk order: newly frozen contributions
@@ -477,6 +499,7 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
       const ChunkState& st = chunks[c];
       pairs += st.pairs;
       candidate_partitions += st.tests;
+      result.counters += st.counters;
       if (predicate) {
         agg_lt.lb += st.agg_lt_lb;
         agg_lt.ub += st.agg_lt_ub;
@@ -530,6 +553,8 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
       s.candidate_partitions = candidate_partitions;
       result.iterations.push_back(s);
     }
+    iter_span.AddArg("pairs", pairs);
+    iter_span.AddArg("tests", candidate_partitions);
 
     // ---- Stop criteria.
     if (predicate && result.decision != PredicateDecision::kUndecided) break;

@@ -30,6 +30,7 @@
 #include "gf/count_bounds.h"
 #include "gf/ugf.h"
 #include "index/rtree.h"
+#include "obs/trace.h"
 #include "uncertain/database.h"
 #include "uncertain/decomposition.h"
 
@@ -75,6 +76,10 @@ struct IdcaConfig {
   /// bounds agree up to floating-point noise, since the cache groups the
   /// same mass sums at coarser granularity).
   bool cache_verdicts = true;
+  /// Optional span sink ("idca_run" + one "idca_iter" per refinement
+  /// iteration). nullptr (the default) costs one branch per iteration and
+  /// never affects any computed bound or payload.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Optional early-termination predicate: decide P(DomCount(B,R) < k)
@@ -111,6 +116,37 @@ struct IdcaIterationStats {
   size_t candidate_partitions = 0;
 };
 
+/// Deterministic work counters of one IDCA run. Each is accumulated in
+/// chunk-local partials and reduced in chunk order (integer addition, so
+/// the totals are exactly thread-count-invariant whenever the work
+/// partition is — the idca_parallel_test asserts this). They describe cost,
+/// never influence it, and stay outside the response digest.
+struct IdcaCounters {
+  /// Partition pairs (B', R') evaluated across all iterations.
+  uint64_t pairs_evaluated = 0;
+  /// Pairs whose contribution was banked once and never re-expanded
+  /// (verdict cache freeze; 0 when cache_verdicts is off).
+  uint64_t pairs_frozen = 0;
+  /// ClassifyDomination calls in the refinement loop.
+  uint64_t domination_tests = 0;
+  /// (candidate, pair) verdicts inherited from a previous iteration via
+  /// the verdict cache, vs. resolved by a fresh domination test.
+  uint64_t verdict_cache_hits = 0;
+  uint64_t verdict_cache_misses = 0;
+  /// UGF factor multiplications (the engine's inner-loop unit of work).
+  uint64_t ugf_multiplies = 0;
+
+  IdcaCounters& operator+=(const IdcaCounters& o) {
+    pairs_evaluated += o.pairs_evaluated;
+    pairs_frozen += o.pairs_frozen;
+    domination_tests += o.domination_tests;
+    verdict_cache_hits += o.verdict_cache_hits;
+    verdict_cache_misses += o.verdict_cache_misses;
+    ugf_multiplies += o.ugf_multiplies;
+    return *this;
+  }
+};
+
 /// Full output of one IDCA run.
 struct IdcaResult {
   /// Bounds on P(DomCount = k) for k = 0..N-1 (N = database size). In
@@ -128,6 +164,8 @@ struct IdcaResult {
   PredicateDecision decision = PredicateDecision::kUndecided;
   /// Iterations actually executed (excluding the filter entry at index 0).
   std::vector<IdcaIterationStats> iterations;
+  /// Deterministic work counters (profiling; outside the digest).
+  IdcaCounters counters;
   double seconds = 0.0;
 
   IdcaResult() : bounds(0) {}

@@ -62,6 +62,7 @@ void UncertainGeneratingFunction::Multiply(double p_lb, double p_ub) {
   p_lb = std::clamp(p_lb, 0.0, 1.0);
   p_ub = std::clamp(p_ub, 0.0, 1.0);
   UPDB_DCHECK(p_lb <= p_ub);
+  ++total_multiplies_;
   const double w_x = p_lb;          // definite domination
   const double w_y = p_ub - p_lb;   // undecided
   const double w_1 = 1.0 - p_ub;    // definite non-domination

@@ -30,6 +30,7 @@
 #define UPDB_GF_UGF_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <vector>
 
@@ -64,6 +65,11 @@ class UncertainGeneratingFunction {
 
   /// Number of factors multiplied so far.
   size_t num_factors() const { return num_factors_; }
+
+  /// Lifetime Multiply() count across Reset()s — a profiling odometer
+  /// (IDCA reads the delta around each chunk to attribute UGF work to
+  /// requests). Never feeds back into any computed bound.
+  uint64_t total_multiplies() const { return total_multiplies_; }
 
   /// Per-rank bounds. Untruncated: ranks 0..num_factors(). Truncated at k:
   /// ranks 0..k-1 (bounds for higher ranks are not represented).
@@ -102,6 +108,7 @@ class UncertainGeneratingFunction {
 
   size_t truncate_at_;
   size_t num_factors_ = 0;
+  uint64_t total_multiplies_ = 0;  // lifetime, survives Reset()
 
   // --- untruncated state. The materialized "core" triangle covers the
   // general factors only; degenerate factors are tracked symbolically:

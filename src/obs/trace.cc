@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace updb {
+namespace obs {
+
+TraceRecorder::TraceRecorder(size_t max_events)
+    : max_events_(max_events > 0 ? max_events : 1),
+      epoch_(std::chrono::steady_clock::now()) {
+  events_.reserve(std::min<size_t>(max_events_, 4096));
+}
+
+uint64_t TraceRecorder::NowNs() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+uint32_t TraceRecorder::ThreadId() {
+  // Dense process-wide ids: stable per thread, assigned on first use.
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void TraceRecorder::Record(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+void TraceRecorder::RecordSpan(const char* name, const char* category,
+                               uint64_t ts_ns, uint64_t dur_ns,
+                               const TraceArg* args, uint32_t num_args) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.tid = ThreadId();
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns == TraceEvent::kInstant ? dur_ns - 1 : dur_ns;
+  e.num_args = num_args > 4 ? 4 : num_args;
+  for (uint32_t i = 0; i < e.num_args; ++i) e.args[i] = args[i];
+  Record(e);
+}
+
+void TraceRecorder::RecordInstant(const char* name, const char* category,
+                                  const TraceArg* args, uint32_t num_args) {
+  TraceEvent e;
+  e.name = name;
+  e.category = category;
+  e.tid = ThreadId();
+  e.ts_ns = NowNs();
+  e.dur_ns = TraceEvent::kInstant;
+  e.num_args = num_args > 4 ? 4 : num_args;
+  for (uint32_t i = 0; i < e.num_args; ++i) e.args[i] = args[i];
+  Record(e);
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Events();
+  std::string out = "{\"traceEvents\": [";
+  char buf[256];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) out += ",";
+    out += "\n";
+    // Chrome trace units: ts/dur in microseconds.
+    const double ts_us = static_cast<double>(e.ts_ns) / 1e3;
+    if (e.dur_ns == TraceEvent::kInstant) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", "
+                    "\"s\": \"t\", \"pid\": 1, \"tid\": %u, \"ts\": %.3f",
+                    e.name, e.category, e.tid, ts_us);
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                    "\"pid\": 1, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f",
+                    e.name, e.category, e.tid, ts_us,
+                    static_cast<double>(e.dur_ns) / 1e3);
+    }
+    out += buf;
+    if (e.num_args > 0) {
+      out += ", \"args\": {";
+      for (uint32_t a = 0; a < e.num_args; ++a) {
+        std::snprintf(buf, sizeof(buf), "%s\"%s\": %llu",
+                      a > 0 ? ", " : "", e.args[a].key,
+                      static_cast<unsigned long long>(e.args[a].value));
+        out += buf;
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Unavailable("cannot open trace output '" + path + "'");
+  }
+  const std::string json = ToChromeJson();
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::Unavailable("short write to trace output '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace updb

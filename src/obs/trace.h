@@ -1,0 +1,147 @@
+// Copyright 2026 The updb Authors.
+// Structured per-request tracing: a bounded in-memory recorder of span
+// ("ph":"X" complete) and instant events, exported as Chrome trace-event
+// JSON — load the file at https://ui.perfetto.dev (or chrome://tracing)
+// to see the submit -> queue wait -> batch -> request -> IDCA iteration
+// span tree.
+//
+// Cost contract: tracing is opt-in via a TraceRecorder* threaded through
+// the component options (QueryServiceOptions/StoreOptions/IdcaConfig).
+// When the pointer is null — the default — every instrumentation site
+// reduces to one pointer test (TraceSpan's constructor and destructor are
+// inline no-ops then), which is what the digest oracles and
+// bench_obs_overhead hold the layer to: tracing on vs. off must produce
+// bit-identical response payloads, and the enabled overhead stays within
+// the bench's stated bound.
+//
+// Memory contract: the event buffer is bounded (max_events at
+// construction); past the cap events are counted as dropped, never
+// appended — a trace can't grow without bound under sustained traffic.
+//
+// Timestamps come from one steady-clock epoch per recorder, so spans from
+// all threads share a timeline; thread ids are small dense integers
+// assigned on each thread's first recorded event.
+
+#ifndef UPDB_OBS_TRACE_H_
+#define UPDB_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace updb {
+namespace obs {
+
+/// One "key": value annotation of an event. Keys must be string literals
+/// (the recorder stores the pointer); values are unsigned integers — rich
+/// payloads do not belong on the hot path.
+struct TraceArg {
+  const char* key = nullptr;
+  uint64_t value = 0;
+};
+
+/// One recorded event. dur_ns == kInstant marks an instant event.
+struct TraceEvent {
+  static constexpr uint64_t kInstant = ~uint64_t{0};
+
+  const char* name = "";  // string literal
+  const char* category = "";  // string literal
+  uint32_t tid = 0;
+  uint64_t ts_ns = 0;   // steady-clock ns since the recorder's epoch
+  uint64_t dur_ns = 0;  // span duration, or kInstant
+  uint32_t num_args = 0;
+  TraceArg args[4];
+};
+
+/// Bounded thread-safe trace-event sink. Recording takes a short mutex
+/// (one vector push); the disabled path never reaches the recorder at all
+/// (callers hold a null pointer).
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t max_events = 1 << 20);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Nanoseconds since this recorder's epoch (steady clock).
+  uint64_t NowNs() const;
+
+  /// Records a complete ("ph":"X") event with an explicit interval —
+  /// TraceSpan uses this; call it directly to backdate a span (e.g. queue
+  /// wait reconstructed from the submit timestamp).
+  void RecordSpan(const char* name, const char* category, uint64_t ts_ns,
+                  uint64_t dur_ns, const TraceArg* args = nullptr,
+                  uint32_t num_args = 0);
+
+  /// Records an instant ("ph":"i") event at NowNs().
+  void RecordInstant(const char* name, const char* category,
+                     const TraceArg* args = nullptr, uint32_t num_args = 0);
+
+  /// Copy of everything recorded so far (tests, exporters).
+  std::vector<TraceEvent> Events() const;
+  size_t size() const;
+  /// Events discarded because the buffer was full.
+  uint64_t dropped() const;
+
+  /// Chrome trace-event JSON ({"traceEvents": [...]}; ts/dur in
+  /// microseconds, pid fixed at 1).
+  std::string ToChromeJson() const;
+  /// Writes ToChromeJson() to `path`; Unavailable when it cannot open.
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  void Record(const TraceEvent& event);
+  static uint32_t ThreadId();
+
+  const size_t max_events_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  uint64_t dropped_ = 0;
+};
+
+/// RAII span: opens at construction, records [ctor, dtor) as one complete
+/// event at destruction. With a null recorder every member is an inline
+/// no-op — instrumentation sites pay one branch.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, const char* name, const char* category)
+      : recorder_(recorder), name_(name), category_(category) {
+    if (recorder_ != nullptr) start_ns_ = recorder_->NowNs();
+  }
+
+  ~TraceSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->RecordSpan(name_, category_, start_ns_,
+                            recorder_->NowNs() - start_ns_, args_, num_args_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Annotates the span (up to 4 args; extras are dropped). `key` must be
+  /// a string literal.
+  void AddArg(const char* key, uint64_t value) {
+    if (recorder_ != nullptr && num_args_ < 4) {
+      args_[num_args_++] = TraceArg{key, value};
+    }
+  }
+
+ private:
+  TraceRecorder* const recorder_;
+  const char* const name_;
+  const char* const category_;
+  uint64_t start_ns_ = 0;
+  uint32_t num_args_ = 0;
+  TraceArg args_[4];
+};
+
+}  // namespace obs
+}  // namespace updb
+
+#endif  // UPDB_OBS_TRACE_H_

@@ -214,11 +214,13 @@ std::vector<ExpectedRankEntry> ExpectedRankOrder(const UncertainDatabase& db,
                                                  const Pdf& q,
                                                  const IdcaConfig& config,
                                                  const RTree* index,
-                                                 size_t* total_iterations) {
+                                                 size_t* total_iterations,
+                                                 IdcaCounters* total_counters) {
   IdcaEngine engine = index != nullptr ? IdcaEngine(db, index, config)
                                        : IdcaEngine(db, config);
   std::vector<ExpectedRankEntry> entries(db.size());
   std::vector<size_t> iterations_per_object(db.size(), 0);
+  std::vector<IdcaCounters> counters_per_object(db.size());
   ThreadPool::SharedParallelFor(
       db.size(), ThreadPool::EffectiveParallelism(config.num_threads),
       [&](size_t o, size_t /*worker*/) {
@@ -226,12 +228,16 @@ std::vector<ExpectedRankEntry> ExpectedRankOrder(const UncertainDatabase& db,
         const IdcaResult r = engine.ComputeDomCount(id, q);
         iterations_per_object[o] =
             r.iterations.empty() ? 0 : r.iterations.size() - 1;
+        counters_per_object[o] = r.counters;
         entries[o] = ExpectedRankEntry{id, r.bounds.ExpectedRank()};
       });
   if (total_iterations != nullptr) {
     *total_iterations =
         std::accumulate(iterations_per_object.begin(),
                         iterations_per_object.end(), size_t{0});
+  }
+  if (total_counters != nullptr) {
+    for (const IdcaCounters& c : counters_per_object) *total_counters += c;
   }
   std::sort(entries.begin(), entries.end(),
             [](const ExpectedRankEntry& a, const ExpectedRankEntry& b) {

@@ -76,12 +76,15 @@ struct ExpectedRankEntry {
 /// bounds w.r.t. the query object Q — the expected-rank semantics of
 /// Cormode et al. referenced by Corollary 6. `index` (optional) is handed
 /// to the engine for config.use_index_filter; `total_iterations`
-/// (optional) receives the summed IDCA refinement iterations. The serving
-/// layer calls this with both — payloads must stay bit-identical to the
-/// direct path, so there is exactly one implementation.
+/// (optional) receives the summed IDCA refinement iterations, and
+/// `total_counters` (optional) accumulates the engine work counters over
+/// every per-object run. The serving layer calls this with all three —
+/// payloads must stay bit-identical to the direct path, so there is
+/// exactly one implementation.
 std::vector<ExpectedRankEntry> ExpectedRankOrder(
     const UncertainDatabase& db, const Pdf& q, const IdcaConfig& config = {},
-    const RTree* index = nullptr, size_t* total_iterations = nullptr);
+    const RTree* index = nullptr, size_t* total_iterations = nullptr,
+    IdcaCounters* total_counters = nullptr);
 
 /// Threshold-kNN prune distance: the k-th smallest MaxDist(object, q_mbr)
 /// over the *existentially certain* objects (an object that may be absent

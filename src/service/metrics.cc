@@ -1,21 +1,12 @@
 #include "service/metrics.h"
 
 #include <algorithm>
-#include <cmath>
 #include <cstdio>
 
 namespace updb {
 namespace service {
 
 namespace {
-
-/// Nearest-rank percentile of an ascending-sorted series.
-double Percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const size_t rank = static_cast<size_t>(
-      std::ceil(q * static_cast<double>(sorted.size())));
-  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
-}
 
 void AppendField(std::string& out, const char* key, double value,
                  bool last = false) {
@@ -60,82 +51,119 @@ std::string MetricsSnapshot::ToJson() const {
   return out;
 }
 
+ServiceMetrics::ServiceMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    owned_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_.get();
+  }
+  registry_ = registry;
+  submitted_ = registry_->Counter("updb_service_submitted_total",
+                                  "Submit calls (any outcome)");
+  admitted_ = registry_->Counter("updb_service_admitted_total",
+                                 "Requests admitted to the queue");
+  rejected_ = registry_->Counter("updb_service_rejected_total",
+                                 "Rejections due to a full admission queue");
+  invalid_ = registry_->Counter("updb_service_invalid_total",
+                                "Requests failing admission validation");
+  completed_ = registry_->Counter("updb_service_completed_total",
+                                  "Requests completed (any status)");
+  expired_ = registry_->Counter("updb_service_expired_total",
+                                "Completions with status expired");
+  invalidated_ = registry_->Counter(
+      "updb_service_invalidated_total",
+      "Completions invalidated by live updates after admission");
+  batches_ = registry_->Counter("updb_service_batches_total",
+                                "Batches executed");
+  batched_requests_ = registry_->Counter(
+      "updb_service_batched_requests_total", "Requests across all batches");
+  queue_depth_ = registry_->Gauge("updb_service_queue_depth",
+                                  "Requests admitted but not yet dispatched");
+  max_queue_depth_ = registry_->Gauge("updb_service_queue_depth_max",
+                                      "High-water mark of the queue depth");
+  latency_seconds_ = registry_->Histogram(
+      "updb_service_latency_seconds",
+      "Submit -> response-ready latency in seconds");
+}
+
+void ServiceMetrics::MarkFirstAdmit() {
+  double expected = -1.0;
+  first_admit_at_.compare_exchange_strong(expected, clock_.ElapsedSeconds(),
+                                          std::memory_order_relaxed);
+}
+
 void ServiceMetrics::RecordAdmitted(size_t queue_depth_after) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++submitted_;
-  ++admitted_;
-  queue_depth_ = queue_depth_after;
-  max_queue_depth_ = std::max(max_queue_depth_, queue_depth_after);
-  if (first_admit_at_ < 0.0) first_admit_at_ = clock_.ElapsedSeconds();
+  submitted_->Add();
+  admitted_->Add();
+  queue_depth_->Set(static_cast<int64_t>(queue_depth_after));
+  max_queue_depth_->SetMax(static_cast<int64_t>(queue_depth_after));
+  MarkFirstAdmit();
 }
 
 void ServiceMetrics::RecordRejected() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++submitted_;
-  ++rejected_;
+  submitted_->Add();
+  rejected_->Add();
 }
 
 void ServiceMetrics::RecordInvalid() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++submitted_;
-  ++invalid_;
+  submitted_->Add();
+  invalid_->Add();
 }
 
 void ServiceMetrics::RecordCompleted(ResponseStatus status,
                                      double latency_seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++completed_;
-  if (status == ResponseStatus::kExpired) ++expired_;
-  if (status == ResponseStatus::kInvalid) ++invalidated_;
-  latencies_seconds_.push_back(latency_seconds);
-  last_complete_at_ = clock_.ElapsedSeconds();
+  completed_->Add();
+  if (status == ResponseStatus::kExpired) expired_->Add();
+  if (status == ResponseStatus::kInvalid) invalidated_->Add();
+  latency_seconds_->Record(latency_seconds);
+  // Completion marks only ever advance (CAS-max): concurrent recorders
+  // may land out of order in wall-clock terms.
+  const double now = clock_.ElapsedSeconds();
+  double prev = last_complete_at_.load(std::memory_order_relaxed);
+  while (now > prev && !last_complete_at_.compare_exchange_weak(
+                           prev, now, std::memory_order_relaxed)) {
+  }
 }
 
 void ServiceMetrics::RecordBatch(size_t fill) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++batches_;
-  batched_requests_ += fill;
+  batches_->Add();
+  batched_requests_->Add(fill);
 }
 
 void ServiceMetrics::RecordQueueDepth(size_t depth) {
-  std::lock_guard<std::mutex> lock(mu_);
-  queue_depth_ = depth;
-  max_queue_depth_ = std::max(max_queue_depth_, depth);
+  queue_depth_->Set(static_cast<int64_t>(depth));
+  max_queue_depth_->SetMax(static_cast<int64_t>(depth));
 }
 
 MetricsSnapshot ServiceMetrics::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot s;
-  s.submitted = submitted_;
-  s.admitted = admitted_;
-  s.rejected = rejected_;
-  s.invalid = invalid_;
-  s.completed = completed_;
-  s.expired = expired_;
-  s.invalidated = invalidated_;
-  s.batches = batches_;
+  s.submitted = submitted_->Value();
+  s.admitted = admitted_->Value();
+  s.rejected = rejected_->Value();
+  s.invalid = invalid_->Value();
+  s.completed = completed_->Value();
+  s.expired = expired_->Value();
+  s.invalidated = invalidated_->Value();
+  s.batches = batches_->Value();
+  const uint64_t batched = batched_requests_->Value();
   s.mean_batch_fill =
-      batches_ > 0
-          ? static_cast<double>(batched_requests_) / static_cast<double>(batches_)
+      s.batches > 0
+          ? static_cast<double>(batched) / static_cast<double>(s.batches)
           : 0.0;
-  s.queue_depth = queue_depth_;
-  s.max_queue_depth = max_queue_depth_;
-  if (first_admit_at_ >= 0.0 && last_complete_at_ >= first_admit_at_) {
-    s.elapsed_seconds = last_complete_at_ - first_admit_at_;
-  }
+  s.queue_depth = static_cast<size_t>(queue_depth_->Value());
+  s.max_queue_depth = static_cast<size_t>(max_queue_depth_->Value());
+  const double first = first_admit_at_.load(std::memory_order_relaxed);
+  const double last = last_complete_at_.load(std::memory_order_relaxed);
+  if (first >= 0.0 && last >= first) s.elapsed_seconds = last - first;
   if (s.elapsed_seconds > 0.0) {
-    s.throughput_qps = static_cast<double>(completed_) / s.elapsed_seconds;
+    s.throughput_qps = static_cast<double>(s.completed) / s.elapsed_seconds;
   }
-  if (!latencies_seconds_.empty()) {
-    std::vector<double> sorted = latencies_seconds_;
-    std::sort(sorted.begin(), sorted.end());
-    double sum = 0.0;
-    for (double v : sorted) sum += v;
-    s.latency_mean_ms = sum / static_cast<double>(sorted.size()) * 1e3;
-    s.latency_p50_ms = Percentile(sorted, 0.50) * 1e3;
-    s.latency_p95_ms = Percentile(sorted, 0.95) * 1e3;
-    s.latency_p99_ms = Percentile(sorted, 0.99) * 1e3;
-    s.latency_max_ms = sorted.back() * 1e3;
+  const obs::HistogramSnapshot lat = latency_seconds_->Snapshot();
+  if (lat.count > 0) {
+    s.latency_mean_ms = lat.Mean() * 1e3;
+    s.latency_p50_ms = lat.Quantile(0.50) * 1e3;
+    s.latency_p95_ms = lat.Quantile(0.95) * 1e3;
+    s.latency_p99_ms = lat.Quantile(0.99) * 1e3;
+    s.latency_max_ms = lat.max * 1e3;
   }
   return s;
 }

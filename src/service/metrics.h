@@ -1,20 +1,29 @@
 // Copyright 2026 The updb Authors.
-// Serving-layer metrics registry: admission counters, queue depth,
-// batching shape, throughput and tail latency, with a JSON dump. All
-// recorded quantities are wall-clock observations — they describe one run
-// of the service and are deliberately *outside* the determinism contract
-// (only response payloads are reproducible; see service/request.h).
+// Serving-layer metrics: admission counters, queue depth, batching shape,
+// throughput and tail latency, with a JSON dump. All recorded quantities
+// are wall-clock observations — they describe one run of the service and
+// are deliberately *outside* the determinism contract (only response
+// payloads are reproducible; see service/request.h).
+//
+// Backed by the obs substrate (obs/metrics.h): every series registers in a
+// MetricsRegistry — the caller's, so the service shows up in the unified
+// JSON/Prometheus export, or a private one when none is supplied — and the
+// record paths are mutex-free. Latency lives in a log-bucketed bounded
+// histogram: memory is O(buckets), not O(completed requests), and the
+// reported p50/p95/p99 carry the histogram's documented relative error
+// (growth - 1, default 20%) while mean/max stay exact.
 
 #ifndef UPDB_SERVICE_METRICS_H_
 #define UPDB_SERVICE_METRICS_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <vector>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 #include "service/request.h"
 
 namespace updb {
@@ -40,7 +49,9 @@ struct MetricsSnapshot {
   /// First admission -> last completion (0 before the first completion).
   double elapsed_seconds = 0.0;
   double throughput_qps = 0.0;  // completed / elapsed_seconds
-  /// Submit -> response-ready latency, milliseconds.
+  /// Submit -> response-ready latency, milliseconds. mean/max are exact;
+  /// the percentiles come from the bounded histogram (relative error
+  /// bounded by its bucket growth - 1).
   double latency_mean_ms = 0.0;
   double latency_p50_ms = 0.0;
   double latency_p95_ms = 0.0;
@@ -52,41 +63,56 @@ struct MetricsSnapshot {
   std::string ToJson() const;
 };
 
-/// Thread-safe metrics registry; one instance per QueryService. Latencies
-/// are retained exactly (one double per completed request) — the service
-/// is an in-process layer, so a run's request count is bounded by memory
-/// the caller already spent on responses.
+/// Thread-safe metrics facade; one instance per QueryService. No record
+/// path takes a mutex: counters are striped atomics, the latency
+/// histogram's memory is fixed at construction (O(1) in request count).
 class ServiceMetrics {
  public:
-  ServiceMetrics() = default;
+  /// Registers the service series in `registry`; nullptr creates a private
+  /// registry (test isolation). Series names are listed in README
+  /// "Observability".
+  explicit ServiceMetrics(obs::MetricsRegistry* registry = nullptr);
+
+  ServiceMetrics(const ServiceMetrics&) = delete;
+  ServiceMetrics& operator=(const ServiceMetrics&) = delete;
 
   void RecordAdmitted(size_t queue_depth_after);
   void RecordRejected();
   void RecordInvalid();
-  /// `latency_seconds` covers Submit -> response ready.
+  /// `latency_seconds` covers Submit -> response ready. Lock-free.
   void RecordCompleted(ResponseStatus status, double latency_seconds);
   void RecordBatch(size_t fill);
   void RecordQueueDepth(size_t depth);
 
   MetricsSnapshot Snapshot() const;
 
+  /// The registry the series live in (the injected one, or the private
+  /// fallback) — export with ToJson()/ToPrometheus().
+  obs::MetricsRegistry& registry() const { return *registry_; }
+
  private:
-  mutable std::mutex mu_;
+  /// Lowers wall-clock marks into `cell` (CAS loop; keeps the maximum for
+  /// last_complete_at_, the first write for first_admit_at_).
+  void MarkFirstAdmit();
+
+  std::unique_ptr<obs::MetricsRegistry> owned_;  // when none was injected
+  obs::MetricsRegistry* registry_ = nullptr;
+
   Stopwatch clock_;  // time base for first-admission/last-completion
-  uint64_t submitted_ = 0;
-  uint64_t admitted_ = 0;
-  uint64_t rejected_ = 0;
-  uint64_t invalid_ = 0;
-  uint64_t completed_ = 0;
-  uint64_t expired_ = 0;
-  uint64_t invalidated_ = 0;
-  uint64_t batches_ = 0;
-  uint64_t batched_requests_ = 0;
-  size_t queue_depth_ = 0;
-  size_t max_queue_depth_ = 0;
-  double first_admit_at_ = -1.0;
-  double last_complete_at_ = -1.0;
-  std::vector<double> latencies_seconds_;
+  obs::Counter* submitted_;
+  obs::Counter* admitted_;
+  obs::Counter* rejected_;
+  obs::Counter* invalid_;
+  obs::Counter* completed_;
+  obs::Counter* expired_;
+  obs::Counter* invalidated_;
+  obs::Counter* batches_;
+  obs::Counter* batched_requests_;
+  obs::Gauge* queue_depth_;
+  obs::Gauge* max_queue_depth_;
+  obs::Histogram* latency_seconds_;
+  std::atomic<double> first_admit_at_{-1.0};
+  std::atomic<double> last_complete_at_{-1.0};
 };
 
 }  // namespace service

@@ -68,6 +68,7 @@ QueryService::QueryService(
     : store_(std::move(db_store)),
       pinned_(std::move(pinned)),
       options_(options),
+      metrics_(options_.metrics_registry),
       pool_(CheckedPoolSize(options.num_workers)),
       paused_(options.start_paused) {
   UPDB_CHECK(store_ != nullptr || pinned_ != nullptr);
@@ -113,6 +114,11 @@ StatusOr<uint64_t> QueryService::Submit(QueryRequest request) {
     depth = pending_.size();
   }
   metrics_.RecordAdmitted(depth);
+  if (options_.trace != nullptr) {
+    const obs::TraceArg args[2] = {{"ticket", ticket},
+                                   {"queue_depth", depth}};
+    options_.trace->RecordInstant("submit", "service", args, 2);
+  }
   queue_cv_.notify_one();
   return ticket;
 }
@@ -221,6 +227,7 @@ IdcaConfig QueryService::CompileBudget(const QueryBudget& budget,
   cfg.num_threads = 1;
   cfg.use_index_filter = false;
   cfg.collect_stats = true;
+  cfg.trace = options_.trace;
   int granted = budget.max_iterations;
   if (budget.deadline_ms > 0.0) {
     const double by_deadline =
@@ -238,6 +245,10 @@ IdcaConfig QueryService::CompileBudget(const QueryBudget& budget,
 void QueryService::RunBatch(const store::StoreSnapshot& snap, Pending* batch,
                             size_t count, uint64_t batch_seq) const {
   const UncertainDatabase& db = *snap.db();
+  obs::TraceSpan batch_span(options_.trace, "batch", "service");
+  batch_span.AddArg("batch_seq", batch_seq);
+  batch_span.AddArg("count", count);
+  batch_span.AddArg("version", snap.version());
   // Group same-kind requests so they share one filter pass. Requests whose
   // admission-time validation no longer holds against this round's
   // snapshot (live updates landed in between) terminate as kInvalid;
@@ -248,6 +259,16 @@ void QueryService::RunBatch(const store::StoreSnapshot& snap, Pending* batch,
     p.response.snapshot_version = snap.version();
     p.response.stats.batch = batch_seq;
     p.response.stats.queue_seconds = p.queue_seconds;
+    if (options_.trace != nullptr) {
+      // Queue wait reconstructed backwards from batch start: the span ends
+      // now and began when the request was admitted.
+      const uint64_t now_ns = options_.trace->NowNs();
+      const uint64_t wait_ns = static_cast<uint64_t>(p.queue_seconds * 1e9);
+      const obs::TraceArg args[1] = {{"ticket", p.ticket}};
+      options_.trace->RecordSpan("queue_wait", "service",
+                                 now_ns > wait_ns ? now_ns - wait_ns : 0,
+                                 wait_ns, args, 1);
+    }
     if (!db.empty() && p.request.query->bounds().dim() != db.dim()) {
       p.response.status = ResponseStatus::kInvalid;
       continue;
@@ -300,6 +321,8 @@ void QueryService::ExecThresholdBatch(const store::StoreSnapshot& snap,
   // ascending-id order — a distance cutoff (kNN) and a dominator count
   // (RkNN) are both partition-invariant, so the shard count never
   // changes a candidate set.
+  const uint64_t filter_start_ns =
+      options_.trace != nullptr ? options_.trace->NowNs() : 0;
   std::vector<std::vector<ObjectId>> candidates(count);
   if (!reverse) {
     // Threshold kNN: per-request prune distance (KnnPruneDistance — the
@@ -421,9 +444,21 @@ void QueryService::ExecThresholdBatch(const store::StoreSnapshot& snap,
     }
   }
 
+  if (options_.trace != nullptr) {
+    const obs::TraceArg args[1] = {{"requests", count}};
+    options_.trace->RecordSpan(reverse ? "rknn_filter" : "knn_filter",
+                               "service", filter_start_ns,
+                               options_.trace->NowNs() - filter_start_ns,
+                               args, 1);
+  }
+
   // Phase 2 — per-request IDCA refinement under the compiled budget.
   for (size_t r = 0; r < count; ++r) {
     Pending& p = *requests[r];
+    obs::TraceSpan req_span(options_.trace, QueryKindName(p.request.kind),
+                            "exec");
+    req_span.AddArg("ticket", p.ticket);
+    req_span.AddArg("candidates", candidates[r].size());
     Stopwatch exec;
     int granted = 0;
     const IdcaConfig cfg = CompileBudget(p.request.budget, &granted);
@@ -431,6 +466,7 @@ void QueryService::ExecThresholdBatch(const store::StoreSnapshot& snap,
     const IdcaPredicate predicate{p.request.k, p.request.tau};
     p.response.threshold.reserve(candidates[r].size());
     size_t iterations = 0;
+    IdcaCounters counters;
     bool undecided = false;
     for (ObjectId id : candidates[r]) {
       const IdcaResult result =
@@ -438,6 +474,7 @@ void QueryService::ExecThresholdBatch(const store::StoreSnapshot& snap,
                                                   predicate)
                   : engine.ComputeDomCount(id, *p.request.query, predicate);
       iterations += IterationsRun(result);
+      counters += result.counters;
       undecided |= result.decision == PredicateDecision::kUndecided;
       p.response.threshold.push_back(
           ThresholdQueryResult{id, result.predicate_prob, result.decision});
@@ -445,6 +482,9 @@ void QueryService::ExecThresholdBatch(const store::StoreSnapshot& snap,
     p.response.stats.iterations_granted = granted;
     p.response.stats.candidates = candidates[r].size();
     p.response.stats.idca_iterations = iterations;
+    p.response.stats.ugf_multiplies = counters.ugf_multiplies;
+    p.response.stats.verdict_cache_hits = counters.verdict_cache_hits;
+    p.response.stats.verdict_cache_misses = counters.verdict_cache_misses;
     p.response.status = granted < p.request.budget.max_iterations && undecided
                             ? ResponseStatus::kExpired
                             : ResponseStatus::kOk;
@@ -455,6 +495,9 @@ void QueryService::ExecThresholdBatch(const store::StoreSnapshot& snap,
 void QueryService::ExecInverseRanking(const store::StoreSnapshot& snap,
                                       Pending& p, ObjectId dense_target)
     const {
+  obs::TraceSpan req_span(options_.trace, QueryKindName(p.request.kind),
+                          "exec");
+  req_span.AddArg("ticket", p.ticket);
   Stopwatch exec;
   int granted = 0;
   const IdcaConfig cfg = CompileBudget(p.request.budget, &granted);
@@ -465,6 +508,10 @@ void QueryService::ExecInverseRanking(const store::StoreSnapshot& snap,
   p.response.stats.iterations_granted = granted;
   p.response.stats.candidates = result.influence_count;
   p.response.stats.idca_iterations = IterationsRun(result);
+  p.response.stats.ugf_multiplies = result.counters.ugf_multiplies;
+  p.response.stats.verdict_cache_hits = result.counters.verdict_cache_hits;
+  p.response.stats.verdict_cache_misses =
+      result.counters.verdict_cache_misses;
   p.response.status =
       granted < p.request.budget.max_iterations &&
               result.bounds.TotalUncertainty() >
@@ -477,14 +524,18 @@ void QueryService::ExecInverseRanking(const store::StoreSnapshot& snap,
 void QueryService::ExecExpectedRank(const store::StoreSnapshot& snap,
                                     Pending& p) const {
   const UncertainDatabase& db = *snap.db();
+  obs::TraceSpan req_span(options_.trace, QueryKindName(p.request.kind),
+                          "exec");
+  req_span.AddArg("ticket", p.ticket);
   Stopwatch exec;
   int granted = 0;
   const IdcaConfig cfg = CompileBudget(p.request.budget, &granted);
   // Delegate to the direct query path (serial here: cfg.num_threads == 1)
   // so the service payload cannot diverge from ExpectedRankOrder.
   size_t iterations = 0;
-  p.response.expected =
-      ExpectedRankOrder(db, *p.request.query, cfg, nullptr, &iterations);
+  IdcaCounters counters;
+  p.response.expected = ExpectedRankOrder(db, *p.request.query, cfg, nullptr,
+                                          &iterations, &counters);
   double total_width = 0.0;
   for (const ExpectedRankEntry& e : p.response.expected) {
     total_width += e.expected_rank.width();
@@ -492,6 +543,9 @@ void QueryService::ExecExpectedRank(const store::StoreSnapshot& snap,
   p.response.stats.iterations_granted = granted;
   p.response.stats.candidates = db.size();
   p.response.stats.idca_iterations = iterations;
+  p.response.stats.ugf_multiplies = counters.ugf_multiplies;
+  p.response.stats.verdict_cache_hits = counters.verdict_cache_hits;
+  p.response.stats.verdict_cache_misses = counters.verdict_cache_misses;
   p.response.status = granted < p.request.budget.max_iterations &&
                               total_width > p.request.budget.uncertainty_epsilon
                           ? ResponseStatus::kExpired

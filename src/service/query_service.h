@@ -103,6 +103,17 @@ struct QueryServiceOptions {
   /// is dispatched until Resume(). Lets tests and closed-loop drivers
   /// control batch composition exactly.
   bool start_paused = false;
+  /// Registry the service's metric series register in (must outlive the
+  /// service). nullptr creates a private registry, still exportable via
+  /// metrics().registry() — processes wanting one unified export pass
+  /// obs::MetricsRegistry::Default().
+  obs::MetricsRegistry* metrics_registry = nullptr;
+  /// Span sink for per-request tracing (submit, queue wait, batch, request
+  /// execution, and — threaded into the compiled IdcaConfig — the engine's
+  /// filter/iteration spans). nullptr (default) disables tracing; every
+  /// instrumentation site then costs one pointer test, and payloads are
+  /// bit-identical either way (digest-oracle enforced).
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// The concurrent query service. Thread-safe: any thread may Submit/Take;

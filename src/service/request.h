@@ -113,6 +113,15 @@ struct RequestStats {
   size_t candidates = 0;
   /// IDCA refinement iterations actually executed across all candidates.
   size_t idca_iterations = 0;
+  /// Engine work counters summed over every IDCA run this request issued
+  /// (profiling: per-request cost is visible without tracing). Each is a
+  /// deterministic function of (request, snapshot version, budget) and
+  /// thread-count-invariant, but — like the wall-clock fields — they stay
+  /// OUTSIDE ResponseDigest so digests committed by earlier releases
+  /// remain comparable.
+  uint64_t ugf_multiplies = 0;
+  uint64_t verdict_cache_hits = 0;
+  uint64_t verdict_cache_misses = 0;
   /// Batch sequence number the request executed in (diagnostics).
   uint64_t batch = 0;
   /// Wall-clock admission -> batch start. NOT covered by the determinism

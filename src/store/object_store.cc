@@ -92,10 +92,37 @@ VersionedObjectStore::VersionedObjectStore(StoreOptions options)
   UPDB_CHECK(options_.snapshot_retention >= 1);
   UPDB_CHECK(options_.leaf_capacity >= 2);
   UPDB_CHECK(options_.num_shards >= 1);
+  RegisterMetrics();
   auto empty_table = std::make_shared<const LiveTable>();
   shards_.resize(options_.num_shards);
   for (Shard& shard : shards_) shard.table = empty_table;
   InstallEmptySnapshot();
+}
+
+void VersionedObjectStore::RegisterMetrics() {
+  obs::MetricsRegistry* registry = options_.metrics_registry;
+  if (registry == nullptr) {
+    owned_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_registry_.get();
+  }
+  obs_drain_seconds_ = registry->Histogram(
+      "updb_store_publish_drain_seconds",
+      "Writer-mutex hold of the publish drain step");
+  obs_build_seconds_ = registry->Histogram(
+      "updb_store_publish_build_seconds",
+      "Snapshot build time of a publish (outside the writer mutex)");
+  obs_publishes_ = registry->Counter("updb_store_publishes_total",
+                                     "Snapshots published");
+  obs_wal_appends_ = registry->Counter("updb_wal_appends_total",
+                                       "WAL records appended");
+  obs_wal_bytes_ = registry->Counter("updb_wal_appended_bytes_total",
+                                     "WAL frame bytes appended");
+  obs_wal_fsyncs_ = registry->Counter("updb_wal_fsyncs_total",
+                                      "WAL segment fsyncs");
+  obs_checkpoint_writes_ = registry->Counter("updb_checkpoint_writes_total",
+                                             "Checkpoints written");
+  obs_checkpoint_failures_ = registry->Counter(
+      "updb_checkpoint_failures_total", "Checkpoint writes that failed");
 }
 
 VersionedObjectStore::VersionedObjectStore(const UncertainDatabase& db,
@@ -335,6 +362,17 @@ std::shared_ptr<const StoreSnapshot> VersionedObjectStore::Publish(
     }
     local_stats.drain_ms = drain_timer.ElapsedMillis();
   }
+  obs_drain_seconds_->Record(local_stats.drain_ms / 1e3);
+  if (options_.trace != nullptr) {
+    // Backdated: the span covers the writer-mutex hold just released.
+    const uint64_t dur_ns = static_cast<uint64_t>(local_stats.drain_ms * 1e6);
+    const uint64_t now_ns = options_.trace->NowNs();
+    const obs::TraceArg args[2] = {
+        {"version", version}, {"drained", local_stats.drained_mutations}};
+    options_.trace->RecordSpan("publish_drain", "store",
+                               now_ns > dur_ns ? now_ns - dur_ns : 0, dur_ns,
+                               args, 2);
+  }
 
   Stopwatch build_timer;
   // Per shard: merge the CoW table with the drained delta, then compose
@@ -465,6 +503,15 @@ std::shared_ptr<const StoreSnapshot> VersionedObjectStore::Publish(
                            stable_by_dense),
       stable_by_dense));
   local_stats.build_ms = build_timer.ElapsedMillis();
+  obs_build_seconds_->Record(local_stats.build_ms / 1e3);
+  if (options_.trace != nullptr) {
+    const uint64_t dur_ns = static_cast<uint64_t>(local_stats.build_ms * 1e6);
+    const uint64_t now_ns = options_.trace->NowNs();
+    const obs::TraceArg args[1] = {{"version", version}};
+    options_.trace->RecordSpan("publish_build", "store",
+                               now_ns > dur_ns ? now_ns - dur_ns : 0, dur_ns,
+                               args, 1);
+  }
 
   // Under every_publish/every_batch, force the drained records to stable
   // storage *before* the snapshot becomes visible: a version a reader can
@@ -473,6 +520,8 @@ std::shared_ptr<const StoreSnapshot> VersionedObjectStore::Publish(
   // harmless.
   Status sync_error;
   if (durable_ && durability_.fsync != FsyncPolicy::kNever) {
+    obs::TraceSpan fsync_span(options_.trace, "wal_fsync", "store");
+    fsync_span.AddArg("version", version);
     for (const auto& writer : wal_writers_) {
       if (!writer->dirty()) continue;
       const Status synced = writer->Sync();
@@ -502,12 +551,15 @@ std::shared_ptr<const StoreSnapshot> VersionedObjectStore::Publish(
     publish_metrics_.max_build_ms =
         std::max(publish_metrics_.max_build_ms, local_stats.build_ms);
   }
+  obs_publishes_->Add();
 
   if (checkpoint_due) {
     // Checkpoint the just-installed version (outside mu_, still under
     // publish_mu_). Always fsynced + atomically renamed regardless of the
     // WAL fsync policy; a failure is sticky but the in-memory snapshot
     // stays valid.
+    obs::TraceSpan ck_span(options_.trace, "checkpoint_write", "store");
+    ck_span.AddArg("version", version);
     CheckpointState ck;
     ck.version = version;
     ck.next_id = ck_next_id;
@@ -516,8 +568,13 @@ std::shared_ptr<const StoreSnapshot> VersionedObjectStore::Publish(
     ck.entries = CheckpointEntriesOf(*snap);
     Status ck_status = WriteCheckpoint(durability_.wal_dir, ck);
     if (ck_status.ok()) {
+      ++checkpoint_writes_;
+      obs_checkpoint_writes_->Add();
       ck_status =
           PruneCheckpoints(durability_.wal_dir, durability_.checkpoint_keep);
+    } else {
+      ++checkpoint_failures_;
+      obs_checkpoint_failures_->Add();
     }
     if (!ck_status.ok()) {
       std::lock_guard<std::mutex> lock(mu_);
@@ -608,6 +665,8 @@ Status VersionedObjectStore::AttachDurability(
   }
   ck.entries = CheckpointEntriesOf(*snap);
   UPDB_RETURN_IF_ERROR(WriteCheckpoint(durability.wal_dir, ck));
+  ++checkpoint_writes_;
+  obs_checkpoint_writes_->Add();
 
   // Rebuild the WAL segment set from scratch: delete every stale segment
   // (including those of a different shard count — replay routes by
@@ -630,6 +689,8 @@ Status VersionedObjectStore::AttachDurability(
     StatusOr<std::unique_ptr<WalShardWriter>> writer = WalShardWriter::Open(
         durability.wal_dir + "/" + WalShardFileName(s), /*truncate=*/true);
     if (!writer.ok()) return writer.status();
+    writer.value()->SetMetrics(obs_wal_appends_, obs_wal_bytes_,
+                               obs_wal_fsyncs_);
     writers.push_back(std::move(writer).value());
   }
   for (const LogRecord& r : pending) {
@@ -662,6 +723,50 @@ Status VersionedObjectStore::AttachDurability(
 Status VersionedObjectStore::wal_status() const {
   std::lock_guard<std::mutex> lock(mu_);
   return wal_status_;
+}
+
+std::string WalStats::ToJson(const Status& wal_status) const {
+  std::string status_text = wal_status.ToString();
+  std::string escaped;
+  escaped.reserve(status_text.size());
+  for (char c : status_text) {
+    if (c == '"' || c == '\\') escaped.push_back('\\');
+    if (c == '\n') {
+      escaped += "\\n";
+    } else {
+      escaped.push_back(c);
+    }
+  }
+  std::string json = "{\"durable\":";
+  json += durable ? "true" : "false";
+  json += ",\"fsync_policy\":\"";
+  json += FsyncPolicyName(fsync);
+  json += "\",\"appends\":" + std::to_string(appends);
+  json += ",\"appended_bytes\":" + std::to_string(appended_bytes);
+  json += ",\"fsyncs\":" + std::to_string(fsyncs);
+  json += ",\"checkpoint_writes\":" + std::to_string(checkpoint_writes);
+  json += ",\"checkpoint_failures\":" + std::to_string(checkpoint_failures);
+  json += ",\"status\":\"" + escaped + "\"}";
+  return json;
+}
+
+WalStats VersionedObjectStore::wal_stats() const {
+  WalStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.durable = durable_;
+    out.fsync = durability_.fsync;
+    // Writer odometers are atomics; summing under mu_ keeps the set of
+    // writers stable (AttachDurability swaps the vector under mu_).
+    for (const auto& writer : wal_writers_) {
+      out.appends += writer->appended_records();
+      out.appended_bytes += writer->appended_bytes();
+      out.fsyncs += writer->fsyncs();
+    }
+  }
+  out.checkpoint_writes = checkpoint_writes_;
+  out.checkpoint_failures = checkpoint_failures_;
+  return out;
 }
 
 Status VersionedObjectStore::SyncWal() {

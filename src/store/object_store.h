@@ -43,6 +43,7 @@
 #ifndef UPDB_STORE_OBJECT_STORE_H_
 #define UPDB_STORE_OBJECT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -52,6 +53,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/snapshot_index.h"
 #include "store/wal.h"
 #include "uncertain/database.h"
@@ -126,6 +129,16 @@ struct StoreOptions {
   size_t num_shards = 1;
   /// Durable-mode configuration; honored by Open()/AttachDurability only.
   DurabilityOptions durability;
+  /// Registry the store's series register in (publish drain/build
+  /// histograms, publish/WAL/checkpoint counters; see README
+  /// "Observability"). Must outlive the store. nullptr creates a private
+  /// registry — pass obs::MetricsRegistry::Default() for one unified
+  /// process export.
+  obs::MetricsRegistry* metrics_registry = nullptr;
+  /// Span sink for publish_drain/publish_build/wal_fsync/checkpoint_write
+  /// spans. nullptr (default) disables store-side tracing; snapshot
+  /// contents are identical either way.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Wall-clock breakdown of one Publish() (see bench_store_churn): the
@@ -144,6 +157,21 @@ struct PublishMetrics {
   double max_drain_ms = 0.0;
   double total_build_ms = 0.0;
   double max_build_ms = 0.0;
+};
+
+/// Durability counters aggregated over a store's lifetime (the CLI's
+/// "wal" metrics section). All-zero while no durability is attached.
+struct WalStats {
+  bool durable = false;
+  FsyncPolicy fsync = FsyncPolicy::kEveryPublish;
+  uint64_t appends = 0;
+  uint64_t appended_bytes = 0;
+  uint64_t fsyncs = 0;
+  uint64_t checkpoint_writes = 0;
+  uint64_t checkpoint_failures = 0;
+
+  /// Serializes as a JSON object (plus the sticky WAL status string).
+  std::string ToJson(const Status& wal_status) const;
 };
 
 /// One live object; PDFs are shared by pointer, snapshots copy nothing
@@ -286,6 +314,14 @@ class VersionedObjectStore {
   uint64_t total_mutations() const;
   /// Aggregate drain/build timing over all publishes so far.
   PublishMetrics publish_metrics() const;
+  /// Aggregate WAL/checkpoint counters (all-zero for in-memory stores).
+  WalStats wal_stats() const;
+  /// The registry this store's series live in: options.metrics_registry
+  /// when one was supplied, else the store's private registry.
+  obs::MetricsRegistry& registry() const {
+    return options_.metrics_registry != nullptr ? *options_.metrics_registry
+                                                : *owned_registry_;
+  }
   /// Copy of the pending write-ahead window, in application order
   /// (ascending global sequence, merged across shards).
   std::vector<LogRecord> PendingLog() const;
@@ -358,8 +394,23 @@ class VersionedObjectStore {
   /// record's).
   void CommitMutationLocked(const Mutation& mutation, ObjectId target,
                             uint64_t sequence);
+  /// Registers the store's metric series (constructor helper).
+  void RegisterMetrics();
 
   const StoreOptions options_;
+
+  // Observability handles (obs/metrics.h): registered once at
+  // construction in options_.metrics_registry (or the private fallback);
+  // all record paths are lock-free.
+  std::unique_ptr<obs::MetricsRegistry> owned_registry_;
+  obs::Histogram* obs_drain_seconds_ = nullptr;
+  obs::Histogram* obs_build_seconds_ = nullptr;
+  obs::Counter* obs_publishes_ = nullptr;
+  obs::Counter* obs_wal_appends_ = nullptr;
+  obs::Counter* obs_wal_bytes_ = nullptr;
+  obs::Counter* obs_wal_fsyncs_ = nullptr;
+  obs::Counter* obs_checkpoint_writes_ = nullptr;
+  obs::Counter* obs_checkpoint_failures_ = nullptr;
 
   /// Writer state: per-shard CoW tables + pending WAL windows. Held
   /// briefly by mutators and by Publish's O(delta) drain/install steps.
@@ -383,6 +434,8 @@ class VersionedObjectStore {
   std::vector<std::unique_ptr<WalShardWriter>> wal_writers_;
   Status wal_status_;                          // guarded by mu_
   uint64_t publishes_since_checkpoint_ = 0;    // guarded by mu_
+  std::atomic<uint64_t> checkpoint_writes_{0};
+  std::atomic<uint64_t> checkpoint_failures_{0};
 
   /// Serializes publishers so snapshot builds (which run outside mu_)
   /// install in version order.

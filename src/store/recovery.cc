@@ -4,6 +4,7 @@
 #include <filesystem>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "store/checkpoint.h"
 #include "store/wal.h"
 
@@ -180,6 +181,35 @@ StatusOr<std::unique_ptr<VersionedObjectStore>> RecoverStore(
 
   rep.recovered_version = store->version();
   rep.pending_mutations = store->pending_mutations();
+
+  // Publish the recovery outcome to the store's registry (the store was
+  // constructed with `options`, so this is the same registry — or its
+  // private one — that serves the rest of the store's series).
+  obs::MetricsRegistry& registry = options.metrics_registry != nullptr
+                                       ? *options.metrics_registry
+                                       : store->registry();
+  registry.Counter("updb_recovery_runs_total", "Store recoveries attempted")
+      ->Add();
+  registry
+      .Counter("updb_recovery_replayed_mutations_total",
+               "WAL mutation records replayed during recovery")
+      ->Add(rep.replayed_mutations);
+  registry
+      .Counter("updb_recovery_replayed_publishes_total",
+               "WAL publish markers replayed during recovery")
+      ->Add(rep.replayed_publishes);
+  registry
+      .Counter("updb_recovery_truncated_bytes_total",
+               "WAL tail bytes dropped as torn or corrupt during recovery")
+      ->Add(rep.truncated_bytes);
+  registry
+      .Counter("updb_recovery_dropped_records_total",
+               "Decoded WAL records dropped during recovery")
+      ->Add(rep.dropped_records);
+  registry
+      .Counter("updb_recovery_data_loss_total",
+               "Recoveries that detected data loss")
+      ->Add(rep.data_loss ? 1 : 0);
   return store;
 }
 

@@ -367,7 +367,10 @@ Status WalShardWriter::Append(const WalRecord& record) {
     written += static_cast<size_t>(n);
   }
   ++appended_records_;
+  appended_bytes_ += frame->size();
   dirty_ = true;
+  if (metric_appends_ != nullptr) metric_appends_->Add();
+  if (metric_bytes_ != nullptr) metric_bytes_->Add(frame->size());
   return Status::OK();
 }
 
@@ -376,7 +379,9 @@ Status WalShardWriter::Sync() {
     return Status::Unavailable("fsync of '" + path_ +
                                "' failed: " + std::strerror(errno));
   }
+  ++fsyncs_;
   dirty_ = false;
+  if (metric_fsyncs_ != nullptr) metric_fsyncs_->Add();
   return Status::OK();
 }
 

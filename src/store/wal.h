@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "uncertain/object.h"
 #include "uncertain/pdf.h"
 
@@ -170,8 +171,20 @@ class WalShardWriter {
 
   const std::string& path() const { return path_; }
   uint64_t appended_records() const { return appended_records_; }
+  uint64_t appended_bytes() const { return appended_bytes_; }
+  uint64_t fsyncs() const { return fsyncs_; }
   /// True when records were appended since the last Sync().
   bool dirty() const { return dirty_; }
+
+  /// Wires the writer's append/byte/fsync odometers to registry counters
+  /// (shared across a store's shard writers — all nullptr by default; the
+  /// store calls this once right after opening, before any append).
+  void SetMetrics(obs::Counter* appends, obs::Counter* bytes,
+                  obs::Counter* syncs) {
+    metric_appends_ = appends;
+    metric_bytes_ = bytes;
+    metric_fsyncs_ = syncs;
+  }
 
  private:
   WalShardWriter(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
@@ -179,7 +192,12 @@ class WalShardWriter {
   std::string path_;
   int fd_ = -1;
   std::atomic<uint64_t> appended_records_{0};
+  std::atomic<uint64_t> appended_bytes_{0};
+  std::atomic<uint64_t> fsyncs_{0};
   std::atomic<bool> dirty_{false};
+  obs::Counter* metric_appends_ = nullptr;
+  obs::Counter* metric_bytes_ = nullptr;
+  obs::Counter* metric_fsyncs_ = nullptr;
 };
 
 }  // namespace store

@@ -24,6 +24,8 @@
 #include "index/rtree.h"
 #include "io/dataset_io.h"
 #include "mc/monte_carlo.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "queries/expected_distance.h"
 #include "queries/queries.h"
 #include "service/metrics.h"

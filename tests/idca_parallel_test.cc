@@ -33,6 +33,15 @@ UncertainDatabase TestDatabase(size_t n, double extent, uint64_t seed) {
   return MakeSyntheticDatabase(cfg);
 }
 
+void ExpectIdenticalCounters(const IdcaCounters& a, const IdcaCounters& b) {
+  EXPECT_EQ(a.pairs_evaluated, b.pairs_evaluated);
+  EXPECT_EQ(a.pairs_frozen, b.pairs_frozen);
+  EXPECT_EQ(a.domination_tests, b.domination_tests);
+  EXPECT_EQ(a.verdict_cache_hits, b.verdict_cache_hits);
+  EXPECT_EQ(a.verdict_cache_misses, b.verdict_cache_misses);
+  EXPECT_EQ(a.ugf_multiplies, b.ugf_multiplies);
+}
+
 void ExpectIdenticalResults(const IdcaResult& a, const IdcaResult& b) {
   EXPECT_EQ(a.complete_domination_count, b.complete_domination_count);
   EXPECT_EQ(a.influence_count, b.influence_count);
@@ -50,6 +59,10 @@ void ExpectIdenticalResults(const IdcaResult& a, const IdcaResult& b) {
   EXPECT_EQ(a.predicate_prob.ub, b.predicate_prob.ub);
   EXPECT_EQ(a.decision, b.decision);
   EXPECT_EQ(a.iterations.size(), b.iterations.size());
+  // The profiling counters are part of the determinism contract too: the
+  // chunk partition depends only on the pair count, never on the thread
+  // count, so summed per-chunk work is schedule-independent.
+  ExpectIdenticalCounters(a.counters, b.counters);
 }
 
 TEST(IdcaParallelTest, ThreadCountDoesNotChangeBounds) {
@@ -114,6 +127,34 @@ TEST(IdcaParallelTest, VerdictCacheMatchesFullRecomputation) {
     EXPECT_LT(with.iterations.back().candidate_partitions,
               without.iterations.back().candidate_partitions);
   }
+}
+
+/// The engine's work counters are populated, self-consistent, and a cache
+/// hit actually replaces a fresh domination test.
+TEST(IdcaParallelTest, CountersArePopulatedAndConsistent) {
+  const UncertainDatabase db = TestDatabase(50, 0.08, 83);
+  Rng rng(25);
+  const auto r =
+      MakeQueryObject(Point{0.45, 0.55}, 0.08, ObjectModel::kUniform, 0, rng);
+  IdcaConfig cached;
+  cached.max_iterations = 5;
+  const IdcaResult with = IdcaEngine(db, cached).ComputeDomCount(12, *r);
+  EXPECT_GT(with.counters.pairs_evaluated, 0u);
+  EXPECT_GT(with.counters.domination_tests, 0u);
+  EXPECT_GT(with.counters.ugf_multiplies, 0u);
+  // Every fresh test is a cache miss by definition.
+  EXPECT_EQ(with.counters.verdict_cache_misses,
+            with.counters.domination_tests);
+
+  IdcaConfig recompute = cached;
+  recompute.cache_verdicts = false;
+  const IdcaResult without =
+      IdcaEngine(db, recompute).ComputeDomCount(12, *r);
+  EXPECT_EQ(without.counters.verdict_cache_hits, 0u);
+  // Inheriting resolved mass must save domination tests, never add them.
+  EXPECT_GT(with.counters.verdict_cache_hits, 0u);
+  EXPECT_LT(with.counters.domination_tests,
+            without.counters.domination_tests);
 }
 
 TEST(IdcaParallelTest, QueriesAreThreadCountInvariant) {

@@ -1,0 +1,313 @@
+// Copyright 2026 The updb Authors.
+// Observability substrate tests: histogram quantile accuracy against
+// exact known answers, registry export formats, span nesting and
+// timestamp monotonicity, and concurrent recording (the TSan job runs
+// this binary to prove the lock-free hot paths are race-free).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace updb {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+/// Exact quantile of a sorted sample (nearest-rank).
+double ExactQuantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const size_t rank = std::min(
+      values.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(values.size())));
+  return values[rank];
+}
+
+TEST(HistogramTest, QuantileKnownAnswerWithinDocumentedError) {
+  HistogramOptions options;  // min=1e-5, growth=1.2, buckets=100
+  Histogram h(options);
+  // 10000 samples spanning four decades inside the bucket range.
+  std::vector<double> values;
+  values.reserve(10000);
+  uint64_t state = 42;
+  for (int i = 0; i < 10000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const double u = static_cast<double>(state >> 11) / 9007199254740992.0;
+    const double v = 1e-4 * std::pow(10.0, 3.0 * u);  // log-uniform [1e-4, 1e-1]
+    values.push_back(v);
+    h.Record(v);
+  }
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 10000u);
+  EXPECT_NEAR(snap.min, *std::min_element(values.begin(), values.end()), 0.0);
+  EXPECT_NEAR(snap.max, *std::max_element(values.begin(), values.end()), 0.0);
+  // The documented relative error bound is growth - 1.
+  const double bound = options.growth - 1.0;
+  for (double q : {0.5, 0.95, 0.99}) {
+    const double exact = ExactQuantile(values, q);
+    const double approx = snap.Quantile(q);
+    EXPECT_LE(std::abs(approx - exact) / exact, bound)
+        << "q=" << q << " exact=" << exact << " approx=" << approx;
+  }
+  // Quantile(1.0) is clamped to the exact maximum.
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), snap.max);
+}
+
+TEST(HistogramTest, DegenerateAndOutOfRangeValues) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.Snapshot().Quantile(0.5), 0.0);  // empty
+
+  // Everything in one bucket: quantiles are clamped into [min, max].
+  for (int i = 0; i < 100; ++i) h.Record(3e-3);
+  const HistogramSnapshot one = h.Snapshot();
+  EXPECT_DOUBLE_EQ(one.Quantile(0.5), 3e-3);
+  EXPECT_DOUBLE_EQ(one.min, 3e-3);
+  EXPECT_DOUBLE_EQ(one.max, 3e-3);
+
+  // Below-min and above-max land in the first/last bucket; the exact
+  // extremes are still reported.
+  Histogram wide;
+  wide.Record(1e-9);
+  wide.Record(1e9);
+  const HistogramSnapshot extremes = wide.Snapshot();
+  EXPECT_EQ(extremes.count, 2u);
+  EXPECT_DOUBLE_EQ(extremes.min, 1e-9);
+  EXPECT_DOUBLE_EQ(extremes.max, 1e9);
+  EXPECT_DOUBLE_EQ(extremes.Quantile(1.0), 1e9);
+}
+
+TEST(HistogramTest, MemoryIsIndependentOfSampleCount) {
+  // The snapshot's bucket vectors are sized by the options, not by the
+  // number of recorded samples — the O(1)-in-request-count contract.
+  HistogramOptions options;
+  options.buckets = 16;
+  Histogram h(options);
+  for (int i = 0; i < 100000; ++i) h.Record(1e-3);
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.counts.size(), 16u);
+  EXPECT_EQ(snap.upper_edges.size(), 16u);
+  EXPECT_EQ(snap.count, 100000u);
+}
+
+TEST(HistogramTest, ConcurrentRecordingLosesNothing) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(1e-4 * static_cast<double>(1 + ((t + i) % 7)));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t c : snap.counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+
+TEST(CounterTest, ConcurrentAddsSumExactly) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetMaxNeverLowers) {
+  Gauge g;
+  g.Set(10);
+  g.SetMax(5);
+  EXPECT_EQ(g.Value(), 10);
+  g.SetMax(25);
+  EXPECT_EQ(g.Value(), 25);
+  g.Add(-5);
+  EXPECT_EQ(g.Value(), 20);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.Counter("updb_test_total", "help");
+  Counter* b = registry.Counter("updb_test_total", "help");
+  EXPECT_EQ(a, b);
+  // A {label} suffix is a distinct series.
+  Counter* labeled = registry.Counter("updb_test_total{shard=\"1\"}", "help");
+  EXPECT_NE(a, labeled);
+}
+
+TEST(MetricsRegistryTest, JsonAndPrometheusExports) {
+  MetricsRegistry registry;
+  registry.Counter("updb_unit_requests_total", "Requests")->Add(3);
+  registry.Gauge("updb_unit_depth", "Depth")->Set(7);
+  Histogram* h =
+      registry.Histogram("updb_unit_latency_seconds", "Latency");
+  h->Record(1e-3);
+  h->Record(2e-3);
+
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"updb_unit_requests_total\": 3"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"updb_unit_depth\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"updb_unit_latency_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 2"), std::string::npos);
+
+  const std::string prom = registry.ToPrometheus();
+  EXPECT_NE(prom.find("# TYPE updb_unit_requests_total counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("updb_unit_requests_total 3"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE updb_unit_depth gauge"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE updb_unit_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("updb_unit_latency_seconds_count 2"),
+            std::string::npos);
+  // Cumulative buckets end with the catch-all +Inf series.
+  EXPECT_NE(prom.find("updb_unit_latency_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetOrCreateAndRecord) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.Counter("updb_race_total", "h")->Add();
+        registry.Histogram("updb_race_seconds", "h")->Record(1e-3);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.Counter("updb_race_total", "h")->Value(),
+            static_cast<uint64_t>(kThreads) * 1000);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+TEST(TraceTest, SpanNestingAndMonotonicTimestamps) {
+  TraceRecorder recorder;
+  {
+    TraceSpan outer(&recorder, "outer", "test");
+    outer.AddArg("k", 1);
+    {
+      TraceSpan inner(&recorder, "inner", "test");
+      inner.AddArg("k", 2);
+    }
+    recorder.RecordInstant("mark", "test");
+  }
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 3u);
+  // Completion order: inner closes first, then the instant, then outer.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& mark = events[1];
+  const TraceEvent& outer = events[2];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(mark.name, "mark");
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_EQ(mark.dur_ns, TraceEvent::kInstant);
+  // Nesting: the inner interval lies within the outer interval.
+  EXPECT_GE(inner.ts_ns, outer.ts_ns);
+  EXPECT_LE(inner.ts_ns + inner.dur_ns, outer.ts_ns + outer.dur_ns);
+  // The instant fired after the inner span closed, before outer closed.
+  EXPECT_GE(mark.ts_ns, inner.ts_ns + inner.dur_ns);
+  EXPECT_LE(mark.ts_ns, outer.ts_ns + outer.dur_ns);
+  // Args survived.
+  ASSERT_EQ(outer.num_args, 1u);
+  EXPECT_STREQ(outer.args[0].key, "k");
+  EXPECT_EQ(outer.args[0].value, 1u);
+}
+
+TEST(TraceTest, NowNsIsMonotonic) {
+  TraceRecorder recorder;
+  uint64_t prev = recorder.NowNs();
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t now = recorder.NowNs();
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+TEST(TraceTest, BoundedBufferCountsDrops) {
+  TraceRecorder recorder(/*max_events=*/4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.RecordInstant("e", "test");
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+}
+
+TEST(TraceTest, ChromeJsonShape) {
+  TraceRecorder recorder;
+  {
+    TraceSpan span(&recorder, "work", "unit");
+    span.AddArg("n", 7);
+  }
+  recorder.RecordInstant("tick", "unit");
+  const std::string json = recorder.ToChromeJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\": [", 0), 0u) << json;
+  EXPECT_NE(json.find("\"name\": \"work\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\": 7"), std::string::npos);
+  // Ends with the closing brace (plus a trailing newline).
+  const size_t last = json.find_last_not_of('\n');
+  ASSERT_NE(last, std::string::npos);
+  EXPECT_EQ(json[last], '}');
+}
+
+TEST(TraceTest, ConcurrentRecordingKeepsDenseThreadIds) {
+  TraceRecorder recorder;
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder] {
+      for (int i = 0; i < 500; ++i) {
+        TraceSpan span(&recorder, "worker", "test");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<TraceEvent> events = recorder.Events();
+  EXPECT_EQ(events.size(), static_cast<size_t>(kThreads) * 500);
+  for (const TraceEvent& e : events) {
+    EXPECT_GT(e.tid, 0u);
+    EXPECT_NE(e.dur_ns, TraceEvent::kInstant);
+  }
+}
+
+TEST(TraceTest, NullRecorderSpansAreNoOps) {
+  // The disabled path: no recorder, spans must not crash or record.
+  TraceSpan span(nullptr, "ghost", "test");
+  span.AddArg("k", 1);
+  // Destruction with a null recorder is the payload-invariance fast path.
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace updb

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "service/query_service.h"
 #include "service/trace.h"
 #include "store/checkpoint.h"
@@ -456,6 +457,63 @@ TEST(RecoveryTest, StatusCodesOnBadInputs) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ((*first)->PublishForRecovery(5).code(),
             StatusCode::kFailedPrecondition);
+}
+
+TEST(RecoveryTest, WalStatsAndRecoveryCountersReachTheRegistry) {
+  const std::string dir = FreshDir("obs");
+  const std::vector<workload::ChurnStep> schedule = MakeSchedule(3);
+  obs::MetricsRegistry registry;
+  {
+    StoreOptions opts = DurableOptions(dir);
+    opts.metrics_registry = &registry;
+    StatusOr<std::unique_ptr<VersionedObjectStore>> victim =
+        VersionedObjectStore::Open(opts);
+    ASSERT_TRUE(victim.ok());
+    ASSERT_TRUE(
+        workload::ApplyChurnPrefix(**victim, schedule, schedule.size()).ok());
+
+    // The store's own aggregate agrees with the shared registry series.
+    const WalStats stats = (*victim)->wal_stats();
+    EXPECT_TRUE(stats.durable);
+    EXPECT_EQ(stats.fsync, FsyncPolicy::kEveryPublish);
+    EXPECT_GT(stats.appends, 0u);
+    EXPECT_GT(stats.appended_bytes, 0u);
+    EXPECT_GT(stats.fsyncs, 0u);
+    EXPECT_GT(stats.checkpoint_writes, 0u);
+    EXPECT_EQ(stats.checkpoint_failures, 0u);
+    EXPECT_EQ(registry.Counter("updb_wal_appends_total", "")->Value(),
+              stats.appends);
+    EXPECT_EQ(
+        registry.Counter("updb_wal_appended_bytes_total", "")->Value(),
+        stats.appended_bytes);
+    EXPECT_EQ(registry.Counter("updb_checkpoint_writes_total", "")->Value(),
+              stats.checkpoint_writes);
+
+    const std::string json = stats.ToJson((*victim)->wal_status());
+    EXPECT_NE(json.find("\"durable\":true"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"fsync_policy\":\"every_publish\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"status\":\"OK\""), std::string::npos);
+  }  // crash
+
+  // Recovery publishes its outcome to the registry it was given.
+  StoreOptions ropts = BaseOptions();
+  ropts.metrics_registry = &registry;
+  RecoveryReport report;
+  StatusOr<std::unique_ptr<VersionedObjectStore>> recovered =
+      RecoverStore(dir, ropts, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(registry.Counter("updb_recovery_runs_total", "")->Value(), 1u);
+  EXPECT_EQ(
+      registry.Counter("updb_recovery_replayed_mutations_total", "")->Value(),
+      report.replayed_mutations);
+  EXPECT_EQ(
+      registry.Counter("updb_recovery_data_loss_total", "")->Value(), 0u);
+
+  // An in-memory store reports all-zero WAL stats.
+  const WalStats memory_stats = VersionedObjectStore(BaseOptions()).wal_stats();
+  EXPECT_FALSE(memory_stats.durable);
+  EXPECT_EQ(memory_stats.appends, 0u);
 }
 
 TEST(RecoveryTest, RecoverCommandReportShape) {

@@ -4,9 +4,12 @@
 
 #include <cstdlib>
 #include <memory>
+#include <string_view>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "queries/queries.h"
 #include "service/trace.h"
 #include "store/object_store.h"
@@ -187,6 +190,111 @@ TEST(QueryServiceTest, DeterministicAcrossWorkersAndBatchSizes) {
   EXPECT_EQ(run(8, 4), base);
   EXPECT_EQ(run(2, 1), base);
   EXPECT_EQ(run(2, 8), base);
+}
+
+/// Observability is payload-invariant: running the same trace with the
+/// span recorder and a metrics registry attached produces bit-identical
+/// response payloads (digest oracle), while the recorder actually captures
+/// the span tree down to IDCA iterations.
+TEST(QueryServiceTest, TracingOnOffDigestsAreIdentical) {
+  const auto db = MakeDb(35, 0.08);
+  TraceConfig tcfg;
+  tcfg.num_requests = 18;
+  tcfg.seed = 99;
+  tcfg.query_extent = 0.08;
+  tcfg.k_max = 4;
+  tcfg.budget.max_iterations = 3;
+  const std::vector<QueryRequest> trace = MakeTrace(*db, tcfg);
+
+  auto run = [&](obs::TraceRecorder* recorder,
+                 obs::MetricsRegistry* registry) {
+    QueryServiceOptions opts;
+    opts.num_workers = 2;
+    opts.batch_size = 4;
+    opts.max_queue = trace.size();
+    opts.trace = recorder;
+    opts.metrics_registry = registry;
+    QueryService service(PinnedSnapshot(db), opts);
+    const ReplayResult result = ReplayTrace(service, trace, /*qps=*/0.0);
+    EXPECT_EQ(result.admitted, trace.size());
+    return ResponseDigest(result.responses);
+  };
+
+  const uint64_t off = run(nullptr, nullptr);
+  obs::TraceRecorder recorder;
+  obs::MetricsRegistry registry;
+  const uint64_t on = run(&recorder, &registry);
+  EXPECT_EQ(on, off);
+
+  // The enabled run recorded the whole span tree: submit instants, queue
+  // waits, batches, per-request execution, engine iterations.
+  size_t submits = 0, queue_waits = 0, batches = 0, iters = 0;
+  for (const obs::TraceEvent& e : recorder.Events()) {
+    if (std::string_view(e.name) == "submit") ++submits;
+    if (std::string_view(e.name) == "queue_wait") ++queue_waits;
+    if (std::string_view(e.name) == "batch") ++batches;
+    if (std::string_view(e.name) == "idca_iter") ++iters;
+  }
+  EXPECT_EQ(submits, trace.size());
+  EXPECT_EQ(queue_waits, trace.size());
+  EXPECT_GT(batches, 0u);
+  EXPECT_GT(iters, 0u);
+
+  // And the registry's counters agree with the service's own snapshot.
+  EXPECT_EQ(
+      registry.Counter("updb_service_completed_total", "")->Value(),
+      trace.size());
+}
+
+/// The engine work counters surfaced in RequestStats are deterministic and
+/// thread-count-invariant (they are pure functions of request, snapshot
+/// and budget — the chunk partition never depends on the worker count).
+TEST(QueryServiceTest, EngineCountersAreThreadCountInvariant) {
+  const auto db = MakeDb(30, 0.09);
+  TraceConfig tcfg;
+  tcfg.num_requests = 12;
+  tcfg.seed = 123;
+  tcfg.query_extent = 0.09;
+  tcfg.k_max = 3;
+  tcfg.budget.max_iterations = 3;
+  const std::vector<QueryRequest> trace = MakeTrace(*db, tcfg);
+
+  struct CounterRow {
+    uint64_t id, ugf, hits, misses;
+  };
+  auto run = [&](size_t workers) {
+    QueryServiceOptions opts;
+    opts.num_workers = workers;
+    opts.batch_size = 4;
+    opts.max_queue = trace.size();
+    QueryService service(PinnedSnapshot(db), opts);
+    const ReplayResult result = ReplayTrace(service, trace, /*qps=*/0.0);
+    std::vector<CounterRow> rows;
+    for (const QueryResponse& r : result.responses) {
+      rows.push_back({r.id, r.stats.ugf_multiplies,
+                      r.stats.verdict_cache_hits,
+                      r.stats.verdict_cache_misses});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const CounterRow& a, const CounterRow& b) {
+                return a.id < b.id;
+              });
+    return rows;
+  };
+
+  const std::vector<CounterRow> serial = run(1);
+  uint64_t total_multiplies = 0;
+  for (const CounterRow& row : serial) total_multiplies += row.ugf;
+  EXPECT_GT(total_multiplies, 0u);
+  for (size_t workers : {2u, 8u}) {
+    const std::vector<CounterRow> parallel = run(workers);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].ugf, serial[i].ugf) << "ticket " << i;
+      EXPECT_EQ(parallel[i].hits, serial[i].hits) << "ticket " << i;
+      EXPECT_EQ(parallel[i].misses, serial[i].misses) << "ticket " << i;
+    }
+  }
 }
 
 /// A budget-expired query must return kUndecided with a valid bracket that

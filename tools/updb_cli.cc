@@ -19,7 +19,8 @@
 //            --batch=8 --queue=256 --qps=0 --iterations=6 --seed=1
 //            [--shards=4] [--db=data.updb]
 //            [--deadline-ms=20 --deadline-fraction=0.5]
-//            [--metrics-out=metrics.json]
+//            [--metrics-out=metrics.json] [--prom-out=metrics.prom]
+//            [--trace-out=trace.json]
 //            [--churn --churn-batches=8 --churn-per-batch=16
 //             --churn-interval-ms=20 --churn-seed=2]
 //   (serve-bench mode: generates — or loads — a database into a versioned
@@ -28,9 +29,16 @@
 //    load (0 = as fast as possible) against the concurrent QueryService,
 //    and prints a determinism digest of all responses plus the metrics
 //    JSON — to stdout, or to --metrics-out so the digest stays
-//    machine-greppable on its own. The metrics JSON has two sections:
-//    "service" (the ServiceMetrics snapshot) and "store" (per-shard live
-//    object counts plus publish drain/build latency aggregates). With
+//    machine-greppable on its own. The metrics JSON has four sections:
+//    "service" (the ServiceMetrics snapshot), "store" (per-shard live
+//    object counts plus publish drain/build latency aggregates), "wal"
+//    (append/fsync/checkpoint counters) and "recovery" (the startup
+//    recovery report, or {"recovered": false}). --prom-out additionally
+//    writes the unified registry as a Prometheus text exposition, and
+//    --trace-out records a structured span tree of the whole run —
+//    submit, queue wait, batch execution, IDCA phases, store publishes,
+//    WAL fsyncs and checkpoints — as Chrome trace-event JSON loadable in
+//    Perfetto. Payloads are bit-identical with tracing on or off. With
 //    --churn a writer thread concurrently applies seed-deterministic
 //    mutation batches and publishes new versions while the trace replays;
 //    the summary then reports the span of snapshot versions the responses
@@ -39,14 +47,16 @@
 //            --per-batch=32 --insert-w=0.4 --update-w=0.4 --remove-w=0.2
 //            --extent=0.01 --model=uniform --samples=64 --seed=1
 //            [--compact-fraction=0.25] [--shards=4]
-//            [--metrics-out=store_metrics.json]
+//            [--metrics-out=store_metrics.json] [--prom-out=metrics.prom]
+//            [--trace-out=trace.json]
 //            [--wal-dir=walr --fsync=never|every_publish|every_batch
 //             --checkpoint-every=8]
 //   (replays a seed-deterministic mutation trace against the store — one
 //    publish per batch, logging per-publish delta size, compactions and
 //    drain/build latency — and writes the final published snapshot to
-//    --out; --metrics-out dumps the same per-shard/publish-latency store
-//    JSON as serve.)
+//    --out; --metrics-out dumps the store/wal/recovery sections of the
+//    same metrics JSON as serve, and --prom-out/--trace-out work as in
+//    serve.)
 //   updb_cli recover --wal-dir=walr [--shards=4] [--out=recovered.updb]
 //   (rebuilds the store from the newest valid checkpoint plus the WAL
 //    tail in --wal-dir, prints a single-line JSON report — recovered
@@ -295,8 +305,9 @@ std::string StoreMetricsJson(const store::VersionedObjectStore& s) {
 /// the recovery report is printed as a `# recovery ...` line, and
 /// durability is re-attached so the run continues the existing log.
 StatusOr<std::shared_ptr<store::VersionedObjectStore>> MakeStore(
-    const Args& args, const UncertainDatabase& db,
-    store::StoreOptions sopts) {
+    const Args& args, const UncertainDatabase& db, store::StoreOptions sopts,
+    store::RecoveryReport* report_out, bool* did_recover) {
+  if (did_recover != nullptr) *did_recover = false;
   const std::string wal_dir = args.Get("wal-dir", "");
   if (wal_dir.empty()) {
     return std::make_shared<store::VersionedObjectStore>(db, sopts);
@@ -318,14 +329,57 @@ StatusOr<std::shared_ptr<store::VersionedObjectStore>> MakeStore(
     return opened.status();
   }
   // The directory already holds store data: recover and continue.
-  store::RecoveryReport report;
+  store::RecoveryReport local_report;
+  store::RecoveryReport& report =
+      report_out != nullptr ? *report_out : local_report;
   StatusOr<std::unique_ptr<store::VersionedObjectStore>> recovered =
       store::RecoverStore(wal_dir, sopts, &report);
   if (!recovered.ok()) return recovered.status();
+  if (did_recover != nullptr) *did_recover = true;
   std::printf("# recovery %s\n", report.ToJson().c_str());
   const Status attached = (*recovered)->AttachDurability(sopts.durability);
   if (!attached.ok()) return attached;
   return std::shared_ptr<store::VersionedObjectStore>(std::move(*recovered));
+}
+
+/// "recovery" section of the metrics JSON: whether this process recovered
+/// an existing WAL directory at startup, and the report when it did.
+std::string RecoveryMetricsJson(bool did_recover,
+                                const store::RecoveryReport& report) {
+  if (!did_recover) return "{\"recovered\": false}";
+  return "{\"recovered\": true, \"report\": " + report.ToJson() + "}";
+}
+
+/// Shared tail of serve/mutate: write the trace (--trace-out) and the
+/// Prometheus exposition (--prom-out) when requested. Returns false on an
+/// unwritable path.
+bool WriteObsOutputs(const Args& args, const obs::TraceRecorder* trace,
+                     const obs::MetricsRegistry& registry) {
+  const std::string trace_out = args.Get("trace-out", "");
+  if (!trace_out.empty() && trace != nullptr) {
+    const Status written = trace->WriteChromeJson(trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "cannot write %s: %s\n", trace_out.c_str(),
+                   written.ToString().c_str());
+      return false;
+    }
+    std::printf("# trace written to %s (%zu events, %llu dropped)\n",
+                trace_out.c_str(), trace->size(),
+                static_cast<unsigned long long>(trace->dropped()));
+  }
+  const std::string prom_out = args.Get("prom-out", "");
+  if (!prom_out.empty()) {
+    std::FILE* f = std::fopen(prom_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", prom_out.c_str());
+      return false;
+    }
+    const std::string text = registry.ToPrometheus();
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("# prometheus metrics written to %s\n", prom_out.c_str());
+  }
+  return true;
 }
 
 int Recover(const Args& args) {
@@ -406,8 +460,21 @@ int Serve(const Args& args) {
   const double qps = args.GetDouble("qps", 0.0);
   const bool churn = !args.Get("churn", "").empty();
 
+  // Observability: one process-wide registry unifies the service, store,
+  // WAL, checkpoint and recovery series; --trace-out enables the span
+  // recorder (null recorder = near-zero cost when absent).
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  const std::string trace_out = args.Get("trace-out", "");
+  obs::TraceRecorder trace_recorder;
+  obs::TraceRecorder* tracer =
+      trace_out.empty() ? nullptr : &trace_recorder;
+  opts.metrics_registry = &registry;
+  opts.trace = tracer;
+
   store::StoreOptions sopts;
   sopts.num_shards = std::max<size_t>(args.GetSize("shards", 1), 1);
+  sopts.metrics_registry = &registry;
+  sopts.trace = tracer;
 
   std::printf("# updb serve — seed=%llu db_objects=%zu requests=%zu "
               "workers=%zu batch=%zu queue=%zu qps=%.3g iterations=%d "
@@ -419,8 +486,10 @@ int Serve(const Args& args) {
               args.Get("wal-dir", "-").c_str(),
               args.Get("fsync", "every_publish").c_str());
 
+  store::RecoveryReport recovery_report;
+  bool did_recover = false;
   StatusOr<std::shared_ptr<store::VersionedObjectStore>> made =
-      MakeStore(args, db, sopts);
+      MakeStore(args, db, sopts, &recovery_report, &did_recover);
   if (!made.ok()) {
     std::fprintf(stderr, "store open failed: %s\n",
                  made.status().ToString().c_str());
@@ -502,10 +571,12 @@ int Serve(const Args& args) {
   std::printf("# response_digest=%016llx\n",
               static_cast<unsigned long long>(
                   service::ResponseDigest(result.responses)));
-  const std::string metrics_json = "{\"service\": " +
-                                   svc.metrics().Snapshot().ToJson() +
-                                   ", \"store\": " +
-                                   StoreMetricsJson(*object_store) + "}";
+  const std::string metrics_json =
+      "{\"service\": " + svc.metrics().Snapshot().ToJson() +
+      ", \"store\": " + StoreMetricsJson(*object_store) + ", \"wal\": " +
+      object_store->wal_stats().ToJson(object_store->wal_status()) +
+      ", \"recovery\": " +
+      RecoveryMetricsJson(did_recover, recovery_report) + "}";
   const std::string metrics_out = args.Get("metrics-out", "");
   if (metrics_out.empty()) {
     std::printf("%s\n", metrics_json.c_str());
@@ -519,6 +590,7 @@ int Serve(const Args& args) {
     std::fclose(f);
     std::printf("# metrics written to %s\n", metrics_out.c_str());
   }
+  if (!WriteObsOutputs(args, tracer, registry)) return 1;
   return 0;
 }
 
@@ -528,11 +600,21 @@ int Mutate(const Args& args) {
     std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
     return 1;
   }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  const std::string trace_out = args.Get("trace-out", "");
+  obs::TraceRecorder trace_recorder;
+  obs::TraceRecorder* trace =
+      trace_out.empty() ? nullptr : &trace_recorder;
+
   store::StoreOptions sopts;
   sopts.compact_delta_fraction = args.GetDouble("compact-fraction", 0.25);
   sopts.num_shards = std::max<size_t>(args.GetSize("shards", 1), 1);
+  sopts.metrics_registry = &registry;
+  sopts.trace = trace;
+  store::RecoveryReport recovery_report;
+  bool did_recover = false;
   StatusOr<std::shared_ptr<store::VersionedObjectStore>> made =
-      MakeStore(args, *loaded, sopts);
+      MakeStore(args, *loaded, sopts, &recovery_report, &did_recover);
   if (!made.ok()) {
     std::fprintf(stderr, "store open failed: %s\n",
                  made.status().ToString().c_str());
@@ -589,10 +671,16 @@ int Mutate(const Args& args) {
       std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
       return 1;
     }
-    std::fprintf(f, "%s\n", StoreMetricsJson(object_store).c_str());
+    const std::string metrics_json =
+        "{\"store\": " + StoreMetricsJson(object_store) + ", \"wal\": " +
+        object_store.wal_stats().ToJson(object_store.wal_status()) +
+        ", \"recovery\": " +
+        RecoveryMetricsJson(did_recover, recovery_report) + "}";
+    std::fprintf(f, "%s\n", metrics_json.c_str());
     std::fclose(f);
     std::printf("# metrics written to %s\n", metrics_out.c_str());
   }
+  if (!WriteObsOutputs(args, trace, registry)) return 1;
 
   // Never default to the input path — a forgotten --out must not clobber
   // the source dataset.
