@@ -1,0 +1,210 @@
+// Cross-request caching benchmark: one query trace replayed three ways —
+// caches off (baseline), caches on against empty caches (cold), and the
+// same trace again through a fresh service *sharing* the now-populated
+// caches (warm; tickets restart at 0 so the response sequences are
+// digest-comparable) — with built-in oracles:
+//
+//  * digest oracle: all three replays must produce bit-identical response
+//    payloads (caching is payload-invariant), or exit 2;
+//  * hit oracle: every warm request must be served from the response
+//    cache, or exit 2;
+//  * memory oracle: the response cache must stay within its entry
+//    capacity and the memo within its fixed slot count, or exit 2.
+//
+// The warm-vs-cold latency ratio is recorded (not gated — wall-clock
+// ratios flake on loaded machines; the correctness oracles above are the
+// contract). CSV to stdout; pass a path to also write the summary JSON
+// committed as BENCH_response_cache.json. UPDB_BENCH_SCALE scales the
+// workload.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "bench_util.h"
+#include "updb.h"
+
+namespace {
+
+using namespace updb;
+
+constexpr size_t kResponseCacheCapacity = 256;
+constexpr size_t kVerdictMemoSlots = 1 << 16;
+
+struct RunResult {
+  double seconds = 0.0;
+  uint64_t digest = 0;
+  size_t cache_hits = 0;
+};
+
+/// One closed-loop replay through a fresh service: submit the whole
+/// trace, Flush, Take everything, and digest the response sequence. The
+/// timed interval covers submit -> flush, which is where both the cache
+/// probe (Submit fast path) and execution live.
+RunResult Replay(const std::shared_ptr<const UncertainDatabase>& db,
+                 const std::vector<service::QueryRequest>& trace,
+                 const std::shared_ptr<cache::ResponseCache>& responses,
+                 const std::shared_ptr<cache::VerdictMemo>& memo) {
+  service::QueryServiceOptions opts;
+  opts.num_workers = 2;
+  opts.batch_size = 8;
+  opts.max_queue = trace.size();
+  opts.response_cache = responses;
+  opts.verdict_memo = memo;
+  service::QueryService svc(db, opts);
+  std::vector<uint64_t> tickets;
+  tickets.reserve(trace.size());
+  Stopwatch timer;
+  for (const service::QueryRequest& req : trace) {
+    const StatusOr<uint64_t> ticket = svc.Submit(req);
+    if (!ticket.ok()) {
+      std::fprintf(stderr, "submit failed: %s\n",
+                   ticket.status().ToString().c_str());
+      std::exit(1);
+    }
+    tickets.push_back(*ticket);
+  }
+  svc.Flush();
+  RunResult out;
+  out.seconds = timer.ElapsedSeconds();
+  std::vector<service::QueryResponse> collected;
+  collected.reserve(tickets.size());
+  for (uint64_t t : tickets) collected.push_back(svc.Take(t));
+  out.digest = service::ResponseDigest(
+      std::span<const service::QueryResponse>(collected));
+  for (const service::QueryResponse& r : collected) {
+    out.cache_hits += r.stats.cache_hit ? 1 : 0;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::PrintBanner("bench_response_cache",
+                     "cold vs warm cross-request caching: payload "
+                     "invariance, hit rate, bounded memory");
+
+  workload::SyntheticConfig dbcfg;
+  dbcfg.num_objects = bench::Scaled(300);
+  dbcfg.max_extent = 0.03;
+  dbcfg.seed = 11;
+  const auto db = std::make_shared<const UncertainDatabase>(
+      workload::MakeSyntheticDatabase(dbcfg));
+
+  service::TraceConfig tcfg;
+  tcfg.num_requests = bench::Scaled(60);
+  tcfg.seed = 29;
+  tcfg.query_extent = 0.03;
+  tcfg.k_max = 6;
+  tcfg.budget.max_iterations = 4;
+  const std::vector<service::QueryRequest> trace =
+      service::MakeTrace(*db, tcfg);
+
+  // min-of-3: a fresh cache pair per repeat so every cold pass really is
+  // cold; the warm pass of the same repeat shares the populated caches.
+  constexpr int kRepeats = 3;
+  RunResult baseline, cold, warm;
+  baseline.seconds = cold.seconds = warm.seconds = 1e100;
+  size_t cache_entries = 0;
+  uint64_t memo_inserts = 0;
+  for (int rep = 0; rep < kRepeats; ++rep) {
+    const RunResult b = Replay(db, trace, nullptr, nullptr);
+    obs::MetricsRegistry registry;
+    const auto responses = std::make_shared<cache::ResponseCache>(
+        kResponseCacheCapacity, &registry);
+    const auto memo =
+        std::make_shared<cache::VerdictMemo>(kVerdictMemoSlots, &registry);
+    const RunResult c = Replay(db, trace, responses, memo);
+    const RunResult w = Replay(db, trace, responses, memo);
+    if (b.seconds < baseline.seconds) baseline = b;
+    if (c.seconds < cold.seconds) cold = c;
+    if (w.seconds < warm.seconds) warm = w;
+    cache_entries = std::max(cache_entries, responses->size());
+    memo_inserts = std::max(memo_inserts, memo->inserts());
+    if (responses->size() > responses->capacity() ||
+        memo->capacity() != kVerdictMemoSlots) {
+      std::fprintf(stderr, "FAIL: cache exceeded its memory bound\n");
+      return 2;
+    }
+  }
+
+  const double speedup =
+      warm.seconds > 0.0 ? cold.seconds / warm.seconds : 0.0;
+  const double hit_rate =
+      static_cast<double>(warm.cache_hits) /
+      static_cast<double>(trace.size());
+  std::printf("series,mode,seconds,cache_hits,digest\n");
+  std::printf("response_cache,nocache,%.4f,0,%016llx\n", baseline.seconds,
+              static_cast<unsigned long long>(baseline.digest));
+  std::printf("response_cache,cold,%.4f,%zu,%016llx\n", cold.seconds,
+              cold.cache_hits,
+              static_cast<unsigned long long>(cold.digest));
+  std::printf("response_cache,warm,%.4f,%zu,%016llx\n", warm.seconds,
+              warm.cache_hits,
+              static_cast<unsigned long long>(warm.digest));
+  std::printf("series,warm_speedup_x,warm_hit_rate,entries,memo_inserts\n");
+  std::printf("response_cache_summary,%.2f,%.3f,%zu,%llu\n", speedup,
+              hit_rate, cache_entries,
+              static_cast<unsigned long long>(memo_inserts));
+
+  const bool invariant =
+      baseline.digest == cold.digest && baseline.digest == warm.digest;
+  const bool all_hits = warm.cache_hits == trace.size();
+  if (!invariant) {
+    std::fprintf(stderr,
+                 "FAIL: caching changed response payloads "
+                 "(nocache=%016llx cold=%016llx warm=%016llx)\n",
+                 static_cast<unsigned long long>(baseline.digest),
+                 static_cast<unsigned long long>(cold.digest),
+                 static_cast<unsigned long long>(warm.digest));
+  }
+  if (!all_hits) {
+    std::fprintf(stderr, "FAIL: warm pass hit %zu/%zu requests\n",
+                 warm.cache_hits, trace.size());
+  }
+
+  if (argc > 1) {
+    std::FILE* f = std::fopen(argv[1], "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"bench_response_cache\",\n");
+    std::fprintf(f,
+                 "  \"note\": \"one trace replayed caches-off, cold and "
+                 "warm (fresh service sharing the populated caches), "
+                 "min-of-%d runs per mode. All three digests must match "
+                 "and every warm request must be a response-cache "
+                 "hit.\",\n",
+                 kRepeats);
+    std::fprintf(f, "  \"db_objects\": %zu,\n", db->size());
+    std::fprintf(f, "  \"requests\": %zu,\n", trace.size());
+    std::fprintf(f, "  \"response_cache_capacity\": %zu,\n",
+                 kResponseCacheCapacity);
+    std::fprintf(f, "  \"verdict_memo_slots\": %zu,\n",
+                 static_cast<size_t>(kVerdictMemoSlots));
+    std::fprintf(f, "  \"payload_invariant\": %s,\n",
+                 invariant ? "true" : "false");
+    std::fprintf(f, "  \"warm_all_hits\": %s,\n",
+                 all_hits ? "true" : "false");
+    std::fprintf(f, "  \"response_digest\": \"%016llx\",\n",
+                 static_cast<unsigned long long>(baseline.digest));
+    std::fprintf(f, "  \"cache_entries\": %zu,\n", cache_entries);
+    std::fprintf(f, "  \"memo_inserts\": %llu,\n",
+                 static_cast<unsigned long long>(memo_inserts));
+    std::fprintf(f, "  \"warm_hit_rate\": %.3f,\n", hit_rate);
+    std::fprintf(f, "  \"warm_speedup_x\": %.2f,\n", speedup);
+    std::fprintf(
+        f,
+        "  \"series\": [\n"
+        "    {\"mode\": \"nocache\", \"seconds\": %.4f},\n"
+        "    {\"mode\": \"cold\", \"seconds\": %.4f},\n"
+        "    {\"mode\": \"warm\", \"seconds\": %.4f}\n  ]\n}\n",
+        baseline.seconds, cold.seconds, warm.seconds);
+    std::fclose(f);
+  }
+  return invariant && all_hits ? 0 : 2;
+}

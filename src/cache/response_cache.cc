@@ -1,0 +1,110 @@
+#include "cache/response_cache.h"
+
+#include "common/status.h"
+
+namespace updb {
+namespace cache {
+
+namespace {
+
+constexpr size_t kStripes = 8;
+
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ResponseCache::ResponseCache(size_t capacity, obs::MetricsRegistry* registry)
+    : per_stripe_(capacity >= kStripes ? capacity / kStripes
+                                       : (capacity > 0 ? capacity : 1)),
+      stripes_(capacity >= kStripes ? kStripes : 1) {
+  UPDB_CHECK(capacity >= 1);
+  if (registry == nullptr) {
+    owned_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_.get();
+  }
+  hits_ = registry->Counter("updb_response_cache_hits_total",
+                            "Responses served from the response cache");
+  misses_ = registry->Counter("updb_response_cache_misses_total",
+                              "Response cache lookups that missed");
+  insertions_ = registry->Counter("updb_response_cache_insertions_total",
+                                  "Responses recorded in the response cache");
+  evictions_ = registry->Counter(
+      "updb_response_cache_evictions_total",
+      "Responses evicted from the response cache (LRU, capacity bound)");
+  entries_ = registry->Gauge("updb_response_cache_entries",
+                             "Responses currently cached");
+}
+
+std::string ResponseCache::ComposeKey(const std::string& request_key,
+                                      uint64_t snapshot_version) {
+  std::string key;
+  key.reserve(request_key.size() + 20);
+  key.append("v=");
+  key.append(std::to_string(snapshot_version));
+  key.push_back('\n');
+  key.append(request_key);
+  return key;
+}
+
+ResponseCache::Stripe& ResponseCache::StripeFor(const std::string& key) {
+  return stripes_[Fnv1a(key) % stripes_.size()];
+}
+
+bool ResponseCache::Lookup(const std::string& request_key,
+                           uint64_t snapshot_version,
+                           service::QueryResponse* out) {
+  const std::string key = ComposeKey(request_key, snapshot_version);
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.index.find(key);
+  if (it == stripe.index.end()) {
+    misses_->Add(1);
+    return false;
+  }
+  stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
+  *out = it->second->response;
+  hits_->Add(1);
+  return true;
+}
+
+void ResponseCache::Insert(const std::string& request_key,
+                           uint64_t snapshot_version,
+                           const service::QueryResponse& response) {
+  const std::string key = ComposeKey(request_key, snapshot_version);
+  Stripe& stripe = StripeFor(key);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.index.find(key);
+  if (it != stripe.index.end()) {
+    stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second);
+    return;
+  }
+  stripe.lru.push_front(Entry{key, response});
+  stripe.index.emplace(key, stripe.lru.begin());
+  insertions_->Add(1);
+  if (stripe.lru.size() > per_stripe_) {
+    stripe.index.erase(stripe.lru.back().key);
+    stripe.lru.pop_back();
+    evictions_->Add(1);
+  } else {
+    entries_->Add(1);
+  }
+}
+
+size_t ResponseCache::size() const {
+  size_t total = 0;
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    total += stripe.lru.size();
+  }
+  return total;
+}
+
+}  // namespace cache
+}  // namespace updb

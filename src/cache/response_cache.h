@@ -1,0 +1,97 @@
+// Copyright 2026 The updb Authors.
+// Versioned full-response cache of the serving layer: QueryService keeps
+// completed responses keyed by (canonical serialized request,
+// snapshot_version) so a repeated request against the same published
+// version bypasses execution entirely and returns a byte-identical
+// payload (the determinism contract of service/request.h makes the
+// payload a pure function of exactly that key; the cached≡recomputed
+// digest oracles in service_test, updb_cli and bench_response_cache hold
+// the cache to it).
+//
+// Invalidation is by version, and free: a publish stamps a new
+// snapshot_version, lookups are keyed by the version current at
+// submission, so a stale payload is unreachable the instant a new version
+// is published — no eviction scan, no generation counter.
+//
+// Memory bound: `capacity` entries total, LRU per stripe. The key space
+// is striped over independent mutexes so concurrent Submit threads and
+// the dispatcher's insert loop do not serialize on one lock; no lock is
+// ever held across request execution.
+
+#ifndef UPDB_CACHE_RESPONSE_CACHE_H_
+#define UPDB_CACHE_RESPONSE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "service/request.h"
+
+namespace updb {
+namespace cache {
+
+/// Striped LRU response cache. Thread-safe.
+class ResponseCache {
+ public:
+  /// `capacity` bounds the total entry count (must be >= 1; it is split
+  /// evenly over the stripes, so the effective bound is capacity rounded
+  /// down to a multiple of the stripe count). Series register in
+  /// `registry`; nullptr creates a private registry.
+  explicit ResponseCache(size_t capacity,
+                         obs::MetricsRegistry* registry = nullptr);
+
+  ResponseCache(const ResponseCache&) = delete;
+  ResponseCache& operator=(const ResponseCache&) = delete;
+
+  /// On a hit, copies the cached response into `out` (caller re-stamps the
+  /// ticket id) and refreshes its LRU position.
+  bool Lookup(const std::string& request_key, uint64_t snapshot_version,
+              service::QueryResponse* out);
+
+  /// Records a completed response under (request_key, snapshot_version).
+  /// Re-inserting an existing key only refreshes it — by the determinism
+  /// contract the payload cannot differ.
+  void Insert(const std::string& request_key, uint64_t snapshot_version,
+              const service::QueryResponse& response);
+
+  size_t size() const;
+  size_t capacity() const { return stripes_.size() * per_stripe_; }
+  uint64_t hits() const { return hits_->Value(); }
+  uint64_t misses() const { return misses_->Value(); }
+  uint64_t evictions() const { return evictions_->Value(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    service::QueryResponse response;
+  };
+
+  struct Stripe {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recent
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+  };
+
+  static std::string ComposeKey(const std::string& request_key,
+                                uint64_t snapshot_version);
+  Stripe& StripeFor(const std::string& key);
+
+  const size_t per_stripe_;
+  std::vector<Stripe> stripes_;
+  std::unique_ptr<obs::MetricsRegistry> owned_;  // when none injected
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* insertions_;
+  obs::Counter* evictions_;
+  obs::Gauge* entries_;
+};
+
+}  // namespace cache
+}  // namespace updb
+
+#endif  // UPDB_CACHE_RESPONSE_CACHE_H_

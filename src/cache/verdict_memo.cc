@@ -1,0 +1,131 @@
+#include "cache/verdict_memo.h"
+
+namespace updb {
+namespace cache {
+
+namespace {
+
+/// splitmix64 finalizer: a cheap full-avalanche 64-bit mix.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 64;  // minimum table size
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+VerdictMemo::VerdictMemo(size_t capacity, obs::MetricsRegistry* registry)
+    : capacity_(RoundUpPow2(capacity)), mask_(capacity_ - 1) {
+  if (registry == nullptr) {
+    owned_ = std::make_unique<obs::MetricsRegistry>();
+    registry = owned_.get();
+  }
+  slots_ = std::make_unique<Slot[]>(capacity_);
+  hits_ = registry->Counter("updb_verdict_memo_hits_total",
+                            "Cross-request verdict memo hits");
+  misses_ = registry->Counter("updb_verdict_memo_misses_total",
+                              "Cross-request verdict memo misses");
+  inserts_ = registry->Counter("updb_verdict_memo_insertions_total",
+                               "Cross-request verdict memo insertions");
+  evictions_ = registry->Counter(
+      "updb_verdict_memo_evictions_total",
+      "Verdict memo slots overwritten because the probe window was full");
+  registry
+      ->Gauge("updb_verdict_memo_slots",
+              "Configured verdict memo capacity in slots (16 bytes each)")
+      ->Set(static_cast<int64_t>(capacity_));
+}
+
+uint64_t VerdictMemo::MixContext(uint64_t snapshot_version,
+                                 uint64_t query_token) {
+  return Mix64(Mix64(snapshot_version) ^ query_token);
+}
+
+uint64_t VerdictMemo::MixRun(uint64_t context, uint64_t object_id,
+                             bool target_is_database_object,
+                             uint64_t config_fingerprint) {
+  uint64_t h = Mix64(context ^ Mix64(object_id));
+  h ^= target_is_database_object ? 0x517cc1b727220a95ULL
+                                 : 0x2545f4914f6cdd1dULL;
+  return Mix64(h ^ config_fingerprint);
+}
+
+VerdictMemo::Key VerdictMemo::MakeKey(uint64_t run_context,
+                                      uint64_t candidate_id, uint32_t level,
+                                      uint32_t b_node, uint32_t r_node,
+                                      uint32_t cand_node) const {
+  // Two independent mixes give 128 hash bits; 125 of them (64 tag + 62
+  // positional check + probe offset entropy) must collide for a wrong
+  // verdict to surface.
+  uint64_t h = run_context ^ Mix64(candidate_id ^ (uint64_t{level} << 48));
+  h = Mix64(h ^ (uint64_t{b_node} << 32) ^ uint64_t{r_node});
+  h = Mix64(h ^ uint64_t{cand_node});
+  const uint64_t h2 = Mix64(h ^ 0x6a09e667f3bcc909ULL);
+  Key key;
+  key.tag = h != 0 ? h : 1;  // 0 marks an empty slot
+  key.check = h2 >> 2;
+  key.slot = static_cast<size_t>(h2) & mask_;
+  return key;
+}
+
+int VerdictMemo::Lookup(const Key& key, VerdictMemoTally& tally) const {
+  for (size_t j = 0; j < kProbe; ++j) {
+    const Slot& slot = slots_[(key.slot + j) & mask_];
+    const uint64_t tag = slot.tag.load(std::memory_order_acquire);
+    if (tag == 0) break;  // slots never empty out: the key is absent
+    if (tag != key.tag) continue;
+    const uint64_t value = slot.value.load(std::memory_order_acquire);
+    // The value word embeds the key's second hash; a concurrent overwrite
+    // of this slot by a different key fails this check and reads as a
+    // miss, never as a wrong verdict.
+    if ((value >> 2) != key.check) continue;
+    const int verdict = static_cast<int>(value & 3);
+    if (verdict != kDominates && verdict != kDominated) continue;
+    ++tally.hits;
+    return verdict;
+  }
+  ++tally.misses;
+  return 0;
+}
+
+void VerdictMemo::Insert(const Key& key, int verdict,
+                         VerdictMemoTally& tally) {
+  const uint64_t value = (key.check << 2) | static_cast<uint64_t>(verdict);
+  size_t victim = (key.slot + (key.check & (kProbe - 1))) & mask_;
+  bool evict = true;
+  for (size_t j = 0; j < kProbe; ++j) {
+    Slot& slot = slots_[(key.slot + j) & mask_];
+    const uint64_t tag = slot.tag.load(std::memory_order_relaxed);
+    if (tag == key.tag) return;  // already recorded (verdicts never change)
+    if (tag == 0) {
+      victim = (key.slot + j) & mask_;
+      evict = false;
+      break;
+    }
+  }
+  Slot& slot = slots_[victim];
+  // Publish value before tag: a reader acquiring the new tag is
+  // guaranteed to see this value (or a newer one, which its embedded
+  // check bits then veto).
+  slot.value.store(value, std::memory_order_relaxed);
+  slot.tag.store(key.tag, std::memory_order_release);
+  ++tally.inserts;
+  if (evict) ++tally.evictions;
+}
+
+void VerdictMemo::Flush(const VerdictMemoTally& tally) {
+  if (tally.hits > 0) hits_->Add(tally.hits);
+  if (tally.misses > 0) misses_->Add(tally.misses);
+  if (tally.inserts > 0) inserts_->Add(tally.inserts);
+  if (tally.evictions > 0) evictions_->Add(tally.evictions);
+}
+
+}  // namespace cache
+}  // namespace updb

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "cache/verdict_memo.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 
@@ -100,9 +101,22 @@ struct ChunkState {
   size_t pairs = 0;
   size_t tests = 0;
   IdcaCounters counters;               // per-iteration work (chunk-local)
+  /// Cross-request memo probes (chunk-local; flushed once per run). Kept
+  /// OUT of IdcaCounters: whether a probe hits depends on what concurrent
+  /// runs inserted or evicted, so these are not thread-count-invariant.
+  cache::VerdictMemoTally memo_tally;
 
   ChunkState() : agg(0), frozen_agg(0) {}
 };
+
+/// Fingerprint of the configuration fields a domination verdict depends
+/// on — mixed into every memo key so runs with differing geometry
+/// settings can never share entries.
+uint64_t ConfigFingerprint(const IdcaConfig& config) {
+  return static_cast<uint64_t>(config.criterion) |
+         (static_cast<uint64_t>(config.split_policy) << 8) |
+         (static_cast<uint64_t>(config.norm.p()) << 16);
+}
 
 }  // namespace
 
@@ -127,14 +141,16 @@ IdcaEngine::IdcaEngine(const UncertainDatabase& db, const RTree* index,
 IdcaResult IdcaEngine::ComputeDomCount(
     ObjectId b, const Pdf& r, std::optional<IdcaPredicate> predicate) const {
   UPDB_CHECK(b < db_.size());
-  return Run(db_.object(b).pdf(), r, b, predicate);
+  return Run(db_.object(b).pdf(), r, b, /*target_is_database_object=*/true,
+             predicate);
 }
 
 IdcaResult IdcaEngine::ComputeDomCountOfQuery(
     const Pdf& q, ObjectId b_ref,
     std::optional<IdcaPredicate> predicate) const {
   UPDB_CHECK(b_ref < db_.size());
-  return Run(q, db_.object(b_ref).pdf(), b_ref, predicate);
+  return Run(q, db_.object(b_ref).pdf(), b_ref,
+             /*target_is_database_object=*/false, predicate);
 }
 
 void IdcaEngine::Filter(const Pdf& target, const Pdf& reference,
@@ -193,7 +209,7 @@ void IdcaEngine::Filter(const Pdf& target, const Pdf& reference,
 }
 
 IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
-                           ObjectId exclude,
+                           ObjectId exclude, bool target_is_database_object,
                            std::optional<IdcaPredicate> predicate) const {
   Stopwatch timer;
   IdcaResult result;
@@ -276,6 +292,18 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
   }
 
   const bool cache = config_.cache_verdicts;
+  // Cross-request memo context: the caller's (snapshot version, query
+  // token) context plus this run's database-object operand, its direction
+  // and the geometry-relevant configuration. Everything else a verdict
+  // depends on (frontier node identities) goes into the per-triple key.
+  cache::VerdictMemo* const memo = config_.verdict_memo;
+  const uint64_t memo_run_ctx =
+      memo != nullptr
+          ? cache::VerdictMemo::MixRun(config_.memo_context, exclude,
+                                       target_is_database_object,
+                                       ConfigFingerprint(config_))
+          : 0;
+  cache::VerdictMemoTally memo_tally;
   const size_t threads = ThreadPool::EffectiveParallelism(config_.num_threads);
   const size_t ugf_truncation =
       predicate ? m : UncertainGeneratingFunction::kNoTruncation;
@@ -348,6 +376,7 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
           st.pairs = 0;
           st.tests = 0;
           st.counters = IdcaCounters{};
+          st.memo_tally = cache::VerdictMemoTally{};
           const uint64_t ugf_base = st.ugf.total_multiplies();
 
           const size_t p_begin = cur.num_pairs * chunk / num_chunks;
@@ -385,14 +414,51 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
                   }
                   out.und_off.push_back(
                       static_cast<uint32_t>(out.undecided.size()));
+                  const uint64_t cand_id = influence[i]->id();
                   for (uint32_t u = old_off[i]; u < old_off[i + 1]; ++u) {
                     const uint32_t node = cur.undecided[u];
                     for (uint32_t a = a_off[node]; a < a_off[node + 1]; ++a) {
                       ++st.tests;
                       const Partition& ap = cand_frontier[a];
-                      switch (ClassifyDomination(ap.region, bp.region,
-                                                 rp.region, config_.criterion,
-                                                 config_.norm)) {
+                      // Resolve the triple through the cross-request memo
+                      // when one is attached: a hit replays the decided
+                      // verdict an identical ClassifyDomination call
+                      // produced earlier (possibly in another request
+                      // against this snapshot); a decided miss is
+                      // recorded for later runs. Undecided stays
+                      // unrecorded — it is re-tested one level deeper
+                      // either way.
+                      DominationClass verdict;
+                      if (memo == nullptr) {
+                        verdict = ClassifyDomination(ap.region, bp.region,
+                                                     rp.region,
+                                                     config_.criterion,
+                                                     config_.norm);
+                      } else {
+                        const cache::VerdictMemo::Key key = memo->MakeKey(
+                            memo_run_ctx, cand_id,
+                            static_cast<uint32_t>(iter), bi, ri, a);
+                        const int found = memo->Lookup(key, st.memo_tally);
+                        if (found != 0) {
+                          verdict = found == cache::VerdictMemo::kDominates
+                                        ? DominationClass::kDominates
+                                        : DominationClass::kDominated;
+                        } else {
+                          verdict = ClassifyDomination(ap.region, bp.region,
+                                                       rp.region,
+                                                       config_.criterion,
+                                                       config_.norm);
+                          if (verdict != DominationClass::kUndecided) {
+                            memo->Insert(
+                                key,
+                                verdict == DominationClass::kDominates
+                                    ? cache::VerdictMemo::kDominates
+                                    : cache::VerdictMemo::kDominated,
+                                st.memo_tally);
+                          }
+                        }
+                      }
+                      switch (verdict) {
                         case DominationClass::kDominates:
                           dom += ap.mass;
                           if (!cache) out.undecided.push_back(a);
@@ -500,6 +566,7 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
       pairs += st.pairs;
       candidate_partitions += st.tests;
       result.counters += st.counters;
+      memo_tally += st.memo_tally;
       if (predicate) {
         agg_lt.lb += st.agg_lt_lb;
         agg_lt.ub += st.agg_lt_ub;
@@ -562,6 +629,9 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
     if (cur.num_pairs == 0) break;  // every pair frozen: result is final
     if (splits == 0) break;  // decompositions exhausted: result is final
   }
+
+  // One flush per run keeps the inner loop free of shared counters.
+  if (memo != nullptr) memo->Flush(memo_tally);
 
   result.seconds = timer.ElapsedSeconds();
   return result;

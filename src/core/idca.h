@@ -36,6 +36,10 @@
 
 namespace updb {
 
+namespace cache {
+class VerdictMemo;
+}  // namespace cache
+
 /// Tuning knobs of the IDCA engine.
 struct IdcaConfig {
   LpNorm norm = LpNorm::Euclidean();
@@ -80,6 +84,21 @@ struct IdcaConfig {
   /// iteration). nullptr (the default) costs one branch per iteration and
   /// never affects any computed bound or payload.
   obs::TraceRecorder* trace = nullptr;
+  /// Optional *cross-request* verdict memo (cache/verdict_memo.h), shared
+  /// by every run against one immutable store snapshot: decided
+  /// (candidate-partition, B', R') verdicts recorded by one run are
+  /// reused by later runs over the same triples instead of re-deriving
+  /// the geometry. A memo hit reproduces exactly the verdict
+  /// ClassifyDomination would return (the memo stores only decided
+  /// triples, and its keys name deterministic frontier nodes), so every
+  /// computed bound and payload is bit-identical with the memo on or off.
+  /// nullptr (the default) costs one branch per domination test. Distinct
+  /// from cache_verdicts, which reuses verdicts *within* one run.
+  cache::VerdictMemo* verdict_memo = nullptr;
+  /// Caller-supplied memo key context (VerdictMemo::MixContext of the
+  /// snapshot version and the query object's canonical serialization
+  /// token). Ignored when verdict_memo is null.
+  uint64_t memo_context = 0;
 };
 
 /// Optional early-termination predicate: decide P(DomCount(B,R) < k)
@@ -127,7 +146,10 @@ struct IdcaCounters {
   /// Pairs whose contribution was banked once and never re-expanded
   /// (verdict cache freeze; 0 when cache_verdicts is off).
   uint64_t pairs_frozen = 0;
-  /// ClassifyDomination calls in the refinement loop.
+  /// Triples resolved in the refinement loop (a ClassifyDomination call,
+  /// or the identical decided verdict replayed from a cross-request
+  /// verdict memo — counted the same so the totals stay deterministic
+  /// whatever the memo's concurrent fill state).
   uint64_t domination_tests = 0;
   /// (candidate, pair) verdicts inherited from a previous iteration via
   /// the verdict cache, vs. resolved by a fresh domination test.
@@ -204,7 +226,12 @@ class IdcaEngine {
  private:
   /// Shared implementation: bounds for the number of database objects
   /// (excluding `exclude`) that are closer to `reference` than `target`.
+  /// `target_is_database_object` records which operand `exclude` names
+  /// (true: ComputeDomCount's target; false: ComputeDomCountOfQuery's
+  /// reference) — part of the verdict-memo key, since the two directions
+  /// test different geometry.
   IdcaResult Run(const Pdf& target, const Pdf& reference, ObjectId exclude,
+                 bool target_is_database_object,
                  std::optional<IdcaPredicate> predicate) const;
 
   /// Complete-domination filter (Algorithm 1, lines 3-10): counts

@@ -50,6 +50,19 @@ void TraceRecorder::RecordSpan(const char* name, const char* category,
   Record(e);
 }
 
+void TraceRecorder::RecordBackdatedSpan(const char* name,
+                                        const char* category, uint64_t end_ns,
+                                        uint64_t dur_ns, const TraceArg* args,
+                                        uint32_t num_args) {
+  // Clamp start and duration *together*: a wait measured on another clock
+  // (or spanning the recorder's construction) truncates to the portion
+  // inside this recorder's timeline instead of keeping the full duration
+  // against a zeroed start, which would overstate the wait and render
+  // before process start in Perfetto.
+  const uint64_t start_ns = end_ns > dur_ns ? end_ns - dur_ns : 0;
+  RecordSpan(name, category, start_ns, end_ns - start_ns, args, num_args);
+}
+
 void TraceRecorder::RecordInstant(const char* name, const char* category,
                                   const TraceArg* args, uint32_t num_args) {
   TraceEvent e;

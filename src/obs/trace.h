@@ -77,6 +77,17 @@ class TraceRecorder {
                   uint64_t dur_ns, const TraceArg* args = nullptr,
                   uint32_t num_args = 0);
 
+  /// Records a complete event that *ends* at `end_ns` and began `dur_ns`
+  /// earlier, clamping start and duration together at the recorder's
+  /// epoch: a backdated span (e.g. a queue wait reconstructed from an
+  /// elapsed-time measurement taken against a different clock) can
+  /// neither precede process start on the trace timeline nor keep a
+  /// duration longer than the clamped interval it claims to cover.
+  void RecordBackdatedSpan(const char* name, const char* category,
+                           uint64_t end_ns, uint64_t dur_ns,
+                           const TraceArg* args = nullptr,
+                           uint32_t num_args = 0);
+
   /// Records an instant ("ph":"i") event at NowNs().
   void RecordInstant(const char* name, const char* category,
                      const TraceArg* args = nullptr, uint32_t num_args = 0);

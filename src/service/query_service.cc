@@ -75,6 +75,21 @@ QueryService::QueryService(
   UPDB_CHECK(options_.batch_size >= 1);
   UPDB_CHECK(options_.max_queue >= 1);
   UPDB_CHECK(options_.est_iteration_ms > 0.0);
+  // Service-created caches register in the effective registry (the
+  // injected one or metrics_'s private fallback), so their series join
+  // the same JSON/Prometheus export as the service counters.
+  if (options_.response_cache != nullptr) {
+    response_cache_ = options_.response_cache;
+  } else if (options_.response_cache_capacity > 0) {
+    response_cache_ = std::make_shared<cache::ResponseCache>(
+        options_.response_cache_capacity, &metrics_.registry());
+  }
+  if (options_.verdict_memo != nullptr) {
+    verdict_memo_ = options_.verdict_memo;
+  } else if (options_.verdict_memo_capacity > 0) {
+    verdict_memo_ = std::make_shared<cache::VerdictMemo>(
+        options_.verdict_memo_capacity, &metrics_.registry());
+  }
   dispatcher_ = std::thread([this] { DispatcherMain(); });
 }
 
@@ -89,11 +104,66 @@ StatusOr<uint64_t> QueryService::Submit(QueryRequest request) {
   // Admission-time validation runs against the current snapshot; under
   // live updates execution may see a newer version, which re-validates
   // whatever can drift (see RunBatch).
-  const Status valid = ValidateRequest(request, *CurrentSnapshot());
+  const std::shared_ptr<const store::StoreSnapshot> snap = CurrentSnapshot();
+  const Status valid = ValidateRequest(request, *snap);
   if (!valid.ok()) {
     metrics_.RecordInvalid();
     return valid;
   }
+
+  // Canonicalize once when any cross-request cache is enabled; a request
+  // whose query PDF has no line serialization keeps an empty key and
+  // bypasses both caches.
+  std::string cache_key;
+  uint64_t query_token = 0;
+  if (response_cache_ != nullptr || verdict_memo_ != nullptr) {
+    StatusOr<CanonicalRequest> canon = CanonicalizeRequest(request);
+    if (canon.ok()) {
+      cache_key = std::move(canon->key);
+      query_token = canon->query_token;
+    }
+  }
+
+  // Response-cache fast path: a hit for (request, current version)
+  // bypasses queueing and execution entirely. The cached payload is the
+  // determinism contract's pure function of exactly that key, re-stamped
+  // with a fresh ticket; the deterministic stats stay verbatim and the
+  // wall-clock fields are zeroed (a hit waits in no queue and runs no
+  // batch). Serving the version current at submission is
+  // indistinguishable from the request having been dispatched before any
+  // concurrent publish — the ordering the admission contract already
+  // allows — and a publish mints a new version, i.e. a new key, so a
+  // stale payload is unreachable by construction.
+  if (response_cache_ != nullptr && !cache_key.empty()) {
+    QueryResponse hit;
+    if (response_cache_->Lookup(cache_key, snap->version(), &hit)) {
+      const ResponseStatus status = hit.status;
+      uint64_t hit_ticket = 0;
+      size_t hit_depth = 0;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (stop_) return Status::FailedPrecondition("service is shut down");
+        hit_ticket = next_ticket_++;
+        hit.id = hit_ticket;
+        hit.stats.cache_hit = true;
+        hit.stats.queue_seconds = 0.0;
+        hit.stats.exec_seconds = 0.0;
+        done_.emplace(hit_ticket, std::move(hit));
+        ++admitted_;
+        ++completed_;  // never enters pending_: Flush's invariant holds
+        hit_depth = pending_.size();
+      }
+      metrics_.RecordAdmitted(hit_depth);
+      metrics_.RecordCompleted(status, 0.0);
+      if (options_.trace != nullptr) {
+        const obs::TraceArg args[1] = {{"ticket", hit_ticket}};
+        options_.trace->RecordInstant("cache_hit", "service", args, 1);
+      }
+      done_cv_.notify_all();
+      return hit_ticket;
+    }
+  }
+
   uint64_t ticket = 0;
   size_t depth = 0;
   {
@@ -109,6 +179,8 @@ StatusOr<uint64_t> QueryService::Submit(QueryRequest request) {
     p.request = std::move(request);
     p.response.id = ticket;
     p.response.kind = p.request.kind;
+    p.cache_key = std::move(cache_key);
+    p.query_token = query_token;
     pending_.push_back(std::move(p));
     ++admitted_;
     depth = pending_.size();
@@ -203,6 +275,23 @@ void QueryService::DispatcherMain() {
           metrics_.RecordBatch(count);
         });
 
+    // Record completed responses for later identical requests before
+    // handing them out (outside mu_: inserts copy payloads and only take
+    // the cache's stripe locks). Inserts key on the version the response
+    // actually executed against; kRejected never reaches here and
+    // kInvalid is snapshot-churn-specific, so only kOk/kExpired — the
+    // reproducible terminal states — are cached.
+    if (response_cache_ != nullptr) {
+      for (const Pending& p : round) {
+        if (!p.cache_key.empty() &&
+            (p.response.status == ResponseStatus::kOk ||
+             p.response.status == ResponseStatus::kExpired)) {
+          response_cache_->Insert(p.cache_key, p.response.snapshot_version,
+                                  p.response);
+        }
+      }
+    }
+
     {
       std::lock_guard<std::mutex> lock(mu_);
       for (Pending& p : round) {
@@ -233,6 +322,13 @@ IdcaConfig QueryService::CompileBudget(const QueryBudget& budget,
     const double by_deadline =
         std::floor(budget.deadline_ms / options_.est_iteration_ms);
     if (by_deadline < static_cast<double>(granted)) {
+      // A deadline shorter than one estimated iteration compiles to an
+      // explicit zero-iteration grant — NOT to an unexecuted request: the
+      // engine still runs its complete-domination filter, every payload
+      // field carries the valid filter-phase bracket (vacuous-or-better,
+      // kUndecided where a predicate applies), and the response
+      // terminates kExpired. The max with 0 also keeps a sub-millisecond
+      // deadline from going negative through the floor/int conversion.
       granted = std::max(0, static_cast<int>(by_deadline));
     }
   }
@@ -240,6 +336,14 @@ IdcaConfig QueryService::CompileBudget(const QueryBudget& budget,
   cfg.uncertainty_epsilon = budget.uncertainty_epsilon;
   *iterations_granted = granted;
   return cfg;
+}
+
+void QueryService::AttachMemo(IdcaConfig* cfg, const Pending& p,
+                              uint64_t snapshot_version) const {
+  if (verdict_memo_ == nullptr || p.cache_key.empty()) return;
+  cfg->verdict_memo = verdict_memo_.get();
+  cfg->memo_context =
+      cache::VerdictMemo::MixContext(snapshot_version, p.query_token);
 }
 
 void QueryService::RunBatch(const store::StoreSnapshot& snap, Pending* batch,
@@ -260,14 +364,15 @@ void QueryService::RunBatch(const store::StoreSnapshot& snap, Pending* batch,
     p.response.stats.batch = batch_seq;
     p.response.stats.queue_seconds = p.queue_seconds;
     if (options_.trace != nullptr) {
-      // Queue wait reconstructed backwards from batch start: the span ends
-      // now and began when the request was admitted.
-      const uint64_t now_ns = options_.trace->NowNs();
-      const uint64_t wait_ns = static_cast<uint64_t>(p.queue_seconds * 1e9);
+      // Queue wait reconstructed backwards from batch start: the span
+      // ends now and began when the request was admitted. The recorder
+      // clamps start AND duration consistently, so a wait measured
+      // against the request's own stopwatch can never overstate itself
+      // or precede the recorder's epoch on the trace timeline.
       const obs::TraceArg args[1] = {{"ticket", p.ticket}};
-      options_.trace->RecordSpan("queue_wait", "service",
-                                 now_ns > wait_ns ? now_ns - wait_ns : 0,
-                                 wait_ns, args, 1);
+      options_.trace->RecordBackdatedSpan(
+          "queue_wait", "service", options_.trace->NowNs(),
+          static_cast<uint64_t>(p.queue_seconds * 1e9), args, 1);
     }
     if (!db.empty() && p.request.query->bounds().dim() != db.dim()) {
       p.response.status = ResponseStatus::kInvalid;
@@ -461,7 +566,8 @@ void QueryService::ExecThresholdBatch(const store::StoreSnapshot& snap,
     req_span.AddArg("candidates", candidates[r].size());
     Stopwatch exec;
     int granted = 0;
-    const IdcaConfig cfg = CompileBudget(p.request.budget, &granted);
+    IdcaConfig cfg = CompileBudget(p.request.budget, &granted);
+    AttachMemo(&cfg, p, snap.version());
     const IdcaEngine engine(db, cfg);
     const IdcaPredicate predicate{p.request.k, p.request.tau};
     p.response.threshold.reserve(candidates[r].size());
@@ -500,7 +606,8 @@ void QueryService::ExecInverseRanking(const store::StoreSnapshot& snap,
   req_span.AddArg("ticket", p.ticket);
   Stopwatch exec;
   int granted = 0;
-  const IdcaConfig cfg = CompileBudget(p.request.budget, &granted);
+  IdcaConfig cfg = CompileBudget(p.request.budget, &granted);
+  AttachMemo(&cfg, p, snap.version());
   const IdcaEngine engine(*snap.db(), cfg);
   const IdcaResult result =
       engine.ComputeDomCount(dense_target, *p.request.query);
@@ -529,7 +636,8 @@ void QueryService::ExecExpectedRank(const store::StoreSnapshot& snap,
   req_span.AddArg("ticket", p.ticket);
   Stopwatch exec;
   int granted = 0;
-  const IdcaConfig cfg = CompileBudget(p.request.budget, &granted);
+  IdcaConfig cfg = CompileBudget(p.request.budget, &granted);
+  AttachMemo(&cfg, p, snap.version());
   // Delegate to the direct query path (serial here: cfg.num_threads == 1)
   // so the service payload cannot diverge from ExpectedRankOrder.
   size_t iterations = 0;

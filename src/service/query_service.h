@@ -52,6 +52,21 @@
 // wall-clock stats fields differ. Deadlines are compiled to iteration
 // budgets at admission (see service/request.h) — the wall clock never
 // steers execution.
+//
+// Caching (optional, off by default): that same determinism contract is
+// what makes cross-request caching sound. With response_cache_capacity
+// set, Submit first probes a (canonical request, snapshot_version)-keyed
+// response cache — a hit bypasses queueing and execution entirely and
+// returns the cached payload re-stamped with a fresh ticket (bit-identical
+// otherwise; only the wall-clock/batch/cache_hit stats fields differ, and
+// the digest covers none of them). Lookups key on the version current at
+// submission and inserts on the version the response executed against, so
+// a publish — which mints a new version — can never serve a stale payload;
+// a hit is indistinguishable from the request having been dispatched
+// before the publish, which the admission-time contract already permits.
+// With verdict_memo_capacity set, engine runs additionally share decided
+// domination verdicts through a snapshot-scoped lock-free memo
+// (cache/verdict_memo.h) — same payloads, fewer geometry tests.
 
 #ifndef UPDB_SERVICE_QUERY_SERVICE_H_
 #define UPDB_SERVICE_QUERY_SERVICE_H_
@@ -65,6 +80,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/response_cache.h"
+#include "cache/verdict_memo.h"
 #include "common/thread_pool.h"
 #include "core/idca.h"
 #include "service/metrics.h"
@@ -114,6 +131,26 @@ struct QueryServiceOptions {
   /// instrumentation site then costs one pointer test, and payloads are
   /// bit-identical either way (digest-oracle enforced).
   obs::TraceRecorder* trace = nullptr;
+  /// Entries of the cross-request response cache, keyed by (canonical
+  /// serialized request, snapshot_version): a repeated request against the
+  /// same published version bypasses execution and returns the cached —
+  /// bit-identical — payload. 0 (default) disables the cache. Responses
+  /// whose request has no canonical serialization, or that terminated
+  /// kRejected/kInvalid, are never cached.
+  size_t response_cache_capacity = 0;
+  /// Pre-built response cache shared with other services or passes (e.g. a
+  /// warm-replay service reusing a cold pass's entries); overrides
+  /// response_cache_capacity when non-null.
+  std::shared_ptr<cache::ResponseCache> response_cache;
+  /// Slots of the snapshot-scoped cross-request verdict memo threaded into
+  /// every engine run (cache/verdict_memo.h): decided domination verdicts
+  /// recorded by one request are reused by later requests against the same
+  /// snapshot version. Payloads stay bit-identical with the memo on or
+  /// off. 0 (default) disables the memo.
+  size_t verdict_memo_capacity = 0;
+  /// Pre-built verdict memo shared across services; overrides
+  /// verdict_memo_capacity when non-null.
+  std::shared_ptr<cache::VerdictMemo> verdict_memo;
 };
 
 /// The concurrent query service. Thread-safe: any thread may Submit/Take;
@@ -169,6 +206,14 @@ class QueryService {
 
   const QueryServiceOptions& options() const { return options_; }
   const ServiceMetrics& metrics() const { return metrics_; }
+  /// The effective caches (configured or injected; null when disabled) —
+  /// counters for oracles, and the handles warm-replay passes share.
+  const std::shared_ptr<cache::ResponseCache>& response_cache() const {
+    return response_cache_;
+  }
+  const std::shared_ptr<cache::VerdictMemo>& verdict_memo() const {
+    return verdict_memo_;
+  }
   /// The snapshot a round dispatched now would serve (pinned snapshot, or
   /// the store's latest). Never null.
   std::shared_ptr<const store::StoreSnapshot> CurrentSnapshot() const;
@@ -182,6 +227,12 @@ class QueryService {
     Stopwatch since_submit;
     double queue_seconds = 0.0;
     QueryResponse response;
+    /// Canonical request serialization (empty when the request has none:
+    /// such requests bypass the response cache and the verdict memo).
+    std::string cache_key;
+    /// Query-PDF identity token for the verdict memo (0 iff cache_key is
+    /// empty).
+    uint64_t query_token = 0;
   };
 
   QueryService(std::shared_ptr<store::VersionedObjectStore> db_store,
@@ -199,6 +250,12 @@ class QueryService {
   IdcaConfig CompileBudget(const QueryBudget& budget,
                            int* iterations_granted) const;
 
+  /// Threads the cross-request verdict memo into a compiled config, keyed
+  /// to the round's snapshot version (no-op when the memo is disabled or
+  /// the request has no canonical serialization).
+  void AttachMemo(IdcaConfig* cfg, const Pending& p,
+                  uint64_t snapshot_version) const;
+
   void ExecThresholdBatch(const store::StoreSnapshot& snap,
                           Pending** requests, size_t count, bool reverse)
       const;
@@ -212,6 +269,11 @@ class QueryService {
   const std::shared_ptr<const store::StoreSnapshot> pinned_;  // pinned mode
   const QueryServiceOptions options_;
   ServiceMetrics metrics_;
+  /// Cross-request caches (null when disabled). Both register their
+  /// series in the service's effective metrics registry when the service
+  /// creates them; injected instances keep their own registration.
+  std::shared_ptr<cache::ResponseCache> response_cache_;
+  std::shared_ptr<cache::VerdictMemo> verdict_memo_;
   ThreadPool pool_;  // num_workers - 1 threads; dispatcher is worker 0
 
   std::mutex mu_;

@@ -1,7 +1,10 @@
 #include "service/request.h"
 
 #include <bit>
+#include <cinttypes>
+#include <cstdio>
 
+#include "io/dataset_io.h"
 #include "store/object_store.h"
 #include "uncertain/database.h"
 
@@ -144,6 +147,59 @@ uint64_t ResponseDigest(std::span<const QueryResponse> responses) {
   uint64_t h = kFnvOffset;
   for (const QueryResponse& r : responses) HashU64(ResponseDigest(r), h);
   return h;
+}
+
+namespace {
+
+/// Bit-exact double field: "name=<hex of the IEEE pattern>;". Text
+/// formatting would round; the bit pattern can't.
+void AppendDouble(std::string& out, const char* name, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s=%016" PRIx64 ";", name,
+                std::bit_cast<uint64_t>(v));
+  out.append(buf);
+}
+
+}  // namespace
+
+StatusOr<CanonicalRequest> CanonicalizeRequest(const QueryRequest& request) {
+  if (request.query == nullptr) {
+    return Status::InvalidArgument("request without query object");
+  }
+  // The PDF's line serialization is the canonical query identity (id 0 is
+  // a placeholder — SerializeObject never emits it).
+  StatusOr<std::string> serialized =
+      io::SerializeObject(UncertainObject(0, request.query, 1.0));
+  if (!serialized.ok()) return serialized.status();
+  const std::string& pdf_line = *serialized;
+
+  CanonicalRequest canon;
+  canon.key.reserve(pdf_line.size() + 96);
+  canon.key.append("kind=");
+  canon.key.append(QueryKindName(request.kind));
+  canon.key.push_back(';');
+  canon.key.append("k=");
+  canon.key.append(std::to_string(request.k));
+  canon.key.push_back(';');
+  AppendDouble(canon.key, "tau", request.tau);
+  canon.key.append("target=");
+  canon.key.append(std::to_string(request.target));
+  canon.key.push_back(';');
+  canon.key.append("mi=");
+  canon.key.append(std::to_string(request.budget.max_iterations));
+  canon.key.push_back(';');
+  AppendDouble(canon.key, "eps", request.budget.uncertainty_epsilon);
+  AppendDouble(canon.key, "dl", request.budget.deadline_ms);
+  canon.key.append("q=");
+  canon.key.append(pdf_line);
+
+  uint64_t token = kFnvOffset;
+  for (unsigned char c : pdf_line) {
+    token ^= c;
+    token *= kFnvPrime;
+  }
+  canon.query_token = token != 0 ? token : 1;
+  return canon;
 }
 
 }  // namespace service

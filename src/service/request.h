@@ -21,8 +21,10 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "gf/count_bounds.h"
 #include "queries/queries.h"
 #include "uncertain/pdf.h"
@@ -124,6 +126,12 @@ struct RequestStats {
   uint64_t verdict_cache_misses = 0;
   /// Batch sequence number the request executed in (diagnostics).
   uint64_t batch = 0;
+  /// True when the response was served from the service's cross-request
+  /// response cache instead of executing (the payload is bit-identical to
+  /// a recomputed response — digest-oracle enforced). Like the wall-clock
+  /// fields this describes *how* one run answered, not *what* the answer
+  /// is, so it stays outside ResponseDigest.
+  bool cache_hit = false;
   /// Wall-clock admission -> batch start. NOT covered by the determinism
   /// contract; excluded from ResponseDigest.
   double queue_seconds = 0.0;
@@ -179,6 +187,24 @@ uint64_t ResponseDigest(const QueryResponse& response);
 
 /// Combined digest of a whole response sequence (order-sensitive).
 uint64_t ResponseDigest(std::span<const QueryResponse> responses);
+
+/// Canonical serialized form of a request — the request half of the
+/// response cache's (request, snapshot_version) key, and the source of
+/// the verdict memo's query-identity token. Two requests get the same key
+/// iff every semantic field matches: kind, k, tau, target, the full
+/// budget (deadline included — it compiles into the iteration grant), and
+/// the query PDF's canonical line serialization. Doubles are keyed by
+/// their exact bit pattern, so the key is byte-stable across runs.
+struct CanonicalRequest {
+  std::string key;
+  /// FNV-1a of the PDF serialization (never 0); feeds
+  /// cache::VerdictMemo::MixContext.
+  uint64_t query_token = 0;
+};
+
+/// Fails (Unimplemented) for query PDF types without a line
+/// serialization — such requests simply bypass both caches.
+StatusOr<CanonicalRequest> CanonicalizeRequest(const QueryRequest& request);
 
 }  // namespace service
 }  // namespace updb

@@ -6,6 +6,8 @@
 #ifndef UPDB_UPDB_H_
 #define UPDB_UPDB_H_
 
+#include "cache/response_cache.h"
+#include "cache/verdict_memo.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "common/stopwatch.h"

@@ -1,0 +1,293 @@
+// Copyright 2026 The updb Authors.
+// Unit and concurrency tests of the cross-request caching layer
+// (cache/verdict_memo.h, cache/response_cache.h). The concurrent cases
+// run in the TSan CI matrix: the memo's lock-free slot protocol and the
+// response cache's striped locking must hold under racing readers and
+// writers.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/response_cache.h"
+#include "cache/verdict_memo.h"
+#include "obs/metrics.h"
+#include "service/request.h"
+
+namespace updb {
+namespace cache {
+namespace {
+
+// --------------------------------------------------------------- VerdictMemo
+
+VerdictMemo::Key KeyFor(const VerdictMemo& memo, uint64_t run_ctx,
+                        uint64_t candidate, uint32_t level, uint32_t node) {
+  return memo.MakeKey(run_ctx, candidate, level, node, node + 1, node + 2);
+}
+
+TEST(VerdictMemoTest, InsertThenLookupRoundTrips) {
+  VerdictMemo memo(1 << 10);
+  const uint64_t ctx = VerdictMemo::MixRun(
+      VerdictMemo::MixContext(/*snapshot_version=*/1, /*query_token=*/42),
+      /*object_id=*/7, /*target_is_database_object=*/true,
+      /*config_fingerprint=*/3);
+  VerdictMemoTally tally;
+
+  const VerdictMemo::Key a = KeyFor(memo, ctx, 1, 0, 0);
+  const VerdictMemo::Key b = KeyFor(memo, ctx, 2, 1, 5);
+  EXPECT_EQ(memo.Lookup(a, tally), 0);
+  memo.Insert(a, VerdictMemo::kDominates, tally);
+  memo.Insert(b, VerdictMemo::kDominated, tally);
+  EXPECT_EQ(memo.Lookup(a, tally), VerdictMemo::kDominates);
+  EXPECT_EQ(memo.Lookup(b, tally), VerdictMemo::kDominated);
+  EXPECT_EQ(tally.hits, 2u);
+  EXPECT_EQ(tally.misses, 1u);
+  EXPECT_EQ(tally.inserts, 2u);
+  EXPECT_EQ(tally.evictions, 0u);
+}
+
+TEST(VerdictMemoTest, DistinctTripleCoordinatesAreDistinctKeys) {
+  // Every coordinate of the (level, B'-node, R'-node, candidate-node)
+  // tuple must separate keys — a collapsed coordinate would replay a
+  // verdict for the wrong triple.
+  VerdictMemo memo(1 << 10);
+  VerdictMemoTally tally;
+  const uint64_t ctx = VerdictMemo::MixRun(VerdictMemo::MixContext(1, 42), 7,
+                                           true, 3);
+  const VerdictMemo::Key base = memo.MakeKey(ctx, 1, 2, 3, 4, 5);
+  memo.Insert(base, VerdictMemo::kDominates, tally);
+  EXPECT_EQ(memo.Lookup(memo.MakeKey(ctx, 1, 2, 3, 4, 5), tally),
+            VerdictMemo::kDominates);
+  EXPECT_EQ(memo.Lookup(memo.MakeKey(ctx, 2, 2, 3, 4, 5), tally), 0);
+  EXPECT_EQ(memo.Lookup(memo.MakeKey(ctx, 1, 3, 3, 4, 5), tally), 0);
+  EXPECT_EQ(memo.Lookup(memo.MakeKey(ctx, 1, 2, 4, 4, 5), tally), 0);
+  EXPECT_EQ(memo.Lookup(memo.MakeKey(ctx, 1, 2, 3, 5, 5), tally), 0);
+  EXPECT_EQ(memo.Lookup(memo.MakeKey(ctx, 1, 2, 3, 4, 6), tally), 0);
+}
+
+TEST(VerdictMemoTest, SnapshotVersionScopesTheKeySpace) {
+  // Invalidation-by-version: the same triple under a new published
+  // version derives a different key, so a publish can never replay a
+  // verdict computed against the old snapshot.
+  VerdictMemo memo(1 << 10);
+  VerdictMemoTally tally;
+  const uint64_t token = 42;
+  const uint64_t v1 = VerdictMemo::MixRun(VerdictMemo::MixContext(1, token),
+                                          7, true, 3);
+  const uint64_t v2 = VerdictMemo::MixRun(VerdictMemo::MixContext(2, token),
+                                          7, true, 3);
+  memo.Insert(KeyFor(memo, v1, 1, 0, 0), VerdictMemo::kDominates, tally);
+  EXPECT_EQ(memo.Lookup(KeyFor(memo, v1, 1, 0, 0), tally),
+            VerdictMemo::kDominates);
+  EXPECT_EQ(memo.Lookup(KeyFor(memo, v2, 1, 0, 0), tally), 0);
+}
+
+TEST(VerdictMemoTest, OperandDirectionScopesTheKeySpace) {
+  // kNN runs test (cand, B=obj, R=q); RkNN runs test (cand, B=q, R=obj).
+  // The same ids with flipped direction are different geometry.
+  VerdictMemo memo(1 << 10);
+  VerdictMemoTally tally;
+  const uint64_t c = VerdictMemo::MixContext(1, 42);
+  const uint64_t knn = VerdictMemo::MixRun(c, 7, true, 3);
+  const uint64_t rknn = VerdictMemo::MixRun(c, 7, false, 3);
+  memo.Insert(KeyFor(memo, knn, 1, 0, 0), VerdictMemo::kDominates, tally);
+  EXPECT_EQ(memo.Lookup(KeyFor(memo, rknn, 1, 0, 0), tally), 0);
+}
+
+TEST(VerdictMemoTest, CapacityIsFixedAndFullTableEvictsInPlace) {
+  obs::MetricsRegistry registry;
+  VerdictMemo memo(/*capacity=*/64, &registry);  // minimum table
+  EXPECT_EQ(memo.capacity(), 64u);
+  VerdictMemoTally tally;
+  const uint64_t ctx = VerdictMemo::MixRun(VerdictMemo::MixContext(1, 42), 7,
+                                           true, 3);
+  // Way more distinct keys than slots: the table must overwrite, never
+  // grow, and count the overwrites.
+  constexpr uint32_t kKeys = 4096;
+  for (uint32_t i = 0; i < kKeys; ++i) {
+    memo.Insert(KeyFor(memo, ctx, i, i & 7, i), VerdictMemo::kDominates,
+                tally);
+  }
+  EXPECT_GT(tally.evictions, 0u);
+  // Every key was recorded; all but at most `capacity` of those records
+  // had to overwrite a live slot.
+  EXPECT_EQ(tally.inserts, static_cast<uint64_t>(kKeys));
+  EXPECT_GE(tally.evictions,
+            static_cast<uint64_t>(kKeys) - memo.capacity());
+  // Whatever still hits must return the verdict that was inserted.
+  uint32_t live = 0;
+  for (uint32_t i = 0; i < kKeys; ++i) {
+    const int v = memo.Lookup(KeyFor(memo, ctx, i, i & 7, i), tally);
+    if (v != 0) {
+      EXPECT_EQ(v, VerdictMemo::kDominates);
+      ++live;
+    }
+  }
+  EXPECT_LE(live, memo.capacity());
+
+  // Flush publishes the tally to the registry series.
+  memo.Flush(tally);
+  EXPECT_EQ(memo.hits(), tally.hits);
+  EXPECT_EQ(memo.misses(), tally.misses);
+  EXPECT_EQ(memo.inserts(), tally.inserts);
+  EXPECT_EQ(memo.evictions(), tally.evictions);
+  EXPECT_NE(registry.ToPrometheus().find("updb_verdict_memo_hits_total"),
+            std::string::npos);
+}
+
+TEST(VerdictMemoTest, CapacityRoundsUpToPowerOfTwoWithFloor) {
+  EXPECT_EQ(VerdictMemo(1).capacity(), 64u);
+  EXPECT_EQ(VerdictMemo(65).capacity(), 128u);
+  EXPECT_EQ(VerdictMemo(1 << 12).capacity(), size_t{1} << 12);
+}
+
+/// TSan case: racing inserters and readers over overlapping key ranges.
+/// Hits must return the exact verdict keyed for that triple (the verdict
+/// is derived from the key index, so a torn or misrouted read would
+/// surface as a wrong value, not just a race report).
+TEST(VerdictMemoTest, ConcurrentInsertAndLookupNeverReturnWrongVerdict) {
+  VerdictMemo memo(1 << 8);
+  const uint64_t ctx = VerdictMemo::MixRun(VerdictMemo::MixContext(1, 42), 7,
+                                           true, 3);
+  auto verdict_for = [](uint32_t i) {
+    return (i & 1) != 0 ? VerdictMemo::kDominates : VerdictMemo::kDominated;
+  };
+  constexpr uint32_t kKeys = 2048;
+  constexpr size_t kThreads = 4;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      VerdictMemoTally tally;
+      for (uint32_t round = 0; round < 2; ++round) {
+        for (uint32_t i = static_cast<uint32_t>(t); i < kKeys;
+             i += kThreads) {
+          const VerdictMemo::Key key = KeyFor(memo, ctx, i, i & 3, i);
+          const int seen = memo.Lookup(key, tally);
+          if (seen != 0) {
+            EXPECT_EQ(seen, verdict_for(i));
+          }
+          memo.Insert(key, verdict_for(i), tally);
+        }
+        // Also read the other threads' ranges.
+        for (uint32_t i = 0; i < kKeys; i += 17) {
+          const VerdictMemo::Key key = KeyFor(memo, ctx, i, i & 3, i);
+          const int seen = memo.Lookup(key, tally);
+          if (seen != 0) {
+            EXPECT_EQ(seen, verdict_for(i));
+          }
+        }
+      }
+      memo.Flush(tally);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_GT(memo.inserts(), 0u);
+}
+
+// ------------------------------------------------------------ ResponseCache
+
+service::QueryResponse MakeResponse(uint64_t id, double lb, double ub) {
+  service::QueryResponse r;
+  r.id = id;
+  r.kind = service::QueryKind::kThresholdKnn;
+  r.status = service::ResponseStatus::kOk;
+  r.snapshot_version = 1;
+  ThresholdQueryResult tr;
+  tr.id = 3;
+  tr.prob.lb = lb;
+  tr.prob.ub = ub;
+  tr.decision = PredicateDecision::kUndecided;
+  r.threshold.push_back(tr);
+  return r;
+}
+
+TEST(ResponseCacheTest, MissThenInsertThenHitCopiesThePayload) {
+  obs::MetricsRegistry registry;
+  ResponseCache cache(/*capacity=*/16, &registry);
+  service::QueryResponse out;
+  EXPECT_FALSE(cache.Lookup("k=1", 1, &out));
+  cache.Insert("k=1", 1, MakeResponse(5, 0.25, 0.75));
+  ASSERT_TRUE(cache.Lookup("k=1", 1, &out));
+  EXPECT_EQ(service::ResponseDigest(out),
+            service::ResponseDigest(MakeResponse(5, 0.25, 0.75)));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(registry.ToJson().find("updb_response_cache_hits_total"),
+            std::string::npos);
+}
+
+TEST(ResponseCacheTest, SnapshotVersionIsPartOfTheKey) {
+  ResponseCache cache(16);
+  cache.Insert("k=1", 1, MakeResponse(5, 0.25, 0.75));
+  service::QueryResponse out;
+  EXPECT_FALSE(cache.Lookup("k=1", 2, &out));  // new published version
+  EXPECT_TRUE(cache.Lookup("k=1", 1, &out));
+}
+
+TEST(ResponseCacheTest, ReinsertRefreshesWithoutDuplicating) {
+  ResponseCache cache(16);
+  cache.Insert("k=1", 1, MakeResponse(5, 0.25, 0.75));
+  cache.Insert("k=1", 1, MakeResponse(5, 0.25, 0.75));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResponseCacheTest, LruEvictionKeepsTheSizeBounded) {
+  // Single-stripe geometry (capacity < 8) makes LRU order observable.
+  ResponseCache cache(/*capacity=*/3);
+  EXPECT_EQ(cache.capacity(), 3u);
+  cache.Insert("a", 1, MakeResponse(1, 0.1, 0.9));
+  cache.Insert("b", 1, MakeResponse(2, 0.1, 0.9));
+  cache.Insert("c", 1, MakeResponse(3, 0.1, 0.9));
+  service::QueryResponse out;
+  ASSERT_TRUE(cache.Lookup("a", 1, &out));  // refresh "a"
+  cache.Insert("d", 1, MakeResponse(4, 0.1, 0.9));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.Lookup("b", 1, &out));  // LRU victim
+  EXPECT_TRUE(cache.Lookup("a", 1, &out));
+  EXPECT_TRUE(cache.Lookup("c", 1, &out));
+  EXPECT_TRUE(cache.Lookup("d", 1, &out));
+}
+
+TEST(ResponseCacheTest, StripedCapacityBoundsTotalEntries) {
+  ResponseCache cache(/*capacity=*/32);
+  EXPECT_EQ(cache.capacity(), 32u);
+  for (int i = 0; i < 500; ++i) {
+    cache.Insert("k=" + std::to_string(i), 1, MakeResponse(i, 0.1, 0.9));
+  }
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+/// TSan case: concurrent lookups and inserts across stripes.
+TEST(ResponseCacheTest, ConcurrentLookupInsertIsSafe) {
+  ResponseCache cache(/*capacity=*/64);
+  constexpr size_t kThreads = 4;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < 3; ++round) {
+        for (int i = 0; i < 128; ++i) {
+          const std::string key = "k=" + std::to_string(i);
+          service::QueryResponse out;
+          if (cache.Lookup(key, 1, &out)) {
+            EXPECT_EQ(out.id, static_cast<uint64_t>(i));
+          }
+          if ((i % kThreads) == t) {
+            cache.Insert(key, 1, MakeResponse(i, 0.1, 0.9));
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+}  // namespace
+}  // namespace cache
+}  // namespace updb

@@ -253,6 +253,30 @@ TEST(TraceTest, NowNsIsMonotonic) {
   }
 }
 
+TEST(TraceTest, BackdatedSpanClampsStartAndDurationTogether) {
+  TraceRecorder recorder;
+
+  // An in-timeline backdated span keeps its full interval.
+  recorder.RecordBackdatedSpan("wait", "test", /*end_ns=*/1000,
+                               /*dur_ns=*/400);
+  // A duration longer than the recorder's life so far truncates to the
+  // in-timeline portion: start clamps to the epoch AND the duration
+  // shrinks with it — never a zeroed start with the full duration kept,
+  // which would overstate the wait.
+  recorder.RecordBackdatedSpan("wait", "test", /*end_ns=*/300,
+                               /*dur_ns=*/5000);
+
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ts_ns, 600u);
+  EXPECT_EQ(events[0].dur_ns, 400u);
+  EXPECT_EQ(events[1].ts_ns, 0u);
+  EXPECT_EQ(events[1].dur_ns, 300u);
+  for (const TraceEvent& e : events) {
+    EXPECT_EQ(e.ts_ns + e.dur_ns, e.dur_ns == 400u ? 1000u : 300u);
+  }
+}
+
 TEST(TraceTest, BoundedBufferCountsDrops) {
   TraceRecorder recorder(/*max_events=*/4);
   for (int i = 0; i < 10; ++i) {

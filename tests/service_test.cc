@@ -493,6 +493,249 @@ TEST(QueryServiceTest, NullAndEmptyDatabasesComeUpGracefully) {
   }
 }
 
+TEST(QueryServiceTest, ZeroIterationDeadlineAnswersEveryKind) {
+  // Satellite of the zero-grant contract: a deadline below one estimated
+  // iteration compiles to an explicit 0-iteration grant for *every* query
+  // kind — the filter phase still runs, every payload carries a valid
+  // (vacuous-or-better) bracket, and nothing crashes or degrades to an
+  // unexecuted request.
+  const auto db = MakeDb(20, 0.1);
+  const auto q = MakeQuery(0.5, 0.5, 0.1);
+  for (const QueryKind kind :
+       {QueryKind::kThresholdKnn, QueryKind::kThresholdRknn,
+        QueryKind::kInverseRanking, QueryKind::kExpectedRank}) {
+    QueryRequest req;
+    req.kind = kind;
+    req.query = q;
+    req.k = 2;
+    req.tau = 0.5;
+    req.target = 3;
+    req.budget.max_iterations = 8;
+    req.budget.deadline_ms = 1.0;  // below est_iteration_ms (5.0)
+    const QueryResponse response = RunOne(db, std::move(req));
+    EXPECT_EQ(response.stats.iterations_granted, 0) << QueryKindName(kind);
+    EXPECT_NE(response.status, ResponseStatus::kInvalid)
+        << QueryKindName(kind);
+    for (const ThresholdQueryResult& r : response.threshold) {
+      EXPECT_LE(r.prob.lb, r.prob.ub);
+      EXPECT_GE(r.prob.lb, 0.0);
+      EXPECT_LE(r.prob.ub, 1.0);
+    }
+    for (size_t k = 0; k < response.rank_bounds.num_ranks(); ++k) {
+      EXPECT_LE(response.rank_bounds.lb(k), response.rank_bounds.ub(k));
+    }
+    for (const ExpectedRankEntry& e : response.expected) {
+      EXPECT_LE(e.expected_rank.lb, e.expected_rank.ub);
+    }
+  }
+}
+
+// ------------------------------------------------- cross-request caching
+
+/// Tentpole acceptance: enabling the response cache (and the verdict
+/// memo with it) never changes a payload byte. Two back-to-back replays
+/// of one trace — the second fully warm — digest identically to the
+/// cache-off run, across worker counts and batch sizes.
+TEST(QueryServiceTest, ResponseCacheOnOffDigestsAreIdentical) {
+  const auto db = MakeDb(30, 0.08);
+  TraceConfig tcfg;
+  tcfg.num_requests = 12;
+  tcfg.seed = 77;
+  tcfg.query_extent = 0.08;
+  tcfg.k_max = 3;
+  tcfg.budget.max_iterations = 3;
+  const std::vector<QueryRequest> trace = MakeTrace(*db, tcfg);
+
+  auto run = [&](size_t workers, size_t batch, bool caches) {
+    QueryServiceOptions opts;
+    opts.num_workers = workers;
+    opts.batch_size = batch;
+    opts.max_queue = trace.size();
+    if (caches) {
+      opts.response_cache_capacity = 256;
+      opts.verdict_memo_capacity = 1 << 14;
+    }
+    QueryService service(PinnedSnapshot(db), opts);
+    // ReplayTrace drains every ticket before returning, so the second
+    // replay probes a fully-populated cache.
+    const ReplayResult cold = ReplayTrace(service, trace, /*qps=*/0.0);
+    const ReplayResult warm = ReplayTrace(service, trace, /*qps=*/0.0);
+    EXPECT_EQ(cold.admitted, trace.size());
+    EXPECT_EQ(warm.admitted, trace.size());
+    std::vector<QueryResponse> all = cold.responses;
+    all.insert(all.end(), warm.responses.begin(), warm.responses.end());
+    if (caches) {
+      EXPECT_EQ(service.response_cache()->hits(), trace.size());
+      EXPECT_LE(service.response_cache()->size(),
+                service.response_cache()->capacity());
+      size_t warm_hits = 0;
+      for (const QueryResponse& r : warm.responses) {
+        warm_hits += r.stats.cache_hit ? 1 : 0;
+      }
+      EXPECT_EQ(warm_hits, trace.size());
+    }
+    return ResponseDigest(all);
+  };
+
+  const uint64_t off = run(2, 4, /*caches=*/false);
+  EXPECT_EQ(run(2, 4, /*caches=*/true), off);
+  EXPECT_EQ(run(1, 4, /*caches=*/true), off);
+  EXPECT_EQ(run(8, 4, /*caches=*/true), off);
+  EXPECT_EQ(run(2, 1, /*caches=*/true), off);
+  EXPECT_EQ(run(2, 8, /*caches=*/true), off);
+}
+
+/// Verdict-memo monotonicity: with only the memo on (no response cache),
+/// the warm replay re-executes every request but replays decided verdicts
+/// from the memo — and still digests identically to the memo-off run.
+/// The per-request deterministic counters are also unchanged: a memo hit
+/// counts as a domination test exactly like the geometry call it elides.
+TEST(QueryServiceTest, VerdictMemoOnOffDigestsAreIdentical) {
+  const auto db = MakeDb(30, 0.08);
+  TraceConfig tcfg;
+  tcfg.num_requests = 10;
+  tcfg.seed = 41;
+  tcfg.query_extent = 0.08;
+  tcfg.k_max = 3;
+  tcfg.budget.max_iterations = 3;
+  const std::vector<QueryRequest> trace = MakeTrace(*db, tcfg);
+
+  struct RunResult {
+    uint64_t digest = 0;
+    std::vector<uint64_t> tests;  // per ticket, sorted by id
+  };
+  auto run = [&](size_t workers, size_t memo_capacity) {
+    QueryServiceOptions opts;
+    opts.num_workers = workers;
+    opts.batch_size = 4;
+    opts.max_queue = trace.size();
+    opts.verdict_memo_capacity = memo_capacity;
+    QueryService service(PinnedSnapshot(db), opts);
+    const ReplayResult cold = ReplayTrace(service, trace, /*qps=*/0.0);
+    const ReplayResult warm = ReplayTrace(service, trace, /*qps=*/0.0);
+    if (memo_capacity > 0) {
+      // The warm pass re-derives the same triples, so the memo must
+      // actually serve hits (no response cache to shortcut it).
+      EXPECT_GT(service.verdict_memo()->hits(), 0u);
+    }
+    RunResult out;
+    std::vector<QueryResponse> all = cold.responses;
+    all.insert(all.end(), warm.responses.begin(), warm.responses.end());
+    out.digest = ResponseDigest(all);
+    std::sort(all.begin(), all.end(),
+              [](const QueryResponse& a, const QueryResponse& b) {
+                return a.id < b.id;
+              });
+    for (const QueryResponse& r : all) {
+      out.tests.push_back(r.stats.verdict_cache_misses);
+    }
+    return out;
+  };
+
+  const RunResult off = run(2, 0);
+  const RunResult on = run(2, 1 << 15);
+  EXPECT_EQ(on.digest, off.digest);
+  EXPECT_EQ(on.tests, off.tests);
+  EXPECT_EQ(run(8, 1 << 15).digest, off.digest);
+}
+
+/// A response-cache hit bypasses execution: fresh ticket, zero measured
+/// queue/exec time, cache_hit stamped, payload byte-identical to the
+/// original up to the ticket id, and the hit flows through the service
+/// completion metrics and the unified registry export.
+TEST(QueryServiceTest, ResponseCacheHitBypassesExecution) {
+  const auto db = MakeDb(25, 0.07);
+  QueryServiceOptions opts;
+  opts.response_cache_capacity = 8;
+  QueryService service(PinnedSnapshot(db), opts);
+  const auto q = MakeQuery(0.5, 0.5, 0.07);
+
+  const StatusOr<uint64_t> t0 = service.Submit(KnnRequest(q, 2, 0.5, 3));
+  ASSERT_TRUE(t0.ok());
+  const QueryResponse r0 = service.Take(*t0);
+  EXPECT_FALSE(r0.stats.cache_hit);
+
+  const StatusOr<uint64_t> t1 = service.Submit(KnnRequest(q, 2, 0.5, 3));
+  ASSERT_TRUE(t1.ok());
+  const QueryResponse r1 = service.Take(*t1);
+  EXPECT_TRUE(r1.stats.cache_hit);
+  EXPECT_EQ(r1.id, *t1);
+  EXPECT_EQ(r1.stats.queue_seconds, 0.0);
+  EXPECT_EQ(r1.stats.exec_seconds, 0.0);
+
+  // Byte-identical payload modulo the ticket.
+  QueryResponse renamed = r1;
+  renamed.id = r0.id;
+  EXPECT_EQ(ResponseDigest(renamed), ResponseDigest(r0));
+
+  EXPECT_EQ(service.response_cache()->hits(), 1u);
+  EXPECT_EQ(service.metrics().Snapshot().completed, 2u);
+  const std::string prom = service.metrics().registry().ToPrometheus();
+  EXPECT_NE(prom.find("updb_response_cache_hits_total"), std::string::npos);
+  EXPECT_NE(prom.find("updb_response_cache_entries"), std::string::npos);
+  const std::string json = service.metrics().registry().ToJson();
+  EXPECT_NE(json.find("updb_response_cache_hits_total"), std::string::npos);
+}
+
+/// Churn staleness oracle: a publish stamps a new snapshot_version, and
+/// the very next identical request recomputes against it — the cache can
+/// never serve a payload from the previous version, because the version
+/// is part of the key.
+TEST(QueryServiceTest, PublishNeverServesStaleCachedPayload) {
+  const auto db = MakeDb(20, 0.08);
+  store::StoreOptions sopts;
+  sopts.num_shards = TestShards();
+  auto live = std::make_shared<store::VersionedObjectStore>(*db, sopts);
+  QueryServiceOptions opts;
+  opts.response_cache_capacity = 16;
+  opts.verdict_memo_capacity = 1 << 12;
+  QueryService service(live, opts);
+  const auto q = MakeQuery(0.5, 0.5, 0.08);
+  auto submit = [&] {
+    const StatusOr<uint64_t> t = service.Submit(KnnRequest(q, 2, 0.5, 3));
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    return service.Take(*t);
+  };
+
+  const QueryResponse v1 = submit();
+  EXPECT_EQ(v1.snapshot_version, 1u);
+  EXPECT_FALSE(v1.stats.cache_hit);
+  const QueryResponse v1_hit = submit();
+  EXPECT_TRUE(v1_hit.stats.cache_hit);
+  EXPECT_EQ(v1_hit.snapshot_version, 1u);
+
+  // Remove an object the v1 answer mentioned (so a stale replay would be
+  // observably wrong), publish version 2, and re-ask.
+  const ObjectId victim =
+      v1.threshold.empty() ? ObjectId{0} : v1.threshold.front().id;
+  ASSERT_TRUE(live->Remove(victim).ok());
+  live->Publish();
+  const QueryResponse v2 = submit();
+  EXPECT_EQ(v2.snapshot_version, 2u);
+  EXPECT_FALSE(v2.stats.cache_hit);
+  for (const ThresholdQueryResult& r : v2.threshold) {
+    EXPECT_NE(r.id, victim);
+  }
+
+  // The recomputed payload matches a cache-free service pinned to the new
+  // version, bit for bit (modulo the ticket id).
+  QueryService fresh(live->latest(), {});
+  const StatusOr<uint64_t> ft = fresh.Submit(KnnRequest(q, 2, 0.5, 3));
+  ASSERT_TRUE(ft.ok());
+  const QueryResponse truth = fresh.Take(*ft);
+  QueryResponse renamed = v2;
+  renamed.id = truth.id;
+  EXPECT_EQ(ResponseDigest(renamed), ResponseDigest(truth));
+
+  // And the v2 payload is what later identical requests now hit.
+  const QueryResponse v2_hit = submit();
+  EXPECT_TRUE(v2_hit.stats.cache_hit);
+  EXPECT_EQ(v2_hit.snapshot_version, 2u);
+  QueryResponse renamed_hit = v2_hit;
+  renamed_hit.id = v2.id;
+  EXPECT_EQ(ResponseDigest(renamed_hit), ResponseDigest(v2));
+}
+
 TEST(QueryServiceTest, SubmitAfterShutdownFails) {
   const auto db = MakeDb(10, 0.05);
   QueryService service(PinnedSnapshot(db), {});

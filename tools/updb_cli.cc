@@ -21,6 +21,7 @@
 //            [--deadline-ms=20 --deadline-fraction=0.5]
 //            [--metrics-out=metrics.json] [--prom-out=metrics.prom]
 //            [--trace-out=trace.json]
+//            [--response-cache=256] [--verdict-memo=65536]
 //            [--churn --churn-batches=8 --churn-per-batch=16
 //             --churn-interval-ms=20 --churn-seed=2]
 //   (serve-bench mode: generates — or loads — a database into a versioned
@@ -42,7 +43,14 @@
 //    --churn a writer thread concurrently applies seed-deterministic
 //    mutation batches and publishes new versions while the trace replays;
 //    the summary then reports the span of snapshot versions the responses
-//    were served from.)
+//    were served from. --response-cache=N enables the versioned
+//    full-response cache (N entries) and --verdict-memo=N the
+//    snapshot-scoped domination-verdict memo (N 16-byte slots); their
+//    hit/miss/eviction series join the unified registry. With the
+//    response cache on and a quiet store (no churn, no load-shed
+//    rejections) the run replays the trace a second time through a fresh
+//    service sharing the populated caches and exits 2 unless the warm
+//    response sequence digests bit-identically to the first.)
 //   updb_cli mutate --db=data.updb --out=data2.updb --batches=4
 //            --per-batch=32 --insert-w=0.4 --update-w=0.4 --remove-w=0.2
 //            --extent=0.01 --model=uniform --samples=64 --seed=1
@@ -476,15 +484,35 @@ int Serve(const Args& args) {
   sopts.metrics_registry = &registry;
   sopts.trace = tracer;
 
+  // Cross-request caching: the caches are built here (not via the
+  // capacity options) so the warm oracle pass below can share them with
+  // a second service instance.
+  std::shared_ptr<cache::ResponseCache> response_cache;
+  const size_t response_cache_cap = args.GetSize("response-cache", 0);
+  if (response_cache_cap > 0) {
+    response_cache = std::make_shared<cache::ResponseCache>(
+        response_cache_cap, &registry);
+    opts.response_cache = response_cache;
+  }
+  std::shared_ptr<cache::VerdictMemo> verdict_memo;
+  const size_t verdict_memo_cap = args.GetSize("verdict-memo", 0);
+  if (verdict_memo_cap > 0) {
+    verdict_memo =
+        std::make_shared<cache::VerdictMemo>(verdict_memo_cap, &registry);
+    opts.verdict_memo = verdict_memo;
+  }
+
   std::printf("# updb serve — seed=%llu db_objects=%zu requests=%zu "
               "workers=%zu batch=%zu queue=%zu qps=%.3g iterations=%d "
-              "shards=%zu churn=%d wal_dir=%s fsync=%s\n",
+              "shards=%zu churn=%d wal_dir=%s fsync=%s "
+              "response_cache=%zu verdict_memo=%zu\n",
               static_cast<unsigned long long>(seed), db.size(),
               trace.size(), opts.num_workers, opts.batch_size,
               opts.max_queue, qps, tcfg.budget.max_iterations,
               sopts.num_shards, churn ? 1 : 0,
               args.Get("wal-dir", "-").c_str(),
-              args.Get("fsync", "every_publish").c_str());
+              args.Get("fsync", "every_publish").c_str(),
+              response_cache_cap, verdict_memo_cap);
 
   store::RecoveryReport recovery_report;
   bool did_recover = false;
@@ -571,6 +599,55 @@ int Serve(const Args& args) {
   std::printf("# response_digest=%016llx\n",
               static_cast<unsigned long long>(
                   service::ResponseDigest(result.responses)));
+
+  // Cached≡recomputed oracle: replay the trace once more through a fresh
+  // service *sharing* the populated caches — tickets restart at 0, so
+  // the warm response sequence must digest bit-identically to the first
+  // pass, with every executed request served from the cache. Skipped
+  // under churn (the store version advanced, so recomputation is the
+  // correct behavior) and under load shedding (rejection is
+  // load-dependent, not part of the determinism contract).
+  int exit_code = 0;
+  if (response_cache != nullptr) {
+    std::printf("# response_cache hits=%llu misses=%llu evictions=%llu "
+                "entries=%zu\n",
+                static_cast<unsigned long long>(response_cache->hits()),
+                static_cast<unsigned long long>(response_cache->misses()),
+                static_cast<unsigned long long>(response_cache->evictions()),
+                response_cache->size());
+    if (!churn && result.rejected == 0) {
+      service::QueryService warm_svc(object_store, opts);
+      const service::ReplayResult warm =
+          service::ReplayTrace(warm_svc, trace, /*qps=*/0.0);
+      const uint64_t first = service::ResponseDigest(result.responses);
+      const uint64_t second = service::ResponseDigest(warm.responses);
+      size_t warm_hits = 0;
+      for (const service::QueryResponse& r : warm.responses) {
+        warm_hits += r.stats.cache_hit ? 1 : 0;
+      }
+      std::printf("# cache_oracle digests=%s warm_hits=%zu/%zu\n",
+                  first == second ? "match" : "MISMATCH", warm_hits,
+                  warm.responses.size());
+      if (first != second) {
+        std::fprintf(stderr,
+                     "FAIL: cached response payloads diverge from "
+                     "recomputation (%016llx vs %016llx)\n",
+                     static_cast<unsigned long long>(first),
+                     static_cast<unsigned long long>(second));
+        exit_code = 2;
+      }
+    }
+  }
+  if (verdict_memo != nullptr) {
+    std::printf("# verdict_memo hits=%llu misses=%llu inserts=%llu "
+                "evictions=%llu slots=%zu\n",
+                static_cast<unsigned long long>(verdict_memo->hits()),
+                static_cast<unsigned long long>(verdict_memo->misses()),
+                static_cast<unsigned long long>(verdict_memo->inserts()),
+                static_cast<unsigned long long>(verdict_memo->evictions()),
+                verdict_memo->capacity());
+  }
+
   const std::string metrics_json =
       "{\"service\": " + svc.metrics().Snapshot().ToJson() +
       ", \"store\": " + StoreMetricsJson(*object_store) + ", \"wal\": " +
@@ -591,7 +668,7 @@ int Serve(const Args& args) {
     std::printf("# metrics written to %s\n", metrics_out.c_str());
   }
   if (!WriteObsOutputs(args, tracer, registry)) return 1;
-  return 0;
+  return exit_code;
 }
 
 int Mutate(const Args& args) {
