@@ -1,11 +1,13 @@
 // Observability overhead benchmark: the same closed-loop service workload
-// executed three ways — observability off (null recorder, private
-// registry), metrics only, and metrics + full span tracing — with two
+// executed four ways — observability off (null recorder, private
+// registry), metrics only, metrics + full span tracing, and metrics +
+// audit log + a live admin server being scraped concurrently — with two
 // built-in oracles:
 //
-//  * digest oracle: all three configurations must produce bit-identical
-//    response payloads (observability is payload-invariant), or exit 2;
-//  * overhead oracle: the fully-instrumented run must stay within
+//  * digest oracle: all four configurations must produce bit-identical
+//    response payloads (observability is payload-invariant, even while
+//    /metrics and /requestz are served mid-run), or exit 2;
+//  * overhead oracle: the instrumented runs must stay within
 //    kMaxOverhead x the baseline wall time (min-of-3 runs each, so a
 //    single scheduler hiccup doesn't fail the bound), or exit 2.
 //
@@ -43,7 +45,7 @@ struct RunResult {
 RunResult RunOnce(const std::shared_ptr<const UncertainDatabase>& db,
                   const std::vector<service::QueryRequest>& trace,
                   obs::MetricsRegistry* registry, obs::TraceRecorder* tracer,
-                  int repeats) {
+                  obs::RequestAuditLog* audit, int repeats) {
   RunResult out;
   out.seconds = 1e100;
   for (int rep = 0; rep < repeats; ++rep) {
@@ -54,6 +56,7 @@ RunResult RunOnce(const std::shared_ptr<const UncertainDatabase>& db,
     opts.start_paused = true;
     opts.metrics_registry = registry;
     opts.trace = tracer;
+    opts.audit_log = audit;
     service::QueryService svc(db, opts);
     std::vector<uint64_t> tickets;
     tickets.reserve(trace.size());
@@ -104,19 +107,55 @@ int main(int argc, char** argv) {
       service::MakeTrace(*db, tcfg);
 
   constexpr int kRepeats = 3;
-  const RunResult off = RunOnce(db, trace, nullptr, nullptr, kRepeats);
+  const RunResult off =
+      RunOnce(db, trace, nullptr, nullptr, nullptr, kRepeats);
 
   obs::MetricsRegistry metrics_registry;
   const RunResult metrics =
-      RunOnce(db, trace, &metrics_registry, nullptr, kRepeats);
+      RunOnce(db, trace, &metrics_registry, nullptr, nullptr, kRepeats);
 
   obs::MetricsRegistry full_registry;
   obs::TraceRecorder recorder;
   const RunResult full =
-      RunOnce(db, trace, &full_registry, &recorder, kRepeats);
+      RunOnce(db, trace, &full_registry, &recorder, nullptr, kRepeats);
+
+  // Mode four: audit log on and a live admin server scraped throughout
+  // the run — the worst case the introspection plane can inflict on the
+  // serving path (ring writes per completion plus concurrent /metrics
+  // and /requestz rendering on the admin thread).
+  obs::MetricsRegistry admin_registry;
+  obs::AuditLogOptions audit_opts;
+  audit_opts.slow_threshold_seconds = 0.0;  // record every completion
+  audit_opts.registry = &admin_registry;
+  obs::RequestAuditLog audit(audit_opts);
+  obs::AdminServerOptions admin_opts;
+  admin_opts.registry = &admin_registry;
+  admin_opts.audit_log = &audit;
+  admin_opts.build_info = "bench_obs_overhead";
+  obs::AdminServer admin(admin_opts);
+  std::atomic<bool> scraping{true};
+  std::atomic<uint64_t> scrapes{0};
+  std::thread scraper;
+  if (admin.Start().ok()) {
+    scraper = std::thread([&admin, &scraping, &scrapes] {
+      while (scraping.load(std::memory_order_acquire)) {
+        if (net::HttpGet(admin.port(), "/metrics").ok() &&
+            net::HttpGet(admin.port(), "/requestz").ok()) {
+          scrapes.fetch_add(1, std::memory_order_relaxed);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    });
+  }
+  const RunResult admin_run =
+      RunOnce(db, trace, &admin_registry, nullptr, &audit, kRepeats);
+  scraping.store(false, std::memory_order_release);
+  if (scraper.joinable()) scraper.join();
+  admin.Stop();
 
   const double metrics_overhead = metrics.seconds / off.seconds;
   const double full_overhead = full.seconds / off.seconds;
+  const double admin_overhead = admin_run.seconds / off.seconds;
   std::printf("series,mode,seconds,overhead_x,trace_events,digest\n");
   std::printf("obs_overhead,off,%.4f,1.00,0,%016llx\n", off.seconds,
               static_cast<unsigned long long>(off.digest));
@@ -126,26 +165,37 @@ int main(int argc, char** argv) {
   std::printf("obs_overhead,metrics+trace,%.4f,%.2f,%zu,%016llx\n",
               full.seconds, full_overhead, full.trace_events,
               static_cast<unsigned long long>(full.digest));
+  std::printf("obs_overhead,metrics+admin,%.4f,%.2f,0,%016llx\n",
+              admin_run.seconds, admin_overhead,
+              static_cast<unsigned long long>(admin_run.digest));
+  std::printf("series,audited,scrapes_during_run\n"
+              "obs_admin,%llu,%llu\n",
+              static_cast<unsigned long long>(audit.observed()),
+              static_cast<unsigned long long>(
+                  scrapes.load(std::memory_order_relaxed)));
 
-  const bool invariant =
-      off.digest == metrics.digest && off.digest == full.digest;
-  const bool within_budget = full_overhead <= kMaxOverhead;
+  const bool invariant = off.digest == metrics.digest &&
+                         off.digest == full.digest &&
+                         off.digest == admin_run.digest;
+  const bool within_budget = full_overhead <= kMaxOverhead &&
+                             admin_overhead <= kMaxOverhead;
   std::printf("series,payload_invariant,within_overhead_budget\n"
               "obs_oracle,%s,%s\n",
               invariant ? "yes" : "NO", within_budget ? "yes" : "NO");
   if (!invariant) {
     std::fprintf(stderr,
                  "FAIL: observability changed response payloads "
-                 "(off=%016llx metrics=%016llx full=%016llx)\n",
+                 "(off=%016llx metrics=%016llx full=%016llx admin=%016llx)\n",
                  static_cast<unsigned long long>(off.digest),
                  static_cast<unsigned long long>(metrics.digest),
-                 static_cast<unsigned long long>(full.digest));
+                 static_cast<unsigned long long>(full.digest),
+                 static_cast<unsigned long long>(admin_run.digest));
   }
   if (!within_budget) {
     std::fprintf(stderr,
-                 "FAIL: instrumented run %.2fx over baseline "
+                 "FAIL: instrumented runs %.2fx/%.2fx over baseline "
                  "(budget %.2fx)\n",
-                 full_overhead, kMaxOverhead);
+                 full_overhead, admin_overhead, kMaxOverhead);
   }
 
   if (argc > 1) {
@@ -158,7 +208,8 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "  \"note\": \"closed-loop service replay, min-of-%d "
                  "runs per mode. Digests must match across modes "
-                 "(payload invariance) and the metrics+trace run must "
+                 "(payload invariance, including under live /metrics "
+                 "and /requestz scrapes) and the instrumented runs must "
                  "stay within %.1fx of the baseline.\",\n",
                  kRepeats, kMaxOverhead);
     std::fprintf(f, "  \"db_objects\": %zu,\n", db->size());
@@ -171,6 +222,11 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  \"response_digest\": \"%016llx\",\n",
                  static_cast<unsigned long long>(off.digest));
     std::fprintf(f, "  \"trace_events\": %zu,\n", full.trace_events);
+    std::fprintf(f, "  \"audited_requests\": %llu,\n",
+                 static_cast<unsigned long long>(audit.observed()));
+    std::fprintf(f, "  \"scrapes_during_run\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     scrapes.load(std::memory_order_relaxed)));
     std::fprintf(
         f,
         "  \"series\": [\n"
@@ -178,9 +234,11 @@ int main(int argc, char** argv) {
         "    {\"mode\": \"metrics\", \"seconds\": %.4f, \"overhead_x\": "
         "%.3f},\n"
         "    {\"mode\": \"metrics+trace\", \"seconds\": %.4f, "
+        "\"overhead_x\": %.3f},\n"
+        "    {\"mode\": \"metrics+admin\", \"seconds\": %.4f, "
         "\"overhead_x\": %.3f}\n  ]\n}\n",
         off.seconds, metrics.seconds, metrics_overhead, full.seconds,
-        full_overhead);
+        full_overhead, admin_run.seconds, admin_overhead);
     std::fclose(f);
   }
   return invariant && within_budget ? 0 : 2;

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+# Copyright 2026 The updb Authors.
+"""Validates a Prometheus text-exposition scrape (format version 0.0.4).
+
+Reads the scrape from stdin or a file argument and exits non-zero on the
+first class of malformed content found. CI pipes the live /metrics payload
+of a serving updb_cli through this, so a regression in the exposition
+writer (missing HELP/TYPE, repeated family headers, bad escaping, broken
+histogram shape) fails the build instead of a scraper at deploy time.
+
+Checked per the exposition-format spec:
+  * every line is a comment (# HELP / # TYPE), a sample, or blank;
+  * metric and label names match the allowed character sets;
+  * HELP/TYPE appear at most once per family, before its samples, with a
+    TYPE among counter/gauge/histogram/summary/untyped;
+  * label values use only the legal escapes (\\\\, \\", \\n);
+  * sample values parse as floats (including +Inf/-Inf/NaN);
+  * histogram families expose _bucket series with non-decreasing
+    cumulative counts ending in an le="+Inf" bucket that equals _count;
+  * no duplicate sample line for the same series.
+
+Usage: check_prometheus.py [scrape.txt]
+"""
+
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# A label value with only legal escape sequences.
+LABEL_VALUE = re.compile(r'^(?:[^"\\\n]|\\\\|\\"|\\n)*$')
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\.)*)"')
+TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def parse_value(text):
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def base_family(name):
+    """Family a _bucket/_sum/_count sample belongs to, else the name."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(lines):
+    errors = []
+    helps, types = {}, {}
+    families_with_samples = set()
+    seen_series = set()
+    # family -> list of (le_value, cumulative_count), family -> counts.
+    buckets, counts = {}, {}
+
+    def error(lineno, message):
+        errors.append("line %d: %s" % (lineno, message))
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if line == "":
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                # Other comments are legal and ignored.
+                if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                    error(lineno, "truncated %s comment" % parts[1])
+                continue
+            kind, name = parts[1], parts[2]
+            if not METRIC_NAME.match(name):
+                error(lineno, "bad metric name in %s: %r" % (kind, name))
+                continue
+            registry = helps if kind == "HELP" else types
+            if name in registry:
+                error(lineno, "repeated # %s for %s" % (kind, name))
+            if name in families_with_samples:
+                error(lineno, "# %s for %s after its samples" % (kind, name))
+            if kind == "TYPE":
+                if len(parts) < 4 or parts[3] not in TYPES:
+                    error(lineno, "bad TYPE for %s: %r"
+                          % (name, parts[3] if len(parts) > 3 else ""))
+                types[name] = parts[3] if len(parts) > 3 else ""
+            else:
+                helps[name] = parts[3] if len(parts) > 3 else ""
+            continue
+
+        m = SAMPLE.match(line)
+        if not m:
+            error(lineno, "unparseable sample line: %r" % line)
+            continue
+        name = m.group("name")
+        families_with_samples.add(base_family(name))
+
+        labels = {}
+        if m.group("labels") is not None:
+            body = m.group("labels")
+            consumed = 0
+            for pair in LABEL_PAIR.finditer(body):
+                key, value = pair.group(1), pair.group(2)
+                if not LABEL_NAME.match(key):
+                    error(lineno, "bad label name %r" % key)
+                if not LABEL_VALUE.match(value):
+                    error(lineno, "illegal escape in label value %r" % value)
+                if key in labels:
+                    error(lineno, "duplicate label %r" % key)
+                labels[key] = value
+                consumed = pair.end()
+                # Skip a separating comma (a trailing comma is legal).
+                if consumed < len(body) and body[consumed] == ",":
+                    consumed += 1
+            if consumed != len(body):
+                error(lineno, "trailing junk in label set: %r"
+                      % body[consumed:])
+
+        try:
+            value = parse_value(m.group("value"))
+        except ValueError:
+            error(lineno, "unparseable value %r" % m.group("value"))
+            continue
+
+        series = (name, tuple(sorted(labels.items())))
+        if series in seen_series:
+            error(lineno, "duplicate sample for %s%s" % (name, dict(labels)))
+        seen_series.add(series)
+
+        family = base_family(name)
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                error(lineno, "_bucket sample without an le label")
+            else:
+                key = (family,
+                       tuple(sorted((k, v) for k, v in labels.items()
+                                    if k != "le")))
+                buckets.setdefault(key, []).append(
+                    (labels["le"], value, lineno))
+        elif name.endswith("_count"):
+            key = (family, tuple(sorted(labels.items())))
+            counts[key] = (value, lineno)
+
+    # Histogram shape: cumulative, ending in +Inf == _count.
+    for family, declared in types.items():
+        if declared != "histogram":
+            continue
+        for (fam, label_key), entries in buckets.items():
+            if fam != family:
+                continue
+            last = -math.inf
+            for le, cumulative, lineno in entries:
+                if cumulative < last:
+                    error(lineno, "%s buckets not cumulative" % family)
+                last = cumulative
+            if entries[-1][0] != "+Inf":
+                error(entries[-1][2],
+                      "%s buckets do not end in le=\"+Inf\"" % family)
+            count = counts.get((fam, label_key))
+            if count is not None and entries[-1][1] != count[0]:
+                error(count[1], "%s +Inf bucket %g != _count %g"
+                      % (family, entries[-1][1], count[0]))
+
+    # Every family with samples should be typed and documented (our
+    # exposition writer always emits both; their absence is a regression).
+    for family in sorted(families_with_samples):
+        if family not in types:
+            errors.append("family %s has samples but no # TYPE" % family)
+        if family not in helps:
+            errors.append("family %s has samples but no # HELP" % family)
+
+    return errors
+
+
+def main(argv):
+    if len(argv) > 2 or (len(argv) == 2 and argv[1] in ("-h", "--help")):
+        sys.stderr.write(__doc__)
+        return 2
+    if len(argv) == 2:
+        with open(argv[1], "r", encoding="utf-8") as f:
+            lines = f.readlines()
+    else:
+        lines = sys.stdin.readlines()
+
+    sample_count = sum(
+        1 for l in lines if l.strip() and not l.startswith("#"))
+    errors = check(lines)
+    for message in errors:
+        sys.stderr.write("check_prometheus: %s\n" % message)
+    if errors:
+        return 1
+    if sample_count == 0:
+        sys.stderr.write("check_prometheus: scrape contains no samples\n")
+        return 1
+    print("check_prometheus: OK (%d samples, %d families)"
+          % (sample_count, len({base_family(l.split("{")[0].split(" ")[0])
+                                for l in lines
+                                if l.strip() and not l.startswith("#")})))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

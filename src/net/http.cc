@@ -1,0 +1,377 @@
+#include "net/http.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace updb {
+namespace net {
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetCloexec(int fd) {
+  const int flags = fcntl(fd, F_GETFD, 0);
+  if (flags >= 0) fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+/// Serializes a response head + body. HEAD gets the full head (including
+/// the real Content-Length) with the body elided, per RFC 9110 §9.3.2.
+std::string SerializeResponse(const HttpResponse& resp, bool head_only) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    HttpStatusReason(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (!head_only) out += resp.body;
+  return out;
+}
+
+HttpResponse PlainResponse(int status, const std::string& body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = body;
+  return resp;
+}
+
+}  // namespace
+
+const char* HttpStatusReason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+/// Per-connection read buffer plus the unwritten tail of a response. A
+/// connection lives until its response is fully flushed or an error/cap
+/// trips; there is no keep-alive, so at most one request per connection.
+struct HttpServer::Connection {
+  int fd = -1;
+  std::string in;    // bytes read so far, until "\r\n\r\n"
+  std::string out;   // serialized response, drained by POLLOUT
+  size_t sent = 0;   // prefix of `out` already written
+  bool responding = false;
+};
+
+HttpServer::HttpServer(HttpServerOptions options, Handler handler)
+    : options_(options), handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Status HttpServer::Start() {
+  if (running_.load(std::memory_order_acquire)) return Status::OK();
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  SetCloexec(listen_fd_);
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("bind 127.0.0.1:" +
+                               std::to_string(options_.port) + ": " + err);
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  if (listen(listen_fd_, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable("listen: " + err);
+  }
+  SetNonBlocking(listen_fd_);
+
+  if (pipe(wake_fds_) < 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Unavailable(std::string("pipe: ") + std::strerror(errno));
+  }
+  SetNonBlocking(wake_fds_[0]);
+  SetCloexec(wake_fds_[0]);
+  SetCloexec(wake_fds_[1]);
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  // Wake the poll loop; the write end stays valid until the thread joins.
+  const char byte = 'x';
+  [[maybe_unused]] ssize_t n = write(wake_fds_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  CloseAll();
+  if (listen_fd_ >= 0) close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) close(fd);
+    fd = -1;
+  }
+}
+
+void HttpServer::CloseAll() {
+  for (Connection* conn : connections_) {
+    close(conn->fd);
+    delete conn;
+  }
+  connections_.clear();
+}
+
+void HttpServer::AcceptPending() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or a transient error: try again next poll
+    if (connections_.size() >= options_.max_connections) {
+      // Over the cap: shed load by closing immediately rather than
+      // queueing unbounded sockets.
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      close(fd);
+      continue;
+    }
+    SetNonBlocking(fd);
+    SetCloexec(fd);
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    auto* conn = new Connection();
+    conn->fd = fd;
+    connections_.push_back(conn);
+  }
+}
+
+bool HttpServer::ReadAndMaybeRespond(Connection& conn) {
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = read(conn.fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn.in.append(buf, static_cast<size_t>(n));
+      if (conn.in.size() > options_.max_request_bytes) {
+        conn.out = SerializeResponse(
+            PlainResponse(431, "request too large\n"), /*head_only=*/false);
+        conn.responding = true;
+        return true;
+      }
+      continue;
+    }
+    if (n == 0) return conn.responding;  // peer closed before a full head
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    return false;  // hard read error
+  }
+  const size_t head_end = conn.in.find("\r\n\r\n");
+  if (head_end == std::string::npos) return true;  // keep reading
+
+  // Parse the request line: METHOD SP TARGET SP VERSION.
+  HttpRequest req;
+  const size_t line_end = conn.in.find("\r\n");
+  const std::string line = conn.in.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+  HttpResponse resp;
+  bool head_only = false;
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    resp = PlainResponse(400, "malformed request line\n");
+  } else {
+    req.method = line.substr(0, sp1);
+    req.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    head_only = req.method == "HEAD";
+    if (req.method != "GET" && req.method != "HEAD") {
+      resp = PlainResponse(405, "only GET and HEAD are served\n");
+    } else {
+      resp = handler_(req);
+      served_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  conn.out = SerializeResponse(resp, head_only);
+  conn.responding = true;
+  return true;
+}
+
+void HttpServer::ServeLoop() {
+  std::vector<pollfd> fds;
+  while (!stop_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    for (const Connection* conn : connections_) {
+      fds.push_back(
+          {conn->fd, static_cast<short>(conn->responding ? POLLOUT : POLLIN),
+           0});
+    }
+    const int ready = poll(fds.data(), fds.size(), /*timeout_ms=*/250);
+    if (stop_.load(std::memory_order_acquire)) break;
+    if (ready <= 0) continue;
+
+    // Connections accepted below were not part of this poll round and
+    // have no pollfd entry — the walk must stop at the polled count.
+    const size_t polled = connections_.size();
+    if (fds[0].revents & POLLIN) AcceptPending();
+
+    // Walk the polled connections against their pollfd (offset by the two
+    // fixed fds); compact closed entries in place.
+    size_t keep = 0;
+    for (size_t i = 0; i < polled; ++i) {
+      Connection* conn = connections_[i];
+      const pollfd& pfd = fds[i + 2];
+      bool alive = true;
+      if (pfd.revents & (POLLERR | POLLNVAL)) {
+        alive = false;
+      } else if (!conn->responding &&
+                 (pfd.revents & (POLLIN | POLLHUP)) != 0) {
+        alive = ReadAndMaybeRespond(*conn);
+      }
+      if (alive && conn->responding) {
+        // Drain the response; short writes resume on the next POLLOUT.
+        while (conn->sent < conn->out.size()) {
+          const ssize_t n = write(conn->fd, conn->out.data() + conn->sent,
+                                  conn->out.size() - conn->sent);
+          if (n > 0) {
+            conn->sent += static_cast<size_t>(n);
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          alive = false;
+          break;
+        }
+        if (conn->sent == conn->out.size()) alive = false;  // done: close
+      }
+      if (alive) {
+        connections_[keep++] = conn;
+      } else {
+        close(conn->fd);
+        delete conn;
+      }
+    }
+    // Slide the freshly-accepted tail down over the compacted gap.
+    for (size_t i = polled; i < connections_.size(); ++i) {
+      connections_[keep++] = connections_[i];
+    }
+    connections_.resize(keep);
+  }
+}
+
+StatusOr<HttpResponse> HttpGet(uint16_t port, const std::string& target,
+                               int timeout_ms) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(std::string("socket: ") + std::strerror(errno));
+  }
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string err = std::strerror(errno);
+    close(fd);
+    return Status::Unavailable("connect 127.0.0.1:" + std::to_string(port) +
+                               ": " + err);
+  }
+
+  const std::string request = "GET " + target +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = write(fd, request.data() + sent, request.size() - sent);
+    if (n <= 0) {
+      close(fd);
+      return Status::Unavailable("write failed");
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      raw.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) break;
+    close(fd);
+    return Status::Unavailable(std::string("read: ") + std::strerror(errno));
+  }
+  close(fd);
+
+  const size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos || raw.compare(0, 5, "HTTP/") != 0) {
+    return Status::Unavailable("malformed HTTP response");
+  }
+  HttpResponse resp;
+  const size_t sp = raw.find(' ');
+  if (sp == std::string::npos || sp + 4 > raw.size()) {
+    return Status::Unavailable("malformed status line");
+  }
+  resp.status = std::atoi(raw.c_str() + sp + 1);
+  // Scan head lines for Content-Type (case-insensitive field name).
+  size_t pos = raw.find("\r\n") + 2;
+  while (pos < head_end) {
+    const size_t eol = raw.find("\r\n", pos);
+    const std::string line = raw.substr(pos, eol - pos);
+    const size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string key = line.substr(0, colon);
+      for (char& c : key) c = static_cast<char>(std::tolower(c));
+      if (key == "content-type") {
+        size_t v = colon + 1;
+        while (v < line.size() && line[v] == ' ') ++v;
+        resp.content_type = line.substr(v);
+      }
+    }
+    pos = eol + 2;
+  }
+  resp.body = raw.substr(head_end + 4);
+  return resp;
+}
+
+}  // namespace net
+}  // namespace updb

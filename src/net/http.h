@@ -1,0 +1,137 @@
+// Copyright 2026 The updb Authors.
+// Minimal HTTP/1.1 responder for the introspection plane (ROADMAP: live
+// introspection). One dedicated thread multiplexes a loopback listener and
+// a bounded set of connections over poll(2): no worker pool, no TLS, no
+// keep-alive — every request is answered with `Connection: close`. The
+// server exists to serve /metrics-style scrapes and health probes, so the
+// design goals are bounded memory (max_connections live sockets, each with
+// a max_request_bytes read buffer), zero interaction with the query hot
+// path, and a clean Stop() via a self-pipe wakeup.
+//
+// Security posture: the listener binds 127.0.0.1 only. The admin plane is
+// diagnostics for the local operator, never an application edge.
+
+#ifndef UPDB_NET_HTTP_H_
+#define UPDB_NET_HTTP_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace updb {
+namespace net {
+
+/// Parsed request line of an accepted HTTP request. Headers beyond the
+/// request line are read (to find the end of the head) but not surfaced:
+/// the admin endpoints key on method + target only.
+struct HttpRequest {
+  std::string method;  // "GET", "HEAD", ...
+  std::string target;  // "/metrics", "/statusz?verbose=1", ...
+
+  /// Target with any "?query" suffix removed.
+  std::string Path() const {
+    const size_t q = target.find('?');
+    return q == std::string::npos ? target : target.substr(0, q);
+  }
+};
+
+/// Response produced by a handler. The server adds the status line,
+/// Content-Type, Content-Length and Connection headers.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Standard reason phrase for the handful of status codes the admin plane
+/// uses ("OK", "Not Found", ...); "Unknown" otherwise.
+const char* HttpStatusReason(int status);
+
+struct HttpServerOptions {
+  /// TCP port to bind on 127.0.0.1. 0 picks an ephemeral port; read the
+  /// bound port back via HttpServer::port() after Start().
+  uint16_t port = 0;
+  /// Live connections beyond this are accepted and immediately closed
+  /// (counted in connections_rejected) so a misbehaving scraper cannot
+  /// grow server memory.
+  size_t max_connections = 32;
+  /// Request heads larger than this draw 431 and a close.
+  size_t max_request_bytes = 8 * 1024;
+};
+
+/// Single-threaded poll(2) HTTP server. Start() binds and spawns the
+/// serving thread; the handler runs on that thread, so it must not block
+/// on the query service. Stop() (and the destructor) joins the thread.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  HttpServer(HttpServerOptions options, Handler handler);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:port, starts listening and spawns the serving thread.
+  /// Fails with kUnavailable when the port cannot be bound.
+  Status Start();
+
+  /// Stops the serving thread and closes every socket. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves option port 0), valid after Start().
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Lifetime totals, for the admin plane's own telemetry.
+  uint64_t connections_accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t connections_rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  uint64_t requests_served() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection;
+
+  void ServeLoop();
+  void AcceptPending();
+  /// Reads from one connection; returns false when it should be closed.
+  bool ReadAndMaybeRespond(Connection& conn);
+  void CloseAll();
+
+  const HttpServerOptions options_;
+  const Handler handler_;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  // self-pipe: [0] polled, [1] written by Stop
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::vector<Connection*> connections_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> served_{0};
+};
+
+/// Blocking loopback HTTP GET, for tests, benches and CI probes: connects
+/// to 127.0.0.1:port, sends `GET target HTTP/1.1` and returns the parsed
+/// response. Fails with kUnavailable on connect/IO errors and
+/// kDeadlineExceeded-style kUnavailable on timeout.
+StatusOr<HttpResponse> HttpGet(uint16_t port, const std::string& target,
+                               int timeout_ms = 5000);
+
+}  // namespace net
+}  // namespace updb
+
+#endif  // UPDB_NET_HTTP_H_

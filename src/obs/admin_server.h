@@ -1,0 +1,99 @@
+// Copyright 2026 The updb Authors.
+// HTTP admin endpoint of the introspection plane (ROADMAP: live
+// introspection): serves the unified MetricsRegistry as a Prometheus
+// scrape, a liveness/readiness health model, a JSON /statusz process
+// overview and the slow-request audit log, over the minimal net/http
+// responder. The admin plane is read-only and stays off the query hot
+// path entirely: every endpoint renders from lock-free snapshots (metric
+// loads, audit-ring seqlock reads) or from caller-supplied callbacks, so
+// scraping a live process never changes a served payload (digest oracle in
+// bench_obs_overhead and CI).
+//
+// Endpoints:
+//   /          index of the endpoints below (text/plain)
+//   /metrics   Prometheus text exposition of the registry
+//   /healthz   liveness: 200 "ok" whenever the server thread is up
+//   /readyz    readiness: 200 only when the readiness callback says the
+//              process can serve (store attached, WAL healthy, recovery
+//              clean); 503 with the reason otherwise
+//   /statusz   JSON: build info, uptime, plus caller-supplied fields
+//              (snapshot version, shard live counts, queue depth, cache
+//              occupancy, fsync policy)
+//   /requestz  JSON slow-request audit log (see obs/audit_log.h)
+
+#ifndef UPDB_OBS_ADMIN_SERVER_H_
+#define UPDB_OBS_ADMIN_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "net/http.h"
+#include "obs/audit_log.h"
+#include "obs/metrics.h"
+
+namespace updb {
+namespace obs {
+
+/// Result of the readiness probe. `reason` is surfaced verbatim in the
+/// /readyz body so an operator sees *why* the process is not ready.
+struct AdminReadiness {
+  bool ready = true;
+  std::string reason = "ok";
+};
+
+struct AdminServerOptions {
+  /// Port on 127.0.0.1; 0 picks an ephemeral port (AdminServer::port()).
+  uint16_t port = 0;
+  /// Registry behind /metrics. nullptr serves an empty exposition.
+  MetricsRegistry* registry = nullptr;
+  /// Audit log behind /requestz. nullptr serves an empty log shape.
+  const RequestAuditLog* audit_log = nullptr;
+  /// Readiness probe; unset means "always ready" (no store attached is a
+  /// valid single-binary mode — service/introspection.h supplies the
+  /// store-backed probe).
+  std::function<AdminReadiness()> readiness;
+  /// Extra /statusz fields, returned as a JSON fragment of the form
+  /// `"key": value, ...` (no surrounding braces); empty string for none.
+  std::function<std::string()> statusz_fields;
+  /// Free-form build identification echoed in /statusz.
+  std::string build_info = "updb";
+  size_t max_connections = 32;
+};
+
+/// Owns the HTTP server thread and renders the admin endpoints. Start()
+/// binds and serves; Stop() (and the destructor) joins. The referenced
+/// registry/audit log/callbacks must outlive the server.
+class AdminServer {
+ public:
+  explicit AdminServer(AdminServerOptions options);
+  ~AdminServer();
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  uint16_t port() const { return http_->port(); }
+  bool running() const { return http_->running(); }
+  const net::HttpServer& http() const { return *http_; }
+
+  /// Endpoint dispatch, exposed for direct (serverless) unit testing.
+  net::HttpResponse Handle(const net::HttpRequest& request) const;
+
+ private:
+  net::HttpResponse Statusz() const;
+  net::HttpResponse Readyz() const;
+
+  const AdminServerOptions options_;
+  Stopwatch uptime_;
+  std::unique_ptr<net::HttpServer> http_;
+};
+
+}  // namespace obs
+}  // namespace updb
+
+#endif  // UPDB_OBS_ADMIN_SERVER_H_

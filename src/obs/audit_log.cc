@@ -1,0 +1,168 @@
+#include "obs/audit_log.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace updb {
+namespace obs {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+template <typename... Args>
+void Appendf(std::string& out, const char* fmt, Args... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out += buf;
+}
+
+}  // namespace
+
+RequestAuditLog::RequestAuditLog(AuditLogOptions options)
+    : options_(options),
+      capacity_(RoundUpPow2(options.capacity < 2 ? 2 : options.capacity)),
+      mask_(capacity_ - 1),
+      slots_(std::make_unique<Slot[]>(capacity_)) {
+  if (options_.registry != nullptr) {
+    observed_counter_ = options_.registry->Counter(
+        "updb_audit_observed_total",
+        "Completed requests observed by the slow-request audit log");
+    slow_counter_ = options_.registry->Counter(
+        LabeledSeries("updb_audit_recorded_total", {{"class", "slow"}}),
+        "Requests recorded into the audit ring");
+    sampled_counter_ = options_.registry->Counter(
+        LabeledSeries("updb_audit_recorded_total", {{"class", "sampled"}}),
+        "Requests recorded into the audit ring");
+    options_.registry
+        ->Gauge("updb_audit_capacity", "Slots in the audit ring")
+        ->Set(static_cast<int64_t>(capacity_));
+  }
+}
+
+bool RequestAuditLog::Record(AuditRecord record) {
+  const uint64_t seen = observed_.fetch_add(1, std::memory_order_relaxed);
+  if (observed_counter_ != nullptr) observed_counter_->Add(1);
+
+  record.slow = record.total_seconds >= options_.slow_threshold_seconds;
+  if (!record.slow) {
+    // Fast request: admit every sample_every-th observation only.
+    if (options_.sample_every == 0 || seen % options_.sample_every != 0) {
+      return false;
+    }
+  }
+
+  const uint64_t idx = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[idx & mask_];
+  // Claim the slot. Seeing kWriting here means another writer lapped the
+  // whole ring while this record's slot was mid-copy — vanishingly rare
+  // with a sane capacity; drop instead of spinning on the hot path.
+  const uint64_t prev =
+      slot.seq.exchange(kWriting, std::memory_order_acquire);
+  if (prev == kWriting) {
+    collisions_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  uint64_t words[kPayloadWords] = {};
+  std::memcpy(words, &record, sizeof(AuditRecord));
+  for (size_t w = 0; w < kPayloadWords; ++w) {
+    slot.words[w].store(words[w], std::memory_order_relaxed);
+  }
+  slot.seq.store(idx + 1, std::memory_order_release);
+
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (record.slow) {
+    slow_.fetch_add(1, std::memory_order_relaxed);
+    if (slow_counter_ != nullptr) slow_counter_->Add(1);
+  } else if (sampled_counter_ != nullptr) {
+    sampled_counter_->Add(1);
+  }
+  return true;
+}
+
+std::vector<AuditRecord> RequestAuditLog::Snapshot() const {
+  std::vector<AuditRecord> out;
+  out.reserve(capacity_);
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t oldest =
+      head > capacity_ ? head - capacity_ : 0;
+  // Newest first: logical indices [head-1 .. oldest]. A slot is accepted
+  // only when its sequence word equals the expected logical index both
+  // before and after the copy (seqlock read side).
+  for (uint64_t i = head; i > oldest; --i) {
+    const uint64_t logical = i - 1;
+    const Slot& slot = slots_[logical & mask_];
+    const uint64_t seq1 = slot.seq.load(std::memory_order_acquire);
+    if (seq1 != logical + 1) continue;  // overwritten, torn, or never valid
+    uint64_t words[kPayloadWords];
+    for (size_t w = 0; w < kPayloadWords; ++w) {
+      words[w] = slot.words[w].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const uint64_t seq2 = slot.seq.load(std::memory_order_relaxed);
+    if (seq2 != seq1) continue;
+    AuditRecord copy;
+    std::memcpy(&copy, words, sizeof(AuditRecord));
+    out.push_back(copy);
+  }
+  return out;
+}
+
+std::string RequestAuditLog::ToJson() const {
+  const std::vector<AuditRecord> records = Snapshot();
+  std::string out = "{";
+  Appendf(out, "\"capacity\": %zu, ", capacity_);
+  Appendf(out, "\"slow_threshold_seconds\": %.6g, ",
+          options_.slow_threshold_seconds);
+  Appendf(out, "\"sample_every\": %llu, ",
+          static_cast<unsigned long long>(options_.sample_every));
+  Appendf(out, "\"observed\": %llu, ",
+          static_cast<unsigned long long>(observed()));
+  Appendf(out, "\"recorded\": %llu, ",
+          static_cast<unsigned long long>(recorded()));
+  Appendf(out, "\"slow\": %llu, ",
+          static_cast<unsigned long long>(slow_recorded()));
+  Appendf(out, "\"collisions\": %llu, ",
+          static_cast<unsigned long long>(collisions()));
+  out += "\"records\": [";
+  bool first = true;
+  for (const AuditRecord& r : records) {
+    if (!first) out += ", ";
+    first = false;
+    out += "{";
+    Appendf(out, "\"ticket\": %llu, ",
+            static_cast<unsigned long long>(r.ticket));
+    out += std::string("\"kind\": \"") + r.kind + "\", ";
+    out += std::string("\"status\": \"") + r.status + "\", ";
+    Appendf(out, "\"snapshot_version\": %llu, ",
+            static_cast<unsigned long long>(r.snapshot_version));
+    out += std::string("\"slow\": ") + (r.slow ? "true" : "false") + ", ";
+    out += std::string("\"cache_hit\": ") +
+           (r.cache_hit ? "true" : "false") + ", ";
+    Appendf(out, "\"queue_seconds\": %.6g, ", r.queue_seconds);
+    Appendf(out, "\"exec_seconds\": %.6g, ", r.exec_seconds);
+    Appendf(out, "\"total_seconds\": %.6g, ", r.total_seconds);
+    Appendf(out, "\"batch\": %llu, ",
+            static_cast<unsigned long long>(r.batch));
+    Appendf(out, "\"candidates\": %llu, ",
+            static_cast<unsigned long long>(r.candidates));
+    Appendf(out, "\"idca_iterations\": %llu, ",
+            static_cast<unsigned long long>(r.idca_iterations));
+    Appendf(out, "\"ugf_multiplies\": %llu, ",
+            static_cast<unsigned long long>(r.ugf_multiplies));
+    Appendf(out, "\"verdict_cache_hits\": %llu, ",
+            static_cast<unsigned long long>(r.verdict_cache_hits));
+    Appendf(out, "\"verdict_cache_misses\": %llu",
+            static_cast<unsigned long long>(r.verdict_cache_misses));
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace updb

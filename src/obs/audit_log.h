@@ -1,0 +1,154 @@
+// Copyright 2026 The updb Authors.
+// Slow-request audit log of the introspection plane (ROADMAP: live
+// introspection): a fixed-size lock-free ring that records, per completed
+// request above a latency threshold (plus a 1-in-N sample of the rest),
+// the request's identity and per-stage attribution — queue wait vs
+// execution, engine counters, cache hit — so /requestz can answer "which
+// requests are slow and where" without retaining anything O(requests).
+//
+// Hot-path contract (same bar as metrics.h): Record() takes no mutex. The
+// writer claims a slot with one fetch_add and publishes through a per-slot
+// sequence word (seqlock style): the slot is marked in-progress, the
+// payload is copied, then the slot's logical index is stored with release
+// order. Readers copy the payload and accept it only when the sequence
+// word is identical and stable before and after the copy — torn slots are
+// skipped, never blocked on. A concurrent writer landing on the same slot
+// (ring wrapped a full turn mid-write) is counted as a collision and
+// dropped rather than spun on.
+//
+// Memory contract: capacity slots, fixed at construction; everything else
+// is a handful of atomics. Determinism: the audit log observes completed
+// responses and never feeds back into execution — payloads are
+// bit-identical with auditing on or off (admin plane digest oracle).
+
+#ifndef UPDB_OBS_AUDIT_LOG_H_
+#define UPDB_OBS_AUDIT_LOG_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace updb {
+namespace obs {
+
+/// One completed request, flattened to a POD so the ring can copy it
+/// without allocation. `kind` and `status` must point at static strings
+/// (service/request.h's QueryKindName / ResponseStatusName literals).
+struct AuditRecord {
+  uint64_t ticket = 0;
+  const char* kind = "";
+  const char* status = "";
+  uint64_t snapshot_version = 0;
+  /// Per-stage attribution from RequestStats.
+  double queue_seconds = 0.0;
+  double exec_seconds = 0.0;
+  double total_seconds = 0.0;
+  uint64_t batch = 0;
+  uint64_t candidates = 0;
+  uint64_t idca_iterations = 0;
+  uint64_t ugf_multiplies = 0;
+  uint64_t verdict_cache_hits = 0;
+  uint64_t verdict_cache_misses = 0;
+  bool cache_hit = false;
+  /// True when the record was admitted by the latency threshold, false
+  /// when it is a 1-in-N sample of the fast remainder.
+  bool slow = false;
+};
+
+struct AuditLogOptions {
+  /// Ring slots; rounded up to a power of two, minimum 2.
+  size_t capacity = 256;
+  /// Requests at or above this total latency are always recorded.
+  double slow_threshold_seconds = 0.050;
+  /// Of the requests below the threshold, record every Nth (0 disables
+  /// sampling entirely: the ring then holds only slow requests).
+  uint64_t sample_every = 64;
+  /// When set, the audit log mirrors its totals into registry series
+  /// (updb_audit_observed_total, updb_audit_recorded_total{class=...},
+  /// updb_audit_capacity).
+  MetricsRegistry* registry = nullptr;
+};
+
+/// Bounded lock-free audit ring; see the file comment for the publication
+/// protocol. One instance per QueryService.
+class RequestAuditLog {
+ public:
+  explicit RequestAuditLog(AuditLogOptions options = {});
+  RequestAuditLog(const RequestAuditLog&) = delete;
+  RequestAuditLog& operator=(const RequestAuditLog&) = delete;
+
+  /// Observes one completed request; decides threshold/sampling and, when
+  /// admitted, writes it into the ring. Mutex-free; safe from any thread.
+  /// Returns true when the record entered the ring.
+  bool Record(AuditRecord record);
+
+  /// Consistent copies of the live records, newest first. Slots being
+  /// rewritten concurrently are skipped.
+  std::vector<AuditRecord> Snapshot() const;
+
+  /// {"capacity": ..., "observed": ..., "records": [...]} — newest first,
+  /// with per-stage attribution per record. This is /requestz's payload.
+  std::string ToJson() const;
+
+  size_t capacity() const { return capacity_; }
+  const AuditLogOptions& options() const { return options_; }
+  uint64_t observed() const {
+    return observed_.load(std::memory_order_relaxed);
+  }
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  uint64_t slow_recorded() const {
+    return slow_.load(std::memory_order_relaxed);
+  }
+  uint64_t collisions() const {
+    return collisions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Sequence word states: 0 = never written, kWriting = writer mid-copy,
+  /// otherwise logical_index + 1 of the record the slot holds.
+  static constexpr uint64_t kWriting = ~uint64_t{0};
+
+  /// The payload lives in the slot as relaxed-atomic words rather than an
+  /// AuditRecord directly: a seqlock reader may copy a slot mid-write and
+  /// only then discard it, so the copy itself must not be a (formal) data
+  /// race. Relaxed word ops cost nothing on the hot path; the seq word's
+  /// release store / acquire load still provide the ordering.
+  static_assert(std::is_trivially_copyable_v<AuditRecord>,
+                "the audit ring copies records as raw words");
+  static constexpr size_t kPayloadWords =
+      (sizeof(AuditRecord) + sizeof(uint64_t) - 1) / sizeof(uint64_t);
+
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> words[kPayloadWords] = {};
+  };
+
+  const AuditLogOptions options_;
+  const size_t capacity_;  // power of two
+  const size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> head_{0};  // next logical index to claim
+
+  std::atomic<uint64_t> observed_{0};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> slow_{0};
+  std::atomic<uint64_t> collisions_{0};
+
+  /// Registry mirrors (nullptr when options_.registry is null).
+  obs::Counter* observed_counter_ = nullptr;
+  obs::Counter* slow_counter_ = nullptr;
+  obs::Counter* sampled_counter_ = nullptr;
+};
+
+}  // namespace obs
+}  // namespace updb
+
+#endif  // UPDB_OBS_AUDIT_LOG_H_

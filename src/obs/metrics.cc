@@ -41,7 +41,57 @@ std::string BucketSeries(const std::string& name, const std::string& labels,
   return name + "_bucket" + merged;
 }
 
+/// Escapes HELP text per the exposition format: only backslash and
+/// newline (double quotes are legal in HELP, unlike in label values).
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string LabeledSeries(
+    const std::string& name,
+    std::initializer_list<std::pair<const char*, std::string>> labels) {
+  if (labels.size() == 0) return name;
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key;
+    out += "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  out += "}";
+  return out;
+}
 
 size_t Counter::StripeIndex() {
   // One atomic fetch_add per thread lifetime; the stripe choice itself
@@ -244,24 +294,47 @@ std::string MetricsRegistry::ToJson() const {
 
 std::string MetricsRegistry::ToPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
+  // Group by bare metric name first: labeled series of one family
+  // ("foo{a=..}", "foo{b=..}") must share a single # HELP/# TYPE pair —
+  // repeating them per series is a spec violation scrapers reject.
+  std::vector<std::pair<std::string, const Entry*>> sorted = SortedEntries();
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const auto& a, const auto& b) {
+                     std::string an, al, bn, bl;
+                     SplitSeries(a.first, &an, &al);
+                     SplitSeries(b.first, &bn, &bl);
+                     return an != bn ? an < bn : al < bl;
+                   });
   std::string out;
-  for (const auto& [series, entry] : SortedEntries()) {
+  std::string last_family;
+  for (const auto& [series, entry] : sorted) {
     std::string name, labels;
     SplitSeries(series, &name, &labels);
-    out += "# HELP " + name + " " + entry->help + "\n";
+    if (name != last_family) {
+      last_family = name;
+      out += "# HELP " + name + " " + EscapeHelp(entry->help) + "\n";
+      switch (entry->kind) {
+        case Kind::kCounter:
+          out += "# TYPE " + name + " counter\n";
+          break;
+        case Kind::kGauge:
+          out += "# TYPE " + name + " gauge\n";
+          break;
+        case Kind::kHistogram:
+          out += "# TYPE " + name + " histogram\n";
+          break;
+      }
+    }
     switch (entry->kind) {
       case Kind::kCounter:
-        out += "# TYPE " + name + " counter\n";
         Appendf(out, "%s %llu\n", series.c_str(),
                 static_cast<unsigned long long>(entry->counter->Value()));
         break;
       case Kind::kGauge:
-        out += "# TYPE " + name + " gauge\n";
         Appendf(out, "%s %lld\n", series.c_str(),
                 static_cast<long long>(entry->gauge->Value()));
         break;
       case Kind::kHistogram: {
-        out += "# TYPE " + name + " histogram\n";
         const HistogramSnapshot s = entry->histogram->Snapshot();
         uint64_t cumulative = 0;
         for (size_t i = 0; i < s.counts.size(); ++i) {

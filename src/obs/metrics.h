@@ -31,13 +31,28 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <initializer_list>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace updb {
 namespace obs {
+
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash -> \\, double quote -> \", newline -> \n. Use when building
+/// a {label="value"} series suffix from non-literal text.
+std::string EscapeLabelValue(const std::string& value);
+
+/// Builds a labeled series key — name{k1="v1",k2="v2"} with every value
+/// escaped — suitable for MetricsRegistry::Counter/Gauge/Histogram, whose
+/// series keys keep the label suffix verbatim. Labels are emitted in the
+/// given order; an empty list returns the bare name.
+std::string LabeledSeries(
+    const std::string& name,
+    std::initializer_list<std::pair<const char*, std::string>> labels);
 
 /// Monotonic counter. Add() is wait-free on x86: each thread picks one of
 /// kStripes cache-line-aligned atomics by a cheap per-thread hash, so

@@ -31,9 +31,26 @@ void TraceRecorder::Record(const TraceEvent& event) {
   std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() >= max_events_) {
     ++dropped_;
+    if (dropped_gauge_ != nullptr) {
+      dropped_gauge_->Set(static_cast<int64_t>(dropped_));
+    }
     return;
   }
   events_.push_back(event);
+}
+
+void TraceRecorder::RegisterGauges(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  registry
+      ->Gauge("updb_trace_buffer_capacity",
+              "Event bound of the trace recorder's buffer")
+      ->Set(static_cast<int64_t>(max_events_));
+  Gauge* dropped_gauge = registry->Gauge(
+      "updb_trace_dropped_events",
+      "Trace events discarded because the buffer was full");
+  std::lock_guard<std::mutex> lock(mu_);
+  dropped_gauge_ = dropped_gauge;
+  dropped_gauge_->Set(static_cast<int64_t>(dropped_));
 }
 
 void TraceRecorder::RecordSpan(const char* name, const char* category,
@@ -92,9 +109,23 @@ uint64_t TraceRecorder::dropped() const {
 }
 
 std::string TraceRecorder::ToChromeJson() const {
-  const std::vector<TraceEvent> events = Events();
-  std::string out = "{\"traceEvents\": [";
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+  {
+    // One lock for a consistent (events, dropped) pair in the header.
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+    dropped = dropped_;
+  }
   char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"updbTrace\": {\"maxEvents\": %llu, "
+                "\"recordedEvents\": %llu, \"droppedEvents\": %llu},\n"
+                "\"traceEvents\": [",
+                static_cast<unsigned long long>(max_events_),
+                static_cast<unsigned long long>(events.size()),
+                static_cast<unsigned long long>(dropped));
+  std::string out = buf;
   for (size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
     if (i > 0) out += ",";

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace updb {
 namespace obs {
@@ -97,9 +98,20 @@ class TraceRecorder {
   size_t size() const;
   /// Events discarded because the buffer was full.
   uint64_t dropped() const;
+  /// The buffer bound fixed at construction.
+  size_t max_events() const { return max_events_; }
 
-  /// Chrome trace-event JSON ({"traceEvents": [...]}; ts/dur in
-  /// microseconds, pid fixed at 1).
+  /// Mirrors drop visibility into `registry`: updb_trace_buffer_capacity
+  /// (the fixed bound) and updb_trace_dropped_events (kept current on
+  /// every drop), so a scrape shows a truncated trace without parsing the
+  /// export. Call once, before concurrent recording starts.
+  void RegisterGauges(MetricsRegistry* registry);
+
+  /// Chrome trace-event JSON. The top-level object carries an "updbTrace"
+  /// header ({"maxEvents", "recordedEvents", "droppedEvents"}) alongside
+  /// "traceEvents", so a truncated export is detectable from the file
+  /// alone; viewers ignore the extra key. ts/dur in microseconds, pid
+  /// fixed at 1.
   std::string ToChromeJson() const;
   /// Writes ToChromeJson() to `path`; Unavailable when it cannot open.
   Status WriteChromeJson(const std::string& path) const;
@@ -113,6 +125,7 @@ class TraceRecorder {
   mutable std::mutex mu_;
   std::vector<TraceEvent> events_;
   uint64_t dropped_ = 0;
+  Gauge* dropped_gauge_ = nullptr;  // guarded by mu_; null until registered
 };
 
 /// RAII span: opens at construction, records [ctor, dtor) as one complete

@@ -1,0 +1,119 @@
+#include "service/introspection.h"
+
+#include <cstdio>
+
+#include "store/wal.h"
+
+namespace updb {
+namespace service {
+
+namespace {
+
+template <typename... Args>
+void Appendf(std::string& out, const char* fmt, Args... args) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out += buf;
+}
+
+}  // namespace
+
+obs::AdminReadiness StoreReadiness(const store::VersionedObjectStore* store,
+                                   const store::RecoveryReport* recovery) {
+  obs::AdminReadiness readiness;
+  if (store == nullptr) {
+    readiness.ready = false;
+    readiness.reason = "no store attached";
+    return readiness;
+  }
+  if (recovery != nullptr && recovery->data_loss) {
+    readiness.ready = false;
+    readiness.reason = "recovery completed with data loss";
+    return readiness;
+  }
+  const Status wal = store->wal_status();
+  if (!wal.ok()) {
+    readiness.ready = false;
+    readiness.reason = "wal failed: " + wal.ToString();
+    return readiness;
+  }
+  return readiness;  // ready, "ok"
+}
+
+std::string StatuszFields(const QueryService* service,
+                          const store::VersionedObjectStore* store) {
+  std::string out;
+  bool first = true;
+  auto sep = [&out, &first] {
+    if (!first) out += ", ";
+    first = false;
+  };
+  if (store != nullptr) {
+    sep();
+    Appendf(out, "\"snapshot_version\": %llu",
+            static_cast<unsigned long long>(store->version()));
+    Appendf(out, ", \"live_objects\": %zu", store->live_size());
+    Appendf(out, ", \"pending_mutations\": %zu", store->pending_mutations());
+    out += ", \"shard_live_counts\": [";
+    const std::vector<size_t> counts = store->ShardLiveCounts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      Appendf(out, "%zu", counts[i]);
+    }
+    out += "]";
+    const store::WalStats wal = store->wal_stats();
+    out += std::string(", \"durable\": ") + (wal.durable ? "true" : "false");
+    out += std::string(", \"fsync\": \"") +
+           store::FsyncPolicyName(wal.fsync) + "\"";
+  }
+  if (service != nullptr) {
+    sep();
+    const MetricsSnapshot m = service->metrics().Snapshot();
+    Appendf(out, "\"queue_depth\": %zu", m.queue_depth);
+    Appendf(out, ", \"admitted\": %llu",
+            static_cast<unsigned long long>(m.admitted));
+    Appendf(out, ", \"completed\": %llu",
+            static_cast<unsigned long long>(m.completed));
+    const auto& response_cache = service->response_cache();
+    if (response_cache != nullptr) {
+      Appendf(out,
+              ", \"response_cache\": {\"size\": %zu, \"capacity\": %zu, "
+              "\"hits\": %llu, \"misses\": %llu, \"evictions\": %llu}",
+              response_cache->size(), response_cache->capacity(),
+              static_cast<unsigned long long>(response_cache->hits()),
+              static_cast<unsigned long long>(response_cache->misses()),
+              static_cast<unsigned long long>(response_cache->evictions()));
+    } else {
+      out += ", \"response_cache\": null";
+    }
+    const auto& memo = service->verdict_memo();
+    if (memo != nullptr) {
+      Appendf(out,
+              ", \"verdict_memo\": {\"capacity\": %zu, \"hits\": %llu, "
+              "\"misses\": %llu, \"inserts\": %llu, \"evictions\": %llu}",
+              memo->capacity(), static_cast<unsigned long long>(memo->hits()),
+              static_cast<unsigned long long>(memo->misses()),
+              static_cast<unsigned long long>(memo->inserts()),
+              static_cast<unsigned long long>(memo->evictions()));
+    } else {
+      out += ", \"verdict_memo\": null";
+    }
+  }
+  return out;
+}
+
+obs::AdminServerOptions MakeAdminOptions(
+    const QueryService* service, const store::VersionedObjectStore* store,
+    const store::RecoveryReport* recovery) {
+  obs::AdminServerOptions options;
+  options.readiness = [store, recovery] {
+    return StoreReadiness(store, recovery);
+  };
+  options.statusz_fields = [service, store] {
+    return StatuszFields(service, store);
+  };
+  return options;
+}
+
+}  // namespace service
+}  // namespace updb

@@ -1,0 +1,53 @@
+// Copyright 2026 The updb Authors.
+// Glue between the generic admin plane (obs/admin_server.h) and the
+// serving stack: the canonical store-backed readiness probe and the
+// /statusz field set. Lives in service/ so obs/ stays free of service and
+// store dependencies; updb_cli and the admin tests both wire these
+// callbacks into AdminServerOptions instead of hand-rolling them.
+//
+// Readiness model (README "Introspection plane"): a process is ready to
+// serve exactly when a store is attached, the store's sticky wal_status()
+// is OK (a failed durable store must stop taking traffic before it
+// diverges from its log), and — when the process recovered from a WAL —
+// recovery completed without data loss. Liveness (/healthz) is
+// intentionally weaker: the admin thread responding at all.
+
+#ifndef UPDB_SERVICE_INTROSPECTION_H_
+#define UPDB_SERVICE_INTROSPECTION_H_
+
+#include <string>
+
+#include "obs/admin_server.h"
+#include "service/query_service.h"
+#include "store/object_store.h"
+#include "store/recovery.h"
+
+namespace updb {
+namespace service {
+
+/// The store-backed /readyz probe. `store` null means no store is attached
+/// (not ready); `recovery` null means the process did not recover from a
+/// WAL (that check passes vacuously). Evaluated per probe, so a WAL
+/// failure after startup flips readiness to 503 on the next scrape.
+obs::AdminReadiness StoreReadiness(const store::VersionedObjectStore* store,
+                                   const store::RecoveryReport* recovery);
+
+/// The /statusz JSON fragment (no surrounding braces): snapshot version,
+/// live/shard counts, pending mutations, queue depth, cache occupancy and
+/// the fsync policy. Null arguments omit their sections. Everything is
+/// read from lock-free counters or short store-internal critical sections
+/// — never from the query hot path.
+std::string StatuszFields(const QueryService* service,
+                          const store::VersionedObjectStore* store);
+
+/// Convenience: AdminServerOptions pre-wired with StoreReadiness and
+/// StatuszFields over `service`/`store`/`recovery` (all may be null; the
+/// pointed-to objects must outlive the AdminServer).
+obs::AdminServerOptions MakeAdminOptions(
+    const QueryService* service, const store::VersionedObjectStore* store,
+    const store::RecoveryReport* recovery);
+
+}  // namespace service
+}  // namespace updb
+
+#endif  // UPDB_SERVICE_INTROSPECTION_H_

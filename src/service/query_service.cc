@@ -41,6 +41,30 @@ std::shared_ptr<const store::StoreSnapshot> SeededSnapshot(
   return store::VersionedObjectStore(*db).latest();
 }
 
+/// Flattens one completed response into the slow-request audit ring
+/// (no-op when auditing is off). Mutex-free; called after the response is
+/// final so it can never influence a payload.
+void RecordAudit(obs::RequestAuditLog* log, const QueryResponse& response,
+                 double total_seconds) {
+  if (log == nullptr) return;
+  obs::AuditRecord rec;
+  rec.ticket = response.id;
+  rec.kind = QueryKindName(response.kind);
+  rec.status = ResponseStatusName(response.status);
+  rec.snapshot_version = response.snapshot_version;
+  rec.queue_seconds = response.stats.queue_seconds;
+  rec.exec_seconds = response.stats.exec_seconds;
+  rec.total_seconds = total_seconds;
+  rec.batch = response.stats.batch;
+  rec.candidates = response.stats.candidates;
+  rec.idca_iterations = response.stats.idca_iterations;
+  rec.ugf_multiplies = response.stats.ugf_multiplies;
+  rec.verdict_cache_hits = response.stats.verdict_cache_hits;
+  rec.verdict_cache_misses = response.stats.verdict_cache_misses;
+  rec.cache_hit = response.stats.cache_hit;
+  log->Record(rec);
+}
+
 }  // namespace
 
 QueryService::QueryService(std::shared_ptr<const UncertainDatabase> db,
@@ -148,6 +172,9 @@ StatusOr<uint64_t> QueryService::Submit(QueryRequest request) {
         hit.stats.cache_hit = true;
         hit.stats.queue_seconds = 0.0;
         hit.stats.exec_seconds = 0.0;
+        // The ring write itself is lock-free; it sits here only because
+        // the response is moved out on the next line.
+        RecordAudit(options_.audit_log, hit, 0.0);
         done_.emplace(hit_ticket, std::move(hit));
         ++admitted_;
         ++completed_;  // never enters pending_: Flush's invariant holds
@@ -290,6 +317,13 @@ void QueryService::DispatcherMain() {
                                   p.response);
         }
       }
+    }
+
+    // Audit before the completion lock: the ring's record path is
+    // mutex-free and the responses are final here.
+    for (const Pending& p : round) {
+      RecordAudit(options_.audit_log, p.response,
+                  p.since_submit.ElapsedSeconds());
     }
 
     {

@@ -82,6 +82,7 @@
 
 #include "cache/response_cache.h"
 #include "cache/verdict_memo.h"
+#include "obs/audit_log.h"
 #include "common/thread_pool.h"
 #include "core/idca.h"
 #include "service/metrics.h"
@@ -151,6 +152,12 @@ struct QueryServiceOptions {
   /// Pre-built verdict memo shared across services; overrides
   /// verdict_memo_capacity when non-null.
   std::shared_ptr<cache::VerdictMemo> verdict_memo;
+  /// Slow-request audit ring (obs/audit_log.h) the service records every
+  /// completed request into — cache hits included — for /requestz. The
+  /// record path is mutex-free and runs after the response is final, so
+  /// payloads are bit-identical with auditing on or off. nullptr
+  /// (default) disables auditing; must outlive the service.
+  obs::RequestAuditLog* audit_log = nullptr;
 };
 
 /// The concurrent query service. Thread-safe: any thread may Submit/Take;

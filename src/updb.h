@@ -26,10 +26,14 @@
 #include "index/rtree.h"
 #include "io/dataset_io.h"
 #include "mc/monte_carlo.h"
+#include "net/http.h"
+#include "obs/admin_server.h"
+#include "obs/audit_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "queries/expected_distance.h"
 #include "queries/queries.h"
+#include "service/introspection.h"
 #include "service/metrics.h"
 #include "service/query_service.h"
 #include "service/request.h"

@@ -1,0 +1,600 @@
+// Copyright 2026 The updb Authors.
+// Introspection-plane tests: the slow-request audit ring (threshold,
+// sampling, wraparound, seqlock reads under concurrency), the HTTP
+// responder's protocol edges (405/400/431, HEAD, connection shedding),
+// all five admin endpoints over a real loopback client, the /readyz flip
+// when a durable store's WAL poisons its sticky status, and the digest
+// oracle proving auditing never changes a served payload. The TSan job
+// runs this binary to prove the mutex-free record path is race-free.
+
+#include "obs/admin_server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/http.h"
+#include "obs/audit_log.h"
+#include "obs/metrics.h"
+#include "service/introspection.h"
+#include "service/query_service.h"
+#include "service/trace.h"
+#include "store/object_store.h"
+#include "test_shards.h"
+#include "workload/generators.h"
+
+namespace updb {
+namespace obs {
+namespace {
+
+using test_util::TestShards;
+
+AuditRecord MakeRecord(uint64_t ticket, double total_seconds) {
+  AuditRecord r;
+  r.ticket = ticket;
+  r.kind = "knn";
+  r.status = "ok";
+  r.snapshot_version = 1;
+  r.exec_seconds = total_seconds;
+  r.total_seconds = total_seconds;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// RequestAuditLog
+
+TEST(AuditLogTest, CapacityRoundsUpToPowerOfTwo) {
+  AuditLogOptions opts;
+  opts.capacity = 5;
+  RequestAuditLog log(opts);
+  EXPECT_EQ(log.capacity(), 8u);
+
+  AuditLogOptions tiny;
+  tiny.capacity = 0;
+  EXPECT_EQ(RequestAuditLog(tiny).capacity(), 2u);
+}
+
+TEST(AuditLogTest, ThresholdAlwaysAdmitsSlowRequests) {
+  AuditLogOptions opts;
+  opts.slow_threshold_seconds = 0.010;
+  opts.sample_every = 0;  // no sampling: slow requests only
+  RequestAuditLog log(opts);
+
+  EXPECT_TRUE(log.Record(MakeRecord(1, 0.020)));
+  EXPECT_TRUE(log.Record(MakeRecord(2, 0.010)));  // at-threshold is slow
+  EXPECT_FALSE(log.Record(MakeRecord(3, 0.001)));
+  EXPECT_EQ(log.observed(), 3u);
+  EXPECT_EQ(log.recorded(), 2u);
+  EXPECT_EQ(log.slow_recorded(), 2u);
+
+  const std::vector<AuditRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].ticket, 2u);  // newest first
+  EXPECT_EQ(records[1].ticket, 1u);
+  EXPECT_TRUE(records[0].slow);
+}
+
+TEST(AuditLogTest, SamplingAdmitsEveryNthFastRequest) {
+  AuditLogOptions opts;
+  opts.slow_threshold_seconds = 1.0;  // nothing qualifies as slow
+  opts.sample_every = 4;
+  RequestAuditLog log(opts);
+
+  size_t admitted = 0;
+  for (uint64_t i = 0; i < 16; ++i) {
+    if (log.Record(MakeRecord(i, 0.001))) ++admitted;
+  }
+  EXPECT_EQ(admitted, 4u);  // observations 0, 4, 8, 12
+  EXPECT_EQ(log.observed(), 16u);
+  EXPECT_EQ(log.recorded(), 4u);
+  EXPECT_EQ(log.slow_recorded(), 0u);
+  for (const AuditRecord& r : log.Snapshot()) EXPECT_FALSE(r.slow);
+}
+
+TEST(AuditLogTest, WraparoundKeepsTheNewestRecords) {
+  AuditLogOptions opts;
+  opts.capacity = 4;
+  opts.slow_threshold_seconds = 0.0;  // everything is slow
+  RequestAuditLog log(opts);
+
+  for (uint64_t i = 0; i < 11; ++i) {
+    EXPECT_TRUE(log.Record(MakeRecord(i, 0.020)));
+  }
+  EXPECT_EQ(log.observed(), 11u);
+  EXPECT_EQ(log.recorded(), 11u);
+
+  // The ring holds exactly capacity records: the newest four, newest
+  // first — bounded memory no matter how many requests completed.
+  const std::vector<AuditRecord> records = log.Snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].ticket, 10u - i);
+  }
+}
+
+TEST(AuditLogTest, RegistryMirrorsObservedAndRecordedClasses) {
+  MetricsRegistry registry;
+  AuditLogOptions opts;
+  opts.capacity = 8;
+  opts.slow_threshold_seconds = 0.010;
+  opts.sample_every = 2;
+  opts.registry = &registry;
+  RequestAuditLog log(opts);
+
+  log.Record(MakeRecord(1, 0.020));  // slow
+  log.Record(MakeRecord(2, 0.001));  // fast, observation 1 -> dropped
+  log.Record(MakeRecord(3, 0.001));  // fast, observation 2 -> sampled
+  const std::string prom = registry.ToPrometheus();
+  EXPECT_NE(prom.find("updb_audit_observed_total 3"), std::string::npos)
+      << prom;
+  EXPECT_NE(
+      prom.find("updb_audit_recorded_total{class=\"slow\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      prom.find("updb_audit_recorded_total{class=\"sampled\"} 1"),
+      std::string::npos);
+  EXPECT_NE(prom.find("updb_audit_capacity 8"), std::string::npos);
+}
+
+TEST(AuditLogTest, JsonCarriesHeaderAndPerStageAttribution) {
+  AuditLogOptions opts;
+  opts.capacity = 4;
+  opts.slow_threshold_seconds = 0.010;
+  RequestAuditLog log(opts);
+  AuditRecord r = MakeRecord(42, 0.030);
+  r.queue_seconds = 0.005;
+  r.candidates = 17;
+  r.idca_iterations = 3;
+  ASSERT_TRUE(log.Record(r));
+
+  const std::string json = log.ToJson();
+  EXPECT_NE(json.find("\"capacity\": 4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"slow_threshold_seconds\": 0.01"), std::string::npos);
+  EXPECT_NE(json.find("\"observed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"ticket\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\": \"knn\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\": \"ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_seconds\": 0.005"), std::string::npos);
+  EXPECT_NE(json.find("\"candidates\": 17"), std::string::npos);
+  EXPECT_NE(json.find("\"idca_iterations\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"slow\": true"), std::string::npos);
+}
+
+TEST(AuditLogTest, ConcurrentRecordersAndReadersStayConsistent) {
+  AuditLogOptions opts;
+  opts.capacity = 16;
+  opts.slow_threshold_seconds = 0.0;
+  RequestAuditLog log(opts);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Tag the payload with the ticket so a torn read (same ticket,
+        // mismatched candidates) is detectable below.
+        AuditRecord r = MakeRecord(
+            static_cast<uint64_t>(t) * kPerThread + i, 0.020);
+        r.candidates = r.ticket * 3;
+        log.Record(r);
+      }
+    });
+  }
+  std::atomic<bool> done{false};
+  std::thread reader([&log, &done] {
+    while (!done.load(std::memory_order_acquire)) {
+      for (const AuditRecord& r : log.Snapshot()) {
+        ASSERT_EQ(r.candidates, r.ticket * 3);
+      }
+    }
+  });
+  for (std::thread& w : writers) w.join();
+  done.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_EQ(log.observed(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(log.recorded() + log.collisions(), log.observed());
+  for (const AuditRecord& r : log.Snapshot()) {
+    EXPECT_EQ(r.candidates, r.ticket * 3);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// net::HttpServer protocol edges
+
+/// Sends raw bytes to 127.0.0.1:port and returns everything the server
+/// wrote back (the admin server always closes after one response).
+std::string RawRequest(uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string out;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+net::HttpResponse EchoHandler(const net::HttpRequest& request) {
+  net::HttpResponse response;
+  response.body = request.method + " " + request.Path() + "\n";
+  return response;
+}
+
+TEST(HttpServerTest, RejectsUnsupportedMethodsAndMalformedRequests) {
+  net::HttpServer server({}, EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string post =
+      RawRequest(server.port(), "POST /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(post.find("405"), std::string::npos) << post;
+  EXPECT_NE(post.find("Connection: close"), std::string::npos);
+
+  const std::string garbage = RawRequest(server.port(), "not-http\r\n\r\n");
+  EXPECT_NE(garbage.find("400"), std::string::npos) << garbage;
+}
+
+TEST(HttpServerTest, OversizedRequestHeadDraws431) {
+  net::HttpServerOptions opts;
+  opts.max_request_bytes = 128;
+  net::HttpServer server(opts, EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string huge = "GET / HTTP/1.1\r\nX-Pad: " +
+                           std::string(512, 'x') + "\r\n\r\n";
+  const std::string response = RawRequest(server.port(), huge);
+  EXPECT_NE(response.find("431"), std::string::npos) << response;
+}
+
+TEST(HttpServerTest, HeadElidesBodyButKeepsContentLength) {
+  net::HttpServer server({}, EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+
+  const std::string head =
+      RawRequest(server.port(), "HEAD /x HTTP/1.1\r\n\r\n");
+  // The GET body would be "HEAD /x\n" (8 bytes); HEAD advertises that
+  // length but sends no payload after the blank line.
+  EXPECT_NE(head.find("200"), std::string::npos) << head;
+  EXPECT_NE(head.find("Content-Length: 8"), std::string::npos) << head;
+  const size_t blank = head.find("\r\n\r\n");
+  ASSERT_NE(blank, std::string::npos);
+  EXPECT_EQ(head.substr(blank + 4), "");
+}
+
+TEST(HttpServerTest, ShedsConnectionsBeyondTheCap) {
+  net::HttpServerOptions opts;
+  opts.max_connections = 1;
+  net::HttpServer server(opts, EchoHandler);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Occupy the single slot with an idle connection, and wait until the
+  // server has actually accepted it into its table.
+  const int idle = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(idle, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::connect(idle, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  for (int i = 0; i < 500 && server.connections_accepted() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(server.connections_accepted(), 1u);
+
+  // The next connection is shed: accepted then closed with no response.
+  const std::string shed =
+      RawRequest(server.port(), "GET / HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(shed, "");
+  for (int i = 0; i < 500 && server.connections_rejected() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(server.connections_rejected(), 1u);
+  ::close(idle);
+}
+
+// ---------------------------------------------------------------------------
+// AdminServer endpoints over a real loopback client
+
+TEST(AdminServerTest, ServesAllEndpointsOverLoopback) {
+  MetricsRegistry registry;
+  registry.Counter("updb_admin_unit_total", "Unit counter")->Add(5);
+  AuditLogOptions audit_opts;
+  audit_opts.slow_threshold_seconds = 0.0;
+  RequestAuditLog audit(audit_opts);
+  ASSERT_TRUE(audit.Record(MakeRecord(7, 0.020)));
+
+  AdminServerOptions opts;
+  opts.registry = &registry;
+  opts.audit_log = &audit;
+  opts.build_info = "admin_test";
+  opts.statusz_fields = [] { return std::string("\"unit\": 1"); };
+  AdminServer admin(opts);
+  ASSERT_TRUE(admin.Start().ok());
+  ASSERT_NE(admin.port(), 0);
+
+  const auto get = [&admin](const std::string& target) {
+    const StatusOr<net::HttpResponse> response =
+        net::HttpGet(admin.port(), target);
+    EXPECT_TRUE(response.ok()) << response.status().ToString();
+    return response.ok() ? *response : net::HttpResponse{};
+  };
+
+  const net::HttpResponse index = get("/");
+  EXPECT_EQ(index.status, 200);
+  EXPECT_NE(index.body.find("/metrics"), std::string::npos);
+
+  const net::HttpResponse healthz = get("/healthz");
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_EQ(healthz.body, "ok\n");
+  EXPECT_NE(healthz.content_type.find("text/plain"), std::string::npos);
+
+  // No readiness callback configured: a store-less process is ready.
+  const net::HttpResponse readyz = get("/readyz");
+  EXPECT_EQ(readyz.status, 200);
+
+  const net::HttpResponse metrics = get("/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_EQ(metrics.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  EXPECT_NE(metrics.body.find("# TYPE updb_admin_unit_total counter"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("updb_admin_unit_total 5"), std::string::npos);
+
+  const net::HttpResponse statusz = get("/statusz");
+  EXPECT_EQ(statusz.status, 200);
+  EXPECT_EQ(statusz.content_type, "application/json");
+  EXPECT_NE(statusz.body.find("\"build\": \"admin_test\""),
+            std::string::npos)
+      << statusz.body;
+  EXPECT_NE(statusz.body.find("\"uptime_seconds\""), std::string::npos);
+  EXPECT_NE(statusz.body.find("\"unit\": 1"), std::string::npos);
+
+  const net::HttpResponse requestz = get("/requestz");
+  EXPECT_EQ(requestz.status, 200);
+  EXPECT_EQ(requestz.content_type, "application/json");
+  EXPECT_NE(requestz.body.find("\"ticket\": 7"), std::string::npos)
+      << requestz.body;
+
+  const net::HttpResponse missing = get("/nope");
+  EXPECT_EQ(missing.status, 404);
+
+  // Query strings are routed by path.
+  EXPECT_EQ(get("/healthz?verbose=1").status, 200);
+
+  admin.Stop();
+  EXPECT_FALSE(admin.running());
+}
+
+TEST(AdminServerTest, RequestzWrapsAroundAndFiltersByThreshold) {
+  AuditLogOptions audit_opts;
+  audit_opts.capacity = 4;
+  audit_opts.slow_threshold_seconds = 0.010;
+  audit_opts.sample_every = 0;
+  RequestAuditLog audit(audit_opts);
+  for (uint64_t i = 0; i < 10; ++i) {
+    audit.Record(MakeRecord(i, 0.020));   // slow: admitted
+    audit.Record(MakeRecord(100 + i, 0.001));  // fast: filtered out
+  }
+
+  AdminServerOptions opts;
+  opts.audit_log = &audit;
+  const AdminServer admin(opts);
+  net::HttpRequest request;
+  request.method = "GET";
+  request.target = "/requestz";
+  const net::HttpResponse response = admin.Handle(request);
+  EXPECT_EQ(response.status, 200);
+  // Only the newest capacity-many slow tickets survive the wraparound;
+  // no fast ticket (>= 100) was ever admitted.
+  for (uint64_t kept : {9u, 8u, 7u, 6u}) {
+    EXPECT_NE(
+        response.body.find("\"ticket\": " + std::to_string(kept)),
+        std::string::npos)
+        << response.body;
+  }
+  EXPECT_EQ(response.body.find("\"ticket\": 5"), std::string::npos);
+  EXPECT_EQ(response.body.find("\"ticket\": 10"), std::string::npos);
+  EXPECT_NE(response.body.find("\"observed\": 20"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Store-backed readiness and /statusz
+
+/// A PDF type io/dataset_io.cc cannot serialize: inserting it into a
+/// durable store fails the WAL append encoding and poisons the sticky
+/// wal_status() — the cheapest deterministic WAL failure available.
+class UnserializablePdf : public Pdf {
+ public:
+  UnserializablePdf() : bounds_(Point{0.4, 0.4}, Point{0.6, 0.6}) {}
+  const Rect& bounds() const override { return bounds_; }
+  double Mass(const Rect&) const override { return 1.0; }
+  Point Sample(Rng&) const override { return Point{0.5, 0.5}; }
+  double Density(const Point&) const override { return 25.0; }
+  std::unique_ptr<Pdf> Clone() const override {
+    return std::make_unique<UnserializablePdf>();
+  }
+
+ private:
+  Rect bounds_;
+};
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir =
+      std::string(::testing::TempDir()) + "/updb_admin_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(AdminServerTest, ReadyzFlipsWhenTheWalFails) {
+  store::StoreOptions sopts;
+  sopts.num_shards = TestShards();
+  sopts.durability.wal_dir = FreshDir("readyz");
+  StatusOr<std::unique_ptr<store::VersionedObjectStore>> opened =
+      store::VersionedObjectStore::Open(sopts);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  store::VersionedObjectStore& s = **opened;
+
+  obs::AdminServerOptions opts =
+      service::MakeAdminOptions(nullptr, &s, nullptr);
+  AdminServer admin(opts);
+  ASSERT_TRUE(admin.Start().ok());
+
+  const StatusOr<net::HttpResponse> before =
+      net::HttpGet(admin.port(), "/readyz");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->status, 200);
+
+  // Poison the WAL: the unencodable insert is rejected AND the sticky
+  // wal_status() latches the failure. The very next probe must flip.
+  EXPECT_FALSE(s.Insert(std::make_shared<UnserializablePdf>()).ok());
+  ASSERT_FALSE(s.wal_status().ok());
+
+  const StatusOr<net::HttpResponse> after =
+      net::HttpGet(admin.port(), "/readyz");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->status, 503);
+  EXPECT_NE(after->body.find("wal failed"), std::string::npos)
+      << after->body;
+
+  std::filesystem::remove_all(sopts.durability.wal_dir);
+}
+
+TEST(AdminServerTest, ReadyzRequiresAStore) {
+  const obs::AdminReadiness none = service::StoreReadiness(nullptr, nullptr);
+  EXPECT_FALSE(none.ready);
+  EXPECT_NE(none.reason.find("no store"), std::string::npos);
+
+  store::RecoveryReport lossy;
+  lossy.data_loss = true;
+  store::StoreOptions sopts;
+  sopts.num_shards = TestShards();
+  const store::VersionedObjectStore s(sopts);
+  const obs::AdminReadiness lost = service::StoreReadiness(&s, &lossy);
+  EXPECT_FALSE(lost.ready);
+  EXPECT_NE(lost.reason.find("data loss"), std::string::npos);
+  EXPECT_TRUE(service::StoreReadiness(&s, nullptr).ready);
+}
+
+TEST(AdminServerTest, StatuszReportsStoreAndServiceSections) {
+  workload::SyntheticConfig cfg;
+  cfg.num_objects = 12;
+  cfg.max_extent = 0.05;
+  cfg.seed = 7;
+  store::StoreOptions sopts;
+  sopts.num_shards = TestShards();
+  const store::VersionedObjectStore s(workload::MakeSyntheticDatabase(cfg),
+                                      sopts);
+  service::QueryServiceOptions qopts;
+  qopts.num_workers = 1;
+  const service::QueryService svc(s.latest(), qopts);
+
+  const obs::AdminServerOptions opts =
+      service::MakeAdminOptions(&svc, &s, nullptr);
+  const AdminServer admin(opts);
+  net::HttpRequest request;
+  request.method = "GET";
+  request.target = "/statusz";
+  const net::HttpResponse response = admin.Handle(request);
+  EXPECT_EQ(response.status, 200);
+  const std::string& body = response.body;
+  EXPECT_NE(body.find("\"ready\": true"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"snapshot_version\": 1"), std::string::npos);
+  EXPECT_NE(body.find("\"live_objects\": 12"), std::string::npos);
+  EXPECT_NE(body.find("\"shard_live_counts\""), std::string::npos);
+  EXPECT_NE(body.find("\"durable\": false"), std::string::npos);
+  EXPECT_NE(body.find("\"queue_depth\""), std::string::npos);
+  EXPECT_NE(body.find("\"admitted\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Digest oracle: auditing never changes a served payload
+
+TEST(AdminServerTest, AuditOnOffDigestsAreIdentical) {
+  workload::SyntheticConfig cfg;
+  cfg.num_objects = 30;
+  cfg.max_extent = 0.08;
+  cfg.seed = 7;
+  const auto db = std::make_shared<const UncertainDatabase>(
+      workload::MakeSyntheticDatabase(cfg));
+  store::StoreOptions sopts;
+  sopts.num_shards = TestShards();
+
+  service::TraceConfig tcfg;
+  tcfg.num_requests = 14;
+  tcfg.seed = 99;
+  tcfg.query_extent = 0.08;
+  tcfg.k_max = 4;
+  tcfg.budget.max_iterations = 3;
+  const std::vector<service::QueryRequest> trace = MakeTrace(*db, tcfg);
+
+  auto run = [&](RequestAuditLog* audit) {
+    service::QueryServiceOptions opts;
+    opts.num_workers = 2;
+    opts.batch_size = 4;
+    opts.max_queue = trace.size();
+    opts.audit_log = audit;
+    service::QueryService svc(
+        store::VersionedObjectStore(*db, sopts).latest(), opts);
+    const service::ReplayResult result =
+        service::ReplayTrace(svc, trace, /*qps=*/0.0);
+    EXPECT_EQ(result.admitted, trace.size());
+    return service::ResponseDigest(result.responses);
+  };
+
+  const uint64_t off = run(nullptr);
+  AuditLogOptions audit_opts;
+  audit_opts.slow_threshold_seconds = 0.0;  // record everything
+  RequestAuditLog audit(audit_opts);
+  const uint64_t on = run(&audit);
+  EXPECT_EQ(on, off);
+
+  // The enabled run really audited: every completed request was observed
+  // and recorded with identity and per-stage attribution.
+  EXPECT_EQ(audit.observed(), trace.size());
+  EXPECT_EQ(audit.recorded(), trace.size());
+  const std::vector<AuditRecord> records = audit.Snapshot();
+  ASSERT_FALSE(records.empty());
+  for (const AuditRecord& r : records) {
+    EXPECT_STRNE(r.kind, "");
+    EXPECT_STREQ(r.status, "ok");
+    EXPECT_EQ(r.snapshot_version, 1u);
+    EXPECT_GE(r.total_seconds, r.exec_seconds);
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace updb

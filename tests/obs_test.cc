@@ -190,6 +190,90 @@ TEST(MetricsRegistryTest, JsonAndPrometheusExports) {
             std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Prometheus exposition conformance (known answers against the spec)
+
+TEST(PrometheusTest, EscapeLabelValueHandlesAllSpecialCharacters) {
+  // The exposition format escapes exactly backslash, double quote and
+  // newline inside label values.
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(EscapeLabelValue("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(EscapeLabelValue("new\nline"), "new\\nline");
+  EXPECT_EQ(EscapeLabelValue("\\\"\n"), "\\\\\\\"\\n");
+}
+
+TEST(PrometheusTest, LabeledSeriesComposesEscapedLabels) {
+  EXPECT_EQ(LabeledSeries("updb_x_total", {}), "updb_x_total");
+  EXPECT_EQ(LabeledSeries("updb_x_total", {{"class", "slow"}}),
+            "updb_x_total{class=\"slow\"}");
+  EXPECT_EQ(
+      LabeledSeries("updb_x_total", {{"a", "1"}, {"b", "two\nlines"}}),
+      "updb_x_total{a=\"1\",b=\"two\\nlines\"}");
+}
+
+TEST(PrometheusTest, HelpTextEscapesBackslashAndNewline) {
+  MetricsRegistry registry;
+  registry.Counter("updb_esc_total", "line one\nline \\two")->Add(1);
+  const std::string prom = registry.ToPrometheus();
+  EXPECT_NE(
+      prom.find("# HELP updb_esc_total line one\\nline \\\\two\n"),
+      std::string::npos)
+      << prom;
+}
+
+TEST(PrometheusTest, LabeledFamilySharesOneHelpAndTypePair) {
+  MetricsRegistry registry;
+  // Register out of lexical order, with an unlabeled name that would sort
+  // between the family's labeled series under a naive string sort
+  // ("updb_fam_total{" > "updb_fam_totals" as raw strings).
+  registry.Counter("updb_fam_total{class=\"b\"}", "Family")->Add(2);
+  registry.Counter("updb_fam_totals", "Other")->Add(5);
+  registry.Counter("updb_fam_total{class=\"a\"}", "Family")->Add(1);
+
+  const std::string prom = registry.ToPrometheus();
+  // Exactly one HELP/TYPE pair for the family, immediately followed by
+  // both series in label order.
+  const std::string expected =
+      "# HELP updb_fam_total Family\n"
+      "# TYPE updb_fam_total counter\n"
+      "updb_fam_total{class=\"a\"} 1\n"
+      "updb_fam_total{class=\"b\"} 2\n";
+  EXPECT_NE(prom.find(expected), std::string::npos) << prom;
+  size_t occurrences = 0;
+  for (size_t pos = prom.find("# TYPE updb_fam_total counter");
+       pos != std::string::npos;
+       pos = prom.find("# TYPE updb_fam_total counter", pos + 1)) {
+    ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 1u);
+  EXPECT_NE(prom.find("# TYPE updb_fam_totals counter"), std::string::npos);
+}
+
+TEST(PrometheusTest, HistogramEmitsCumulativeBucketsSumAndCount) {
+  MetricsRegistry registry;
+  HistogramOptions hopts;
+  hopts.buckets = 3;
+  hopts.min = 1.0;
+  hopts.growth = 10.0;  // upper edges: 1, 10, +Inf
+  Histogram* h = registry.Histogram("updb_h_seconds", "H", hopts);
+  h->Record(0.5);
+  h->Record(5.0);
+  h->Record(5.0);
+  h->Record(50.0);
+
+  const std::string prom = registry.ToPrometheus();
+  const std::string expected =
+      "# HELP updb_h_seconds H\n"
+      "# TYPE updb_h_seconds histogram\n"
+      "updb_h_seconds_bucket{le=\"1\"} 1\n"
+      "updb_h_seconds_bucket{le=\"10\"} 3\n"
+      "updb_h_seconds_bucket{le=\"+Inf\"} 4\n"
+      "updb_h_seconds_sum 60.5\n"
+      "updb_h_seconds_count 4\n";
+  EXPECT_NE(prom.find(expected), std::string::npos) << prom;
+}
+
 TEST(MetricsRegistryTest, ConcurrentGetOrCreateAndRecord) {
   MetricsRegistry registry;
   constexpr int kThreads = 8;
@@ -286,6 +370,37 @@ TEST(TraceTest, BoundedBufferCountsDrops) {
   EXPECT_EQ(recorder.dropped(), 6u);
 }
 
+TEST(TraceTest, ChromeJsonHeaderReportsCapacityAndDrops) {
+  TraceRecorder recorder(/*max_events=*/4);
+  for (int i = 0; i < 7; ++i) {
+    recorder.RecordInstant("e", "test");
+  }
+  // Drops are visible in the export itself, not only via dropped(): a
+  // truncated trace must announce its own truncation.
+  const std::string json = recorder.ToChromeJson();
+  EXPECT_NE(json.find("\"updbTrace\": {\"maxEvents\": 4, "
+                      "\"recordedEvents\": 4, \"droppedEvents\": 3}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(TraceTest, RegisterGaugesMirrorsCapacityAndDrops) {
+  MetricsRegistry registry;
+  TraceRecorder recorder(/*max_events=*/2);
+  recorder.RecordInstant("kept", "test");
+  recorder.RegisterGauges(&registry);
+  // Registration back-fills drops that happened before it...
+  recorder.RecordInstant("kept", "test");
+  recorder.RecordInstant("dropped", "test");
+  recorder.RecordInstant("dropped", "test");
+  // ...and tracks the ones after it.
+  const std::string prom = registry.ToPrometheus();
+  EXPECT_NE(prom.find("updb_trace_buffer_capacity 2"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("updb_trace_dropped_events 2"), std::string::npos);
+  EXPECT_EQ(recorder.max_events(), 2u);
+}
+
 TEST(TraceTest, ChromeJsonShape) {
   TraceRecorder recorder;
   {
@@ -294,7 +409,8 @@ TEST(TraceTest, ChromeJsonShape) {
   }
   recorder.RecordInstant("tick", "unit");
   const std::string json = recorder.ToChromeJson();
-  EXPECT_EQ(json.rfind("{\"traceEvents\": [", 0), 0u) << json;
+  EXPECT_EQ(json.rfind("{\"updbTrace\": ", 0), 0u) << json;
+  EXPECT_NE(json.find("\"traceEvents\": ["), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"work\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);

@@ -22,6 +22,9 @@
 //            [--metrics-out=metrics.json] [--prom-out=metrics.prom]
 //            [--trace-out=trace.json]
 //            [--response-cache=256] [--verdict-memo=65536]
+//            [--admin-port=8080 --admin-linger-ms=0]
+//            [--audit-capacity=256 --audit-threshold-ms=50
+//             --audit-sample-every=64]
 //            [--churn --churn-batches=8 --churn-per-batch=16
 //             --churn-interval-ms=20 --churn-seed=2]
 //   (serve-bench mode: generates — or loads — a database into a versioned
@@ -50,7 +53,16 @@
 //    response cache on and a quiet store (no churn, no load-shed
 //    rejections) the run replays the trace a second time through a fresh
 //    service sharing the populated caches and exits 2 unless the warm
-//    response sequence digests bit-identically to the first.)
+//    response sequence digests bit-identically to the first.
+//    --admin-port=P starts the live introspection plane on 127.0.0.1:P
+//    (0 picks an ephemeral port, echoed as `# admin listening ...`):
+//    /metrics, /healthz, /readyz, /statusz and /requestz — the
+//    slow-request audit log, tuned by --audit-capacity (ring slots),
+//    --audit-threshold-ms (latency above which every request is recorded)
+//    and --audit-sample-every (1-in-N sample of the fast remainder).
+//    --admin-linger-ms keeps the admin plane up that long after the
+//    replay finishes so external probes can scrape a quiesced process.
+//    Payloads are bit-identical with the admin plane on or off.)
 //   updb_cli mutate --db=data.updb --out=data2.updb --batches=4
 //            --per-batch=32 --insert-w=0.4 --update-w=0.4 --remove-w=0.2
 //            --extent=0.01 --model=uniform --samples=64 --seed=1
@@ -476,8 +488,26 @@ int Serve(const Args& args) {
   obs::TraceRecorder trace_recorder;
   obs::TraceRecorder* tracer =
       trace_out.empty() ? nullptr : &trace_recorder;
+  if (tracer != nullptr) tracer->RegisterGauges(&registry);
   opts.metrics_registry = &registry;
   opts.trace = tracer;
+
+  // Live introspection plane (--admin-port) + slow-request audit log.
+  // The audit log is created whenever the admin plane is on (or auditing
+  // is explicitly tuned): its record path is lock-free and it never
+  // changes a payload, so leaving it on costs a ring write per request.
+  const bool admin_enabled = !args.Get("admin-port", "").empty();
+  std::unique_ptr<obs::RequestAuditLog> audit_log;
+  if (admin_enabled || !args.Get("audit-capacity", "").empty()) {
+    obs::AuditLogOptions audit_opts;
+    audit_opts.capacity = args.GetSize("audit-capacity", 256);
+    audit_opts.slow_threshold_seconds =
+        args.GetDouble("audit-threshold-ms", 50.0) / 1e3;
+    audit_opts.sample_every = args.GetSize("audit-sample-every", 64);
+    audit_opts.registry = &registry;
+    audit_log = std::make_unique<obs::RequestAuditLog>(audit_opts);
+    opts.audit_log = audit_log.get();
+  }
 
   store::StoreOptions sopts;
   sopts.num_shards = std::max<size_t>(args.GetSize("shards", 1), 1);
@@ -526,6 +556,31 @@ int Serve(const Args& args) {
   std::shared_ptr<store::VersionedObjectStore> object_store =
       std::move(made).value();
   service::QueryService svc(object_store, opts);
+
+  // Admin plane: store-backed readiness + /statusz over this service,
+  // /metrics from the unified registry, /requestz from the audit ring.
+  // Declared after svc/audit_log so it stops (and its thread joins)
+  // before anything it reads is torn down.
+  std::unique_ptr<obs::AdminServer> admin;
+  if (admin_enabled) {
+    obs::AdminServerOptions aopts = service::MakeAdminOptions(
+        &svc, object_store.get(), did_recover ? &recovery_report : nullptr);
+    aopts.port = static_cast<uint16_t>(args.GetSize("admin-port", 0));
+    aopts.registry = &registry;
+    aopts.audit_log = audit_log.get();
+    aopts.build_info = "updb_cli serve";
+    admin = std::make_unique<obs::AdminServer>(std::move(aopts));
+    const Status started = admin->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "admin server failed: %s\n",
+                   started.ToString().c_str());
+      return 1;
+    }
+    // Flushed immediately so external probes can pick the port up while
+    // the replay is still running.
+    std::printf("# admin listening on 127.0.0.1:%u\n", admin->port());
+    std::fflush(stdout);
+  }
 
   // --churn: a writer thread applies seed-deterministic mutation batches
   // and publishes new versions while the trace replays.
@@ -668,6 +723,16 @@ int Serve(const Args& args) {
     std::printf("# metrics written to %s\n", metrics_out.c_str());
   }
   if (!WriteObsOutputs(args, tracer, registry)) return 1;
+
+  // Keep the admin plane scrapeable after the replay quiesces (CI curls
+  // the endpoints of a finished run before the process exits).
+  const double linger_ms = args.GetDouble("admin-linger-ms", 0.0);
+  if (admin != nullptr && linger_ms > 0.0) {
+    std::printf("# admin lingering for %.0f ms\n", linger_ms);
+    std::fflush(stdout);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(linger_ms));
+  }
   return exit_code;
 }
 
