@@ -1,19 +1,26 @@
-// IDCA hot-path benchmark: quantifies the three PR-1 optimizations —
-// allocation-free flat-buffer UGF multiplication, the monotone
-// domination-verdict cache, and the parallel (B', R') pair loop.
+// IDCA hot-path benchmark: quantifies the PR-1 optimizations (flat-buffer
+// UGF workspace, monotone verdict cache, parallel pair loop) and the SIMD
+// kernel dispatch layered on top of them.
 //
 // Series (CSV to stdout; pass a path argument to also write the summary
 // as JSON, the format committed as BENCH_idca_hotpath.json):
 //
 //   ugf_multiply      flat-buffer workspace reuse vs the nested-vector
 //                     reference (the seed representation), building the
-//                     full product + Bounds() per repetition.
+//                     full product + Bounds() per repetition — once pinned
+//                     to the scalar kernel table and once on the vector
+//                     (AVX2+FMA) table.
 //   idca_refinement   one untruncated domination-count computation, new
-//                     engine (flat UGF + verdict cache, 1 thread) vs a
-//                     faithful in-bench reimplementation of the seed's
-//                     refinement loop (nested-vector UGF, full re-test of
-//                     every candidate partition per iteration).
+//                     engine (flat UGF + verdict cache + batched lanes,
+//                     1 thread) vs a faithful in-bench reimplementation of
+//                     the seed's refinement loop; the engine timed under
+//                     both dispatch tables.
 //   thread_scaling    the same computation at 1/2/4/8 threads.
+//
+// Two oracles gate the exit status: the seed-style and engine bounds must
+// agree within 1e-9 (different accumulation orders), and the scalar- and
+// vector-dispatch engine bounds must be IDENTICAL BITS (same blocked
+// accumulation order, gf/kernels.h) — any nonzero deviation exits 2.
 //
 // UPDB_BENCH_SCALE scales the database size.
 
@@ -40,8 +47,10 @@ using workload::SyntheticConfig;
 struct UgfSeries {
   size_t n = 0;
   double nested_us = 0.0;
-  double flat_us = 0.0;
-  double speedup = 0.0;
+  double scalar_us = 0.0;  // flat UGF pinned to the scalar kernel table
+  double vector_us = 0.0;  // flat UGF on the auto-selected (SIMD) table
+  double speedup = 0.0;       // nested / vector
+  double simd_speedup = 0.0;  // scalar / vector
 };
 
 UgfSeries BenchUgf(size_t n, int reps) {
@@ -64,14 +73,23 @@ UgfSeries BenchUgf(size_t n, int reps) {
   out.nested_us = timer.ElapsedSeconds() * 1e6 / reps;
 
   UncertainGeneratingFunction flat;
-  timer.Reset();
-  for (int rep = 0; rep < reps; ++rep) {
-    flat.Reset();  // same workspace across reps: the IDCA reuse pattern
+  auto time_flat = [&](bool force_scalar) {
+    gf::ForceScalarKernels(force_scalar);
+    // Warm-up rep so buffer growth is off the clock for both modes.
+    flat.Reset();
     for (const auto& f : factors) flat.Multiply(f);
-    sink += flat.Bounds().lb(n / 2);
-  }
-  out.flat_us = timer.ElapsedSeconds() * 1e6 / reps;
-  out.speedup = out.nested_us / out.flat_us;
+    timer.Reset();
+    for (int rep = 0; rep < reps; ++rep) {
+      flat.Reset();  // same workspace across reps: the IDCA reuse pattern
+      for (const auto& f : factors) flat.Multiply(f);
+      sink += flat.Bounds().lb(n / 2);
+    }
+    return timer.ElapsedSeconds() * 1e6 / reps;
+  };
+  out.scalar_us = time_flat(true);
+  out.vector_us = time_flat(false);
+  out.speedup = out.nested_us / out.vector_us;
+  out.simd_speedup = out.scalar_us / out.vector_us;
   if (sink < -1.0) std::printf("#impossible\n");  // keep `sink` alive
   return out;
 }
@@ -154,19 +172,21 @@ CountDistributionBounds SeedStyleRefine(const UncertainDatabase& db,
 int main(int argc, char** argv) {
   using namespace updb;
   bench::PrintBanner("bench_hotpath_scaling",
-                     "flat UGF + verdict cache + parallel pair loop");
+                     "flat UGF + verdict cache + parallel pair loop + SIMD");
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("# hardware_threads=%u\n", hw);
+  std::printf("# kernel_dispatch=%s\n", gf::ActiveKernelName());
 
   // ---- UGF multiplication series.
-  std::printf("series,n,nested_us,flat_us,speedup\n");
+  std::printf("series,n,nested_us,scalar_us,vector_us,speedup,simd_speedup\n");
   std::vector<UgfSeries> ugf_series;
   for (size_t n : {size_t{32}, size_t{64}, size_t{128}}) {
     const int reps = n <= 64 ? 400 : 150;
     ugf_series.push_back(BenchUgf(n, reps));
     const UgfSeries& s = ugf_series.back();
-    std::printf("ugf_multiply,%zu,%.2f,%.2f,%.2fx\n", s.n, s.nested_us,
-                s.flat_us, s.speedup);
+    std::printf("ugf_multiply,%zu,%.2f,%.2f,%.2f,%.2fx,%.2fx\n", s.n,
+                s.nested_us, s.scalar_us, s.vector_us, s.speedup,
+                s.simd_speedup);
   }
 
   // ---- IDCA refinement: seed style vs new engine, single thread.
@@ -190,12 +210,17 @@ int main(int argc, char** argv) {
   fast.max_iterations = iterations;
   fast.uncertainty_epsilon = -1.0;  // run all iterations, like the loop above
   fast.num_threads = 1;
-  timer.Reset();
+  gf::ForceScalarKernels(true);
+  const IdcaResult scalar_result =
+      IdcaEngine(db, fast).ComputeDomCount(target, *query);
+  const double scalar_seconds = scalar_result.seconds;
+  gf::ForceScalarKernels(false);
   const IdcaResult fast_result =
       IdcaEngine(db, fast).ComputeDomCount(target, *query);
   const double fast_seconds = fast_result.seconds;
 
-  // Sanity: both computations bound the same distribution.
+  // Oracle 1: seed-style and engine bounds agree within tolerance (the two
+  // loops accumulate in different orders, so 1e-9, not equality).
   bool checksum_ok = seed_bounds.num_ranks() == fast_result.bounds.num_ranks();
   double max_dev = 0.0;
   if (checksum_ok) {
@@ -207,10 +232,27 @@ int main(int argc, char** argv) {
     }
     checksum_ok = max_dev < 1e-9;
   }
-  std::printf("series,seed_style_s,flat_cached_s,speedup,max_dev,agree\n");
-  std::printf("idca_refinement,%.3f,%.3f,%.2fx,%.2e,%s\n", seed_seconds,
-              fast_seconds, seed_seconds / fast_seconds, max_dev,
-              checksum_ok ? "yes" : "NO");
+  // Oracle 2: scalar and vector dispatch are the SAME accumulation order —
+  // their bounds must match bit for bit, deviation exactly zero.
+  double simd_dev = 0.0;
+  bool simd_exact =
+      scalar_result.bounds.num_ranks() == fast_result.bounds.num_ranks();
+  if (simd_exact) {
+    for (size_t k = 0; k < fast_result.bounds.num_ranks(); ++k) {
+      simd_dev = std::max(simd_dev, std::abs(scalar_result.bounds.lb(k) -
+                                             fast_result.bounds.lb(k)));
+      simd_dev = std::max(simd_dev, std::abs(scalar_result.bounds.ub(k) -
+                                             fast_result.bounds.ub(k)));
+    }
+    simd_exact = simd_dev == 0.0;
+  }
+  std::printf(
+      "series,seed_style_s,scalar_s,vector_s,speedup,max_dev,simd_dev,"
+      "agree\n");
+  std::printf("idca_refinement,%.3f,%.3f,%.3f,%.2fx,%.2e,%.2e,%s\n",
+              seed_seconds, scalar_seconds, fast_seconds,
+              seed_seconds / fast_seconds, max_dev, simd_dev,
+              checksum_ok && simd_exact ? "yes" : "NO");
 
   // ---- Thread scaling on the same computation.
   std::printf("series,threads,seconds,speedup_vs_1t\n");
@@ -238,6 +280,7 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f, "{\n  \"bench\": \"bench_hotpath_scaling\",\n");
     std::fprintf(f, "  \"hardware_threads\": %u,\n", hw);
+    std::fprintf(f, "  \"kernel_dispatch\": \"%s\",\n", gf::ActiveKernelName());
     std::fprintf(f,
                  "  \"note\": \"thread_scaling is bounded by "
                  "hardware_threads on the recording host; results are "
@@ -249,18 +292,21 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < ugf_series.size(); ++i) {
       const UgfSeries& s = ugf_series[i];
       std::fprintf(f,
-                   "    {\"n\": %zu, \"nested_us\": %.2f, \"flat_us\": %.2f, "
-                   "\"speedup\": %.2f}%s\n",
-                   s.n, s.nested_us, s.flat_us, s.speedup,
-                   i + 1 < ugf_series.size() ? "," : "");
+                   "    {\"n\": %zu, \"nested_us\": %.2f, "
+                   "\"scalar_us\": %.2f, \"vector_us\": %.2f, "
+                   "\"speedup\": %.2f, \"simd_speedup\": %.2f}%s\n",
+                   s.n, s.nested_us, s.scalar_us, s.vector_us, s.speedup,
+                   s.simd_speedup, i + 1 < ugf_series.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(f,
                  "  \"idca_refinement\": {\"seed_style_seconds\": %.3f, "
-                 "\"flat_cached_seconds\": %.3f, \"speedup\": %.2f, "
-                 "\"max_abs_bound_deviation\": %.3e, \"agree\": %s},\n",
-                 seed_seconds, fast_seconds, seed_seconds / fast_seconds,
-                 max_dev, checksum_ok ? "true" : "false");
+                 "\"scalar_seconds\": %.3f, \"flat_cached_seconds\": %.3f, "
+                 "\"speedup\": %.2f, \"max_abs_bound_deviation\": %.3e, "
+                 "\"simd_max_abs_bound_deviation\": %.1e, \"agree\": %s},\n",
+                 seed_seconds, scalar_seconds, fast_seconds,
+                 seed_seconds / fast_seconds, max_dev, simd_dev,
+                 checksum_ok && simd_exact ? "true" : "false");
     std::fprintf(f, "  \"thread_scaling\": [\n");
     for (size_t i = 0; i < scaling.size(); ++i) {
       std::fprintf(f,
@@ -273,5 +319,5 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
   }
-  return checksum_ok ? 0 : 2;
+  return checksum_ok && simd_exact ? 0 : 2;
 }

@@ -9,6 +9,21 @@
 namespace updb {
 namespace {
 
+/// Pins the kernel dispatch table for one benchmark body, restoring the
+/// prior mode on exit; the scalar/vector row pairs below use it to measure
+/// both tables in one binary run.
+class ScopedDispatch {
+ public:
+  explicit ScopedDispatch(bool force_scalar)
+      : was_scalar_(&gf::ActiveKernels() == &gf::ScalarKernels()) {
+    gf::ForceScalarKernels(force_scalar);
+  }
+  ~ScopedDispatch() { gf::ForceScalarKernels(was_scalar_); }
+
+ private:
+  bool was_scalar_;
+};
+
 std::vector<Rect> RandomRects(size_t n, uint64_t seed) {
   Rng rng(seed);
   std::vector<Rect> rects;
@@ -47,7 +62,8 @@ void BM_OptimalDominates(benchmark::State& state) {
 }
 BENCHMARK(BM_OptimalDominates);
 
-void BM_PoissonBinomial(benchmark::State& state) {
+void BM_PoissonBinomial(benchmark::State& state, bool force_scalar) {
+  ScopedDispatch dispatch(force_scalar);
   const size_t n = static_cast<size_t>(state.range(0));
   Rng rng(3);
   std::vector<double> probs(n);
@@ -56,10 +72,17 @@ void BM_PoissonBinomial(benchmark::State& state) {
     benchmark::DoNotOptimize(PoissonBinomialPdf(probs));
   }
   state.SetComplexityN(static_cast<int64_t>(n));
+  state.SetLabel(gf::ActiveKernelName());
 }
-BENCHMARK(BM_PoissonBinomial)->Range(16, 1024)->Complexity();
+BENCHMARK_CAPTURE(BM_PoissonBinomial, scalar, true)
+    ->Range(16, 1024)
+    ->Complexity();
+BENCHMARK_CAPTURE(BM_PoissonBinomial, vector, false)
+    ->Range(16, 1024)
+    ->Complexity();
 
-void BM_UgfFull(benchmark::State& state) {
+void BM_UgfFull(benchmark::State& state, bool force_scalar) {
+  ScopedDispatch dispatch(force_scalar);
   const size_t n = static_cast<size_t>(state.range(0));
   Rng rng(4);
   std::vector<double> lbs(n), ubs(n);
@@ -72,10 +95,13 @@ void BM_UgfFull(benchmark::State& state) {
     for (size_t i = 0; i < n; ++i) ugf.Multiply(lbs[i], ubs[i]);
     benchmark::DoNotOptimize(ugf.Bounds());
   }
+  state.SetLabel(gf::ActiveKernelName());
 }
-BENCHMARK(BM_UgfFull)->Range(8, 128);
+BENCHMARK_CAPTURE(BM_UgfFull, scalar, true)->Range(8, 128);
+BENCHMARK_CAPTURE(BM_UgfFull, vector, false)->Range(8, 128);
 
-void BM_UgfTruncated(benchmark::State& state) {
+void BM_UgfTruncated(benchmark::State& state, bool force_scalar) {
+  ScopedDispatch dispatch(force_scalar);
   const size_t n = static_cast<size_t>(state.range(0));
   const size_t k = 10;
   Rng rng(5);
@@ -89,8 +115,39 @@ void BM_UgfTruncated(benchmark::State& state) {
     for (size_t i = 0; i < n; ++i) ugf.Multiply(lbs[i], ubs[i]);
     benchmark::DoNotOptimize(ugf.ProbLessThan(k));
   }
+  state.SetLabel(gf::ActiveKernelName());
 }
-BENCHMARK(BM_UgfTruncated)->Range(8, 128);
+BENCHMARK_CAPTURE(BM_UgfTruncated, scalar, true)->Range(8, 128);
+BENCHMARK_CAPTURE(BM_UgfTruncated, vector, false)->Range(8, 128);
+
+void BM_UgfBatch4(benchmark::State& state, bool force_scalar) {
+  // Four candidate factor sequences advanced in lockstep through one SoA
+  // workspace — the shape the IDCA refinement loop stages per chunk.
+  // Compare per-lane cost against BM_UgfFull at the same n.
+  ScopedDispatch dispatch(force_scalar);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  std::vector<double> lb4(n * UgfBatch::kLanes), ub4(n * UgfBatch::kLanes);
+  for (size_t i = 0; i < n * UgfBatch::kLanes; ++i) {
+    lb4[i] = rng.NextDouble() * 0.5;
+    ub4[i] = lb4[i] + 0.5 * rng.NextDouble();
+  }
+  UgfBatch batch;
+  CountDistributionBounds out = CountDistributionBounds::Zero(n + 1);
+  for (auto _ : state) {
+    batch.Begin(UgfBatch::kNoTruncation, UgfBatch::kLanes);
+    for (size_t i = 0; i < n; ++i) {
+      batch.MultiplyFactors(lb4.data() + i * UgfBatch::kLanes,
+                            ub4.data() + i * UgfBatch::kLanes);
+    }
+    batch.FinishBounds();
+    for (size_t l = 0; l < UgfBatch::kLanes; ++l) batch.EmitBounds(l, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetLabel(gf::ActiveKernelName());
+}
+BENCHMARK_CAPTURE(BM_UgfBatch4, scalar, true)->Range(8, 128);
+BENCHMARK_CAPTURE(BM_UgfBatch4, vector, false)->Range(8, 128);
 
 void BM_DecompositionDeepen(benchmark::State& state) {
   const int depth = static_cast<int>(state.range(0));

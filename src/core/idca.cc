@@ -8,6 +8,7 @@
 #include "cache/verdict_memo.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "gf/ugf_batch.h"
 
 namespace updb {
 
@@ -85,7 +86,19 @@ struct PairBlock {
 /// accumulators re-applied every subsequent iteration.
 struct ChunkState {
   PairBlock out;                       // next-level pair states
-  UncertainGeneratingFunction ugf;     // reused across the chunk's pairs
+  /// Lane-batched UGF evaluation: up to UgfBatch::kLanes pairs are staged
+  /// (their per-candidate factor brackets written column-wise into
+  /// stage_lb/stage_ub) and evaluated in one SoA pass. Staging and
+  /// flushing happen in pair order within the chunk, so every accumulator
+  /// receives exactly the contributions, in exactly the order, of the
+  /// former one-UGF-per-pair loop.
+  UgfBatch batch;
+  std::vector<double> stage_lb;        // [C * kLanes], candidate-major
+  std::vector<double> stage_ub;
+  double stage_w[UgfBatch::kLanes] = {};
+  bool stage_frozen[UgfBatch::kLanes] = {};
+  size_t staged = 0;
+  CountDistributionBounds lane_bounds; // reused EmitBounds target
   CountDistributionBounds agg;         // weighted count-bound partial
   double agg_lt_lb = 0.0;              // weighted P(count < m) partial
   double agg_lt_ub = 0.0;
@@ -106,7 +119,7 @@ struct ChunkState {
   /// runs inserted or evicted, so these are not thread-count-invariant.
   cache::VerdictMemoTally memo_tally;
 
-  ChunkState() : agg(0), frozen_agg(0) {}
+  ChunkState() : lane_bounds(0), agg(0), frozen_agg(0) {}
 };
 
 /// Fingerprint of the configuration fields a domination verdict depends
@@ -358,10 +371,13 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
         [&](size_t chunk, size_t /*worker*/) {
           ChunkState& st = chunks[chunk];
           st.out.Clear(C);
-          st.ugf.Reset(ugf_truncation);
+          st.stage_lb.assign(C * UgfBatch::kLanes, 0.0);
+          st.stage_ub.assign(C * UgfBatch::kLanes, 0.0);
+          st.staged = 0;
           if (!predicate) {
             st.agg = CountDistributionBounds::Zero(C + 1);
             st.frozen_agg = CountDistributionBounds::Zero(C + 1);
+            st.lane_bounds = CountDistributionBounds::Zero(C + 1);
           }
           st.agg_lt_lb = 0.0;
           st.agg_lt_ub = 0.0;
@@ -377,7 +393,41 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
           st.tests = 0;
           st.counters = IdcaCounters{};
           st.memo_tally = cache::VerdictMemoTally{};
-          const uint64_t ugf_base = st.ugf.total_multiplies();
+          const uint64_t ugf_base = st.batch.total_multiplies();
+
+          // Evaluates the staged pairs' UGFs in one batched pass and folds
+          // their contributions into the accumulators in pair order.
+          const auto flush_staged = [&](ChunkState& cs) {
+            if (cs.staged == 0) return;
+            cs.batch.Begin(ugf_truncation, cs.staged);
+            for (size_t i = 0; i < C; ++i) {
+              cs.batch.MultiplyFactors(
+                  cs.stage_lb.data() + i * UgfBatch::kLanes,
+                  cs.stage_ub.data() + i * UgfBatch::kLanes);
+            }
+            if (predicate) {
+              ProbabilityBounds lt[UgfBatch::kLanes];
+              cs.batch.ProbLessThanAll(m, lt);
+              for (size_t l = 0; l < cs.staged; ++l) {
+                const double lw = cs.stage_w[l];
+                if (cs.stage_frozen[l]) {
+                  cs.frozen_lt_lb += lw * lt[l].lb;
+                  cs.frozen_lt_ub += lw * lt[l].ub;
+                } else {
+                  cs.agg_lt_lb += lw * lt[l].lb;
+                  cs.agg_lt_ub += lw * lt[l].ub;
+                }
+              }
+            } else {
+              cs.batch.FinishBounds();
+              for (size_t l = 0; l < cs.staged; ++l) {
+                cs.batch.EmitBounds(l, &cs.lane_bounds);
+                (cs.stage_frozen[l] ? cs.frozen_agg : cs.agg)
+                    .AccumulateWeighted(cs.lane_bounds, cs.stage_w[l]);
+              }
+            }
+            cs.staged = 0;
+          };
 
           const size_t p_begin = cur.num_pairs * chunk / num_chunks;
           const size_t p_end = cur.num_pairs * (chunk + 1) / num_chunks;
@@ -392,7 +442,6 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
                 const Partition& rp = ref_frontier[ri];
                 const double w = bp.mass * rp.mass;
                 ++st.pairs;
-                st.ugf.Reset();
                 PairBlock& out = st.out;
                 out.b_node.push_back(bi);
                 out.r_node.push_back(ri);
@@ -486,7 +535,8 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
                   const double e = influence[i]->existence();
                   pb.lb *= e;
                   pb.ub *= e;
-                  st.ugf.Multiply(pb);
+                  st.stage_lb[i * UgfBatch::kLanes + st.staged] = pb.lb;
+                  st.stage_ub[i * UgfBatch::kLanes + st.staged] = pb.ub;
                   st.pair_pdom_lb[i] = pb.lb;
                   st.pair_pdom_ub[i] = pb.ub;
                 }
@@ -514,26 +564,20 @@ IdcaResult IdcaEngine::Run(const Pdf& target, const Pdf& reference,
                   acc_pdom_lb[i] += w * st.pair_pdom_lb[i];
                   acc_pdom_ub[i] += w * st.pair_pdom_ub[i];
                 }
-                if (predicate) {
-                  const ProbabilityBounds lt = st.ugf.ProbLessThan(m);
-                  if (frozen) {
-                    st.frozen_lt_lb += w * lt.lb;
-                    st.frozen_lt_ub += w * lt.ub;
-                  } else {
-                    st.agg_lt_lb += w * lt.lb;
-                    st.agg_lt_ub += w * lt.ub;
-                  }
-                } else {
-                  (frozen ? st.frozen_agg : st.agg)
-                      .AccumulateWeighted(st.ugf.Bounds(), w);
-                }
+                // The pair's factor column is fully staged; bank its
+                // weight/freeze slot and flush once the lanes fill up.
+                st.stage_w[st.staged] = w;
+                st.stage_frozen[st.staged] = frozen;
+                ++st.staged;
+                if (st.staged == UgfBatch::kLanes) flush_staged(st);
               }
             }
           }
+          flush_staged(st);
           st.counters.pairs_evaluated = st.pairs;
           st.counters.domination_tests = st.tests;
           st.counters.verdict_cache_misses = st.tests;
-          st.counters.ugf_multiplies = st.ugf.total_multiplies() - ugf_base;
+          st.counters.ugf_multiplies = st.batch.total_multiplies() - ugf_base;
         });
 
     // Deterministic reduction in chunk order: newly frozen contributions

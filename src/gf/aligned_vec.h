@@ -1,0 +1,136 @@
+// Copyright 2026 The updb Authors.
+// 32-byte-aligned growable double buffer for the generating-function
+// workspaces. The vector kernels in gf/kernels_avx2.cc use unaligned loads
+// (row starts land at arbitrary offsets inside the triangle), so alignment
+// is not required for correctness — but an aligned base keeps whole-buffer
+// passes (block sums, SoA batch sweeps) on aligned cache lines and makes
+// the first vector of every pass an aligned access.
+//
+// Same reuse contract as the std::vector it replaced: capacity only ever
+// grows, so a Reset()-and-replay of a factor sequence at or below the
+// high-water mark performs zero allocations (see tests/ugf_alloc_test.cc,
+// which counts aligned operator new calls too).
+
+#ifndef UPDB_GF_ALIGNED_VEC_H_
+#define UPDB_GF_ALIGNED_VEC_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "common/check.h"
+
+namespace updb::gf {
+
+/// Alignment of every workspace buffer, in bytes (one AVX2 vector).
+inline constexpr size_t kWorkspaceAlignment = 32;
+
+/// Minimal aligned analogue of std::vector<double> covering exactly the
+/// operations the UGF workspaces use.
+class AlignedVec {
+ public:
+  AlignedVec() = default;
+  ~AlignedVec() { Free(data_); }
+
+  AlignedVec(const AlignedVec& o) { *this = o; }
+  AlignedVec& operator=(const AlignedVec& o) {
+    if (this == &o) return *this;
+    if (o.size_ > cap_) {
+      Free(data_);
+      data_ = Allocate(o.size_);
+      cap_ = o.size_;
+    }
+    size_ = o.size_;
+    if (size_ > 0) std::memcpy(data_, o.data_, size_ * sizeof(double));
+    return *this;
+  }
+
+  AlignedVec(AlignedVec&& o) noexcept
+      : data_(std::exchange(o.data_, nullptr)),
+        size_(std::exchange(o.size_, 0)),
+        cap_(std::exchange(o.cap_, 0)) {}
+  AlignedVec& operator=(AlignedVec&& o) noexcept {
+    if (this == &o) return *this;
+    Free(data_);
+    data_ = std::exchange(o.data_, nullptr);
+    size_ = std::exchange(o.size_, 0);
+    cap_ = std::exchange(o.cap_, 0);
+    return *this;
+  }
+
+  double* data() { return data_; }
+  const double* data() const { return data_; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return cap_; }
+
+  double& operator[](size_t i) {
+    UPDB_DCHECK(i < size_);
+    return data_[i];
+  }
+  double operator[](size_t i) const {
+    UPDB_DCHECK(i < size_);
+    return data_[i];
+  }
+
+  /// Grows capacity to at least `n`, preserving contents. Never shrinks.
+  void reserve(size_t n) {
+    if (n <= cap_) return;
+    double* grown = Allocate(n);
+    if (size_ > 0) std::memcpy(grown, data_, size_ * sizeof(double));
+    Free(data_);
+    data_ = grown;
+    cap_ = n;
+  }
+
+  /// Discards contents; becomes `n` copies of `v`.
+  void assign(size_t n, double v) {
+    if (n > cap_) {
+      Free(data_);
+      data_ = Allocate(n);
+      cap_ = n;
+    }
+    size_ = n;
+    std::fill(data_, data_ + n, v);
+  }
+
+  /// Resizes to `n` without initializing newly exposed slots — for scratch
+  /// targets whose every cell the caller is about to overwrite.
+  void resize_uninitialized(size_t n) {
+    reserve(n);
+    size_ = n;
+  }
+
+  /// Resizes to `n`, preserving the prefix and filling new slots with `v`.
+  void resize(size_t n, double v) {
+    reserve(n);
+    if (n > size_) std::fill(data_ + size_, data_ + n, v);
+    size_ = n;
+  }
+
+  void swap(AlignedVec& o) noexcept {
+    std::swap(data_, o.data_);
+    std::swap(size_, o.size_);
+    std::swap(cap_, o.cap_);
+  }
+
+ private:
+  static double* Allocate(size_t n) {
+    return static_cast<double*>(::operator new(
+        n * sizeof(double), std::align_val_t{kWorkspaceAlignment}));
+  }
+  static void Free(double* p) {
+    if (p != nullptr) {
+      ::operator delete(p, std::align_val_t{kWorkspaceAlignment});
+    }
+  }
+
+  double* data_ = nullptr;
+  size_t size_ = 0;
+  size_t cap_ = 0;
+};
+
+}  // namespace updb::gf
+
+#endif  // UPDB_GF_ALIGNED_VEC_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "gf/kernels.h"
+
 namespace updb {
 
 CountDistributionBounds::CountDistributionBounds(size_t num_ranks)
@@ -39,16 +41,11 @@ ProbabilityBounds CountDistributionBounds::ProbLessThan(size_t k) const {
   // instead would pit a vacuous below-sum against the exact complement and
   // collapse the broken bracket to a meaningless midpoint.
   if (k >= lb_.size()) return ProbabilityBounds{1.0, 1.0};
-  double sum_lb_below = 0.0, sum_ub_below = 0.0;
-  for (size_t x = 0; x < k; ++x) {
-    sum_lb_below += lb_[x];
-    sum_ub_below += ub_[x];
-  }
-  double sum_lb_above = 0.0, sum_ub_above = 0.0;
-  for (size_t x = k; x < lb_.size(); ++x) {
-    sum_lb_above += lb_[x];
-    sum_ub_above += ub_[x];
-  }
+  const gf::GfKernels& K = gf::ActiveKernels();
+  const double sum_lb_below = K.block_sum(lb_.data(), k);
+  const double sum_ub_below = K.block_sum(ub_.data(), k);
+  const double sum_lb_above = K.block_sum(lb_.data() + k, lb_.size() - k);
+  const double sum_ub_above = K.block_sum(ub_.data() + k, ub_.size() - k);
   ProbabilityBounds out;
   out.lb = std::max(sum_lb_below, 1.0 - sum_ub_above);
   out.ub = std::min(sum_ub_below, 1.0 - sum_lb_above);
@@ -101,10 +98,9 @@ void CountDistributionBounds::AccumulateWeighted(
     const CountDistributionBounds& other, double weight) {
   UPDB_CHECK(other.num_ranks() == num_ranks());
   UPDB_DCHECK(weight >= 0.0);
-  for (size_t k = 0; k < lb_.size(); ++k) {
-    lb_[k] += weight * other.lb_[k];
-    ub_[k] += weight * other.ub_[k];
-  }
+  const gf::GfKernels& K = gf::ActiveKernels();
+  K.axpy(lb_.data(), other.lb_.data(), lb_.size(), weight);
+  K.axpy(ub_.data(), other.ub_.data(), ub_.size(), weight);
 }
 
 void CountDistributionBounds::Normalize() {

@@ -1,0 +1,176 @@
+#include "gf/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace updb::gf {
+
+namespace {
+
+// ---- scalar kernel bodies. Each is the literal contract definition; the
+// AVX2 table must reproduce these bit-for-bit.
+
+void ConvRowScalar(double* dst, const double* below, const double* left,
+                   const double* self, size_t n, double w_x, double w_y,
+                   double w_1) {
+  for (size_t j = 0; j < n; ++j) {
+    dst[j] = ConvCell(below[j], left[j], self[j], w_x, w_y, w_1);
+  }
+}
+
+void ConvRowNbScalar(double* dst, const double* left, const double* self,
+                     size_t n, double w_y, double w_1) {
+  for (size_t j = 0; j < n; ++j) {
+    dst[j] = ConvCell(0.0, left[j], self[j], 0.0, w_y, w_1);
+  }
+}
+
+void ScaleRowScalar(double* dst, const double* src, size_t n, double w) {
+  for (size_t j = 0; j < n; ++j) dst[j] = src[j] * w;
+}
+
+void SubRowScalar(double* dst, const double* src, size_t n) {
+  for (size_t j = 0; j < n; ++j) dst[j] -= src[j];
+}
+
+void AxpyScalar(double* dst, const double* src, size_t n, double w) {
+  for (size_t j = 0; j < n; ++j) dst[j] = std::fma(src[j], w, dst[j]);
+}
+
+void ShiftMulAddScalar(double* x, size_t n, double a, double b) {
+  for (size_t k = n; k-- > 1;) x[k] = std::fma(x[k - 1], a, x[k] * b);
+  if (n > 0) x[0] *= b;
+}
+
+// Distinct named wrappers (not the inline helpers' own addresses): each
+// table must point at code generated in its own translation unit, so the
+// scalar table never executes instructions the baseline target lacks.
+double ConvCellScalar(double below, double left, double self, double w_x,
+                      double w_y, double w_1) {
+  return ConvCell(below, left, self, w_x, w_y, w_1);
+}
+
+double BucketCellScalar(double below0, double below1, double left,
+                        double self, double w_x, double w_y, double w_1) {
+  return BucketCell(below0, below1, left, self, w_x, w_y, w_1);
+}
+
+void ConvCells4Scalar(double* dst, const double* below, const double* left,
+                      const double* self, size_t ncells, const double* w_x4,
+                      const double* w_y4, const double* w_14) {
+  for (size_t c = 0; c < ncells; ++c) {
+    for (size_t l = 0; l < kSoaLanes; ++l) {
+      const size_t i = c * kSoaLanes + l;
+      dst[i] = ConvCell(below[i], left[i], self[i], w_x4[l], w_y4[l], w_14[l]);
+    }
+  }
+}
+
+void ConvCells4NbScalar(double* dst, const double* left, const double* self,
+                        size_t ncells, const double* w_y4,
+                        const double* w_14) {
+  for (size_t c = 0; c < ncells; ++c) {
+    for (size_t l = 0; l < kSoaLanes; ++l) {
+      const size_t i = c * kSoaLanes + l;
+      dst[i] = ConvCell(0.0, left[i], self[i], 0.0, w_y4[l], w_14[l]);
+    }
+  }
+}
+
+void ScaleCells4Scalar(double* dst, const double* src, size_t ncells,
+                       const double* w4) {
+  for (size_t c = 0; c < ncells; ++c) {
+    for (size_t l = 0; l < kSoaLanes; ++l) {
+      const size_t i = c * kSoaLanes + l;
+      dst[i] = src[i] * w4[l];
+    }
+  }
+}
+
+void BlockSum4Scalar(const double* x, size_t ncells, double* out4) {
+  double acc[4][kSoaLanes] = {};
+  for (size_t c = 0; c < ncells; ++c) {
+    for (size_t l = 0; l < kSoaLanes; ++l) {
+      acc[c & 3][l] += x[c * kSoaLanes + l];
+    }
+  }
+  for (size_t l = 0; l < kSoaLanes; ++l) {
+    out4[l] = (acc[0][l] + acc[1][l]) + (acc[2][l] + acc[3][l]);
+  }
+}
+
+void SubCells4Scalar(double* dst, const double* src, size_t ncells) {
+  SubRowScalar(dst, src, ncells * kSoaLanes);
+}
+
+void BucketCells4Scalar(double* dst, const double* below0,
+                        const double* below1, const double* left,
+                        const double* self, const double* w_x4,
+                        const double* w_y4, const double* w_14) {
+  for (size_t l = 0; l < kSoaLanes; ++l) {
+    dst[l] = BucketCell(below0[l], below1[l], left[l], self[l], w_x4[l],
+                        w_y4[l], w_14[l]);
+  }
+}
+
+constexpr GfKernels kScalarTable = {
+    "scalar",          ConvRowScalar,      ConvRowNbScalar,
+    ScaleRowScalar,    BlockSumScalar,     SubRowScalar,
+    AxpyScalar,        ShiftMulAddScalar,  ConvCellScalar,
+    BucketCellScalar,  ConvCells4Scalar,   ConvCells4NbScalar,
+    ScaleCells4Scalar, BlockSum4Scalar,    SubCells4Scalar,
+    BucketCells4Scalar,
+};
+
+bool EnvForcesScalar() {
+  const char* env = std::getenv("UPDB_FORCE_SCALAR");
+  if (env == nullptr || env[0] == '\0') return false;
+  return std::strcmp(env, "0") != 0;
+}
+
+bool CpuHasAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+std::atomic<bool> g_force_scalar{EnvForcesScalar()};
+
+const GfKernels* Select() {
+  if (!g_force_scalar.load(std::memory_order_relaxed)) {
+    const GfKernels* vec = Avx2Kernels();
+    if (vec != nullptr && CpuHasAvx2Fma()) return vec;
+  }
+  return &kScalarTable;
+}
+
+std::atomic<const GfKernels*> g_active{nullptr};
+
+}  // namespace
+
+const GfKernels& ScalarKernels() { return kScalarTable; }
+
+const GfKernels& ActiveKernels() {
+  const GfKernels* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    t = Select();
+    g_active.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+const char* ActiveKernelName() { return ActiveKernels().name; }
+
+bool VectorKernelsAvailable() {
+  return Avx2Kernels() != nullptr && CpuHasAvx2Fma();
+}
+
+void ForceScalarKernels(bool force) {
+  g_force_scalar.store(force, std::memory_order_relaxed);
+  g_active.store(Select(), std::memory_order_release);
+}
+
+}  // namespace updb::gf

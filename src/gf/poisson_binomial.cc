@@ -1,12 +1,15 @@
 #include "gf/poisson_binomial.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
+#include "gf/kernels.h"
 
 namespace updb {
 
 std::vector<double> PoissonBinomialPdf(std::span<const double> probs) {
+  const gf::GfKernels& K = gf::ActiveKernels();
   std::vector<double> pdf(1, 1.0);
   pdf.reserve(probs.size() + 1);
   for (double p : probs) {
@@ -14,11 +17,7 @@ std::vector<double> PoissonBinomialPdf(std::span<const double> probs) {
     pdf.push_back(0.0);
     // In-place convolution with (1-p + p x), highest coefficient first so
     // each source value is read before being overwritten.
-    for (size_t k = pdf.size(); k-- > 0;) {
-      double v = pdf[k] * (1.0 - p);
-      if (k > 0) v += pdf[k - 1] * p;
-      pdf[k] = v;
-    }
+    K.shift_mul_add(pdf.data(), pdf.size(), p, 1.0 - p);
   }
   return pdf;
 }
@@ -26,18 +25,15 @@ std::vector<double> PoissonBinomialPdf(std::span<const double> probs) {
 std::vector<double> PoissonBinomialPrefix(std::span<const double> probs,
                                           size_t k) {
   UPDB_CHECK(k >= 1);
+  const gf::GfKernels& K = gf::ActiveKernels();
   // pdf[x] for x < k is exact; pdf[k] accumulates all mass at >= k.
   std::vector<double> pdf(k + 1, 0.0);
   pdf[0] = 1.0;
   for (double p : probs) {
     UPDB_DCHECK(p >= 0.0 && p <= 1.0);
     // Tail absorbs: P(>=k) stays plus inflow from k-1.
-    pdf[k] = pdf[k] + pdf[k - 1] * p;
-    for (size_t x = k; x-- > 0;) {
-      double v = pdf[x] * (1.0 - p);
-      if (x > 0) v += pdf[x - 1] * p;
-      pdf[x] = v;
-    }
+    pdf[k] = std::fma(pdf[k - 1], p, pdf[k]);
+    K.shift_mul_add(pdf.data(), k, p, 1.0 - p);
   }
   return pdf;
 }

@@ -1,8 +1,11 @@
 #include "gf/ugf.h"
 
 #include <algorithm>
+#include <cmath>
+#include <vector>
 
 #include "common/check.h"
+#include "gf/kernels.h"
 
 // Implementation notes.
 //
@@ -12,16 +15,19 @@
 //   next[i][j] = cur[i][j]*w_1 + cur[i-1][j]*w_x + cur[i][j-1]*w_y,
 //
 // with truncated mode clamping j into the per-row tail bucket and i into
-// the overflow cell. Floating-point addition is not associative, so every
-// code path below — the general untruncated pass, the in-place truncated
-// pass, and the degenerate fast paths — accumulates contributions into a
-// cell in one fixed order: sources in (row, column) order, and per source
-// the w_1 term before the w_y term (mirroring a row-major source sweep).
-// NestedVectorUgf in gf/ugf_reference.h follows the same discipline, which
-// is what makes the two implementations bit-identical and lets the
-// equivalence tests compare with EXPECT_EQ instead of tolerances.
+// the overflow cell. Both modes run out-of-place (flat_ -> scratch_, then
+// swap) so each destination cell is *gathered* from its sources in the one
+// fused chain the kernel contract fixes (gf/kernels.h: ConvCell /
+// BucketCell), and Bounds/ProbLessThan reduce rows with the contract's
+// blocked sums. Every arithmetic statement goes through the dispatched
+// kernel table or the contract's inline helpers, which is what makes this
+// class, NestedVectorUgf, and UgfBatch bit-identical on every input and
+// lets the equivalence tests compare with EXPECT_EQ instead of tolerances.
 
 namespace updb {
+
+using gf::ActiveKernels;
+using gf::GfKernels;
 
 UncertainGeneratingFunction::UncertainGeneratingFunction(size_t truncate_at)
     : truncate_at_(truncate_at) {
@@ -70,10 +76,10 @@ void UncertainGeneratingFunction::Multiply(double p_lb, double p_ub) {
   if (!truncated()) {
     // Degenerate fast paths. A (0,0) factor multiplies by 1 (coefficients
     // untouched, one more rank); a (1,1) factor shifts every row down one
-    // rank. Both are exact no-ops on the materialized core: multiplying by
-    // a weight of exactly 1 reproduces each cell bit-for-bit, and the
-    // companion weights are exactly 0, whose contributions (m * 0.0 added
-    // to a non-negative cell) do not change any bit either.
+    // rank. Both are exact no-ops on the materialized core: under ConvCell,
+    // a weight of exactly 1 reproduces each source cell bit-for-bit and the
+    // companion weights are exactly 0, whose fma contributions onto a
+    // non-negative cell do not change any bit either.
     if (p_ub == 0.0) {
       ++zeros_pad_;
       ++num_factors_;
@@ -104,25 +110,40 @@ void UncertainGeneratingFunction::Multiply(double p_lb, double p_ub) {
 
 void UncertainGeneratingFunction::MultiplyUntruncated(double w_x, double w_y,
                                                       double w_1) {
+  const GfKernels& K = ActiveKernels();
   const size_t n_old = core_n_;
   const size_t n_new = n_old + 1;
-  scratch_.assign(TriangleSize(n_new), 0.0);
-  // Row-major source sweep; offsets advance incrementally. Row i has
-  // n_old - i + 1 source cells and n_new - i + 1 target cells.
-  size_t off_old = 0;
+  scratch_.resize_uninitialized(TriangleSize(n_new));
+  // Gathered out-of-place pass, destination rows ascending. Destination
+  // row i has L = n_new - i + 1 cells; its sources are old row i-1 (the
+  // "below" row, L cells) and old row i (the "self" row, L - 1 cells).
+  // First/last cells have an absent left/self source and are peeled off as
+  // explicit ConvCell edges so the dense kernel runs branch-free.
+  size_t off_old_prev = 0;  // old row i-1
+  size_t off_old = 0;       // old row i
   size_t off_new = 0;
-  for (size_t i = 0; i <= n_old; ++i) {
-    const size_t row_len_old = n_old - i + 1;
-    const size_t row_len_new = n_new - i + 1;
-    for (size_t j = 0; j < row_len_old; ++j) {
-      const double m = flat_[off_old + j];
-      if (m == 0.0) continue;
-      scratch_[off_new + j] += m * w_1;
-      scratch_[off_new + row_len_new + j] += m * w_x;  // row i+1, same j
-      scratch_[off_new + j + 1] += m * w_y;
+  for (size_t i = 0; i <= n_new; ++i) {
+    const size_t L = n_new - i + 1;
+    double* dst = scratch_.data() + off_new;
+    if (i == 0) {
+      const double* self = flat_.data();
+      dst[0] = K.conv_cell(0.0, 0.0, self[0], w_x, w_y, w_1);
+      if (L >= 3) K.conv_row_nb(dst + 1, self, self + 1, L - 2, w_y, w_1);
+      dst[L - 1] = K.conv_cell(0.0, self[L - 2], 0.0, w_x, w_y, w_1);
+    } else if (i <= n_old) {
+      const double* below = flat_.data() + off_old_prev;
+      const double* self = flat_.data() + off_old;
+      dst[0] = K.conv_cell(below[0], 0.0, self[0], w_x, w_y, w_1);
+      if (L >= 3) {
+        K.conv_row(dst + 1, below + 1, self, self + 1, L - 2, w_x, w_y, w_1);
+      }
+      dst[L - 1] = K.conv_cell(below[L - 1], self[L - 2], 0.0, w_x, w_y, w_1);
+    } else {  // i == n_new: fed only by the x-step of old row n_old
+      dst[0] = K.conv_cell(flat_[off_old_prev], 0.0, 0.0, w_x, w_y, w_1);
     }
-    off_old += row_len_old;
-    off_new += row_len_new;
+    off_old_prev = off_old;
+    if (i <= n_old) off_old += L - 1;
+    off_new += L;
   }
   flat_.swap(scratch_);
   core_n_ = n_new;
@@ -131,63 +152,65 @@ void UncertainGeneratingFunction::MultiplyUntruncated(double w_x, double w_y,
 
 void UncertainGeneratingFunction::MultiplyTruncated(double w_x, double w_y,
                                                     double w_1) {
+  const GfKernels& K = ActiveKernels();
   const size_t k = truncate_at_;
   const size_t n_new = num_factors_ + 1;
+  const size_t old_rows = num_rows_;
 
-  // Overflow picks up the x-step of row k-1 (reading the row before it is
-  // overwritten below). The j-ascending order matches a row-major sweep.
-  if (num_rows_ == k) {
+  // Overflow picks up the x-step of row k-1 (read before the pass), its
+  // two cells chained in ascending j order.
+  if (old_rows == k) {
     const double* top = flat_.data() + TruncRowOffset(k - 1);
-    for (size_t j = 0; j <= k - (k - 1); ++j) overflow_ += top[j] * w_x;
+    overflow_ = std::fma(top[1], w_x, std::fma(top[0], w_x, overflow_));
   }
 
-  // Grow by one (all-zero) row while fewer than k rows are materialized;
-  // the in-place pass below then treats old and new rows uniformly.
-  const size_t rows = std::min(n_new + 1, k);
-  if (rows > num_rows_) {
-    num_rows_ = rows;
-    flat_.resize(TruncRowOffset(num_rows_), 0.0);
-  }
-
-  // In-place update, rows descending so row i still reads the *old* row
-  // i-1, columns descending so cell j still reads the old cell j-1. Each
-  // cell is written once with its contributions accumulated in source
-  // (row, column, op) order: x-steps from row i-1, then the y-step from
-  // cell j-1, then the cell's own stay/y terms.
-  for (size_t i = num_rows_; i-- > 0;) {
-    double* row = flat_.data() + TruncRowOffset(i);
-    const double* below = i > 0 ? flat_.data() + TruncRowOffset(i - 1) : nullptr;
-    const size_t bucket = k - i;  // last slot of row i
-    {
-      // Bucket cell: absorbs the clamped x-steps of row i-1 (columns
-      // bucket and bucket+1 of the longer row below) and the clamped
-      // y-steps of columns bucket-1 and bucket.
-      double t = 0.0;
-      if (below != nullptr) {
-        t += below[bucket] * w_x;
-        t += below[bucket + 1] * w_x;
+  // Gathered out-of-place pass, destination rows ascending. Destination
+  // row i has cells j = 0..bucket with bucket = k - i; sources are old row
+  // i-1 ("below", bucket + 2 cells) and old row i ("self", bucket + 1
+  // cells, absent when i is a newly materialized row).
+  const size_t new_rows = std::min(n_new + 1, k);
+  scratch_.resize_uninitialized(TruncRowOffset(new_rows));
+  for (size_t i = 0; i < new_rows; ++i) {
+    const size_t bucket = k - i;
+    double* dst = scratch_.data() + TruncRowOffset(i);
+    const double* self =
+        i < old_rows ? flat_.data() + TruncRowOffset(i) : nullptr;
+    const double* below =
+        i >= 1 ? flat_.data() + TruncRowOffset(i - 1) : nullptr;
+    if (self != nullptr && below != nullptr) {
+      dst[0] = K.conv_cell(below[0], 0.0, self[0], w_x, w_y, w_1);
+      if (bucket >= 2) {
+        K.conv_row(dst + 1, below + 1, self, self + 1, bucket - 1, w_x, w_y,
+                   w_1);
       }
-      t += row[bucket - 1] * w_y;
-      t += row[bucket] * w_1;
-      t += row[bucket] * w_y;
-      row[bucket] = t;
-    }
-    for (size_t j = bucket; j-- > 0;) {
-      double t = 0.0;
-      if (below != nullptr) t += below[j] * w_x;
-      if (j > 0) t += row[j - 1] * w_y;
-      t += row[j] * w_1;
-      row[j] = t;
+      dst[bucket] =
+          K.bucket_cell(below[bucket], below[bucket + 1], self[bucket - 1],
+                        self[bucket], w_x, w_y, w_1);
+    } else if (self != nullptr) {  // i == 0
+      dst[0] = K.conv_cell(0.0, 0.0, self[0], w_x, w_y, w_1);
+      if (bucket >= 2) {
+        K.conv_row_nb(dst + 1, self, self + 1, bucket - 1, w_y, w_1);
+      }
+      dst[bucket] = K.bucket_cell(0.0, 0.0, self[bucket - 1], self[bucket],
+                                  w_x, w_y, w_1);
+    } else {  // newly materialized row i == old_rows, fed only by x-steps
+      K.scale_row(dst, below, bucket, w_x);
+      dst[bucket] = K.bucket_cell(below[bucket], below[bucket + 1], 0.0, 0.0,
+                                  w_x, w_y, w_1);
     }
   }
+  flat_.swap(scratch_);
+  num_rows_ = new_rows;
   num_factors_ = n_new;
 }
 
 CountDistributionBounds UncertainGeneratingFunction::Bounds() const {
   // Upper bounds via a difference array: a cell c_{i,j} admits every rank
   // in [i, i+j] (bucket cells: [i, end of the rank window]), so it
-  // range-adds its mass. One prefix sum then yields all upper bounds in
-  // O(cells + ranks) instead of the O(ranks * cells) nested rescan.
+  // range-adds its mass — one blocked row sum into diff[rank of i], one
+  // element-wise row subtraction off the range ends. A scalar prefix sum
+  // then yields all upper bounds in O(cells + ranks).
+  const GfKernels& K = ActiveKernels();
   if (!truncated()) {
     const size_t num_ranks = num_factors_ + 1;
     const size_t s = ones_shift_;
@@ -195,12 +218,9 @@ CountDistributionBounds UncertainGeneratingFunction::Bounds() const {
     size_t off = 0;
     for (size_t i = 0; i <= core_n_; ++i) {
       const size_t row_len = core_n_ - i + 1;
-      for (size_t j = 0; j < row_len; ++j) {
-        const double m = flat_[off + j];
-        if (m == 0.0) continue;
-        diff[i + s] += m;
-        diff[i + s + j + 1] -= m;
-      }
+      const double* row = flat_.data() + off;
+      diff[i + s] += K.block_sum(row, row_len);
+      K.sub_row(diff.data() + i + s + 1, row, row_len);
       off += row_len;
     }
     CountDistributionBounds out = CountDistributionBounds::Zero(num_ranks);
@@ -222,14 +242,10 @@ CountDistributionBounds UncertainGeneratingFunction::Bounds() const {
   for (size_t i = 0; i < num_rows_; ++i) {
     const double* row = flat_.data() + TruncRowOffset(i);
     const size_t bucket = k - i;
-    for (size_t j = 0; j <= bucket; ++j) {
-      const double m = row[j];
-      if (m == 0.0) continue;
-      diff[i] += m;
-      // A bucket cell means i+j >= k, reaching every materialized rank
-      // >= i; a plain cell with mass has i+j <= num_factors < num_ranks+i.
-      if (j != bucket && i + j + 1 <= num_ranks) diff[i + j + 1] -= m;
-    }
+    diff[i] += K.block_sum(row, bucket + 1);
+    // A bucket cell means i+j >= k, reaching every materialized rank >= i,
+    // so only plain cells whose range ends inside the window subtract.
+    K.sub_row(diff.data() + i + 1, row, std::min(bucket, num_ranks - i));
   }
   CountDistributionBounds out = CountDistributionBounds::Zero(num_ranks);
   double ub = 0.0;
@@ -244,6 +260,7 @@ CountDistributionBounds UncertainGeneratingFunction::Bounds() const {
 
 ProbabilityBounds UncertainGeneratingFunction::ProbLessThan(size_t m) const {
   if (truncated()) UPDB_CHECK(m <= truncate_at_);
+  const GfKernels& K = ActiveKernels();
   double lb = 0.0;  // mass of cells whose whole interval [i, i+j] is < m
   double ub = 0.0;  // mass of cells that can realize a count < m (i < m)
   if (!truncated()) {
@@ -251,11 +268,10 @@ ProbabilityBounds UncertainGeneratingFunction::ProbLessThan(size_t m) const {
     size_t off = 0;
     for (size_t i = 0; i <= core_n_; ++i) {
       const size_t row_len = core_n_ - i + 1;
-      for (size_t j = 0; j < row_len; ++j) {
-        const double mass = flat_[off + j];
-        if (mass == 0.0) continue;
-        if (i + s + j < m) lb += mass;
-        if (i + s < m) ub += mass;
+      const double* row = flat_.data() + off;
+      if (i + s < m) {
+        ub += K.block_sum(row, row_len);
+        lb += K.block_sum(row, std::min(row_len, m - (i + s)));
       }
       off += row_len;
     }
@@ -263,11 +279,9 @@ ProbabilityBounds UncertainGeneratingFunction::ProbLessThan(size_t m) const {
     for (size_t i = 0; i < num_rows_; ++i) {
       const double* row = flat_.data() + TruncRowOffset(i);
       const size_t bucket = truncate_at_ - i;
-      for (size_t j = 0; j <= bucket; ++j) {
-        const double mass = row[j];
-        if (mass == 0.0) continue;
-        if (j != bucket && i + j < m) lb += mass;  // bucket: i+j >= k >= m
-        if (i < m) ub += mass;
+      if (i < m) {
+        ub += K.block_sum(row, bucket + 1);
+        lb += K.block_sum(row, std::min(bucket, m - i));  // bucket excluded
       }
     }
   }

@@ -16,15 +16,21 @@
 // and every row with i >= k into a single overflow cell, reducing the cost
 // of n multiplications from O(n^3) to O(k^2 n) (Section VI).
 //
-// Storage is a single contiguous triangular buffer (row-major, row i holding
-// the c_{i,*} slots), not a vector-of-vectors: Multiply never allocates once
-// the workspace has grown to its high-water mark, which matters because the
-// IDCA refinement loop rebuilds one UGF per (B', R') partition pair.
-// Reset() rewinds to F = 1 while keeping capacity, so a single workspace is
-// reused across all pairs of an iteration. Degenerate factors take fast
-// paths: a (0,0) factor only extends the rank range (O(1)) and a (1,1)
-// factor is a row shift (O(1) untruncated via a shift counter; O(cells)
-// in-place in truncated mode).
+// Storage is a single contiguous 32-byte-aligned triangular buffer
+// (row-major, row i holding the c_{i,*} slots), not a vector-of-vectors:
+// Multiply never allocates once the workspace has grown to its high-water
+// mark, which matters because the IDCA refinement loop rebuilds one UGF per
+// (B', R') partition pair. Reset() rewinds to F = 1 while keeping capacity,
+// so a single workspace is reused across all pairs of an iteration.
+// Degenerate factors take fast paths: a (0,0) factor only extends the rank
+// range (O(1)) and a (1,1) factor is a row shift (O(1) untruncated via a
+// shift counter).
+//
+// All arithmetic routes through the runtime-dispatched kernel table in
+// gf/kernels.h (scalar or AVX2+FMA) and follows the blocked accumulation
+// order documented there; NestedVectorUgf (gf/ugf_reference.h) and UgfBatch
+// (gf/ugf_batch.h) follow the same order, so all of them agree bit-for-bit
+// on every input.
 
 #ifndef UPDB_GF_UGF_H_
 #define UPDB_GF_UGF_H_
@@ -32,8 +38,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
-#include <vector>
 
+#include "gf/aligned_vec.h"
 #include "gf/count_bounds.h"
 
 namespace updb {
@@ -122,11 +128,11 @@ class UncertainGeneratingFunction {
   // --- truncated state: rows 0..num_rows_-1 materialized in flat_.
   size_t num_rows_ = 1;
 
-  // Contiguous coefficient storage (layout depends on mode, see above) and
-  // the double-buffer scratch for untruncated multiplies. Capacities only
-  // ever grow; Reset() keeps them.
-  std::vector<double> flat_;
-  std::vector<double> scratch_;
+  // Contiguous 32-byte-aligned coefficient storage (layout depends on mode,
+  // see above) and the double-buffer scratch for the out-of-place multiply
+  // passes. Capacities only ever grow; Reset() keeps them.
+  gf::AlignedVec flat_;
+  gf::AlignedVec scratch_;
   double overflow_ = 0.0;
 };
 

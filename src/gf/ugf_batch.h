@@ -1,0 +1,122 @@
+// Copyright 2026 The updb Authors.
+// Lane-batched uncertain generating functions. UgfBatch evaluates up to
+// kLanes independent factor sequences of the same length in one pass over
+// one structure-of-arrays workspace: cell (i, j) of lane l lives at
+// [cell_index * kLanes + l], so every coefficient cell is exactly one
+// vector register wide and the convolution / reduction kernels amortize
+// their loads across the whole lane group. The IDCA refinement loop stages
+// up to kLanes (B', R') partition pairs per chunk into one batch instead of
+// rebuilding a scalar UGF per pair.
+//
+// Bit-identity: every lane produces exactly the bits the scalar
+// UncertainGeneratingFunction would produce for the same factor sequence.
+// The batch follows the same blocked accumulation order (gf/kernels.h) via
+// the same dispatch table, and the per-lane weights of degenerate factors
+// multiply through as exact no-ops (weights 0 and 1 under the fused gather
+// preserve every bit), so materializing what the scalar path tracks
+// symbolically changes nothing — enforced by EXPECT_EQ sweeps in
+// tests/ugf_equivalence_test.cc.
+
+#ifndef UPDB_GF_UGF_BATCH_H_
+#define UPDB_GF_UGF_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "gf/aligned_vec.h"
+#include "gf/count_bounds.h"
+#include "gf/kernels.h"
+
+namespace updb {
+
+/// Up-to-kLanes uncertain generating functions advanced in lockstep.
+class UgfBatch {
+ public:
+  static constexpr size_t kLanes = gf::kSoaLanes;
+  static constexpr size_t kNoTruncation = std::numeric_limits<size_t>::max();
+
+  /// Rewinds every lane to F = 1 under the given truncation, keeping all
+  /// buffer capacity (the workspace-reuse contract of the scalar UGF).
+  /// `active_lanes` (1..kLanes) is how many lanes carry real factor
+  /// sequences; the rest are padded with neutral (0,0) factors internally
+  /// and must never be emitted.
+  void Begin(size_t truncate_at, size_t active_lanes);
+
+  /// Multiplies factor `num_factors()` of every lane: lane l takes the
+  /// probability bracket [lb4[l], ub4[l]]. Entries at l >= active_lanes are
+  /// ignored. Never allocates at or below the workspace high-water mark.
+  void MultiplyFactors(const double* lb4, const double* ub4);
+
+  size_t num_factors() const { return num_factors_; }
+  size_t active_lanes() const { return active_lanes_; }
+
+  /// Ranks Bounds()/EmitBounds cover — same rule as the scalar UGF.
+  size_t num_ranks() const {
+    return truncated() ? std::min(truncate_at_, num_factors_ + 1)
+                       : num_factors_ + 1;
+  }
+
+  /// Lifetime per-lane Multiply odometer: MultiplyFactors adds one count
+  /// per active lane, so a pair evaluated through the batch reports the
+  /// same ugf_multiplies it would report through the scalar UGF.
+  uint64_t total_multiplies() const { return total_multiplies_; }
+
+  /// Computes per-rank bounds for every lane in one pass over the shared
+  /// coefficients. Read them out per lane with EmitBounds.
+  void FinishBounds();
+
+  /// Writes lane `lane`'s per-rank bounds (identical bits to the scalar
+  /// UGF's Bounds()) into `out`, which must have num_ranks() ranks.
+  void EmitBounds(size_t lane, CountDistributionBounds* out) const;
+
+  /// Bounds on P(Count < m) for every lane in one pass; fills
+  /// out[0..kLanes). In truncated mode requires m <= k.
+  void ProbLessThanAll(size_t m, ProbabilityBounds* out) const;
+
+  /// Lane `lane`'s coefficient c_{i,j} / overflow mass — test hooks
+  /// mirroring the scalar UGF accessors.
+  double Coefficient(size_t lane, size_t i, size_t j) const;
+  double OverflowMass(size_t lane) const { return overflow_[lane]; }
+
+ private:
+  bool truncated() const { return truncate_at_ != kNoTruncation; }
+  size_t CoreRowOffset(size_t i) const {
+    return i * (core_n_ + 1) - i * (i - 1) / 2;
+  }
+  size_t TruncRowOffset(size_t i) const {
+    return i * (truncate_at_ + 1) - i * (i - 1) / 2;
+  }
+  void MultiplyUntruncated(const double* w_x4, const double* w_y4,
+                           const double* w_14);
+  void MultiplyTruncated(const double* w_x4, const double* w_y4,
+                         const double* w_14);
+
+  size_t truncate_at_ = kNoTruncation;
+  size_t active_lanes_ = 0;
+  size_t num_factors_ = 0;
+  uint64_t total_multiplies_ = 0;  // lifetime, survives Begin()
+
+  // Untruncated symbolic state — applies to the lane group as a whole and
+  // is only taken when every active lane degenerates the same way (see
+  // MultiplyFactors); otherwise degenerate lanes multiply through
+  // materially, which the gather makes bit-exact.
+  size_t core_n_ = 0;
+  size_t ones_shift_ = 0;
+  size_t zeros_pad_ = 0;
+  size_t num_rows_ = 1;  // truncated mode
+
+  gf::AlignedVec flat_;     // SoA coefficients: cell c, lane l at [c*4+l]
+  gf::AlignedVec scratch_;  // out-of-place multiply target
+  double overflow_[kLanes] = {};
+
+  // FinishBounds staging (SoA per rank) + its difference-array scratch.
+  gf::AlignedVec bounds_lb_;
+  gf::AlignedVec bounds_ub_;
+  gf::AlignedVec diff_;
+  bool bounds_ready_ = false;
+};
+
+}  // namespace updb
+
+#endif  // UPDB_GF_UGF_BATCH_H_

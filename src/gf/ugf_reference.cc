@@ -1,10 +1,23 @@
 #include "gf/ugf_reference.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
+#include "gf/kernels.h"
+
+// The oracle is written as the most literal possible transcription of the
+// blocked accumulation order in gf/kernels.h: every destination cell is one
+// uniform gather (ConvCell / BucketCell with absent sources passed as 0.0)
+// and every row reduction is BlockSumScalar. No dispatch, no fast paths, no
+// flat storage — yet bit-identical to UncertainGeneratingFunction and
+// UgfBatch on every input, because they all share that one order.
 
 namespace updb {
+
+using gf::BlockSumScalar;
+using gf::BucketCell;
+using gf::ConvCell;
 
 NestedVectorUgf::NestedVectorUgf(size_t truncate_at)
     : truncate_at_(truncate_at) {
@@ -30,17 +43,21 @@ void NestedVectorUgf::Multiply(double p_lb, double p_ub) {
   const double w_y = p_ub - p_lb;   // undecided
   const double w_1 = 1.0 - p_ub;    // definite non-domination
 
-  const size_t n_new = num_factors_ + 1;
+  const size_t n_old = num_factors_;
+  const size_t n_new = n_old + 1;
   if (!truncated()) {
     std::vector<std::vector<double>> next(n_new + 1);
-    for (size_t i = 0; i <= n_new; ++i) next[i].assign(n_new - i + 1, 0.0);
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      for (size_t j = 0; j < rows_[i].size(); ++j) {
-        const double m = rows_[i][j];
-        if (m == 0.0) continue;
-        next[i][j] += m * w_1;
-        next[i + 1][j] += m * w_x;
-        next[i][j + 1] += m * w_y;
+    for (size_t i = 0; i <= n_new; ++i) {
+      next[i].assign(n_new - i + 1, 0.0);
+      const std::vector<double>* below = i >= 1 ? &rows_[i - 1] : nullptr;
+      const std::vector<double>* self = i <= n_old ? &rows_[i] : nullptr;
+      for (size_t j = 0; j < next[i].size(); ++j) {
+        const double b = below != nullptr ? (*below)[j] : 0.0;
+        const double l =
+            (self != nullptr && j >= 1) ? (*self)[j - 1] : 0.0;
+        const double s =
+            (self != nullptr && j < self->size()) ? (*self)[j] : 0.0;
+        next[i][j] = ConvCell(b, l, s, w_x, w_y, w_1);
       }
     }
     rows_ = std::move(next);
@@ -49,35 +66,41 @@ void NestedVectorUgf::Multiply(double p_lb, double p_ub) {
   }
 
   const size_t k = truncate_at_;
+  // Overflow picks up the x-step of row k-1 (read before the pass), its
+  // two cells chained in ascending j order.
+  if (rows_.size() == k) {
+    const std::vector<double>& top = rows_[k - 1];
+    overflow_ = std::fma(top[1], w_x, std::fma(top[0], w_x, overflow_));
+  }
   const size_t num_rows = std::min(n_new + 1, k);
   std::vector<std::vector<double>> next(num_rows);
-  for (size_t i = 0; i < num_rows; ++i) next[i].assign(k - i + 1, 0.0);
-  double next_overflow = overflow_;  // (w_x + w_y + w_1) == 1 keeps it put
-  for (size_t i = 0; i < rows_.size(); ++i) {
+  for (size_t i = 0; i < num_rows; ++i) {
     const size_t bucket = k - i;
-    for (size_t j = 0; j < rows_[i].size(); ++j) {
-      const double m = rows_[i][j];
-      if (m == 0.0) continue;
-      // Stay: same cell (a bucket cell remains a bucket cell).
-      next[i][j] += m * w_1;
-      // y: one more undecided variable; clamp into the row's bucket.
-      next[i][std::min(j + 1, bucket)] += m * w_y;
-      // x: one more definite dominator; row i+1 or the overflow cell.
-      if (i + 1 >= k) {
-        next_overflow += m * w_x;
-      } else {
-        next[i + 1][std::min(j, k - (i + 1))] += m * w_x;
-      }
+    next[i].assign(bucket + 1, 0.0);
+    const std::vector<double>* below = i >= 1 ? &rows_[i - 1] : nullptr;
+    const std::vector<double>* self = i < rows_.size() ? &rows_[i] : nullptr;
+    for (size_t j = 0; j < bucket; ++j) {
+      const double b = below != nullptr ? (*below)[j] : 0.0;
+      const double l = (self != nullptr && j >= 1) ? (*self)[j - 1] : 0.0;
+      const double s = self != nullptr ? (*self)[j] : 0.0;
+      next[i][j] = ConvCell(b, l, s, w_x, w_y, w_1);
     }
+    // The tail bucket gathers the two clamped x-steps of the longer row
+    // below, the clamped y-step of the preceding column, and its own
+    // stay/y terms.
+    const double b0 = below != nullptr ? (*below)[bucket] : 0.0;
+    const double b1 = below != nullptr ? (*below)[bucket + 1] : 0.0;
+    const double l = self != nullptr ? (*self)[bucket - 1] : 0.0;
+    const double s = self != nullptr ? (*self)[bucket] : 0.0;
+    next[i][bucket] = BucketCell(b0, b1, l, s, w_x, w_y, w_1);
   }
   rows_ = std::move(next);
-  overflow_ = next_overflow;
   num_factors_ = n_new;
 }
 
-// The bound computations below intentionally mirror the flat-buffer
-// implementation cell for cell (same difference-array construction, same
-// iteration order) so the two stay bit-identical; only the storage differs.
+// The bound computations below mirror the flat-buffer implementation
+// reduction for reduction (same difference-array construction, same blocked
+// row sums) so the two stay bit-identical; only the storage differs.
 
 CountDistributionBounds NestedVectorUgf::Bounds() const {
   const size_t num_ranks =
@@ -85,13 +108,11 @@ CountDistributionBounds NestedVectorUgf::Bounds() const {
                   : num_factors_ + 1;
   std::vector<double> diff(num_ranks + 1, 0.0);
   for (size_t i = 0; i < rows_.size(); ++i) {
-    const size_t bucket = truncated() ? truncate_at_ - i : SIZE_MAX;
-    for (size_t j = 0; j < rows_[i].size(); ++j) {
-      const double m = rows_[i][j];
-      if (m == 0.0) continue;
-      diff[i] += m;
-      if (j != bucket && i + j + 1 <= num_ranks) diff[i + j + 1] -= m;
-    }
+    const std::vector<double>& row = rows_[i];
+    diff[i] += BlockSumScalar(row.data(), row.size());
+    const size_t sub_len =
+        truncated() ? std::min(truncate_at_ - i, num_ranks - i) : row.size();
+    for (size_t j = 0; j < sub_len; ++j) diff[i + 1 + j] -= row[j];
   }
   CountDistributionBounds out = CountDistributionBounds::Zero(num_ranks);
   double ub = 0.0;
@@ -108,14 +129,13 @@ ProbabilityBounds NestedVectorUgf::ProbLessThan(size_t m) const {
   if (truncated()) UPDB_CHECK(m <= truncate_at_);
   double lb = 0.0;  // mass of cells whose whole interval [i, i+j] is < m
   double ub = 0.0;  // mass of cells that can realize a count < m (i < m)
-  for (size_t i = 0; i < rows_.size(); ++i) {
-    const size_t bucket = truncated() ? truncate_at_ - i : SIZE_MAX;
-    for (size_t j = 0; j < rows_[i].size(); ++j) {
-      const double mass = rows_[i][j];
-      if (mass == 0.0) continue;
-      if (j != bucket && i + j < m) lb += mass;  // bucket: i+j >= k >= m
-      if (i < m) ub += mass;
-    }
+  for (size_t i = 0; i < rows_.size() && i < m; ++i) {
+    const std::vector<double>& row = rows_[i];
+    ub += BlockSumScalar(row.data(), row.size());
+    // Bucket cells (truncated mode) mean i+j >= k >= m, so they never
+    // join the lower bound.
+    const size_t full = truncated() ? truncate_at_ - i : row.size();
+    lb += BlockSumScalar(row.data(), std::min(full, m - i));
   }
   ProbabilityBounds out{lb, ub};
   out.Normalize();

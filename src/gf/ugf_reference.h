@@ -4,9 +4,11 @@
 // UncertainGeneratingFunction replaced. It allocates a brand-new row set on
 // every Multiply and takes no degenerate-factor fast paths, which makes it
 //
-//   * the oracle for the equivalence tests: both implementations accumulate
-//     floating-point contributions in the same order, so results must match
-//     bit for bit on arbitrary factor sequences, and
+//   * the oracle for the equivalence tests: it transcribes the blocked
+//     accumulation order of gf/kernels.h literally (gathered ConvCell /
+//     BucketCell cells, BlockSumScalar row reductions), so the flat scalar
+//     path, the AVX2 path and the SoA batch must all match it bit for bit
+//     on arbitrary factor sequences, and
 //   * the baseline for bench_hotpath_scaling's "vs seed" speedup series.
 //
 // Not for production use; the flat-buffer UGF is strictly faster.

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "gf/kernels.h"
 #include "store/wal.h"
 
 namespace updb {
@@ -48,6 +49,8 @@ std::string StatuszFields(const QueryService* service,
     if (!first) out += ", ";
     first = false;
   };
+  sep();
+  Appendf(out, "\"kernel_dispatch\": \"%s\"", gf::ActiveKernelName());
   if (store != nullptr) {
     sep();
     Appendf(out, "\"snapshot_version\": %llu",

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "common/random.h"
+#include "gf/kernels.h"
 
 namespace updb {
 namespace {
@@ -155,6 +158,43 @@ TEST(CountBoundsTest, ProbLessThanBracketsTruthForRandomBounds) {
       EXPECT_LE(truth, p.ub + 1e-9) << "m=" << m;
     }
   }
+}
+
+TEST(CountBoundsTest, KernelDispatchParityOnReductions) {
+  // ProbLessThan and AccumulateWeighted route through the gf kernel table;
+  // the scalar and vector tables must produce identical bits on both.
+  if (!gf::VectorKernelsAvailable()) GTEST_SKIP() << "no vector kernels";
+  const bool was_scalar = &gf::ActiveKernels() == &gf::ScalarKernels();
+  Rng rng(1117);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t n = 1 + rng.NextBounded(40);
+    CountDistributionBounds base(n);
+    CountDistributionBounds delta(n);
+    for (size_t k = 0; k < n; ++k) {
+      const double p = rng.NextDouble();
+      base.Set(k, p * rng.NextDouble(), p);
+      const double q = rng.NextDouble();
+      delta.Set(k, q * rng.NextDouble(), q);
+    }
+    const double w = rng.NextDouble();
+    const size_t m = rng.NextBounded(n + 1);
+    auto eval = [&](bool scalar) {
+      gf::ForceScalarKernels(scalar);
+      CountDistributionBounds acc = base;
+      acc.AccumulateWeighted(delta, w);
+      return std::pair<ProbabilityBounds, CountDistributionBounds>(
+          acc.ProbLessThan(m), acc);
+    };
+    const auto s = eval(true);
+    const auto v = eval(false);
+    ASSERT_EQ(s.first.lb, v.first.lb) << "m=" << m;
+    ASSERT_EQ(s.first.ub, v.first.ub) << "m=" << m;
+    for (size_t k = 0; k < n; ++k) {
+      ASSERT_EQ(s.second.lb(k), v.second.lb(k)) << "k=" << k;
+      ASSERT_EQ(s.second.ub(k), v.second.ub(k)) << "k=" << k;
+    }
+  }
+  gf::ForceScalarKernels(was_scalar);
 }
 
 }  // namespace

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <vector>
 
 #include "common/random.h"
+#include "gf/kernels.h"
 
 namespace updb {
 namespace {
@@ -149,6 +151,35 @@ TEST(RegularGfPairBoundsTest, BracketsAnyConsistentTruth) {
     const std::vector<double> pdf = PoissonBinomialPdf(truth);
     EXPECT_TRUE(bounds.Brackets(pdf, 1e-9)) << "trial=" << trial;
   }
+}
+
+TEST(PoissonBinomialTest, KernelDispatchParityOnPdfAndPrefix) {
+  // The in-place two-term convolution routes through the gf kernel table
+  // (shift_mul_add); scalar and vector tables must agree bit for bit.
+  if (!gf::VectorKernelsAvailable()) GTEST_SKIP() << "no vector kernels";
+  const bool was_scalar = &gf::ActiveKernels() == &gf::ScalarKernels();
+  Rng rng(271);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t n = 1 + rng.NextBounded(64);
+    std::vector<double> probs(n);
+    for (double& p : probs) p = rng.NextDouble();
+    const size_t upto = 1 + rng.NextBounded(n);
+    gf::ForceScalarKernels(true);
+    const std::vector<double> pdf_s = PoissonBinomialPdf(probs);
+    const std::vector<double> pre_s = PoissonBinomialPrefix(probs, upto);
+    gf::ForceScalarKernels(false);
+    const std::vector<double> pdf_v = PoissonBinomialPdf(probs);
+    const std::vector<double> pre_v = PoissonBinomialPrefix(probs, upto);
+    ASSERT_EQ(pdf_s.size(), pdf_v.size());
+    for (size_t k = 0; k < pdf_s.size(); ++k) {
+      ASSERT_EQ(pdf_s[k], pdf_v[k]) << "k=" << k;
+    }
+    ASSERT_EQ(pre_s.size(), pre_v.size());
+    for (size_t k = 0; k < pre_s.size(); ++k) {
+      ASSERT_EQ(pre_s[k], pre_v[k]) << "k=" << k;
+    }
+  }
+  gf::ForceScalarKernels(was_scalar);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "gf/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "queries/queries.h"
@@ -637,6 +638,40 @@ TEST(QueryServiceTest, VerdictMemoOnOffDigestsAreIdentical) {
   EXPECT_EQ(on.digest, off.digest);
   EXPECT_EQ(on.tests, off.tests);
   EXPECT_EQ(run(8, 1 << 15).digest, off.digest);
+}
+
+/// The scalar and AVX2+FMA kernel tables follow one blocked accumulation
+/// order (gf/kernels.h), so a full service run — refinement loops, memo,
+/// reductions and all — must produce bit-identical response digests under
+/// either dispatch mode. This is the end-to-end face of the equivalence
+/// sweeps in ugf_equivalence_test.cc, and the in-process twin of the CI
+/// leg that re-runs the suite with UPDB_FORCE_SCALAR=1.
+TEST(QueryServiceTest, ScalarAndVectorKernelDigestsAreIdentical) {
+  if (!gf::VectorKernelsAvailable()) GTEST_SKIP() << "no vector kernels";
+  const bool was_scalar = &gf::ActiveKernels() == &gf::ScalarKernels();
+  const auto db = MakeDb(30, 0.08);
+  TraceConfig tcfg;
+  tcfg.num_requests = 12;
+  tcfg.seed = 47;
+  tcfg.query_extent = 0.08;
+  tcfg.k_max = 3;
+  tcfg.budget.max_iterations = 3;
+  const std::vector<QueryRequest> trace = MakeTrace(*db, tcfg);
+
+  auto run = [&](bool force_scalar) {
+    gf::ForceScalarKernels(force_scalar);
+    QueryServiceOptions opts;
+    opts.num_workers = 2;
+    opts.batch_size = 4;
+    opts.max_queue = trace.size();
+    QueryService service(PinnedSnapshot(db), opts);
+    return ResponseDigest(ReplayTrace(service, trace, /*qps=*/0.0).responses);
+  };
+
+  const uint64_t scalar_digest = run(true);
+  const uint64_t vector_digest = run(false);
+  EXPECT_EQ(scalar_digest, vector_digest);
+  gf::ForceScalarKernels(was_scalar);
 }
 
 /// A response-cache hit bypasses execution: fresh ticket, zero measured

@@ -1,21 +1,27 @@
-// Verifies the flat-buffer UGF's zero-allocation contract: once the
-// workspace has been grown to its high-water mark and rewound with
-// Reset(), replaying a factor sequence of the same (or smaller) size calls
-// the allocator exactly zero times. This is the property that lets the
-// IDCA refinement loop reuse one workspace across every (B', R')
-// partition pair without touching the heap.
+// Verifies the UGF engines' zero-allocation contract: once a workspace has
+// been grown to its high-water mark and rewound with Reset()/Begin(),
+// replaying a factor sequence of the same (or smaller) size calls the
+// allocator exactly zero times. This is the property that lets the IDCA
+// refinement loop reuse one workspace across every (B', R') partition pair
+// without touching the heap. Also verifies the 32-byte alignment the
+// AVX2 kernels rely on for their aligned accumulator spills.
 //
 // The global operator new/delete overrides below count every allocation in
-// the process, which is why this test lives in its own binary.
+// the process — including the aligned overloads gf::AlignedVec uses —
+// which is why this test lives in its own binary.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <new>
 
 #include "common/random.h"
+#include "gf/aligned_vec.h"
 #include "gf/ugf.h"
+#include "gf/ugf_batch.h"
 
 namespace {
 
@@ -29,12 +35,32 @@ void* operator new(size_t size) {
   throw std::bad_alloc();
 }
 
+void* operator new(size_t size, std::align_val_t align) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  const size_t a = static_cast<size_t>(align);
+  const size_t rounded = (size + a - 1) & ~(a - 1);  // aligned_alloc demands
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc();
+}
+
 void* operator new[](size_t size) { return ::operator new(size); }
+
+void* operator new[](size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
 
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete[](void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace updb {
 namespace {
@@ -96,6 +122,62 @@ TEST(UgfAllocTest, SmallerReplayAfterLargeWarmupIsAllocationFree) {
   for (const ProbabilityBounds& f : big) ugf.Multiply(f);
   ugf.Reset();
   EXPECT_EQ(AllocationsDuringReplay(ugf, small), 0u);
+}
+
+TEST(UgfAllocTest, BatchReplayIsAllocationFreeOnReuse) {
+  // One warmed-up UgfBatch serves every later chunk flush for free: after
+  // Begin() the replay — multiplies, bounds finish, lane emission and
+  // ProbLessThanAll — must not allocate, truncated or not.
+  const std::vector<ProbabilityBounds> factors = RandomFactors(80, 233);
+  for (size_t k : {UgfBatch::kNoTruncation, size_t{9}}) {
+    UgfBatch batch;
+    const size_t nr = std::min(k, factors.size() + 1);
+    CountDistributionBounds out = CountDistributionBounds::Zero(nr);
+    auto replay = [&] {
+      batch.Begin(k, UgfBatch::kLanes);
+      for (const ProbabilityBounds& f : factors) {
+        double lb4[UgfBatch::kLanes];
+        double ub4[UgfBatch::kLanes];
+        for (size_t l = 0; l < UgfBatch::kLanes; ++l) {
+          lb4[l] = f.lb;
+          ub4[l] = f.ub;
+        }
+        batch.MultiplyFactors(lb4, ub4);
+      }
+      batch.FinishBounds();
+      for (size_t l = 0; l < UgfBatch::kLanes; ++l) {
+        batch.EmitBounds(l, &out);
+      }
+      ProbabilityBounds lt[UgfBatch::kLanes];
+      batch.ProbLessThanAll(1, lt);
+    };
+    // Warm-up passes: the first grows the double buffers to their
+    // high-water marks, the second lets Begin() equalize their capacities
+    // (the trailing swap leaves the scratch buffer one growth step behind).
+    replay();
+    replay();
+    const size_t before = g_allocations.load(std::memory_order_relaxed);
+    replay();
+    EXPECT_EQ(g_allocations.load(std::memory_order_relaxed) - before, 0u)
+        << "k=" << k;
+  }
+}
+
+TEST(UgfAllocTest, WorkspacesAre32ByteAligned) {
+  // The AVX2 kernels spill their accumulator vector with an aligned store;
+  // every coefficient workspace (gf::AlignedVec) must start on a 32-byte
+  // boundary, across fresh allocations, growth and swaps.
+  gf::AlignedVec v;
+  for (size_t n : {size_t{1}, size_t{7}, size_t{64}, size_t{1000}}) {
+    v.resize(n, 0.0);
+    ASSERT_NE(v.data(), nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % 32, 0u) << "n=" << n;
+  }
+  gf::AlignedVec w;
+  w.assign(129, 0.5);
+  v.swap(w);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % 32, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(w.data()) % 32, 0u);
 }
 
 }  // namespace

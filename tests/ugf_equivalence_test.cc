@@ -1,17 +1,27 @@
-// Equivalence of the flat-buffer UncertainGeneratingFunction against the
-// nested-vector reference oracle (gf/ugf_reference.h). Both accumulate
-// floating-point contributions in the same order, so every comparison here
-// is exact (EXPECT_EQ on doubles) — no tolerances. Randomized factor
-// sequences deliberately mix general brackets with the degenerate (0,0)
-// and (1,1) factors that take the flat implementation's fast paths, and
-// with exact (p,p) factors that keep whole diagonals at zero.
+// Bit-identity of every UGF implementation against every other: the flat
+// workspace UGF (gf/ugf.h), the nested-vector reference oracle
+// (gf/ugf_reference.h) and the lane-batched SoA engine (gf/ugf_batch.h)
+// all follow the blocked accumulation order of gf/kernels.h, so every
+// comparison here is exact (EXPECT_EQ on doubles) — no tolerances. Every
+// check runs under both dispatch tables (ForceScalarKernels on/off), which
+// is the contract the AVX2+FMA kernels are held to: identical bits to the
+// scalar kernels on every input, not merely close.
+//
+// Coverage: every factor-sequence size 1..130 (untruncated and a spread of
+// truncation depths including k = 1), the degenerate (0,0)/(1,1) fast
+// paths in isolation and interleaved, batch lane counts 1..4 with
+// deliberately mixed degenerate/general lanes, and a seeded randomized
+// long-run stress mix.
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <vector>
 
 #include "common/random.h"
+#include "gf/kernels.h"
 #include "gf/ugf.h"
+#include "gf/ugf_batch.h"
 #include "gf/ugf_reference.h"
 
 namespace updb {
@@ -36,13 +46,38 @@ Factor DrawFactor(Rng& rng) {
   return {lb, lb + (1.0 - lb) * rng.NextDouble()};
 }
 
+std::vector<Factor> DrawSequence(Rng& rng, size_t n) {
+  std::vector<Factor> factors;
+  factors.reserve(n);
+  for (size_t i = 0; i < n; ++i) factors.push_back(DrawFactor(rng));
+  return factors;
+}
+
+/// Runs `fn` once pinned to the scalar table and once on the auto-selected
+/// table (the vector table wherever this host supports it), restoring the
+/// prior dispatch mode afterwards so later tests — and the CI leg that
+/// sets UPDB_FORCE_SCALAR for the whole binary — see what they expect.
+template <typename Fn>
+void ForEachDispatchMode(Fn&& fn) {
+  const bool was_scalar = &gf::ActiveKernels() == &gf::ScalarKernels();
+  gf::ForceScalarKernels(true);
+  ASSERT_STREQ(gf::ActiveKernelName(), "scalar");
+  fn();
+  gf::ForceScalarKernels(false);
+  if (gf::VectorKernelsAvailable()) {
+    ASSERT_STRNE(gf::ActiveKernelName(), "scalar");
+    fn();
+  }
+  gf::ForceScalarKernels(was_scalar);
+}
+
 void ExpectIdentical(const UncertainGeneratingFunction& flat,
                      const NestedVectorUgf& ref, size_t max_rank) {
   ASSERT_EQ(flat.num_factors(), ref.num_factors());
   EXPECT_EQ(flat.OverflowMass(), ref.OverflowMass());
   for (size_t i = 0; i <= max_rank; ++i) {
-    for (size_t j = 0; j <= max_rank; ++j) {
-      EXPECT_EQ(flat.Coefficient(i, j), ref.Coefficient(i, j))
+    for (size_t j = 0; j <= max_rank - i; ++j) {
+      ASSERT_EQ(flat.Coefficient(i, j), ref.Coefficient(i, j))
           << "i=" << i << " j=" << j;
     }
   }
@@ -50,76 +85,267 @@ void ExpectIdentical(const UncertainGeneratingFunction& flat,
   const CountDistributionBounds rb = ref.Bounds();
   ASSERT_EQ(fb.num_ranks(), rb.num_ranks());
   for (size_t x = 0; x < fb.num_ranks(); ++x) {
-    EXPECT_EQ(fb.lb(x), rb.lb(x)) << "x=" << x;
-    EXPECT_EQ(fb.ub(x), rb.ub(x)) << "x=" << x;
+    ASSERT_EQ(fb.lb(x), rb.lb(x)) << "x=" << x;
+    ASSERT_EQ(fb.ub(x), rb.ub(x)) << "x=" << x;
   }
 }
 
-TEST(UgfEquivalenceTest, UntruncatedBitIdenticalOnRandomSequences) {
-  Rng rng(131);
-  for (int trial = 0; trial < 60; ++trial) {
-    const size_t n = 1 + rng.NextBounded(24);
-    UncertainGeneratingFunction flat;
-    NestedVectorUgf ref;
-    for (size_t i = 0; i < n; ++i) {
-      const Factor f = DrawFactor(rng);
-      flat.Multiply(f.lb, f.ub);
-      ref.Multiply(f.lb, f.ub);
+/// Full flat-vs-reference check of one factor sequence under one
+/// truncation setting, including ProbLessThan at every admissible m.
+void CheckFlatAgainstReference(const std::vector<Factor>& factors, size_t k) {
+  const bool truncated = k != UncertainGeneratingFunction::kNoTruncation;
+  UncertainGeneratingFunction flat(k);
+  NestedVectorUgf ref(k);
+  for (const Factor& f : factors) {
+    flat.Multiply(f.lb, f.ub);
+    ref.Multiply(f.lb, f.ub);
+  }
+  ExpectIdentical(flat, ref, truncated ? k : factors.size());
+  const size_t m_max = truncated ? k : factors.size() + 1;
+  for (size_t m = 0; m <= m_max; ++m) {
+    const ProbabilityBounds pf = flat.ProbLessThan(m);
+    const ProbabilityBounds pr = ref.ProbLessThan(m);
+    ASSERT_EQ(pf.lb, pr.lb) << "m=" << m;
+    ASSERT_EQ(pf.ub, pr.ub) << "m=" << m;
+  }
+}
+
+/// Runs `lanes` factor sequences through one UgfBatch and through `lanes`
+/// scalar flat UGFs; every lane must reproduce its scalar UGF bit for bit
+/// in coefficients, overflow, per-rank bounds and ProbLessThan.
+void CheckBatchAgainstFlat(const std::vector<std::vector<Factor>>& seqs,
+                           size_t k) {
+  const size_t lanes = seqs.size();
+  const size_t n = seqs[0].size();
+  const bool truncated = k != UncertainGeneratingFunction::kNoTruncation;
+
+  UgfBatch batch;
+  batch.Begin(truncated ? k : UgfBatch::kNoTruncation, lanes);
+  std::vector<UncertainGeneratingFunction> singles(lanes);
+  for (size_t l = 0; l < lanes; ++l) {
+    singles[l].Reset(truncated ? k
+                               : UncertainGeneratingFunction::kNoTruncation);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    double lb4[UgfBatch::kLanes] = {};
+    double ub4[UgfBatch::kLanes] = {};
+    for (size_t l = 0; l < lanes; ++l) {
+      lb4[l] = seqs[l][i].lb;
+      ub4[l] = seqs[l][i].ub;
+      singles[l].Multiply(seqs[l][i].lb, seqs[l][i].ub);
     }
-    ExpectIdentical(flat, ref, n);
-    for (size_t m = 0; m <= n + 1; ++m) {
-      const ProbabilityBounds pf = flat.ProbLessThan(m);
-      const ProbabilityBounds pr = ref.ProbLessThan(m);
-      EXPECT_EQ(pf.lb, pr.lb) << "m=" << m;
-      EXPECT_EQ(pf.ub, pr.ub) << "m=" << m;
+    batch.MultiplyFactors(lb4, ub4);
+  }
+
+  ASSERT_EQ(batch.num_factors(), n);
+  const size_t nr = batch.num_ranks();
+  batch.FinishBounds();
+  ProbabilityBounds lt[UgfBatch::kLanes];
+  const size_t max_rank = truncated ? k : n;
+  for (size_t l = 0; l < lanes; ++l) {
+    EXPECT_EQ(batch.OverflowMass(l), singles[l].OverflowMass()) << "l=" << l;
+    for (size_t i = 0; i <= max_rank; ++i) {
+      for (size_t j = 0; j <= max_rank - i; ++j) {
+        ASSERT_EQ(batch.Coefficient(l, i, j), singles[l].Coefficient(i, j))
+            << "l=" << l << " i=" << i << " j=" << j;
+      }
+    }
+    CountDistributionBounds bb = CountDistributionBounds::Zero(nr);
+    batch.EmitBounds(l, &bb);
+    const CountDistributionBounds sb = singles[l].Bounds();
+    ASSERT_EQ(sb.num_ranks(), nr);
+    for (size_t x = 0; x < nr; ++x) {
+      ASSERT_EQ(bb.lb(x), sb.lb(x)) << "l=" << l << " x=" << x;
+      ASSERT_EQ(bb.ub(x), sb.ub(x)) << "l=" << l << " x=" << x;
+    }
+  }
+  const size_t m_max = truncated ? k : n + 1;
+  for (size_t m = 0; m <= m_max; ++m) {
+    batch.ProbLessThanAll(m, lt);
+    for (size_t l = 0; l < lanes; ++l) {
+      const ProbabilityBounds ps = singles[l].ProbLessThan(m);
+      ASSERT_EQ(lt[l].lb, ps.lb) << "l=" << l << " m=" << m;
+      ASSERT_EQ(lt[l].ub, ps.ub) << "l=" << l << " m=" << m;
     }
   }
 }
 
-TEST(UgfEquivalenceTest, TruncatedBitIdenticalOnRandomSequences) {
-  Rng rng(137);
-  for (int trial = 0; trial < 60; ++trial) {
-    const size_t n = 1 + rng.NextBounded(24);
-    const size_t k = 1 + rng.NextBounded(8);
-    UncertainGeneratingFunction flat(k);
-    NestedVectorUgf ref(k);
-    for (size_t i = 0; i < n; ++i) {
-      const Factor f = DrawFactor(rng);
-      flat.Multiply(f.lb, f.ub);
-      ref.Multiply(f.lb, f.ub);
+TEST(UgfEquivalenceTest, EverySizeUntruncated) {
+  ForEachDispatchMode([] {
+    for (size_t n = 1; n <= 130; ++n) {
+      Rng rng(1000 + n);
+      CheckFlatAgainstReference(DrawSequence(rng, n),
+                                UncertainGeneratingFunction::kNoTruncation);
+      if (HasFatalFailure()) return;
     }
-    ExpectIdentical(flat, ref, k);
-    for (size_t m = 0; m <= k; ++m) {
-      const ProbabilityBounds pf = flat.ProbLessThan(m);
-      const ProbabilityBounds pr = ref.ProbLessThan(m);
-      EXPECT_EQ(pf.lb, pr.lb) << "m=" << m;
-      EXPECT_EQ(pf.ub, pr.ub) << "m=" << m;
-    }
-  }
+  });
 }
 
-TEST(UgfEquivalenceTest, ReusedWorkspaceStaysBitIdentical) {
-  // The same workspace replays different sequences via Reset(); results
-  // must not depend on what the buffers held before.
-  Rng rng(139);
-  UncertainGeneratingFunction flat;
-  for (int trial = 0; trial < 40; ++trial) {
+TEST(UgfEquivalenceTest, EverySizeTruncated) {
+  ForEachDispatchMode([] {
+    for (size_t n = 1; n <= 130; ++n) {
+      Rng rng(5000 + n);
+      const std::vector<Factor> factors = DrawSequence(rng, n);
+      for (size_t k : {size_t{1}, size_t{2}, size_t{7}, n / 2 + 1, n + 1}) {
+        CheckFlatAgainstReference(factors, k);
+        if (HasFatalFailure()) return;
+      }
+    }
+  });
+}
+
+TEST(UgfEquivalenceTest, DegenerateFastPathSequences) {
+  // All-(0,0), all-(1,1) and strict alternations exercise the flat and
+  // batch symbolic fast paths; a degenerate prefix before a general tail
+  // exercises the transition out of them.
+  ForEachDispatchMode([] {
+    for (size_t n : {size_t{1}, size_t{2}, size_t{5}, size_t{33}}) {
+      std::vector<std::vector<Factor>> shapes;
+      shapes.push_back(std::vector<Factor>(n, Factor{0.0, 0.0}));
+      shapes.push_back(std::vector<Factor>(n, Factor{1.0, 1.0}));
+      std::vector<Factor> alt;
+      for (size_t i = 0; i < n; ++i) {
+        alt.push_back(i % 2 == 0 ? Factor{1.0, 1.0} : Factor{0.0, 0.0});
+      }
+      shapes.push_back(alt);
+      Rng rng(77 * n + 3);
+      std::vector<Factor> mixed(n, Factor{0.0, 0.0});
+      for (size_t i = n / 2; i < n; ++i) mixed[i] = DrawFactor(rng);
+      shapes.push_back(mixed);
+      for (const std::vector<Factor>& factors : shapes) {
+        CheckFlatAgainstReference(factors,
+                                  UncertainGeneratingFunction::kNoTruncation);
+        CheckFlatAgainstReference(factors, size_t{1});
+        CheckFlatAgainstReference(factors, n / 2 + 1);
+        CheckBatchAgainstFlat({factors},
+                              UncertainGeneratingFunction::kNoTruncation);
+        if (HasFatalFailure()) return;
+      }
+    }
+  });
+}
+
+TEST(UgfEquivalenceTest, BatchLanesMatchScalarLaneByLane) {
+  // Every lane count 1..4, with lanes deliberately mixing all-degenerate
+  // sequences against general ones so group fast paths, materialized
+  // degenerate factors and padding lanes all get hit.
+  ForEachDispatchMode([] {
+    Rng rng(4242);
+    for (int trial = 0; trial < 24; ++trial) {
+      const size_t lanes = 1 + trial % UgfBatch::kLanes;
+      const size_t n = 1 + rng.NextBounded(48);
+      std::vector<std::vector<Factor>> seqs;
+      for (size_t l = 0; l < lanes; ++l) {
+        const double shape = rng.NextDouble();
+        if (shape < 0.15) {
+          seqs.push_back(std::vector<Factor>(n, Factor{0.0, 0.0}));
+        } else if (shape < 0.3) {
+          seqs.push_back(std::vector<Factor>(n, Factor{1.0, 1.0}));
+        } else {
+          seqs.push_back(DrawSequence(rng, n));
+        }
+      }
+      CheckBatchAgainstFlat(seqs, UncertainGeneratingFunction::kNoTruncation);
+      CheckBatchAgainstFlat(seqs, size_t{1});
+      CheckBatchAgainstFlat(seqs, 1 + rng.NextBounded(n + 1));
+      if (HasFatalFailure()) return;
+    }
+  });
+}
+
+TEST(UgfEquivalenceTest, BatchWorkspaceReuseStaysBitIdentical) {
+  // The same UgfBatch replays sequences of varying size and truncation via
+  // Begin(); results must not depend on what the buffers held before.
+  ForEachDispatchMode([] {
+    Rng rng(515);
+    UgfBatch batch;
+    for (int trial = 0; trial < 16; ++trial) {
+      const size_t lanes = 1 + rng.NextBounded(UgfBatch::kLanes);
+      const size_t n = 1 + rng.NextBounded(40);
+      const bool truncated = rng.Bernoulli(0.5);
+      const size_t k =
+          truncated ? 1 + rng.NextBounded(12) : UgfBatch::kNoTruncation;
+      std::vector<std::vector<Factor>> seqs;
+      std::vector<UncertainGeneratingFunction> singles(lanes);
+      for (size_t l = 0; l < lanes; ++l) {
+        seqs.push_back(DrawSequence(rng, n));
+        singles[l].Reset(truncated
+                             ? k
+                             : UncertainGeneratingFunction::kNoTruncation);
+      }
+      batch.Begin(k, lanes);
+      for (size_t i = 0; i < n; ++i) {
+        double lb4[UgfBatch::kLanes] = {};
+        double ub4[UgfBatch::kLanes] = {};
+        for (size_t l = 0; l < lanes; ++l) {
+          lb4[l] = seqs[l][i].lb;
+          ub4[l] = seqs[l][i].ub;
+          singles[l].Multiply(seqs[l][i].lb, seqs[l][i].ub);
+        }
+        batch.MultiplyFactors(lb4, ub4);
+      }
+      batch.FinishBounds();
+      const size_t nr = batch.num_ranks();
+      for (size_t l = 0; l < lanes; ++l) {
+        CountDistributionBounds bb = CountDistributionBounds::Zero(nr);
+        batch.EmitBounds(l, &bb);
+        const CountDistributionBounds sb = singles[l].Bounds();
+        ASSERT_EQ(sb.num_ranks(), nr);
+        for (size_t x = 0; x < nr; ++x) {
+          ASSERT_EQ(bb.lb(x), sb.lb(x)) << "l=" << l << " x=" << x;
+          ASSERT_EQ(bb.ub(x), sb.ub(x)) << "l=" << l << " x=" << x;
+        }
+      }
+    }
+  });
+}
+
+TEST(UgfEquivalenceTest, ScalarAndVectorDispatchProduceIdenticalBits) {
+  // Direct scalar-vs-vector comparison (not via the reference): the same
+  // sequence evaluated under both tables must agree bit for bit on bounds
+  // and coefficients. Skipped where no vector table exists.
+  if (!gf::VectorKernelsAvailable()) GTEST_SKIP() << "no vector kernels";
+  const bool was_scalar = &gf::ActiveKernels() == &gf::ScalarKernels();
+  Rng rng(8080);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 1 + rng.NextBounded(100);
     const bool truncated = rng.Bernoulli(0.5);
-    const size_t k = 1 + rng.NextBounded(6);
-    if (truncated) {
-      flat.Reset(k);
-    } else {
-      flat.Reset(UncertainGeneratingFunction::kNoTruncation);
+    const size_t k = truncated ? 1 + rng.NextBounded(16)
+                               : UncertainGeneratingFunction::kNoTruncation;
+    const std::vector<Factor> factors = DrawSequence(rng, n);
+    auto eval = [&](bool scalar) {
+      gf::ForceScalarKernels(scalar);
+      UncertainGeneratingFunction ugf(k);
+      for (const Factor& f : factors) ugf.Multiply(f.lb, f.ub);
+      return ugf.Bounds();
+    };
+    const CountDistributionBounds s = eval(true);
+    const CountDistributionBounds v = eval(false);
+    ASSERT_EQ(s.num_ranks(), v.num_ranks());
+    for (size_t x = 0; x < s.num_ranks(); ++x) {
+      ASSERT_EQ(s.lb(x), v.lb(x)) << "x=" << x;
+      ASSERT_EQ(s.ub(x), v.ub(x)) << "x=" << x;
     }
-    NestedVectorUgf ref(truncated ? k : NestedVectorUgf::kNoTruncation);
-    const size_t n = 1 + rng.NextBounded(20);
-    for (size_t i = 0; i < n; ++i) {
-      const Factor f = DrawFactor(rng);
-      flat.Multiply(f.lb, f.ub);
-      ref.Multiply(f.lb, f.ub);
-    }
-    ExpectIdentical(flat, ref, truncated ? k : n);
   }
+  gf::ForceScalarKernels(was_scalar);
+}
+
+TEST(UgfEquivalenceTest, RandomizedLongRunStress) {
+  // Long mixed sequences with random truncation, flat vs reference vs a
+  // single-lane batch, everything bit-exact.
+  ForEachDispatchMode([] {
+    Rng rng(997);
+    for (int trial = 0; trial < 12; ++trial) {
+      const size_t n = 60 + rng.NextBounded(71);  // 60..130
+      const bool truncated = rng.Bernoulli(0.5);
+      const size_t k = truncated ? 1 + rng.NextBounded(24)
+                                 : UncertainGeneratingFunction::kNoTruncation;
+      const std::vector<Factor> factors = DrawSequence(rng, n);
+      CheckFlatAgainstReference(factors, k);
+      CheckBatchAgainstFlat({factors}, k);
+      if (HasFatalFailure()) return;
+    }
+  });
 }
 
 }  // namespace

@@ -101,6 +101,7 @@
 #include <string>
 #include <thread>
 
+#include "gf/kernels.h"
 #include "updb.h"
 
 namespace {
@@ -244,9 +245,9 @@ int DomCount(const Args& args) {
   config.num_threads = static_cast<int>(args.GetSize("threads", 1));
   IdcaEngine engine(*db, config);
   const IdcaResult result = engine.ComputeDomCount(b, *q);
-  std::printf("seed=%llu complete dominators: %zu, influence objects: %zu, "
-              "%.3f ms\n",
-              static_cast<unsigned long long>(seed),
+  std::printf("seed=%llu kernel=%s complete dominators: %zu, "
+              "influence objects: %zu, %.3f ms\n",
+              static_cast<unsigned long long>(seed), gf::ActiveKernelName(),
               result.complete_domination_count, result.influence_count,
               result.seconds * 1e3);
   for (size_t k = 0; k < result.bounds.num_ranks(); ++k) {
@@ -535,14 +536,15 @@ int Serve(const Args& args) {
   std::printf("# updb serve — seed=%llu db_objects=%zu requests=%zu "
               "workers=%zu batch=%zu queue=%zu qps=%.3g iterations=%d "
               "shards=%zu churn=%d wal_dir=%s fsync=%s "
-              "response_cache=%zu verdict_memo=%zu\n",
+              "response_cache=%zu verdict_memo=%zu kernel=%s\n",
               static_cast<unsigned long long>(seed), db.size(),
               trace.size(), opts.num_workers, opts.batch_size,
               opts.max_queue, qps, tcfg.budget.max_iterations,
               sopts.num_shards, churn ? 1 : 0,
               args.Get("wal-dir", "-").c_str(),
               args.Get("fsync", "every_publish").c_str(),
-              response_cache_cap, verdict_memo_cap);
+              response_cache_cap, verdict_memo_cap,
+              gf::ActiveKernelName());
 
   store::RecoveryReport recovery_report;
   bool did_recover = false;
